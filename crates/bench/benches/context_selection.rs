@@ -1,0 +1,57 @@
+//! Figure 5 — context-selection time vs |Q| for both algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nck_bench::{bench_dataset, BENCH_WALKS};
+use nck_core::config::{ContextRwConfig, PathMiningConfig, PprConfig, RandomWalkConfig};
+use nck_core::context::{ContextSelector, TypeFilter};
+use nck_core::context_rw::ContextRw;
+use nck_core::ppr::RandomWalkSelector;
+use nck_core::query::Query;
+use nck_datagen::DomainId;
+
+fn selectors() -> (ContextRw, RandomWalkSelector) {
+    let crw = ContextRw::new(ContextRwConfig {
+        mining: PathMiningConfig {
+            walks: BENCH_WALKS,
+            max_length: 5,
+            seed: 3,
+            parallel: true,
+        },
+        num_metapaths: 5,
+        type_filter: TypeFilter::CommonAncestor,
+        max_endpoint_fraction: 0.25,
+    });
+    let rw = RandomWalkSelector::new(RandomWalkConfig {
+        ppr: PprConfig {
+            damping: 0.2,
+            iterations: 10,
+            parallel: true,
+        },
+        type_filter: TypeFilter::CommonAncestor,
+    });
+    (crw, rw)
+}
+
+fn bench_context_selection(c: &mut Criterion) {
+    let d = bench_dataset();
+    let (crw, rw) = selectors();
+    let mut group = c.benchmark_group("fig5_context_selection");
+    group.sample_size(10);
+    for spec in d.queries_for(DomainId::Actors) {
+        let query = Query::new(&d.graph, d.query_nodes(spec)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("ContextRW", spec.len()),
+            &query,
+            |b, q| b.iter(|| crw.select(&d.graph, q, 100).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("RandomWalk", spec.len()),
+            &query,
+            |b, q| b.iter(|| rw.select(&d.graph, q, 100).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_context_selection);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Distribution-building micro-benches (the §3.2 Inst/Card pass).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nck_bench::bench_dataset;
+use nck_core::context::Context;
+use nck_core::distributions::{CardinalityBinning, InstanceSupport, LabelDistributions};
+use nck_core::query::Query;
+use nck_datagen::queries::actors5_query;
+use nck_datagen::DomainId;
+
+fn bench_distributions(c: &mut Criterion) {
+    let d = bench_dataset();
+    let g = &d.graph;
+    let spec = actors5_query();
+    let query = Query::new(g, d.query_nodes(&spec)).unwrap();
+    let actors = &d.domain(DomainId::Actors).unwrap().members;
+    let mut group = c.benchmark_group("distributions");
+    for size in [30usize, 100, 300] {
+        let context = Context::from_nodes(&actors[6..6 + size.min(actors.len() - 6)]);
+        let acted_in = g.labels().get("actedIn").unwrap();
+        group.bench_with_input(BenchmarkId::new("actedIn_ctx", size), &size, |b, _| {
+            b.iter(|| {
+                LabelDistributions::build_full(
+                    g,
+                    &query,
+                    &context,
+                    acted_in,
+                    InstanceSupport::ContextOnly,
+                    CardinalityBinning::Log2,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributions);
+criterion_main!(benches);

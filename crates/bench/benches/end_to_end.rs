@@ -1,0 +1,39 @@
+//! End-to-end FindNC bench (context selection + distributions + tests).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nck_bench::{small_dataset, BENCH_WALKS};
+use nck_core::config::{ContextRwConfig, FindNcConfig, PathMiningConfig};
+use nck_core::context::TypeFilter;
+use nck_core::findnc::FindNc;
+use nck_core::query::Query;
+use nck_datagen::queries::actors5_query;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let d = small_dataset();
+    let spec = actors5_query();
+    let query = Query::new(&d.graph, d.query_nodes(&spec)).unwrap();
+    let findnc = FindNc::new(FindNcConfig {
+        context: ContextRwConfig {
+            mining: PathMiningConfig {
+                walks: BENCH_WALKS,
+                max_length: 5,
+                seed: 2,
+                parallel: true,
+            },
+            num_metapaths: 5,
+            type_filter: TypeFilter::CommonAncestor,
+            max_endpoint_fraction: 0.25,
+        },
+        context_size: 100,
+        ..FindNcConfig::default()
+    });
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("findnc_actors5", |b| {
+        b.iter(|| findnc.discover(&d.graph, &query).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

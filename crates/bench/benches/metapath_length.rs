@@ -1,0 +1,39 @@
+//! Figure 6 — ContextRW time vs maximum metapath length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nck_bench::{bench_dataset, BENCH_WALKS};
+use nck_core::config::{ContextRwConfig, PathMiningConfig};
+use nck_core::context::{ContextSelector, TypeFilter};
+use nck_core::context_rw::ContextRw;
+use nck_core::query::Query;
+use nck_datagen::queries::actors5_query;
+
+fn bench_metapath_length(c: &mut Criterion) {
+    let d = bench_dataset();
+    let spec = actors5_query();
+    let query = Query::new(&d.graph, d.query_nodes(&spec)).unwrap();
+    let mut group = c.benchmark_group("fig6_metapath_length");
+    group.sample_size(10);
+    for max_length in [5usize, 10, 15, 20] {
+        let selector = ContextRw::new(ContextRwConfig {
+            mining: PathMiningConfig {
+                walks: BENCH_WALKS,
+                max_length,
+                seed: 5,
+                parallel: true,
+            },
+            num_metapaths: 5,
+            type_filter: TypeFilter::CommonAncestor,
+            max_endpoint_fraction: 0.25,
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_length),
+            &max_length,
+            |b, _| b.iter(|| selector.select(&d.graph, &query, 100).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_metapath_length);
+criterion_main!(benches);

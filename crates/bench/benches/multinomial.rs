@@ -1,0 +1,41 @@
+//! Multinomial-test micro-benches: exact enumeration vs Monte-Carlo, and
+//! where the crossover sits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nck_stats::exact::exact_significance;
+use nck_stats::monte_carlo::monte_carlo_significance;
+use nck_stats::multinomial::Multinomial;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_exact_vs_mc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multinomial_test");
+    // Exact: N = 5 observations over k categories.
+    for k in [3usize, 6, 9, 12] {
+        let weights: Vec<f64> = (1..=k).map(|i| i as f64).collect();
+        let dist = Multinomial::from_weights(&weights).unwrap();
+        let mut x = vec![0u64; k];
+        x[0] = 3;
+        x[k - 1] = 2;
+        group.bench_with_input(BenchmarkId::new("exact_k", k), &k, |b, _| {
+            b.iter(|| exact_significance(&dist, &x).unwrap())
+        });
+    }
+    // Monte-Carlo: fixed samples, growing support.
+    for k in [50usize, 200, 800] {
+        let weights: Vec<f64> = (1..=k).map(|i| (i % 7 + 1) as f64).collect();
+        let dist = Multinomial::from_weights(&weights).unwrap();
+        let mut x = vec![0u64; k];
+        x[0] = 5;
+        group.bench_with_input(BenchmarkId::new("monte_carlo_k", k), &k, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                monte_carlo_significance(&dist, &x, 10_000, &mut rng).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_vs_mc);
+criterion_main!(benches);

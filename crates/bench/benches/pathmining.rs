@@ -1,0 +1,34 @@
+//! PathMining micro-benches: walk-count scaling and parallel speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nck_bench::bench_dataset;
+use nck_core::config::PathMiningConfig;
+use nck_core::metapath::PathMiner;
+use nck_core::query::Query;
+use nck_datagen::queries::actors5_query;
+
+fn bench_pathmining(c: &mut Criterion) {
+    let d = bench_dataset();
+    let spec = actors5_query();
+    let query = Query::new(&d.graph, d.query_nodes(&spec)).unwrap();
+    let mut group = c.benchmark_group("pathmining");
+    group.sample_size(10);
+    for walks in [10_000usize, 30_000, 100_000] {
+        for parallel in [false, true] {
+            let miner = PathMiner::new(PathMiningConfig {
+                walks,
+                max_length: 5,
+                seed: 9,
+                parallel,
+            });
+            let label = format!("{walks}_{}", if parallel { "par" } else { "seq" });
+            group.bench_with_input(BenchmarkId::from_parameter(label), &walks, |b, _| {
+                b.iter(|| miner.mine(&d.graph, &query))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pathmining);
+criterion_main!(benches);

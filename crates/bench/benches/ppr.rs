@@ -1,0 +1,40 @@
+//! Personalized-PageRank micro-benches, including the Eq. 1 weighted vs
+//! uniform-transition ablation (DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nck_bench::bench_dataset;
+use nck_core::config::PprConfig;
+use nck_core::ppr::PersonalizedPageRank;
+use nck_graph::NodeId;
+
+fn bench_ppr(c: &mut Criterion) {
+    let d = bench_dataset();
+    let g = &d.graph;
+    let source = d.graph.require_node("Brad Pitt").unwrap();
+    let mut group = c.benchmark_group("ppr");
+    group.sample_size(20);
+    for iterations in [5usize, 10, 20] {
+        let ppr = PersonalizedPageRank::new(
+            g,
+            PprConfig {
+                damping: 0.2,
+                iterations,
+                parallel: false,
+            },
+        )
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("iterations", iterations),
+            &iterations,
+            |b, _| b.iter(|| ppr.run(&[source])),
+        );
+    }
+    // Multi-source personalization cost.
+    let sources: Vec<NodeId> = d.domains[1].members[..5].to_vec();
+    let ppr = PersonalizedPageRank::new(g, PprConfig::default()).unwrap();
+    group.bench_function("multi_source_5", |b| b.iter(|| ppr.run(&sources)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_ppr);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Triple-store micro-benches: bulk load and pattern scans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nck_store::dictionary::Term;
+use nck_store::triple::TriplePattern;
+use nck_store::TripleStore;
+
+fn build_store(n: usize) -> TripleStore {
+    let mut s = TripleStore::new();
+    for i in 0..n {
+        let subject = format!("s{}", i % (n / 10).max(1));
+        let predicate = format!("p{}", i % 12);
+        let object = format!("o{}", i % 97);
+        s.insert_iris(&subject, &predicate, &object);
+    }
+    s
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triple_store");
+    for n in [10_000usize, 50_000] {
+        group.bench_with_input(BenchmarkId::new("bulk_load", n), &n, |b, &n| {
+            b.iter(|| build_store(n))
+        });
+        let store = build_store(n);
+        let p = store.term_id(&Term::iri("p3")).unwrap();
+        group.bench_with_input(BenchmarkId::new("scan_by_predicate", n), &n, |b, _| {
+            b.iter(|| store.scan(&TriplePattern::with_p(p)).count())
+        });
+        let s = store.term_id(&Term::iri("s1")).unwrap();
+        group.bench_with_input(BenchmarkId::new("scan_by_subject", n), &n, |b, _| {
+            b.iter(|| store.scan(&TriplePattern::with_s(s)).count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,476 @@
+//! Instance and cardinality distributions (§3.2).
+//!
+//! For each edge label `l` incident to `Q ∪ C`, two pairs of aligned count
+//! vectors are built by iterating over the nodes of each set:
+//!
+//! - **instance**: how often each *value* (target node) occurs at the end
+//!   of an `l`-edge — with an explicit `None` bucket at index 0 counting
+//!   nodes that have no `l`-edge at all (Figure 7: "The first label is
+//!   None, indicating no matching edge found");
+//! - **cardinality**: how many nodes have exactly `i` `l`-edges, for every
+//!   `i` (Figure 8's x-axis).
+//!
+//! ## Instance support: a paper ambiguity, made explicit
+//!
+//! The paper under-specifies which values span the instance support.
+//! Its §3.2 worked example (`Inst_q(studied) = (1, 1)` with Physics
+//! appearing **only in the query**) implies the support is the *union* of
+//! query and context values. But its §4.2 authors test case is only
+//! consistent with the *context's* values: Adams and Pratchett created
+//! works nobody in the context created, and under a union support those
+//! zero-probability values would make `created` maximally notable —
+//! while the paper reports it as *not* notable ("the query nodes also
+//! only created their own works … this is an expected result").
+//!
+//! [`InstanceSupport`] exposes both readings. The default,
+//! [`InstanceSupport::ContextOnly`], spans `{None} ∪ values(C)` and
+//! *drops* query observations of values the context never exhibits
+//! (recorded in [`LabelDistributions::dropped_q`]); it reproduces every
+//! §4.2 result. [`InstanceSupport::Union`] keeps query-only values with
+//! zero context probability — any query mass there is "impossible" under
+//! the context and maximally significant.
+
+use crate::context::Context;
+use crate::query::Query;
+use nck_graph::{EdgeLabelId, KnowledgeGraph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How cardinalities map to histogram bins.
+///
+/// §3.2 indexes the cardinality histogram by the raw edge count. With a
+/// small query and a context whose counts are large and spread out (an
+/// actor filmography: 12, 17, 23, 28, …), most raw bins hold zero context
+/// mass and *any* query observation lands on an empty bin — the
+/// multinomial test would call every such label maximally notable. The
+/// default therefore keeps counts 0–4 exact (Figure 8's regime: absence
+/// and small counts keep their semantics) and buckets larger counts
+/// geometrically (5–8, 9–16, 17–32, …), which preserves the paper's
+/// qualitative results on both sparse and dense labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CardinalityBinning {
+    /// Exact bins for 0–4, ×2 geometric buckets beyond. The default.
+    #[default]
+    Log2,
+    /// Raw §3.2 bins: index = exact edge count.
+    Raw,
+}
+
+impl CardinalityBinning {
+    /// The bin index of cardinality `c`.
+    pub fn bin(self, c: usize) -> usize {
+        match self {
+            CardinalityBinning::Raw => c,
+            CardinalityBinning::Log2 => {
+                if c <= 4 {
+                    c
+                } else {
+                    3 + (usize::BITS - 1 - (c - 1).leading_zeros()) as usize
+                }
+            }
+        }
+    }
+
+    /// Human-readable bin label (for reports / Figure 8 axes).
+    pub fn bin_label(self, bin: usize) -> String {
+        match self {
+            CardinalityBinning::Raw => bin.to_string(),
+            CardinalityBinning::Log2 => {
+                if bin <= 4 {
+                    bin.to_string()
+                } else {
+                    let lo = (1usize << (bin - 3)) + 1;
+                    let hi = 1usize << (bin - 2);
+                    format!("{lo}-{hi}")
+                }
+            }
+        }
+    }
+}
+
+/// Which values span the instance distribution (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum InstanceSupport {
+    /// `{None} ∪ values(C)`; query-only values are dropped. Consistent
+    /// with the §4.2 test cases. The default.
+    #[default]
+    ContextOnly,
+    /// `{None} ∪ values(Q) ∪ values(C)`; query-only values carry zero
+    /// context probability. Consistent with the §3.2 worked example.
+    Union,
+}
+
+/// The aligned distributions of one edge label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelDistributions {
+    /// The label these distributions describe.
+    pub label: EdgeLabelId,
+    /// Which support policy produced the instance vectors.
+    pub support: InstanceSupport,
+    /// Which binning produced the cardinality vectors.
+    pub binning: CardinalityBinning,
+    /// Value behind each instance index ≥ 1 (index 0 is the `None`
+    /// bucket and has no node).
+    pub inst_support: Vec<NodeId>,
+    /// Instance counts over the query set (`Inst_q`).
+    pub inst_q: Vec<u64>,
+    /// Instance counts over the context set (`Inst_c`).
+    pub inst_c: Vec<u64>,
+    /// Query observations dropped because their value is outside the
+    /// context support (only under [`InstanceSupport::ContextOnly`]).
+    pub dropped_q: u64,
+    /// Cardinality histogram over the query set (`Card_q`).
+    pub card_q: Vec<u64>,
+    /// Cardinality histogram over the context set (`Card_c`).
+    pub card_c: Vec<u64>,
+}
+
+impl LabelDistributions {
+    /// Builds the distributions of `label` for the given sets under the
+    /// default support policy.
+    pub fn build(
+        graph: &KnowledgeGraph,
+        query: &Query,
+        context: &Context,
+        label: EdgeLabelId,
+    ) -> Self {
+        Self::build_with_support(graph, query, context, label, InstanceSupport::default())
+    }
+
+    /// Builds the distributions under an explicit support policy and the
+    /// default binning.
+    pub fn build_with_support(
+        graph: &KnowledgeGraph,
+        query: &Query,
+        context: &Context,
+        label: EdgeLabelId,
+        support: InstanceSupport,
+    ) -> Self {
+        Self::build_full(
+            graph,
+            query,
+            context,
+            label,
+            support,
+            CardinalityBinning::default(),
+        )
+    }
+
+    /// Builds the distributions under explicit support and binning.
+    pub fn build_full(
+        graph: &KnowledgeGraph,
+        query: &Query,
+        context: &Context,
+        label: EdgeLabelId,
+        support: InstanceSupport,
+        binning: CardinalityBinning,
+    ) -> Self {
+        let mut value_index: HashMap<NodeId, usize> = HashMap::new();
+        let mut inst_support: Vec<NodeId> = Vec::new();
+        let mut inst_c: Vec<u64> = vec![0]; // index 0 = None bucket
+        let mut card_q: Vec<u64> = Vec::new();
+        let mut card_c: Vec<u64> = Vec::new();
+
+        // Context pass: establishes the support.
+        for node in context.nodes() {
+            let targets = graph.neighbors_with_label(node, label);
+            let bin = binning.bin(targets.len());
+            if bin >= card_c.len() {
+                card_c.resize(bin + 1, 0);
+            }
+            card_c[bin] += 1;
+            if targets.is_empty() {
+                inst_c[0] += 1;
+                continue;
+            }
+            for &t in targets {
+                let idx = *value_index.entry(t).or_insert_with(|| {
+                    inst_support.push(t);
+                    inst_support.len()
+                });
+                if idx >= inst_c.len() {
+                    inst_c.resize(idx + 1, 0);
+                }
+                inst_c[idx] += 1;
+            }
+        }
+
+        // Query pass.
+        let mut inst_q: Vec<u64> = vec![0; inst_c.len()];
+        let mut dropped_q = 0u64;
+        for &node in query.nodes() {
+            let targets = graph.neighbors_with_label(node, label);
+            let bin = binning.bin(targets.len());
+            if bin >= card_q.len() {
+                card_q.resize(bin + 1, 0);
+            }
+            card_q[bin] += 1;
+            if targets.is_empty() {
+                inst_q[0] += 1;
+                continue;
+            }
+            for &t in targets {
+                match (value_index.get(&t), support) {
+                    (Some(&idx), _) => inst_q[idx] += 1,
+                    (None, InstanceSupport::Union) => {
+                        inst_support.push(t);
+                        value_index.insert(t, inst_support.len());
+                        inst_q.push(1);
+                    }
+                    (None, InstanceSupport::ContextOnly) => dropped_q += 1,
+                }
+            }
+        }
+
+        // Align vector lengths (Union mode may have grown the query side).
+        let inst_len = inst_q.len().max(inst_c.len());
+        inst_q.resize(inst_len, 0);
+        inst_c.resize(inst_len, 0);
+        let card_len = card_q.len().max(card_c.len()).max(1);
+        card_q.resize(card_len, 0);
+        card_c.resize(card_len, 0);
+
+        Self {
+            label,
+            support,
+            binning,
+            inst_support,
+            inst_q,
+            inst_c,
+            dropped_q,
+            card_q,
+            card_c,
+        }
+    }
+
+    /// The value node behind instance index `i` (`None` for the index-0
+    /// "no edge" bucket).
+    pub fn instance_value(&self, i: usize) -> Option<NodeId> {
+        if i == 0 {
+            None
+        } else {
+            self.inst_support.get(i - 1).copied()
+        }
+    }
+
+    /// Total query observations in the instance vector (after dropping,
+    /// under [`InstanceSupport::ContextOnly`]).
+    pub fn inst_q_total(&self) -> u64 {
+        self.inst_q.iter().sum()
+    }
+
+    /// Total context observations in the instance vector.
+    pub fn inst_c_total(&self) -> u64 {
+        self.inst_c.iter().sum()
+    }
+}
+
+/// The labels incident to `Q ∪ C` — `L|Q∪C` of Def. 3.
+///
+/// `include_inverse` keeps the auto-generated `l⁻¹` directions; the
+/// paper's experiments report forward labels.
+pub fn incident_labels(
+    graph: &KnowledgeGraph,
+    query: &Query,
+    context: &Context,
+    include_inverse: bool,
+) -> Vec<EdgeLabelId> {
+    let mut seen = vec![false; graph.labels().len()];
+    let mut out = Vec::new();
+    let mut visit = |node: NodeId| {
+        for l in graph.labels_of(node) {
+            if !seen[l.index()] {
+                seen[l.index()] = true;
+                if include_inverse || !graph.labels().is_inverse(l) {
+                    out.push(l);
+                }
+            }
+        }
+    };
+    for &q in query.nodes() {
+        visit(q);
+    }
+    for c in context.nodes() {
+        visit(c);
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nck_graph::GraphBuilder;
+
+    /// The Figure-1 fixture: Merkel studied Physics; Putin/Renzi/Hollande
+    /// studied Law; children per the paper's figure.
+    fn figure1() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        b.add_triple("Merkel", "studied", "Physics");
+        for p in ["Putin", "Renzi", "Hollande"] {
+            b.add_triple(p, "studied", "Law");
+        }
+        for (p, c) in [
+            ("Obama", "Malia"),
+            ("Putin", "Mariya"),
+            ("Renzi", "Ester"),
+            ("Renzi", "Emanuele"),
+            ("Hollande", "Thomas"),
+            ("Hollande", "Clemence"),
+            ("Hollande", "Flora"),
+            ("Hollande", "Julien"),
+        ] {
+            b.add_triple(p, "hasChild", c);
+        }
+        b.build()
+    }
+
+    fn q_and_c(g: &KnowledgeGraph) -> (Query, Context) {
+        let q = Query::by_names(g, ["Merkel", "Obama"]).unwrap();
+        let c = Context::from_names(g, ["Putin", "Renzi", "Hollande"]).unwrap();
+        (q, c)
+    }
+
+    #[test]
+    fn union_support_matches_paper_worked_example() {
+        // §3.2: over support (Physics, Law): Inst_q = (1, 1), Inst_c =
+        // (0, 3) — Physics appears only in the query. Our vectors add the
+        // explicit None bucket at index 0 (counting Obama).
+        let g = figure1();
+        let (q, c) = q_and_c(&g);
+        let studied = g.labels().get("studied").unwrap();
+        let d = LabelDistributions::build_with_support(
+            &g,
+            &q,
+            &c,
+            studied,
+            InstanceSupport::Union,
+        );
+        let physics = g.node_by_name("Physics").unwrap();
+        let law = g.node_by_name("Law").unwrap();
+        assert_eq!(d.inst_support, vec![law, physics]); // context first
+        assert_eq!(d.inst_q, vec![1, 0, 1]); // None=1 (Obama), Law=0, Physics=1
+        assert_eq!(d.inst_c, vec![0, 3, 0]);
+        assert_eq!(d.dropped_q, 0);
+        assert_eq!(d.instance_value(0), None);
+        assert_eq!(d.instance_value(1), Some(law));
+    }
+
+    #[test]
+    fn context_only_support_drops_query_exclusive_values() {
+        let g = figure1();
+        let (q, c) = q_and_c(&g);
+        let studied = g.labels().get("studied").unwrap();
+        let d = LabelDistributions::build(&g, &q, &c, studied);
+        let law = g.node_by_name("Law").unwrap();
+        assert_eq!(d.inst_support, vec![law]);
+        assert_eq!(d.inst_q, vec![1, 0]); // Obama's None; Physics dropped
+        assert_eq!(d.inst_c, vec![0, 3]);
+        assert_eq!(d.dropped_q, 1);
+        assert_eq!(d.inst_q_total(), 1);
+        assert_eq!(d.inst_c_total(), 3);
+    }
+
+    #[test]
+    fn cardinality_unaffected_by_support_mode() {
+        // hasChild: query (Merkel 0, Obama 1); context (Putin 1, Renzi 2,
+        // Hollande 4).
+        let g = figure1();
+        let (q, c) = q_and_c(&g);
+        let has_child = g.labels().get("hasChild").unwrap();
+        for mode in [InstanceSupport::ContextOnly, InstanceSupport::Union] {
+            let d = LabelDistributions::build_with_support(&g, &q, &c, has_child, mode);
+            assert_eq!(d.card_q, vec![1, 1, 0, 0, 0]);
+            assert_eq!(d.card_c, vec![0, 1, 1, 0, 1]);
+        }
+    }
+
+    #[test]
+    fn totals_equal_set_sizes_for_cardinality() {
+        let g = figure1();
+        let (q, c) = q_and_c(&g);
+        for l in g.labels().iter() {
+            let d = LabelDistributions::build(&g, &q, &c, l);
+            assert_eq!(d.card_q.iter().sum::<u64>(), q.len() as u64);
+            assert_eq!(d.card_c.iter().sum::<u64>(), c.len() as u64);
+        }
+    }
+
+    #[test]
+    fn shared_values_counted_in_both_modes() {
+        let mut b = GraphBuilder::new();
+        b.add_triple("q", "likes", "jazz");
+        b.add_triple("c1", "likes", "jazz");
+        b.add_triple("c2", "likes", "rock");
+        let g = b.build();
+        let q = Query::by_names(&g, ["q"]).unwrap();
+        let c = Context::from_names(&g, ["c1", "c2"]).unwrap();
+        let likes = g.labels().get("likes").unwrap();
+        for mode in [InstanceSupport::ContextOnly, InstanceSupport::Union] {
+            let d = LabelDistributions::build_with_support(&g, &q, &c, likes, mode);
+            let jazz = g.node_by_name("jazz").unwrap();
+            let jazz_idx = d
+                .inst_support
+                .iter()
+                .position(|&v| v == jazz)
+                .map(|i| i + 1)
+                .unwrap();
+            assert_eq!(d.inst_q[jazz_idx], 1, "{mode:?}");
+            assert_eq!(d.inst_c[jazz_idx], 1, "{mode:?}");
+            assert_eq!(d.dropped_q, 0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn incident_labels_cover_forward_only_by_default() {
+        let g = figure1();
+        let (q, c) = q_and_c(&g);
+        let ls = incident_labels(&g, &q, &c, false);
+        let names: Vec<&str> = ls.iter().map(|&l| g.label_name(l)).collect();
+        assert_eq!(names, vec!["studied", "hasChild"]);
+        let with_inv = incident_labels(&g, &q, &c, true);
+        assert_eq!(with_inv.len(), 2, "Q∪C has no incoming edges here");
+    }
+
+    #[test]
+    fn incident_labels_include_inverse_when_asked() {
+        let g = figure1();
+        let q = Query::by_names(&g, ["Physics"]).unwrap();
+        let c = Context::from_names(&g, ["Law"]).unwrap();
+        let without = incident_labels(&g, &q, &c, false);
+        assert!(without.is_empty());
+        let with = incident_labels(&g, &q, &c, true);
+        let names: Vec<&str> = with.iter().map(|&l| g.label_name(l)).collect();
+        assert_eq!(names, vec!["studied⁻¹"]);
+    }
+
+    #[test]
+    fn absent_label_all_mass_in_none_and_zero_card() {
+        let g = figure1();
+        let (_, c) = q_and_c(&g);
+        let q2 = Query::by_names(&g, ["Malia"]).unwrap();
+        let studied = g.labels().get("studied").unwrap();
+        let d = LabelDistributions::build(&g, &q2, &c, studied);
+        assert_eq!(d.inst_q[0], 1);
+        assert_eq!(d.card_q[0], 1);
+    }
+
+    #[test]
+    fn empty_query_instance_vector_possible_under_drop() {
+        // Query node has only out-of-support values and *no* None: the
+        // instance observation vector ends up empty (the discrimination
+        // layer must then skip the instance test).
+        let mut b = GraphBuilder::new();
+        b.add_triple("q", "created", "my-book");
+        b.add_triple("c1", "created", "c1-book");
+        b.add_triple("c2", "created", "c2-book");
+        let g = b.build();
+        let q = Query::by_names(&g, ["q"]).unwrap();
+        let c = Context::from_names(&g, ["c1", "c2"]).unwrap();
+        let created = g.labels().get("created").unwrap();
+        let d = LabelDistributions::build(&g, &q, &c, created);
+        assert_eq!(d.inst_q_total(), 0);
+        assert_eq!(d.dropped_q, 1);
+        assert_eq!(d.inst_c_total(), 2);
+    }
+}

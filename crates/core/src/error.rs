@@ -1,0 +1,118 @@
+//! Error type of the search pipeline.
+
+use std::fmt;
+
+/// Errors surfaced by the notable-characteristics pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The query was empty.
+    EmptyQuery,
+    /// The query exceeded the supported size (the paper assumes ≤ 10).
+    QueryTooLarge {
+        /// Requested size.
+        got: usize,
+        /// Maximum allowed.
+        max: usize,
+    },
+    /// The query contained the same node twice.
+    DuplicateQueryNode(String),
+    /// A query node name was not found in the graph.
+    UnknownNode(String),
+    /// The requested context size was zero.
+    EmptyContext,
+    /// The graph has too few eligible nodes for the requested context.
+    NotEnoughCandidates {
+        /// Requested context size.
+        requested: usize,
+        /// Eligible candidates found.
+        available: usize,
+    },
+    /// An underlying statistics error (invalid distribution input).
+    Stats(nck_stats::StatsError),
+    /// An underlying graph error.
+    Graph(nck_graph::GraphError),
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyQuery => write!(f, "query set is empty"),
+            CoreError::QueryTooLarge { got, max } => {
+                write!(f, "query has {got} nodes, maximum supported is {max}")
+            }
+            CoreError::DuplicateQueryNode(name) => {
+                write!(f, "query contains node {name:?} more than once")
+            }
+            CoreError::UnknownNode(name) => write!(f, "query node {name:?} not in graph"),
+            CoreError::EmptyContext => write!(f, "context size must be positive"),
+            CoreError::NotEnoughCandidates {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested a context of {requested} nodes but only {available} candidates exist"
+            ),
+            CoreError::Stats(e) => write!(f, "statistics error: {e}"),
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::InvalidConfig { field, message } => {
+                write!(f, "invalid configuration `{field}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Stats(e) => Some(e),
+            CoreError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nck_stats::StatsError> for CoreError {
+    fn from(e: nck_stats::StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+impl From<nck_graph::GraphError> for CoreError {
+    fn from(e: nck_graph::GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let e = CoreError::QueryTooLarge { got: 12, max: 10 };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("10"));
+        let e = CoreError::NotEnoughCandidates {
+            requested: 100,
+            available: 3,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn conversions_preserve_source() {
+        use std::error::Error;
+        let e: CoreError = nck_stats::StatsError::EmptyDistribution.into();
+        assert!(e.source().is_some());
+        let e: CoreError = nck_graph::GraphError::InvalidNodeId(5).into();
+        assert!(e.source().is_some());
+    }
+}

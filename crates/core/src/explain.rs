@@ -1,0 +1,169 @@
+//! Human-readable explanations of notable characteristics.
+//!
+//! The introduction positions the system against plain similarity scores:
+//! *"the traditional comparison of nodes by means of node similarity
+//! provides only a score with no explanation; we go one step further."*
+//! This module renders that step — each scored label becomes a sentence
+//! grounded in the underlying distributions, e.g.
+//!
+//! ```text
+//! hasChild (cardinality): 1 of 2 query nodes has no hasChild edge,
+//! while 92% of the 24 context nodes have at least one (p = 0.013).
+//! ```
+
+use crate::discrimination::Trigger;
+use crate::findnc::{NotableCharacteristic, SearchResult};
+use nck_graph::KnowledgeGraph;
+use std::fmt::Write as _;
+
+/// Renders a one-line explanation of a characteristic.
+pub fn explain(graph: &KnowledgeGraph, ch: &NotableCharacteristic, query_size: usize) -> String {
+    let label = graph.label_name(ch.label);
+    let d = &ch.distributions;
+    let ctx_size: u64 = d.card_c.iter().sum();
+    let mut out = String::new();
+    match ch.trigger {
+        Trigger::Cardinality => {
+            let q_without = d.card_q.first().copied().unwrap_or(0);
+            let c_with = ctx_size - d.card_c.first().copied().unwrap_or(0);
+            let pct = if ctx_size > 0 {
+                (c_with as f64 / ctx_size as f64 * 100.0).round() as u64
+            } else {
+                0
+            };
+            let _ = write!(
+                out,
+                "{label} (cardinality): {q_without} of {query_size} query node(s) \
+                 have no {label} edge, while {pct}% of the {ctx_size} context nodes \
+                 have at least one"
+            );
+        }
+        Trigger::Instance => {
+            // Most distinctive query value: highest query count where the
+            // context share is smallest.
+            let best = d
+                .inst_q
+                .iter()
+                .enumerate()
+                .skip(1)
+                .filter(|&(_, &c)| c > 0)
+                .min_by(|a, b| {
+                    let ca = d.inst_c[a.0] as f64;
+                    let cb = d.inst_c[b.0] as f64;
+                    ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+                });
+            match best {
+                Some((idx, &qc)) => {
+                    let value = d
+                        .instance_value(idx)
+                        .map(|n| graph.node_name(n).to_owned())
+                        .unwrap_or_else(|| "None".to_owned());
+                    let cc = d.inst_c[idx];
+                    let _ = write!(
+                        out,
+                        "{label} (instance): {qc} query occurrence(s) of {value:?} \
+                         against {cc} context occurrence(s)"
+                    );
+                }
+                None => {
+                    let _ = write!(
+                        out,
+                        "{label} (instance): no query node carries the label while \
+                         the context does"
+                    );
+                }
+            }
+        }
+    }
+    if let Some(p) = ch.significance {
+        let _ = write!(out, " (p = {p:.4})");
+    }
+    if !ch.notable() {
+        let _ = write!(out, " — not notable");
+    }
+    out
+}
+
+/// Renders the full result as a ranked report.
+pub fn report(graph: &KnowledgeGraph, result: &SearchResult, query_size: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "notable characteristics (context size {}):",
+        result.context.len()
+    );
+    for (i, ch) in result.characteristics.iter().enumerate() {
+        let marker = if ch.notable() { "★" } else { " " };
+        let _ = writeln!(
+            out,
+            "{marker} {:>2}. δ={:.4} {}",
+            i + 1,
+            ch.score,
+            explain(graph, ch, query_size)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FindNcConfig;
+    use crate::context::Context;
+    use crate::findnc::FindNc;
+    use crate::query::Query;
+    use nck_graph::GraphBuilder;
+
+    fn run() -> (nck_graph::KnowledgeGraph, SearchResult, usize) {
+        let mut b = GraphBuilder::new();
+        b.add_triple("Merkel", "studied", "Physics");
+        b.node("Obama");
+        for i in 0..20 {
+            let n = format!("leader{i}");
+            b.add_triple(&n, "studied", "Law");
+            b.add_triple(&n, "hasChild", &format!("kid{i}"));
+        }
+        b.add_triple("Obama", "hasChild", "Malia");
+        let g = b.build();
+        let q = Query::by_names(&g, ["Merkel", "Obama"]).unwrap();
+        let names: Vec<String> = (0..20).map(|i| format!("leader{i}")).collect();
+        let c = Context::from_names(&g, &names).unwrap();
+        let r = FindNc::new(FindNcConfig::default())
+            .discover_with_context(&g, &q, &c)
+            .unwrap();
+        (g, r, q.len())
+    }
+
+    #[test]
+    fn explanations_mention_label_and_p_value() {
+        let (g, r, qs) = run();
+        for ch in &r.characteristics {
+            let text = explain(&g, ch, qs);
+            assert!(text.contains(g.label_name(ch.label)), "{text}");
+            assert!(text.contains("p = "), "{text}");
+        }
+    }
+
+    #[test]
+    fn report_lists_all_characteristics_ranked() {
+        let (g, r, qs) = run();
+        let text = report(&g, &r, qs);
+        assert!(text.contains("notable characteristics"));
+        for ch in &r.characteristics {
+            assert!(text.contains(g.label_name(ch.label)));
+        }
+        // Notable entries are starred.
+        if r.notable().count() > 0 {
+            assert!(text.contains('★'));
+        }
+    }
+
+    #[test]
+    fn non_notable_entries_say_so() {
+        let (g, r, qs) = run();
+        if let Some(ch) = r.characteristics.iter().find(|c| !c.notable()) {
+            let text = explain(&g, ch, qs);
+            assert!(text.contains("not notable"), "{text}");
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! FindNC — the end-to-end notable characteristics search (Problem 1).
+//!
+//! Wires the pieces together: select a context with ContextRW (or any
+//! other [`ContextSelector`]), build the Inst/Card distributions of every
+//! label incident to `Q ∪ C`, score each with the discrimination function,
+//! and return the labels ranked by δ. The paper's RWMult ablation
+//! (RandomWalk context + multinomial test, Figure 9) is
+//! [`FindNc::discover_with_selector`] with a [`crate::ppr::RandomWalkSelector`].
+
+use crate::config::FindNcConfig;
+use crate::context::{Context, ContextSelector};
+use crate::context_rw::ContextRw;
+use crate::discrimination::{Discrimination, MultinomialDiscrimination, Trigger};
+use crate::distributions::{incident_labels, LabelDistributions};
+use crate::error::CoreError;
+use crate::query::Query;
+use nck_graph::{EdgeLabelId, KnowledgeGraph};
+use nck_stats::MultinomialTest;
+
+/// One scored characteristic in a [`SearchResult`].
+#[derive(Debug, Clone)]
+pub struct NotableCharacteristic {
+    /// The edge label.
+    pub label: EdgeLabelId,
+    /// δ (0 = not notable).
+    pub score: f64,
+    /// Significance probability of the winning test (multinomial method
+    /// only).
+    pub significance: Option<f64>,
+    /// Which distribution deviated.
+    pub trigger: Trigger,
+    /// Significance probability of the instance test.
+    pub inst_significance: Option<f64>,
+    /// Significance probability of the cardinality test.
+    pub card_significance: Option<f64>,
+    /// The full distributions (kept for explanation / plotting — this is
+    /// how Figures 7 and 8 are drawn).
+    pub distributions: LabelDistributions,
+}
+
+impl NotableCharacteristic {
+    /// Whether the label is notable (δ ≠ 0, Def. 3).
+    pub fn notable(&self) -> bool {
+        self.score > 0.0
+    }
+}
+
+/// The result of a notable-characteristics search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// All scored labels, descending by δ (ties: ascending significance,
+    /// then label id).
+    pub characteristics: Vec<NotableCharacteristic>,
+    /// The context the scores were computed against.
+    pub context: Context,
+}
+
+impl SearchResult {
+    /// Only the notable characteristics (δ ≠ 0).
+    pub fn notable(&self) -> impl Iterator<Item = &NotableCharacteristic> {
+        self.characteristics.iter().filter(|c| c.notable())
+    }
+
+    /// Looks a characteristic up by label name.
+    pub fn characteristic(
+        &self,
+        label_name: &str,
+        graph: &KnowledgeGraph,
+    ) -> Option<&NotableCharacteristic> {
+        let label = graph.labels().get(label_name)?;
+        self.characteristics.iter().find(|c| c.label == label)
+    }
+}
+
+/// The FindNC pipeline.
+pub struct FindNc {
+    config: FindNcConfig,
+}
+
+impl FindNc {
+    /// Creates the pipeline with the given configuration.
+    pub fn new(config: FindNcConfig) -> Self {
+        Self { config }
+    }
+
+    /// Read access to the configuration.
+    pub fn config(&self) -> &FindNcConfig {
+        &self.config
+    }
+
+    fn discrimination(&self) -> Result<MultinomialDiscrimination, CoreError> {
+        let test = MultinomialTest::new()
+            .with_alpha(self.config.alpha)
+            .map_err(CoreError::from)?
+            .with_samples(self.config.mc_samples)
+            .with_seed(self.config.mc_seed);
+        Ok(MultinomialDiscrimination::new(test))
+    }
+
+    /// Full pipeline: ContextRW context selection, then discrimination.
+    pub fn discover(
+        &self,
+        graph: &KnowledgeGraph,
+        query: &Query,
+    ) -> Result<SearchResult, CoreError> {
+        let selector = ContextRw::new(self.config.context.clone());
+        self.discover_with_selector(graph, query, &selector)
+    }
+
+    /// Pipeline with a caller-chosen context selector (e.g. the RWMult
+    /// ablation of Figure 9).
+    pub fn discover_with_selector(
+        &self,
+        graph: &KnowledgeGraph,
+        query: &Query,
+        selector: &dyn ContextSelector,
+    ) -> Result<SearchResult, CoreError> {
+        let context = selector.select(graph, query, self.config.context_size)?;
+        self.discover_with_context(graph, query, &context)
+    }
+
+    /// Discrimination against a fixed context (also used by tests and by
+    /// callers with an externally curated context).
+    pub fn discover_with_context(
+        &self,
+        graph: &KnowledgeGraph,
+        query: &Query,
+        context: &Context,
+    ) -> Result<SearchResult, CoreError> {
+        let discrimination = self.discrimination()?;
+        self.discover_with_discrimination(graph, query, context, &discrimination)
+    }
+
+    /// Fully pluggable variant: fixed context and any discrimination
+    /// function (used by the §4.2 KL/EMD comparison).
+    pub fn discover_with_discrimination(
+        &self,
+        graph: &KnowledgeGraph,
+        query: &Query,
+        context: &Context,
+        discrimination: &dyn Discrimination,
+    ) -> Result<SearchResult, CoreError> {
+        if context.is_empty() {
+            return Err(CoreError::NotEnoughCandidates {
+                requested: self.config.context_size,
+                available: 0,
+            });
+        }
+        let labels = incident_labels(
+            graph,
+            query,
+            context,
+            self.config.include_inverse_labels,
+        );
+        let mut characteristics = Vec::with_capacity(labels.len());
+        for label in labels {
+            let dists = LabelDistributions::build_full(
+                graph,
+                query,
+                context,
+                label,
+                self.config.instance_support,
+                self.config.card_binning,
+            );
+            let s = discrimination.score(&dists)?;
+            characteristics.push(NotableCharacteristic {
+                label,
+                score: s.score,
+                significance: s.significance(),
+                trigger: s.trigger,
+                inst_significance: s.inst_significance,
+                card_significance: s.card_significance,
+                distributions: dists,
+            });
+        }
+        characteristics.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    a.significance
+                        .unwrap_or(1.0)
+                        .partial_cmp(&b.significance.unwrap_or(1.0))
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+                .then(a.label.cmp(&b.label))
+        });
+        Ok(SearchResult {
+            characteristics,
+            context: context.clone(),
+        })
+    }
+}
+
+impl Default for FindNc {
+    fn default() -> Self {
+        Self::new(FindNcConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ContextRwConfig, PathMiningConfig};
+    use crate::context::TypeFilter;
+    use nck_graph::GraphBuilder;
+
+    /// Figure-1 style population, large enough for the multinomial test:
+    /// 24 leaders, all but the query pair have children and studied Law.
+    fn leaders() -> (nck_graph::KnowledgeGraph, Query, Context) {
+        let mut b = GraphBuilder::new();
+        b.add_triple("Merkel", "studied", "Physics");
+        b.node("Obama");
+        for i in 0..24 {
+            let n = format!("leader{i}");
+            b.add_triple(&n, "studied", "Law");
+            for c in 0..(1 + i % 3) {
+                b.add_triple(&n, "hasChild", &format!("child{i}_{c}"));
+            }
+            b.add_triple(&n, "leads", &format!("country{i}"));
+            // Shared forum membership: the symmetric structure the mined
+            // metapaths replay from the query side.
+            b.add_triple(&n, "memberOf", "G20");
+        }
+        b.add_triple("Obama", "hasChild", "Malia");
+        b.add_triple("Obama", "hasChild", "Sasha");
+        b.add_triple("Merkel", "leads", "Germany");
+        b.add_triple("Obama", "leads", "USA");
+        b.add_triple("Merkel", "memberOf", "G20");
+        b.add_triple("Obama", "memberOf", "G20");
+        let g = b.build();
+        let q = Query::by_names(&g, ["Merkel", "Obama"]).unwrap();
+        let names: Vec<String> = (0..24).map(|i| format!("leader{i}")).collect();
+        let c = Context::from_names(&g, &names).unwrap();
+        (g, q, c)
+    }
+
+    #[test]
+    fn merkel_missing_children_is_notable() {
+        let (g, q, c) = leaders();
+        let result = FindNc::default().discover_with_context(&g, &q, &c).unwrap();
+        let studied = result.characteristic("studied", &g).unwrap();
+        assert!(
+            studied.notable(),
+            "Physics vs all-Law must be notable: {:?}",
+            studied.score
+        );
+        // `leads` is identical across query and context values-wise per
+        // node (each leads their own country)… distinct values, so the
+        // instance test sees all-unique values on both sides; cardinality
+        // is all-1 on both sides — not notable on cardinality.
+        let leads = result.characteristic("leads", &g).unwrap();
+        assert!(
+            leads.card_significance.unwrap() > 0.05,
+            "uniform cardinality must not reject: {leads:?}"
+        );
+    }
+
+    #[test]
+    fn result_is_sorted_by_score() {
+        let (g, q, c) = leaders();
+        let r = FindNc::default().discover_with_context(&g, &q, &c).unwrap();
+        for w in r.characteristics.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        assert!(r.notable().count() <= r.characteristics.len());
+    }
+
+    #[test]
+    fn characteristic_lookup_by_name() {
+        let (g, q, c) = leaders();
+        let r = FindNc::default().discover_with_context(&g, &q, &c).unwrap();
+        assert!(r.characteristic("studied", &g).is_some());
+        assert!(r.characteristic("nonexistent", &g).is_none());
+    }
+
+    #[test]
+    fn inverse_labels_excluded_by_default_included_on_request() {
+        let (g, q, c) = leaders();
+        let r = FindNc::default().discover_with_context(&g, &q, &c).unwrap();
+        assert!(r
+            .characteristics
+            .iter()
+            .all(|ch| !g.labels().is_inverse(ch.label)));
+        let cfg = FindNcConfig {
+            include_inverse_labels: true,
+            ..FindNcConfig::default()
+        };
+        let r2 = FindNc::new(cfg).discover_with_context(&g, &q, &c).unwrap();
+        assert!(r2.characteristics.len() >= r.characteristics.len());
+    }
+
+    #[test]
+    fn full_pipeline_runs_end_to_end() {
+        // Small end-to-end run with real context selection.
+        let (g, q, _) = leaders();
+        let cfg = FindNcConfig {
+            context: ContextRwConfig {
+                mining: PathMiningConfig {
+                    walks: 3_000,
+                    max_length: 3,
+                    seed: 2,
+                    parallel: false,
+                },
+                num_metapaths: 5,
+                type_filter: TypeFilter::None,
+            max_endpoint_fraction: 0.25,
+            },
+            context_size: 20,
+            ..FindNcConfig::default()
+        };
+        let r = FindNc::new(cfg).discover(&g, &q).unwrap();
+        assert!(!r.context.is_empty());
+        assert!(!r.characteristics.is_empty());
+    }
+
+    #[test]
+    fn alpha_out_of_range_is_config_error() {
+        let (g, q, c) = leaders();
+        let cfg = FindNcConfig {
+            alpha: 1.5,
+            ..FindNcConfig::default()
+        };
+        assert!(FindNc::new(cfg).discover_with_context(&g, &q, &c).is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! # nck-core — notable characteristics search
+//!
+//! The algorithms of *"Notable Characteristics Search through Knowledge
+//! Graphs"* (Mottin et al., EDBT 2018). Given a query set `Q` of up to ten
+//! nodes in a knowledge graph, the pipeline
+//!
+//! 1. **finds the context** `C` — the top-k most similar nodes (Def. 2) —
+//!    with one of two [`context::ContextSelector`]s:
+//!    [`ppr::RandomWalkSelector`], the frequency-weighted Personalized
+//!    PageRank baseline (Eqs. 1–2), or [`context_rw::ContextRw`], the
+//!    paper's metapath-constrained approach (PathMining + the σ score of
+//!    §3.1);
+//! 2. **compares distributions** per edge label (§3.2): the *instance*
+//!    distribution (which values) and the *cardinality* distribution (how
+//!    many edges), built by [`distributions`];
+//! 3. **flags notable characteristics** (Def. 3) with a
+//!    [`discrimination::Discrimination`] function — the paper's exact /
+//!    Monte-Carlo multinomial test, or the KL / EMD baselines of §4.2.
+//!
+//! The high-level entry point is [`findnc::FindNc`].
+//!
+//! ```
+//! use nck_core::prelude::*;
+//! use nck_graph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_triple("Merkel", "studied", "Physics");
+//! b.add_triple("Putin", "studied", "Law");
+//! b.add_triple("Renzi", "studied", "Law");
+//! b.add_triple("Hollande", "studied", "Law");
+//! for (p, c) in [("Putin", "Mariya"), ("Renzi", "Ester"), ("Hollande", "Thomas")] {
+//!     b.add_triple(p, "hasChild", c);
+//! }
+//! let graph = b.build();
+//!
+//! let query = Query::by_names(&graph, ["Merkel"]).unwrap();
+//! let context = Context::from_names(&graph, ["Putin", "Renzi", "Hollande"]).unwrap();
+//! let result = FindNc::new(FindNcConfig::default())
+//!     .discover_with_context(&graph, &query, &context)
+//!     .unwrap();
+//! let has_child = result.characteristic("hasChild", &graph).unwrap();
+//! assert!(has_child.score > 0.0, "Merkel's missing child is notable");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod context;
+pub mod context_rw;
+pub mod discrimination;
+pub mod distributions;
+pub mod error;
+pub mod explain;
+pub mod findnc;
+pub mod metapath;
+pub mod parallel;
+pub mod ppr;
+pub mod query;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::config::{ContextRwConfig, FindNcConfig, PathMiningConfig, PprConfig};
+    pub use crate::context::{Context, ContextSelector, TypeFilter};
+    pub use crate::context_rw::ContextRw;
+    pub use crate::discrimination::{
+        Discrimination, EmdDiscrimination, KlDiscrimination, MultinomialDiscrimination,
+    };
+    pub use crate::error::CoreError;
+    pub use crate::findnc::{FindNc, NotableCharacteristic, SearchResult};
+    pub use crate::ppr::RandomWalkSelector;
+    pub use crate::query::Query;
+}
+
+pub use error::CoreError;

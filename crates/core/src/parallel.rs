@@ -1,0 +1,116 @@
+//! Minimal deterministic fork-join helper over crossbeam scoped threads.
+//!
+//! PathMining (hundreds of thousands of independent walks) and the
+//! per-query-node PageRanks are embarrassingly parallel; this helper
+//! splits an index range into one chunk per thread, runs a worker per
+//! chunk, and folds the partial results in chunk order — so parallel runs
+//! produce byte-identical output to sequential ones as long as each chunk
+//! derives its randomness from its chunk index.
+
+/// Number of worker threads to use for `n` work items.
+pub fn thread_count(n: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(n.max(1)).min(16)
+}
+
+/// Splits `0..n` into `chunks` half-open ranges of near-equal size.
+pub fn split_range(n: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    let chunks = chunks.clamp(1, n.max(1));
+    let base = n / chunks;
+    let extra = n % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for i in 0..chunks {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `worker` over each chunk of `0..n` (possibly on threads) and folds
+/// the partial results in chunk order.
+///
+/// `worker(chunk_index, range)` must be pure up to its arguments for the
+/// parallel and sequential paths to agree.
+pub fn map_chunks<T, W, F, A>(n: usize, parallel: bool, worker: W, init: A, fold: F) -> A
+where
+    T: Send,
+    W: Fn(usize, std::ops::Range<usize>) -> T + Sync,
+    F: FnMut(A, T) -> A,
+{
+    let chunks = split_range(n, if parallel { thread_count(n) } else { 1 });
+    let mut fold = fold;
+    if chunks.len() == 1 {
+        let r = worker(0, chunks.into_iter().next().expect("single chunk"));
+        return fold(init, r);
+    }
+    let results: Vec<T> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(i, range)| {
+                let worker = &worker;
+                s.spawn(move |_| worker(i, range))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed");
+    results.into_iter().fold(init, fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_range_without_overlap() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for chunks in [1usize, 2, 3, 8] {
+                let ranges = split_range(n, chunks);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n, "n={n} chunks={chunks}");
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let n = 10_000usize;
+        let worker = |_i: usize, r: std::ops::Range<usize>| -> u64 {
+            r.map(|x| x as u64 * 3 + 1).sum()
+        };
+        let seq = map_chunks(n, false, worker, 0u64, |a, b| a + b);
+        let par = map_chunks(n, true, worker, 0u64, |a, b| a + b);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn chunk_order_is_preserved_in_fold() {
+        let n = 50usize;
+        let worker = |i: usize, _r: std::ops::Range<usize>| i;
+        let order = map_chunks(n, true, worker, Vec::new(), |mut acc, i| {
+            acc.push(i);
+            acc
+        });
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn thread_count_bounded() {
+        assert_eq!(thread_count(0), 1);
+        assert!(thread_count(1_000_000) <= 16);
+        assert!(thread_count(2) <= 2);
+    }
+}

@@ -1,0 +1,370 @@
+//! Frequency-weighted Personalized PageRank — the RandomWalk baseline.
+//!
+//! §3.1 of the paper: instead of uniform transitions, an edge labeled `l`
+//! carries weight `A_ij = 1 − |E_l|/|E|` (Eq. 1) — the rarer (more
+//! informative) the label, the more attractive the edge. The Personalized
+//! PageRank vector solves
+//!
+//! ```text
+//! p = c·Ã·p + (1 − c)·v        (Eq. 2, Ã column-normalized)
+//! ```
+//!
+//! by power iteration (the paper's experiments: 10 iterations). The
+//! baseline computes one PageRank per query node (personalization
+//! `v = e_q`), sums the vectors, and returns the top-k candidates.
+
+use crate::config::{PprConfig, RandomWalkConfig};
+use crate::context::{top_k_context, CandidateFilter, Context, ContextSelector};
+use crate::error::CoreError;
+use crate::parallel;
+use crate::query::Query;
+use nck_graph::{KnowledgeGraph, NodeId};
+
+/// Power-iteration Personalized PageRank over the weighted graph.
+pub struct PersonalizedPageRank<'g> {
+    graph: &'g KnowledgeGraph,
+    config: PprConfig,
+    /// Per-label Eq. 1 weight `1 − |E_l|/|E|`.
+    label_weight: Vec<f64>,
+    /// Per-node total outgoing weight (the normalizer of Ã's columns).
+    out_weight: Vec<f64>,
+}
+
+impl<'g> PersonalizedPageRank<'g> {
+    /// Precomputes weights for `graph`.
+    pub fn new(graph: &'g KnowledgeGraph, config: PprConfig) -> Result<Self, CoreError> {
+        if !(0.0..=1.0).contains(&config.damping) || !config.damping.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                field: "damping",
+                message: format!("must be in [0, 1], got {}", config.damping),
+            });
+        }
+        if config.iterations == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "iterations",
+                message: "must be positive".into(),
+            });
+        }
+        let label_weight: Vec<f64> = graph
+            .labels()
+            .iter()
+            .map(|l| 1.0 - graph.label_frequency(l))
+            .collect();
+        let mut out_weight = vec![0.0f64; graph.num_nodes()];
+        for v in graph.nodes() {
+            let mut w = 0.0;
+            for (l, _) in graph.edges(v) {
+                w += label_weight[l.index()];
+            }
+            out_weight[v.index()] = w;
+        }
+        Ok(Self {
+            graph,
+            config,
+            label_weight,
+            out_weight,
+        })
+    }
+
+    /// Runs the power iteration with personalization on `sources`
+    /// (uniform mass over them) and returns the full score vector.
+    pub fn run(&self, sources: &[NodeId]) -> Vec<f64> {
+        let n = self.graph.num_nodes();
+        let c = self.config.damping;
+        let mut v = vec![0.0f64; n];
+        let share = 1.0 / sources.len().max(1) as f64;
+        for &s in sources {
+            v[s.index()] += share;
+        }
+        let mut p = v.clone();
+        let mut next = vec![0.0f64; n];
+        for _ in 0..self.config.iterations {
+            next.fill(0.0);
+            let mut dangling = 0.0f64;
+            for u in self.graph.nodes() {
+                let mass = p[u.index()];
+                if mass == 0.0 {
+                    continue;
+                }
+                let w_total = self.out_weight[u.index()];
+                if w_total <= 0.0 {
+                    // Dangling node: its mass restarts at the
+                    // personalization vector (standard PPR handling).
+                    dangling += mass;
+                    continue;
+                }
+                let scale = c * mass / w_total;
+                for (l, t) in self.graph.edges(u) {
+                    next[t.index()] += scale * self.label_weight[l.index()];
+                }
+            }
+            let restart = 1.0 - c + c * dangling;
+            for (x, &vi) in next.iter_mut().zip(&v) {
+                *x += restart * vi;
+            }
+            std::mem::swap(&mut p, &mut next);
+        }
+        p
+    }
+}
+
+/// The RandomWalk baseline selector: per-query-node PageRanks, summed.
+pub struct RandomWalkSelector {
+    config: RandomWalkConfig,
+}
+
+impl RandomWalkSelector {
+    /// Creates the selector with the given configuration.
+    pub fn new(config: RandomWalkConfig) -> Self {
+        Self { config }
+    }
+
+    /// Paper-experiment settings (damping 0.2, 10 iterations).
+    pub fn paper_experiment() -> Self {
+        Self::new(RandomWalkConfig {
+            ppr: PprConfig {
+                damping: 0.2,
+                iterations: 10,
+                parallel: true,
+            },
+            ..RandomWalkConfig::default()
+        })
+    }
+}
+
+impl Default for RandomWalkSelector {
+    fn default() -> Self {
+        Self::new(RandomWalkConfig::default())
+    }
+}
+
+impl ContextSelector for RandomWalkSelector {
+    fn select(
+        &self,
+        graph: &KnowledgeGraph,
+        query: &Query,
+        k: usize,
+    ) -> Result<Context, CoreError> {
+        let ppr = PersonalizedPageRank::new(graph, self.config.ppr.clone())?;
+        let nq = query.len();
+        // One PageRank per query node ("setting v_n = 1 for each n ∈ Q,
+        // individually"), accumulated by summation.
+        let scores = parallel::map_chunks(
+            nq,
+            self.config.ppr.parallel && nq > 1,
+            |_i, range| {
+                let mut acc = vec![0.0f64; graph.num_nodes()];
+                for qi in range {
+                    let p = ppr.run(&[query.nodes()[qi]]);
+                    for (a, b) in acc.iter_mut().zip(&p) {
+                        *a += b;
+                    }
+                }
+                acc
+            },
+            vec![0.0f64; graph.num_nodes()],
+            |mut acc, part| {
+                for (a, b) in acc.iter_mut().zip(&part) {
+                    *a += b;
+                }
+                acc
+            },
+        );
+        let filter = CandidateFilter::new(graph, query, self.config.type_filter);
+        let pairs = scores
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (NodeId::from_index(i), s));
+        top_k_context(graph, query, pairs, &filter, k)
+    }
+
+    fn name(&self) -> &'static str {
+        "RandomWalk"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::TypeFilter;
+    use nck_graph::GraphBuilder;
+
+    /// A small two-community graph: `a*` nodes interlinked, `b*` nodes
+    /// interlinked, one bridge.
+    fn two_communities() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let names_a = ["a0", "a1", "a2", "a3"];
+        let names_b = ["b0", "b1", "b2", "b3"];
+        for w in names_a.windows(2) {
+            b.add_triple(w[0], "knows", w[1]);
+        }
+        b.add_triple("a3", "knows", "a0");
+        b.add_triple("a0", "knows", "a2");
+        for w in names_b.windows(2) {
+            b.add_triple(w[0], "knows", w[1]);
+        }
+        b.add_triple("b3", "knows", "b0");
+        b.add_triple("a0", "bridge", "b0");
+        for n in names_a.iter().chain(&names_b) {
+            let id = b.node(n);
+            b.set_type(id, "person");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn mass_conserved_each_iteration() {
+        let g = two_communities();
+        let ppr = PersonalizedPageRank::new(&g, PprConfig::default()).unwrap();
+        let a0 = g.node_by_name("a0").unwrap();
+        let p = ppr.run(&[a0]);
+        let total: f64 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "total mass {total}");
+        assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn personalization_node_scores_highest() {
+        let g = two_communities();
+        let ppr = PersonalizedPageRank::new(
+            &g,
+            PprConfig {
+                damping: 0.2,
+                iterations: 10,
+                parallel: false,
+            },
+        )
+        .unwrap();
+        let a0 = g.node_by_name("a0").unwrap();
+        let p = ppr.run(&[a0]);
+        let max_idx = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_idx, a0.index());
+    }
+
+    #[test]
+    fn near_community_outranks_far_community() {
+        let g = two_communities();
+        let ppr = PersonalizedPageRank::new(&g, PprConfig::default()).unwrap();
+        let a0 = g.node_by_name("a0").unwrap();
+        let p = ppr.run(&[a0]);
+        let a1 = g.node_by_name("a1").unwrap();
+        let b2 = g.node_by_name("b2").unwrap();
+        assert!(
+            p[a1.index()] > p[b2.index()],
+            "same-community node must outrank far node"
+        );
+    }
+
+    #[test]
+    fn selector_excludes_query_and_returns_k() {
+        let g = two_communities();
+        let q = Query::by_names(&g, ["a0"]).unwrap();
+        let sel = RandomWalkSelector::default();
+        let ctx = sel.select(&g, &q, 3).unwrap();
+        assert_eq!(ctx.len(), 3);
+        assert!(!ctx.node_set().contains(&g.node_by_name("a0").unwrap()));
+        // Scores descending.
+        for w in ctx.ranked().windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn rare_labels_attract_more_mass() {
+        // Node q has one "common" edge to x and one "rare" edge to y;
+        // the common label floods the rest of the graph.
+        let mut b = GraphBuilder::new();
+        b.add_triple("q", "common", "x");
+        b.add_triple("q", "rare", "y");
+        for i in 0..30 {
+            b.add_triple(&format!("f{i}"), "common", &format!("g{i}"));
+        }
+        let g = b.build();
+        let ppr = PersonalizedPageRank::new(
+            &g,
+            PprConfig {
+                damping: 0.9,
+                iterations: 3,
+                parallel: false,
+            },
+        )
+        .unwrap();
+        let q = g.node_by_name("q").unwrap();
+        let p = ppr.run(&[q]);
+        let x = g.node_by_name("x").unwrap();
+        let y = g.node_by_name("y").unwrap();
+        assert!(
+            p[y.index()] > p[x.index()],
+            "rare-label target must receive more mass: y={} x={}",
+            p[y.index()],
+            p[x.index()]
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = two_communities();
+        let q = Query::by_names(&g, ["a0", "b0"]).unwrap();
+        let seq = RandomWalkSelector::new(RandomWalkConfig {
+            ppr: PprConfig {
+                parallel: false,
+                ..PprConfig::default()
+            },
+            type_filter: TypeFilter::None,
+        })
+        .select(&g, &q, 5)
+        .unwrap();
+        let par = RandomWalkSelector::new(RandomWalkConfig {
+            ppr: PprConfig {
+                parallel: true,
+                ..PprConfig::default()
+            },
+            type_filter: TypeFilter::None,
+        })
+        .select(&g, &q, 5)
+        .unwrap();
+        let a: Vec<_> = seq.nodes().collect();
+        let b: Vec<_> = par.nodes().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_validation() {
+        let g = two_communities();
+        assert!(PersonalizedPageRank::new(
+            &g,
+            PprConfig {
+                damping: 1.5,
+                ..PprConfig::default()
+            }
+        )
+        .is_err());
+        assert!(PersonalizedPageRank::new(
+            &g,
+            PprConfig {
+                iterations: 0,
+                ..PprConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn isolated_source_mass_restarts() {
+        let mut b = GraphBuilder::new();
+        b.node("lonely");
+        b.add_triple("x", "knows", "y");
+        let g = b.build();
+        let ppr = PersonalizedPageRank::new(&g, PprConfig::default()).unwrap();
+        let lonely = g.node_by_name("lonely").unwrap();
+        let p = ppr.run(&[lonely]);
+        let total: f64 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(p[lonely.index()] > 0.99, "dangling mass must restart at v");
+    }
+}

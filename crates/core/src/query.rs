@@ -1,0 +1,148 @@
+//! The query set `Q` (Def. 2).
+
+use crate::error::CoreError;
+use nck_graph::{KnowledgeGraph, NodeId};
+
+/// Maximum supported query size; the paper considers the query "reasonably
+/// small (i.e., ≤ 10 elements)".
+pub const MAX_QUERY_SIZE: usize = 10;
+
+/// A validated, duplicate-free query set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    nodes: Vec<NodeId>,
+}
+
+impl Query {
+    /// Builds a query from node ids, validating size and uniqueness.
+    pub fn new(graph: &KnowledgeGraph, nodes: Vec<NodeId>) -> Result<Self, CoreError> {
+        if nodes.is_empty() {
+            return Err(CoreError::EmptyQuery);
+        }
+        if nodes.len() > MAX_QUERY_SIZE {
+            return Err(CoreError::QueryTooLarge {
+                got: nodes.len(),
+                max: MAX_QUERY_SIZE,
+            });
+        }
+        for (i, &n) in nodes.iter().enumerate() {
+            if n.index() >= graph.num_nodes() {
+                return Err(CoreError::Graph(nck_graph::GraphError::InvalidNodeId(
+                    n.raw(),
+                )));
+            }
+            if nodes[..i].contains(&n) {
+                return Err(CoreError::DuplicateQueryNode(
+                    graph.node_name(n).to_owned(),
+                ));
+            }
+        }
+        Ok(Self { nodes })
+    }
+
+    /// Builds a query by entity names.
+    pub fn by_names<I, S>(graph: &KnowledgeGraph, names: I) -> Result<Self, CoreError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let nodes = names
+            .into_iter()
+            .map(|name| {
+                graph
+                    .node_by_name(name.as_ref())
+                    .ok_or_else(|| CoreError::UnknownNode(name.as_ref().to_owned()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::new(graph, nodes)
+    }
+
+    /// The query nodes, in input order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Query size |Q|.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Queries are never empty; provided for clippy-idiomatic pairing.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Membership test.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nck_graph::GraphBuilder;
+
+    fn graph() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..20 {
+            b.add_triple(&format!("n{i}"), "knows", &format!("n{}", (i + 1) % 20));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn by_names_resolves() {
+        let g = graph();
+        let q = Query::by_names(&g, ["n1", "n2"]).unwrap();
+        assert_eq!(q.len(), 2);
+        assert!(q.contains(g.node_by_name("n1").unwrap()));
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        let g = graph();
+        assert!(matches!(
+            Query::by_names(&g, Vec::<&str>::new()),
+            Err(CoreError::EmptyQuery)
+        ));
+    }
+
+    #[test]
+    fn oversized_query_rejected() {
+        let g = graph();
+        let names: Vec<String> = (0..11).map(|i| format!("n{i}")).collect();
+        assert!(matches!(
+            Query::by_names(&g, &names),
+            Err(CoreError::QueryTooLarge { got: 11, max: 10 })
+        ));
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let g = graph();
+        assert!(matches!(
+            Query::by_names(&g, ["n1", "n1"]),
+            Err(CoreError::DuplicateQueryNode(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_name_rejected() {
+        let g = graph();
+        match Query::by_names(&g, ["n1", "ghost"]) {
+            Err(CoreError::UnknownNode(n)) => assert_eq!(n, "ghost"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_id_rejected() {
+        let g = graph();
+        assert!(matches!(
+            Query::new(&g, vec![NodeId::new(9999)]),
+            Err(CoreError::Graph(_))
+        ));
+    }
+}

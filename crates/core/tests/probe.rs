@@ -1,0 +1,103 @@
+//! Diagnostic probe (run with `--ignored -- --nocapture`): prints context
+//! compositions, mined metapaths and ground-truth overlap for the two
+//! selectors. Not part of the regular suite.
+
+use nck_core::config::{ContextRwConfig, PathMiningConfig, PprConfig, RandomWalkConfig};
+use nck_core::context::{ContextSelector, TypeFilter};
+use nck_core::context_rw::ContextRw;
+use nck_core::ppr::RandomWalkSelector;
+use nck_core::query::Query;
+use nck_datagen::ground_truth::{simulate_crowd, CrowdConfig};
+use nck_datagen::{generate, queries, GeneratorConfig};
+
+#[test]
+#[ignore = "diagnostic probe, run on demand"]
+fn probe_contexts() {
+    let d = generate(&GeneratorConfig::yago_like(42).scaled(0.5));
+    let g = &d.graph;
+    println!(
+        "graph: {} nodes, {} logical edges",
+        g.num_nodes(),
+        g.num_logical_edges()
+    );
+
+    for (qname, spec) in [
+        ("actors5", queries::actors5_query()),
+        ("authors", queries::authors_query()),
+    ] {
+        println!("==== query {qname} ====");
+        let query = Query::new(g, d.query_nodes(&spec)).unwrap();
+        let gt = simulate_crowd(&d, &spec, &CrowdConfig::default());
+        println!("ground truth size: {}", gt.ranked.len());
+
+        let crw = ContextRw::new(ContextRwConfig {
+            mining: PathMiningConfig {
+                walks: 60_000,
+                max_length: 5,
+                seed: 11,
+                parallel: true,
+            },
+            num_metapaths: 5,
+            type_filter: TypeFilter::CommonAncestor,
+            max_endpoint_fraction: 0.25,
+        });
+        let (ctx, mined) = crw.select_with_metapaths(g, &query, 100).unwrap();
+        println!("-- mined metapaths (top 12):");
+        for (m, c) in mined.ranked().iter().take(12) {
+            println!("   {:>8} {}", c, m.display(g));
+        }
+        println!("-- ContextRW top 25:");
+        for &(n, s) in ctx.ranked().iter().take(25) {
+            let ty = g
+                .node_type(n)
+                .map(|t| g.taxonomy().name(t))
+                .unwrap_or("?");
+            let hit = if gt.ranked.contains(&n) { "GT" } else { "  " };
+            println!("   {s:.5} {hit} [{ty}] {}", g.node_name(n));
+        }
+        let hits = ctx.nodes().filter(|n| gt.ranked.contains(n)).count();
+        println!("ContextRW hits@100: {hits}");
+        let type_mix = count_types(g, &ctx);
+        println!("ContextRW type mix: {type_mix:?}");
+
+        let rw = RandomWalkSelector::new(RandomWalkConfig {
+            ppr: PprConfig {
+                damping: 0.2,
+                iterations: 10,
+                parallel: true,
+            },
+            type_filter: TypeFilter::CommonAncestor,
+        });
+        let ctx = rw.select(g, &query, 100).unwrap();
+        println!("-- RandomWalk top 25:");
+        for &(n, s) in ctx.ranked().iter().take(25) {
+            let ty = g
+                .node_type(n)
+                .map(|t| g.taxonomy().name(t))
+                .unwrap_or("?");
+            let hit = if gt.ranked.contains(&n) { "GT" } else { "  " };
+            println!("   {s:.5} {hit} [{ty}] {}", g.node_name(n));
+        }
+        let hits = ctx.nodes().filter(|n| gt.ranked.contains(n)).count();
+        println!("RandomWalk hits@100: {hits}");
+        let type_mix = count_types(g, &ctx);
+        println!("RandomWalk type mix: {type_mix:?}");
+    }
+}
+
+fn count_types(
+    g: &nck_graph::KnowledgeGraph,
+    ctx: &nck_core::context::Context,
+) -> Vec<(String, usize)> {
+    let mut counts: std::collections::HashMap<String, usize> = Default::default();
+    for n in ctx.nodes() {
+        let ty = g
+            .node_type(n)
+            .map(|t| g.taxonomy().name(t).to_owned())
+            .unwrap_or_else(|| "?".to_owned());
+        *counts.entry(ty).or_insert(0) += 1;
+    }
+    let mut v: Vec<_> = counts.into_iter().collect();
+    v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    v
+}

@@ -1,0 +1,58 @@
+//! Second diagnostic probe: F1@100 per domain per selector.
+
+use nck_core::config::{ContextRwConfig, PathMiningConfig, PprConfig, RandomWalkConfig};
+use nck_core::context::{ContextSelector, TypeFilter};
+use nck_core::context_rw::ContextRw;
+use nck_core::ppr::RandomWalkSelector;
+use nck_core::query::Query;
+use nck_datagen::ground_truth::{simulate_crowd, CrowdConfig};
+use nck_datagen::{generate, GeneratorConfig};
+use nck_stats::precision_recall_f1;
+
+#[test]
+#[ignore = "diagnostic probe, run on demand"]
+fn probe_f1_by_domain() {
+    let d = generate(&GeneratorConfig::yago_like(42).scaled(0.5));
+    let g = &d.graph;
+    println!(
+        "graph: {} nodes, {} logical edges",
+        g.num_nodes(),
+        g.num_logical_edges()
+    );
+    let crw = ContextRw::new(ContextRwConfig {
+        mining: PathMiningConfig {
+            walks: 60_000,
+            max_length: 5,
+            seed: 11,
+            parallel: true,
+        },
+        num_metapaths: 5,
+        type_filter: TypeFilter::CommonAncestor,
+            max_endpoint_fraction: 0.25,
+    });
+    let rw = RandomWalkSelector::new(RandomWalkConfig {
+        ppr: PprConfig {
+            damping: 0.2,
+            iterations: 10,
+            parallel: true,
+        },
+        type_filter: TypeFilter::CommonAncestor,
+    });
+    for spec in &d.queries {
+        let query = Query::new(g, d.query_nodes(spec)).unwrap();
+        let gt = simulate_crowd(&d, spec, &CrowdConfig::default());
+        let relevant = gt.relevant_set();
+        let c1 = crw.select(g, &query, 100).unwrap();
+        let f1_crw = precision_recall_f1(c1.nodes(), &relevant).f1();
+        let c2 = rw.select(g, &query, 100).unwrap();
+        let f1_rw = precision_recall_f1(c2.nodes(), &relevant).f1();
+        println!(
+            "{:<28} gt={:<3} CRW={:.3} RW={:.3} {}",
+            spec.label(),
+            gt.ranked.len(),
+            f1_crw,
+            f1_rw,
+            if f1_crw > f1_rw { "CRW" } else { "rw!" }
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Third diagnostic probe: the authors-case distributions.
+
+use nck_core::config::{ContextRwConfig, FindNcConfig, PathMiningConfig};
+use nck_core::context::TypeFilter;
+use nck_core::findnc::FindNc;
+use nck_core::query::Query;
+use nck_datagen::{generate, GeneratorConfig};
+
+#[test]
+#[ignore = "diagnostic probe, run on demand"]
+fn probe_authors_distributions() {
+    let d = generate(&GeneratorConfig::yago_like(42).scaled(0.5));
+    let g = &d.graph;
+    let case = nck_datagen::planted::authors_case();
+    let query = Query::new(g, d.query_nodes(&case.query)).unwrap();
+    let findnc = FindNc::new(FindNcConfig {
+        context: ContextRwConfig {
+            mining: PathMiningConfig {
+                walks: 250_000,
+                max_length: 5,
+                seed: 13,
+                parallel: true,
+            },
+            num_metapaths: 5,
+            type_filter: TypeFilter::CommonAncestor,
+            max_endpoint_fraction: 0.25,
+        },
+        context_size: case.context_size,
+        ..FindNcConfig::default()
+    });
+    let result = findnc.discover(g, &query).unwrap();
+    for name in ["created", "influences", "hasWonPrize"] {
+        if let Some(ch) = result.characteristic(name, g) {
+            println!(
+                "== {name}: score {:.4} inst_sig {:?} card_sig {:?} trigger {:?} dropped_q {}",
+                ch.score,
+                ch.inst_significance,
+                ch.card_significance,
+                ch.trigger,
+                ch.distributions.dropped_q
+            );
+            println!("   card_q: {:?}", ch.distributions.card_q);
+            println!("   card_c: {:?}", ch.distributions.card_c);
+            println!(
+                "   inst_q total {} inst_c total {} support {}",
+                ch.distributions.inst_q_total(),
+                ch.distributions.inst_c_total(),
+                ch.distributions.inst_support.len()
+            );
+            let iq = &ch.distributions.inst_q;
+            let ic = &ch.distributions.inst_c;
+            let nonzero_q: Vec<(usize, u64, u64)> = iq
+                .iter()
+                .zip(ic)
+                .enumerate()
+                .filter(|&(_, (&q, _))| q > 0)
+                .map(|(i, (&q, &c))| (i, q, c))
+                .collect();
+            println!("   nonzero query inst bins (idx, q, c): {nonzero_q:?}");
+        }
+    }
+}

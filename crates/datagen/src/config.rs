@@ -1,0 +1,183 @@
+//! Generator configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the two paper datasets to mimic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// YAGO-like: person-centric, 30 edge labels, politicians + actors +
+    /// movie contributors + writers + large background population.
+    YagoLike,
+    /// LinkedMDB-like: movie-only, 18 edge labels, no politicians —
+    /// the paper notes the politicians domain "is not included in the
+    /// LinkedMDB dataset".
+    LinkedMdbLike,
+}
+
+/// Size and seed parameters of the synthetic generator.
+///
+/// All counts are *before* derived entities (children, spouses); the
+/// generated graph is typically ~2× `population()` nodes. The defaults
+/// are laptop-scale stand-ins for YAGO (3.3M nodes) and LinkedMDB (739K):
+/// the statistical regime (Zipf exponents, per-domain profiles) matches,
+/// absolute counts do not need to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Which schema/population to generate.
+    pub kind: DatasetKind,
+    /// Master RNG seed; the whole dataset is a pure function of the config.
+    pub seed: u64,
+    /// Number of politicians (YAGO-like only).
+    pub politicians: usize,
+    /// Number of actors.
+    pub actors: usize,
+    /// Number of movie contributors (directors / composers / producers).
+    pub contributors: usize,
+    /// Number of writers (the authors test case lives here).
+    pub writers: usize,
+    /// Number of background people (citizens with generic attributes).
+    pub background: usize,
+    /// Number of movies.
+    pub movies: usize,
+    /// Number of non-movie creative works (books, albums, productions).
+    pub works: usize,
+    /// Number of countries.
+    pub countries: usize,
+    /// Cities per country.
+    pub cities_per_country: usize,
+    /// Number of universities.
+    pub universities: usize,
+    /// Number of awards.
+    pub awards: usize,
+    /// Number of companies.
+    pub companies: usize,
+    /// Zipf exponent for entity prominence (drives degree skew and crowd
+    /// worker preferences).
+    pub prominence_exponent: f64,
+}
+
+impl GeneratorConfig {
+    /// Default YAGO-like configuration (≈35k nodes, ≈150k logical edges).
+    pub fn yago_like(seed: u64) -> Self {
+        Self {
+            kind: DatasetKind::YagoLike,
+            seed,
+            politicians: 420,
+            actors: 700,
+            contributors: 420,
+            writers: 180,
+            background: 9_000,
+            movies: 2_600,
+            works: 1_600,
+            countries: 60,
+            cities_per_country: 8,
+            universities: 120,
+            awards: 70,
+            companies: 240,
+            prominence_exponent: 0.85,
+        }
+    }
+
+    /// Default LinkedMDB-like configuration: movie-domain only, denser in
+    /// film relations, no politicians and no background population beyond
+    /// film people.
+    pub fn linkedmdb_like(seed: u64) -> Self {
+        Self {
+            kind: DatasetKind::LinkedMdbLike,
+            seed,
+            politicians: 0,
+            actors: 900,
+            contributors: 550,
+            writers: 150,
+            background: 1_200,
+            movies: 4_200,
+            works: 900,
+            countries: 40,
+            cities_per_country: 1,
+            universities: 0,
+            awards: 60,
+            companies: 160,
+            prominence_exponent: 0.9,
+        }
+    }
+
+    /// A small configuration for unit tests (≈3k nodes); same structure,
+    /// faster to generate and traverse.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            kind: DatasetKind::YagoLike,
+            seed,
+            politicians: 80,
+            actors: 120,
+            contributors: 80,
+            writers: 40,
+            background: 900,
+            movies: 350,
+            works: 250,
+            countries: 12,
+            cities_per_country: 4,
+            universities: 25,
+            awards: 18,
+            companies: 40,
+            prominence_exponent: 0.85,
+        }
+    }
+
+    /// Scales every population count by `factor` (≥ 0), for scaling
+    /// benchmarks. Pools with at least one member stay non-empty.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor >= 0.0 && factor.is_finite());
+        let scale = |n: usize| -> usize {
+            if n == 0 {
+                0
+            } else {
+                ((n as f64 * factor).round() as usize).max(1)
+            }
+        };
+        self.politicians = scale(self.politicians);
+        self.actors = scale(self.actors);
+        self.contributors = scale(self.contributors);
+        self.writers = scale(self.writers);
+        self.background = scale(self.background);
+        self.movies = scale(self.movies);
+        self.works = scale(self.works);
+        self.companies = scale(self.companies);
+        self
+    }
+
+    /// Total primary person population (excluding derived children/spouses).
+    pub fn population(&self) -> usize {
+        self.politicians + self.actors + self.contributors + self.writers + self.background
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        let y = GeneratorConfig::yago_like(1);
+        assert_eq!(y.kind, DatasetKind::YagoLike);
+        assert!(y.population() > 10_000);
+        let l = GeneratorConfig::linkedmdb_like(1);
+        assert_eq!(l.kind, DatasetKind::LinkedMdbLike);
+        assert_eq!(l.politicians, 0);
+        let t = GeneratorConfig::tiny(1);
+        assert!(t.population() < 2_000);
+    }
+
+    #[test]
+    fn scaled_multiplies_counts() {
+        let base = GeneratorConfig::tiny(1);
+        let double = base.clone().scaled(2.0);
+        assert_eq!(double.actors, base.actors * 2);
+        assert_eq!(double.politicians, base.politicians * 2);
+        // Zero counts stay zero.
+        let l = GeneratorConfig::linkedmdb_like(1).scaled(3.0);
+        assert_eq!(l.politicians, 0);
+        // Tiny factors clamp to ≥ 1.
+        let small = base.scaled(1e-9);
+        assert_eq!(small.actors, 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! The generated dataset bundle.
+
+use crate::config::{DatasetKind, GeneratorConfig};
+use crate::queries::QuerySpec;
+use nck_graph::{KnowledgeGraph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a latent domain (the communities the evaluation queries
+/// come from — Table 1 of the paper plus the authors test case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DomainId {
+    /// Country leaders and party politicians.
+    Politicians,
+    /// Film actors.
+    Actors,
+    /// Directors, composers, producers.
+    Contributors,
+    /// Book authors (test case 2 of §4.2).
+    Writers,
+}
+
+impl DomainId {
+    /// All domains, in presentation order.
+    pub const ALL: [DomainId; 4] = [
+        DomainId::Politicians,
+        DomainId::Actors,
+        DomainId::Contributors,
+        DomainId::Writers,
+    ];
+
+    /// Human-readable domain name (paper's wording).
+    pub fn name(self) -> &'static str {
+        match self {
+            DomainId::Politicians => "politicians",
+            DomainId::Actors => "actors",
+            DomainId::Contributors => "movie contributors",
+            DomainId::Writers => "writers",
+        }
+    }
+}
+
+/// One latent domain: its members ordered by prominence (rank 0 = most
+/// prominent; the Table-1 anchors occupy the leading ranks).
+#[derive(Debug, Clone)]
+pub struct Domain {
+    /// Which domain this is.
+    pub id: DomainId,
+    /// Member nodes, descending prominence.
+    pub members: Vec<NodeId>,
+}
+
+impl Domain {
+    /// Prominence rank of `node` within the domain, if a member.
+    pub fn rank_of(&self, node: NodeId) -> Option<usize> {
+        self.members.iter().position(|&m| m == node)
+    }
+}
+
+/// A generated dataset: the graph plus the latent structure the evaluation
+/// needs (domains, query sets).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The knowledge graph.
+    pub graph: KnowledgeGraph,
+    /// Which schema was generated.
+    pub kind: DatasetKind,
+    /// The configuration that produced this dataset.
+    pub config: GeneratorConfig,
+    /// Latent domains (absent domains — e.g. politicians in the
+    /// LinkedMDB-like dataset — simply have no entry).
+    pub domains: Vec<Domain>,
+    /// The Table-1 style query sets.
+    pub queries: Vec<QuerySpec>,
+}
+
+impl Dataset {
+    /// The domain record for `id`, if the dataset contains it.
+    pub fn domain(&self, id: DomainId) -> Option<&Domain> {
+        self.domains.iter().find(|d| d.id == id)
+    }
+
+    /// Query sets of a given domain, ascending query size.
+    pub fn queries_for(&self, id: DomainId) -> Vec<&QuerySpec> {
+        let mut qs: Vec<&QuerySpec> = self.queries.iter().filter(|q| q.domain == id).collect();
+        qs.sort_by_key(|q| q.names.len());
+        qs
+    }
+
+    /// Resolves a query spec to node ids.
+    pub fn query_nodes(&self, spec: &QuerySpec) -> Vec<NodeId> {
+        spec.names
+            .iter()
+            .map(|n| {
+                self.graph
+                    .node_by_name(n)
+                    .unwrap_or_else(|| panic!("query entity {n:?} missing from generated graph"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_names_match_paper() {
+        assert_eq!(DomainId::Politicians.name(), "politicians");
+        assert_eq!(DomainId::Contributors.name(), "movie contributors");
+        assert_eq!(DomainId::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,307 @@
+//! Simulated crowd-sourced ground truth.
+//!
+//! §4.1 of the paper: *"We hired 34 workers for each test set, asking them
+//! to provide 15 entities each. … After performing the manual labeling, we
+//! removed the entities mentioned only once, resulting in 36 to 76
+//! entities for each query."*
+//!
+//! The simulation reproduces that pipeline: each worker draws 15 distinct
+//! entities from the query's domain with probability proportional to
+//! entity prominence (people name famous entities first) *times* a
+//! relatedness factor — workers were shown the query entities and asked
+//! for "entities related to those provided in the query", so entities
+//! sharing neighbors with the query (co-stars, co-winners, same-party
+//! politicians) are named preferentially. Workers occasionally slip in an
+//! off-domain entity (noise); mentions are counted across workers,
+//! singletons dropped, survivors ranked by mention count.
+
+use crate::dataset::{Dataset, DomainId};
+use crate::queries::QuerySpec;
+use crate::zipf::Zipf;
+use nck_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Parameters of the crowd simulation (paper values as defaults).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrowdConfig {
+    /// Number of workers per test set (paper: 34).
+    pub workers: usize,
+    /// Entities each worker provides (paper: 15).
+    pub picks_per_worker: usize,
+    /// Probability that a pick is off-domain noise.
+    pub noise_prob: f64,
+    /// Minimum mentions for an entity to survive (paper: 2).
+    pub min_mentions: usize,
+    /// Zipf exponent of worker preference over prominence ranks.
+    pub focus_exponent: f64,
+    /// Weight multiplier per √(shared neighbors with the query): 0
+    /// disables the relatedness preference.
+    pub relatedness_boost: f64,
+}
+
+impl Default for CrowdConfig {
+    fn default() -> Self {
+        Self {
+            workers: 34,
+            picks_per_worker: 15,
+            noise_prob: 0.08,
+            min_mentions: 2,
+            focus_exponent: 0.95,
+            relatedness_boost: 0.75,
+        }
+    }
+}
+
+/// The surviving ground-truth entities of one test set, most-mentioned
+/// first, with their mention counts.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// Entities mentioned at least `min_mentions` times, ranked.
+    pub ranked: Vec<NodeId>,
+    /// Mention count per surviving entity (parallel to `ranked`).
+    pub mentions: Vec<u32>,
+}
+
+impl GroundTruth {
+    /// The relevant set as a hash set (for F1 evaluation).
+    pub fn relevant_set(&self) -> std::collections::HashSet<NodeId> {
+        self.ranked.iter().copied().collect()
+    }
+}
+
+/// Runs the crowd simulation for `query` over `dataset`.
+///
+/// Deterministic: the RNG seed is derived from the dataset seed, the
+/// domain and the query size, so each of the 15 test sets gets its own
+/// stable worker pool.
+///
+/// # Panics
+///
+/// Panics if the query's domain is absent from the dataset (e.g.
+/// politicians on the LinkedMDB-like dataset), mirroring the paper's
+/// "could not evaluate" footnote.
+pub fn simulate_crowd(dataset: &Dataset, query: &QuerySpec, cfg: &CrowdConfig) -> GroundTruth {
+    let domain = dataset
+        .domain(query.domain)
+        .unwrap_or_else(|| panic!("domain {:?} not in dataset", query.domain));
+    let query_nodes = dataset.query_nodes(query);
+
+    // Candidate pool: domain members that are not query nodes, in
+    // prominence order.
+    let pool: Vec<NodeId> = domain
+        .members
+        .iter()
+        .copied()
+        .filter(|n| !query_nodes.contains(n))
+        .collect();
+    assert!(!pool.is_empty(), "domain has no non-query members");
+
+    // Noise pool: members of the other domains.
+    let noise: Vec<NodeId> = dataset
+        .domains
+        .iter()
+        .filter(|d| d.id != query.domain)
+        .flat_map(|d| d.members.iter().copied())
+        .collect();
+
+    let seed = dataset
+        .config
+        .seed
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(domain_tag(query.domain))
+        .wrapping_add(query.len() as u64 * 1_000_003);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(pool.len(), cfg.focus_exponent);
+
+    // Relatedness: number of graph neighbors shared with any query node
+    // (co-starred movies, shared awards/parties/cities).
+    let shared = shared_neighbor_counts(dataset, &query_nodes);
+    let weights: Vec<f64> = pool
+        .iter()
+        .enumerate()
+        .map(|(rank, n)| {
+            let related = shared.get(n).copied().unwrap_or(0) as f64;
+            zipf.prob(rank) * (1.0 + cfg.relatedness_boost * related.sqrt())
+        })
+        .collect();
+    let cdf = cumulative(&weights);
+
+    let mut mentions: HashMap<NodeId, u32> = HashMap::new();
+    for _ in 0..cfg.workers {
+        let mut picked: Vec<NodeId> = Vec::with_capacity(cfg.picks_per_worker);
+        let mut guard = 0usize;
+        while picked.len() < cfg.picks_per_worker && guard < cfg.picks_per_worker * 50 {
+            guard += 1;
+            let candidate = if !noise.is_empty() && rng.random::<f64>() < cfg.noise_prob {
+                noise[rng.random_range(0..noise.len())]
+            } else {
+                pool[sample_cdf(&cdf, &mut rng)]
+            };
+            if !picked.contains(&candidate) {
+                picked.push(candidate);
+            }
+        }
+        for n in picked {
+            *mentions.entry(n).or_insert(0) += 1;
+        }
+    }
+
+    let mut survivors: Vec<(NodeId, u32)> = mentions
+        .into_iter()
+        .filter(|&(_, c)| c as usize >= cfg.min_mentions)
+        .collect();
+    // Rank by mention count, break ties by prominence (pool order), then
+    // by id for full determinism.
+    let rank_of: HashMap<NodeId, usize> = pool.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    survivors.sort_by_key(|&(n, c)| {
+        (
+            std::cmp::Reverse(c),
+            rank_of.get(&n).copied().unwrap_or(usize::MAX),
+            n,
+        )
+    });
+    GroundTruth {
+        ranked: survivors.iter().map(|&(n, _)| n).collect(),
+        mentions: survivors.iter().map(|&(_, c)| c).collect(),
+    }
+}
+
+/// Counts, for every node, the number of neighbors shared with any query
+/// node (a 2-hop sweep from the query).
+fn shared_neighbor_counts(
+    dataset: &Dataset,
+    query_nodes: &[NodeId],
+) -> HashMap<NodeId, u32> {
+    let g = &dataset.graph;
+    let mut counts: HashMap<NodeId, u32> = HashMap::new();
+    for &q in query_nodes {
+        for (_, mid) in g.edges(q) {
+            for (_, other) in g.edges(mid) {
+                if other != q {
+                    *counts.entry(other).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Prefix sums of non-negative weights.
+fn cumulative(weights: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    let mut cdf = Vec::with_capacity(weights.len());
+    for &w in weights {
+        acc += w.max(0.0);
+        cdf.push(acc);
+    }
+    cdf
+}
+
+/// Samples an index proportional to the weights behind `cdf`.
+fn sample_cdf(cdf: &[f64], rng: &mut StdRng) -> usize {
+    let total = *cdf.last().expect("non-empty weights");
+    let u: f64 = rng.random::<f64>() * total;
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+}
+
+fn domain_tag(d: DomainId) -> u64 {
+    match d {
+        DomainId::Politicians => 11,
+        DomainId::Actors => 22,
+        DomainId::Contributors => 33,
+        DomainId::Writers => 44,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GeneratorConfig;
+    use crate::generator::generate;
+    use crate::queries;
+
+    fn dataset() -> Dataset {
+        generate(&GeneratorConfig::tiny(42))
+    }
+
+    #[test]
+    fn ground_truth_size_in_paper_range() {
+        let d = dataset();
+        let cfg = CrowdConfig::default();
+        for q in queries::table1_queries() {
+            let gt = simulate_crowd(&d, &q, &cfg);
+            assert!(
+                (20..=150).contains(&gt.ranked.len()),
+                "{}: ground truth size {}",
+                q.label(),
+                gt.ranked.len()
+            );
+        }
+    }
+
+    #[test]
+    fn ground_truth_excludes_query_nodes() {
+        let d = dataset();
+        let q = queries::actors5_query();
+        let gt = simulate_crowd(&d, &q, &CrowdConfig::default());
+        let query_nodes = d.query_nodes(&q);
+        for n in &gt.ranked {
+            assert!(!query_nodes.contains(n));
+        }
+    }
+
+    #[test]
+    fn mentions_sorted_descending_and_above_threshold() {
+        let d = dataset();
+        let q = &queries::table1_queries()[6]; // actors |Q|=3
+        let gt = simulate_crowd(&d, q, &CrowdConfig::default());
+        assert_eq!(gt.ranked.len(), gt.mentions.len());
+        for w in gt.mentions.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(gt.mentions.iter().all(|&m| m >= 2));
+    }
+
+    #[test]
+    fn deterministic_per_query() {
+        let d = dataset();
+        let q = queries::actors5_query();
+        let a = simulate_crowd(&d, &q, &CrowdConfig::default());
+        let b = simulate_crowd(&d, &q, &CrowdConfig::default());
+        assert_eq!(a.ranked, b.ranked);
+    }
+
+    #[test]
+    fn different_domains_get_different_truth() {
+        let d = dataset();
+        let qs = queries::table1_queries();
+        let actors = simulate_crowd(&d, &qs[5], &CrowdConfig::default());
+        let politicians = simulate_crowd(&d, &qs[0], &CrowdConfig::default());
+        let overlap = actors
+            .ranked
+            .iter()
+            .filter(|n| politicians.ranked.contains(n))
+            .count();
+        // Only noise picks can overlap.
+        assert!(overlap * 5 < actors.ranked.len().max(1));
+    }
+
+    #[test]
+    fn prominent_members_dominate() {
+        let d = dataset();
+        let q = queries::actors5_query();
+        let gt = simulate_crowd(&d, &q, &CrowdConfig::default());
+        let domain = d.domain(DomainId::Actors).unwrap();
+        // The most prominent non-query member should be in the truth.
+        let query_nodes = d.query_nodes(&q);
+        let top_non_query = domain
+            .members
+            .iter()
+            .find(|n| !query_nodes.contains(n))
+            .unwrap();
+        assert!(gt.ranked.contains(top_non_query));
+    }
+}

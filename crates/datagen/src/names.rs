@@ -1,0 +1,138 @@
+//! Deterministic entity-name generation plus the paper's anchor entities.
+//!
+//! The Table-1 seed entities keep their real names so that every
+//! experiment reads like the paper ("Brad Pitt", "Angela Merkel", …); the
+//! rest of the population gets pronounceable synthetic names derived from
+//! the entity's index — stable across runs, no RNG involved.
+
+/// Table 1 — politicians domain.
+pub const POLITICIANS: [&str; 6] = [
+    "Angela Merkel",
+    "Barack Obama",
+    "Vladimir Putin",
+    "David Cameron",
+    "François Hollande",
+    "Xi Jinping",
+];
+
+/// Table 1 — actors domain.
+pub const ACTORS: [&str; 6] = [
+    "Brad Pitt",
+    "George Clooney",
+    "Leonardo DiCaprio",
+    "Scarlett Johansson",
+    "Johnny Depp",
+    "Angelina Jolie",
+];
+
+/// Table 1 — movie contributors domain.
+pub const CONTRIBUTORS: [&str; 6] = [
+    "Steven Spielberg",
+    "Robert Downey Jr.",
+    "Hans Zimmer",
+    "Quentin Tarantino",
+    "Ellen Page",
+    "Celine Dion",
+];
+
+/// §4.2 test case 2 — authors.
+pub const AUTHORS: [&str; 2] = ["Douglas Adams", "Terry Pratchett"];
+
+const ONSETS: [&str; 16] = [
+    "b", "d", "f", "g", "h", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch",
+];
+const VOWELS: [&str; 6] = ["a", "e", "i", "o", "u", "ia"];
+const CODAS: [&str; 8] = ["n", "r", "s", "l", "m", "", "", ""];
+
+/// A deterministic pronounceable name for index `i`, e.g. `Baren Kilos`.
+pub fn person_name(i: u64) -> String {
+    format!("{} {}", syllables(i, 2), syllables(i / 7 + 13, 2))
+}
+
+/// A deterministic single-word name with a kind prefix, e.g.
+/// `City of Doria`, `University of Nolia`.
+pub fn place_name(kind: &str, i: u64) -> String {
+    format!("{kind} of {}", syllables(i.wrapping_mul(31) + 5, 2))
+}
+
+/// A deterministic title, e.g. `The Silent Karos` (movies, books, songs).
+pub fn work_title(kind: &str, i: u64) -> String {
+    const ADJ: [&str; 12] = [
+        "Silent", "Golden", "Last", "Hidden", "Broken", "Electric", "Crimson", "Endless",
+        "Forgotten", "Burning", "Frozen", "Distant",
+    ];
+    let adj = ADJ[(i % ADJ.len() as u64) as usize];
+    format!("{kind}: The {adj} {}", syllables(i / 3 + 17, 2))
+}
+
+/// Builds `n_syllables` pseudo-syllables from `seed` and capitalizes.
+fn syllables(seed: u64, n_syllables: u32) -> String {
+    let mut s = String::new();
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    for _ in 0..n_syllables {
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let onset = ONSETS[(x % ONSETS.len() as u64) as usize];
+        let vowel = VOWELS[((x >> 8) % VOWELS.len() as u64) as usize];
+        let coda = CODAS[((x >> 16) % CODAS.len() as u64) as usize];
+        s.push_str(onset);
+        s.push_str(vowel);
+        s.push_str(coda);
+    }
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn names_are_deterministic() {
+        assert_eq!(person_name(42), person_name(42));
+        assert_eq!(place_name("City", 7), place_name("City", 7));
+        assert_eq!(work_title("Movie", 9), work_title("Movie", 9));
+    }
+
+    #[test]
+    fn names_mostly_distinct() {
+        let names: HashSet<String> = (0..2000).map(person_name).collect();
+        // Collisions are possible but must stay rare.
+        assert!(names.len() > 1900, "only {} distinct names", names.len());
+    }
+
+    #[test]
+    fn names_are_capitalized_and_nonempty() {
+        for i in 0..100 {
+            let n = person_name(i);
+            assert!(!n.is_empty());
+            assert!(n.chars().next().unwrap().is_uppercase());
+            assert!(n.contains(' '));
+        }
+    }
+
+    #[test]
+    fn anchor_sets_have_expected_sizes() {
+        assert_eq!(POLITICIANS.len(), 6);
+        assert_eq!(ACTORS.len(), 6);
+        assert_eq!(CONTRIBUTORS.len(), 6);
+        assert_eq!(AUTHORS.len(), 2);
+        let all: HashSet<&str> = POLITICIANS
+            .iter()
+            .chain(&ACTORS)
+            .chain(&CONTRIBUTORS)
+            .chain(&AUTHORS)
+            .copied()
+            .collect();
+        assert_eq!(all.len(), 20, "anchor names must be unique");
+    }
+
+    #[test]
+    fn work_titles_have_kind_prefix() {
+        assert!(work_title("Movie", 3).starts_with("Movie: The "));
+    }
+}

@@ -1,0 +1,132 @@
+//! The evaluation query sets (Table 1 of the paper).
+//!
+//! Three domains × query sizes 2–6 = 15 test sets, built as prefixes of
+//! the Table-1 entity lists — exactly how the paper grows its queries
+//! ("starting from 2 entities for each domain, adding one every time").
+//! The authors test case (§4.2) is a 16th, fixed-size query.
+
+use crate::dataset::DomainId;
+use crate::names;
+use serde::{Deserialize, Serialize};
+
+/// One evaluation query: a domain and an ordered list of entity names.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuerySpec {
+    /// The domain the query entities come from.
+    pub domain: DomainId,
+    /// Entity names, in Table-1 order.
+    pub names: Vec<String>,
+}
+
+impl QuerySpec {
+    /// Query size |Q|.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the query holds no entities (never produced by
+    /// [`table1_queries`]).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// A short display label, e.g. `actors|Q|=3`.
+    pub fn label(&self) -> String {
+        format!("{}|Q|={}", self.domain.name(), self.len())
+    }
+}
+
+/// The full anchor list of a domain (Table 1 row).
+pub fn anchors(domain: DomainId) -> &'static [&'static str] {
+    match domain {
+        DomainId::Politicians => &names::POLITICIANS,
+        DomainId::Actors => &names::ACTORS,
+        DomainId::Contributors => &names::CONTRIBUTORS,
+        DomainId::Writers => &names::AUTHORS,
+    }
+}
+
+/// The 15 Table-1 query sets (3 domains × |Q| ∈ 2..=6).
+pub fn table1_queries() -> Vec<QuerySpec> {
+    let mut out = Vec::with_capacity(15);
+    for domain in [DomainId::Politicians, DomainId::Actors, DomainId::Contributors] {
+        let list = anchors(domain);
+        for size in 2..=list.len() {
+            out.push(QuerySpec {
+                domain,
+                names: list[..size].iter().map(|s| (*s).to_owned()).collect(),
+            });
+        }
+    }
+    out
+}
+
+/// Query sets available in the LinkedMDB-like dataset (no politicians).
+pub fn lmdb_queries() -> Vec<QuerySpec> {
+    table1_queries()
+        .into_iter()
+        .filter(|q| q.domain != DomainId::Politicians)
+        .collect()
+}
+
+/// The §4.2 authors test case: {Douglas Adams, Terry Pratchett}.
+pub fn authors_query() -> QuerySpec {
+    QuerySpec {
+        domain: DomainId::Writers,
+        names: names::AUTHORS.iter().map(|s| (*s).to_owned()).collect(),
+    }
+}
+
+/// The 5-actor query of the FindNC test cases (Figures 7–9):
+/// {Pitt, Clooney, DiCaprio, Johansson, Depp}.
+pub fn actors5_query() -> QuerySpec {
+    QuerySpec {
+        domain: DomainId::Actors,
+        names: names::ACTORS[..5].iter().map(|s| (*s).to_owned()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_table1_queries() {
+        let qs = table1_queries();
+        assert_eq!(qs.len(), 15);
+        for domain in [DomainId::Politicians, DomainId::Actors, DomainId::Contributors] {
+            let sizes: Vec<usize> = qs
+                .iter()
+                .filter(|q| q.domain == domain)
+                .map(QuerySpec::len)
+                .collect();
+            assert_eq!(sizes, vec![2, 3, 4, 5, 6]);
+        }
+    }
+
+    #[test]
+    fn queries_are_prefixes() {
+        let qs = table1_queries();
+        let actors: Vec<&QuerySpec> = qs.iter().filter(|q| q.domain == DomainId::Actors).collect();
+        for w in actors.windows(2) {
+            assert_eq!(&w[1].names[..w[0].names.len()], &w[0].names[..]);
+        }
+        assert_eq!(actors[0].names, vec!["Brad Pitt", "George Clooney"]);
+    }
+
+    #[test]
+    fn lmdb_has_no_politicians() {
+        let qs = lmdb_queries();
+        assert_eq!(qs.len(), 10);
+        assert!(qs.iter().all(|q| q.domain != DomainId::Politicians));
+    }
+
+    #[test]
+    fn special_queries() {
+        assert_eq!(authors_query().names, vec!["Douglas Adams", "Terry Pratchett"]);
+        let a5 = actors5_query();
+        assert_eq!(a5.len(), 5);
+        assert!(!a5.names.contains(&"Angelina Jolie".to_owned()));
+        assert_eq!(a5.label(), "actors|Q|=5");
+    }
+}

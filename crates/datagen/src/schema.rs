@@ -1,0 +1,236 @@
+//! Edge-label and node-type vocabulary of the two synthetic schemas.
+//!
+//! The YAGO-like schema uses 30 forward labels (YAGO 2.5 has 38); the
+//! LinkedMDB-like schema uses 18, matching the paper's description ("1.6M
+//! edges of 18 types"). Labels referenced by experiments (`created`,
+//! `hasWonPrize`, `actedIn`, `influences`, `hasChild`, `owns`) keep the
+//! paper's exact names.
+
+/// Node-type names of the YAGO-like schema.
+pub mod types {
+    /// Root person type.
+    pub const PERSON: &str = "person";
+    /// Politician ⊑ person.
+    pub const POLITICIAN: &str = "politician";
+    /// Actor ⊑ person.
+    pub const ACTOR: &str = "actor";
+    /// Movie contributor (director / composer / producer) ⊑ person.
+    pub const CONTRIBUTOR: &str = "movieContributor";
+    /// Writer ⊑ person.
+    pub const WRITER: &str = "writer";
+    /// Generic (background) person.
+    pub const CITIZEN: &str = "citizen";
+    /// Country.
+    pub const COUNTRY: &str = "country";
+    /// City.
+    pub const CITY: &str = "city";
+    /// Political party.
+    pub const PARTY: &str = "party";
+    /// University.
+    pub const UNIVERSITY: &str = "university";
+    /// Field of study.
+    pub const SUBJECT: &str = "subject";
+    /// Award / prize.
+    pub const AWARD: &str = "award";
+    /// Movie.
+    pub const MOVIE: &str = "movie";
+    /// Creative work (book, album, company production…).
+    pub const WORK: &str = "work";
+    /// Company.
+    pub const COMPANY: &str = "company";
+    /// Gender value node.
+    pub const GENDER: &str = "gender";
+    /// Academic degree value node.
+    pub const DEGREE: &str = "degree";
+}
+
+/// Edge-label names of the YAGO-like schema (forward directions).
+pub mod labels {
+    /// Person → city of birth.
+    pub const WAS_BORN_IN: &str = "wasBornIn";
+    /// Person → city of residence.
+    pub const LIVES_IN: &str = "livesIn";
+    /// Person → country of citizenship.
+    pub const IS_CITIZEN_OF: &str = "isCitizenOf";
+    /// Person → gender value.
+    pub const HAS_GENDER: &str = "hasGender";
+    /// Person → child.
+    pub const HAS_CHILD: &str = "hasChild";
+    /// Person ↔ spouse (symmetric).
+    pub const IS_MARRIED_TO: &str = "isMarriedTo";
+    /// Person → person they know (background noise relation).
+    pub const KNOWS: &str = "knows";
+    /// Politician → country they lead.
+    pub const IS_LEADER_OF: &str = "isLeaderOf";
+    /// Politician → country of their politics.
+    pub const IS_POLITICIAN_OF: &str = "isPoliticianOf";
+    /// Politician → party.
+    pub const IS_AFFILIATED_TO: &str = "isAffiliatedTo";
+    /// Person → field of study.
+    pub const STUDIED: &str = "studied";
+    /// Person → university.
+    pub const GRADUATED_FROM: &str = "graduatedFrom";
+    /// Person → academic degree value.
+    pub const HAS_ACADEMIC_DEGREE: &str = "hasAcademicDegree";
+    /// Person → award.
+    pub const HAS_WON_PRIZE: &str = "hasWonPrize";
+    /// Actor → movie.
+    pub const ACTED_IN: &str = "actedIn";
+    /// Director → movie.
+    pub const DIRECTED: &str = "directed";
+    /// Creator → creative work (the Figure-7 label).
+    pub const CREATED: &str = "created";
+    /// Composer → movie they scored.
+    pub const WROTE_MUSIC_FOR: &str = "wroteMusicFor";
+    /// Producer → movie.
+    pub const PRODUCED: &str = "produced";
+    /// Person → person/work they influenced (the authors-case label).
+    pub const INFLUENCES: &str = "influences";
+    /// Person → company they own (the Figure-9 `owns` label).
+    pub const OWNS: &str = "owns";
+    /// City → country.
+    pub const IS_LOCATED_IN: &str = "isLocatedIn";
+    /// Party → country.
+    pub const OPERATES_IN: &str = "operatesIn";
+    /// University → city.
+    pub const HAS_CAMPUS_IN: &str = "hasCampusIn";
+    /// Movie → country of production.
+    pub const WAS_PRODUCED_IN: &str = "wasProducedIn";
+    /// Movie/work → genre value.
+    pub const HAS_GENRE: &str = "hasGenre";
+    /// Work → year value.
+    pub const WAS_CREATED_IN_YEAR: &str = "wasCreatedInYear";
+    /// Person → year of birth value.
+    pub const WAS_BORN_IN_YEAR: &str = "wasBornInYear";
+    /// Company → country.
+    pub const IS_REGISTERED_IN: &str = "isRegisteredIn";
+    /// Award → country/body granting it.
+    pub const IS_AWARDED_BY: &str = "isAwardedBy";
+}
+
+/// The 18 edge labels of the LinkedMDB-like schema.
+pub mod lmdb {
+    /// Actor → movie.
+    pub const ACTED_IN: &str = "actedIn";
+    /// Director → movie.
+    pub const DIRECTED: &str = "directed";
+    /// Creator → work.
+    pub const CREATED: &str = "created";
+    /// Composer → movie.
+    pub const WROTE_MUSIC_FOR: &str = "wroteMusicFor";
+    /// Producer → movie.
+    pub const PRODUCED: &str = "produced";
+    /// Writer → movie (screenplay).
+    pub const WROTE: &str = "wrote";
+    /// Editor → movie.
+    pub const EDITED: &str = "edited";
+    /// Person → award.
+    pub const HAS_WON_PRIZE: &str = "hasWonPrize";
+    /// Person → person influenced.
+    pub const INFLUENCES: &str = "influences";
+    /// Movie → genre value.
+    pub const HAS_GENRE: &str = "hasGenre";
+    /// Movie → year value.
+    pub const RELEASED_IN: &str = "releasedIn";
+    /// Movie → country.
+    pub const FILMED_IN: &str = "filmedIn";
+    /// Movie → movie (sequel).
+    pub const SEQUEL_OF: &str = "sequelOf";
+    /// Movie → company (studio).
+    pub const PRODUCED_BY_STUDIO: &str = "producedByStudio";
+    /// Person → country of birth.
+    pub const BORN_IN_COUNTRY: &str = "bornInCountry";
+    /// Person → gender value.
+    pub const HAS_GENDER: &str = "hasGender";
+    /// Person ↔ spouse.
+    pub const IS_MARRIED_TO: &str = "isMarriedTo";
+    /// Person → company owned.
+    pub const OWNS: &str = "owns";
+
+    /// All 18 labels, for schema-size assertions.
+    pub const ALL: [&str; 18] = [
+        ACTED_IN,
+        DIRECTED,
+        CREATED,
+        WROTE_MUSIC_FOR,
+        PRODUCED,
+        WROTE,
+        EDITED,
+        HAS_WON_PRIZE,
+        INFLUENCES,
+        HAS_GENRE,
+        RELEASED_IN,
+        FILMED_IN,
+        SEQUEL_OF,
+        PRODUCED_BY_STUDIO,
+        BORN_IN_COUNTRY,
+        HAS_GENDER,
+        IS_MARRIED_TO,
+        OWNS,
+    ];
+}
+
+/// All forward labels of the YAGO-like schema, for assertions and sweeps.
+pub const YAGO_LABELS: [&str; 30] = [
+    labels::WAS_BORN_IN,
+    labels::LIVES_IN,
+    labels::IS_CITIZEN_OF,
+    labels::HAS_GENDER,
+    labels::HAS_CHILD,
+    labels::IS_MARRIED_TO,
+    labels::KNOWS,
+    labels::IS_LEADER_OF,
+    labels::IS_POLITICIAN_OF,
+    labels::IS_AFFILIATED_TO,
+    labels::STUDIED,
+    labels::GRADUATED_FROM,
+    labels::HAS_ACADEMIC_DEGREE,
+    labels::HAS_WON_PRIZE,
+    labels::ACTED_IN,
+    labels::DIRECTED,
+    labels::CREATED,
+    labels::WROTE_MUSIC_FOR,
+    labels::PRODUCED,
+    labels::INFLUENCES,
+    labels::OWNS,
+    labels::IS_LOCATED_IN,
+    labels::OPERATES_IN,
+    labels::HAS_CAMPUS_IN,
+    labels::WAS_PRODUCED_IN,
+    labels::HAS_GENRE,
+    labels::WAS_CREATED_IN_YEAR,
+    labels::WAS_BORN_IN_YEAR,
+    labels::IS_REGISTERED_IN,
+    labels::IS_AWARDED_BY,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn yago_schema_has_thirty_distinct_labels() {
+        let set: HashSet<&str> = YAGO_LABELS.iter().copied().collect();
+        assert_eq!(set.len(), 30);
+    }
+
+    #[test]
+    fn lmdb_schema_has_eighteen_distinct_labels() {
+        let set: HashSet<&str> = lmdb::ALL.iter().copied().collect();
+        assert_eq!(set.len(), 18);
+    }
+
+    #[test]
+    fn paper_labels_present() {
+        for l in ["created", "hasWonPrize", "actedIn", "influences", "owns", "hasChild"] {
+            assert!(
+                YAGO_LABELS.contains(&l),
+                "paper-referenced label {l} missing from YAGO schema"
+            );
+        }
+        for l in ["created", "hasWonPrize", "actedIn", "influences", "owns"] {
+            assert!(lmdb::ALL.contains(&l), "{l} missing from LMDB schema");
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Zipf-distributed sampling.
+//!
+//! Real knowledge graphs are heavy-tailed everywhere: a few labels carry
+//! most edges, a few entities receive most links, and crowd workers name
+//! prominent entities far more often than obscure ones. The generator uses
+//! one small Zipf sampler for all of it: rank `r` (1-based) has weight
+//! `1 / r^s`.
+
+use rand::{Rng, RngExt as _};
+
+/// A precomputed Zipf distribution over ranks `0..n` (0-based index of a
+/// 1-based rank).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution with `n` ranks and exponent `s ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and ≥ 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf, exponent: s }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when there is a single rank (degenerate distribution).
+    pub fn is_empty(&self) -> bool {
+        false // by construction n > 0
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability of rank index `i` (0-based).
+    pub fn prob(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Samples a 0-based rank index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Samples `k` *distinct* rank indexes (or all of them if `k ≥ n`),
+    /// by rejection — efficient because Zipf mass concentrates on few
+    /// ranks and `k` is small in every call site.
+    pub fn sample_distinct<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Vec<usize> {
+        let n = self.len();
+        if k >= n {
+            return (0..n).collect();
+        }
+        let mut out = Vec::with_capacity(k);
+        let mut seen = vec![false; n];
+        // Rejection with a fallback to sequential scan if unlucky.
+        let mut attempts = 0usize;
+        while out.len() < k {
+            let i = self.sample(rng);
+            if !seen[i] {
+                seen[i] = true;
+                out.push(i);
+            }
+            attempts += 1;
+            if attempts > 20 * k + 100 {
+                // Fill deterministically from the most probable unseen ranks.
+                #[allow(clippy::needless_range_loop)]
+                for i in 0..n {
+                    if out.len() >= k {
+                        break;
+                    }
+                    if !seen[i] {
+                        seen[i] = true;
+                        out.push(i);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = Zipf::new(100, 1.1);
+        let sum: f64 = (0..100).map(|i| z.prob(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for i in 0..4 {
+            assert!((z.prob(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lower_ranks_are_more_probable() {
+        let z = Zipf::new(50, 1.0);
+        for i in 1..50 {
+            assert!(z.prob(i - 1) > z.prob(i));
+        }
+    }
+
+    #[test]
+    fn sampling_matches_probabilities() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0u32; 10];
+        const N: u32 = 200_000;
+        for _ in 0..N {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for i in 0..10 {
+            let freq = f64::from(counts[i]) / f64::from(N);
+            assert!(
+                (freq - z.prob(i)).abs() < 0.01,
+                "rank {i}: freq {freq} vs prob {}",
+                z.prob(i)
+            );
+        }
+    }
+
+    #[test]
+    fn sample_distinct_yields_unique_ranks() {
+        let z = Zipf::new(20, 1.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let picks = z.sample_distinct(8, &mut rng);
+        assert_eq!(picks.len(), 8);
+        let unique: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(unique.len(), 8);
+    }
+
+    #[test]
+    fn sample_distinct_clamps_to_population() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let picks = z.sample_distinct(50, &mut rng);
+        assert_eq!(picks.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let z = Zipf::new(30, 0.8);
+        let a: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! `reproduce` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! reproduce [--scale S] [--walks N] [--seed K] <experiment>... | all | list
+//! ```
+
+use nck_eval::experiments::{find, registry};
+use nck_eval::EvalEnv;
+use std::process::ExitCode;
+
+fn usage() -> String {
+    let mut s = String::from(
+        "usage: reproduce [--scale S] [--walks N] [--seed K] <experiment>... | all | list\n\n\
+         experiments:\n",
+    );
+    for e in registry() {
+        s.push_str(&format!("  {:<8} {}\n", e.id, e.paper_ref));
+    }
+    s
+}
+
+fn main() -> ExitCode {
+    let mut scale = 0.5f64;
+    let mut walks = 150_000usize;
+    let mut seed = 42u64;
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => scale = v,
+                None => {
+                    eprintln!("--scale needs a number\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--walks" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => walks = v,
+                None => {
+                    eprintln!("--walks needs a number\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("--seed needs a number\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_owned()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    if ids.iter().any(|i| i == "list") {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<&'static str> = if ids.iter().any(|i| i == "all") {
+        registry().iter().map(|e| e.id).collect()
+    } else {
+        let mut out = Vec::new();
+        for id in &ids {
+            match find(id) {
+                Some(e) => out.push(e.id),
+                None => {
+                    eprintln!("unknown experiment {id:?}\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        out
+    };
+
+    eprintln!(
+        "generating datasets (scale {scale}, seed {seed}, {walks} mining walks)…"
+    );
+    let started = std::time::Instant::now();
+    let env = EvalEnv::standard(scale, seed, walks);
+    eprintln!(
+        "YAGO-like: {} nodes / {} edges; LinkedMDB-like: {} nodes / {} edges ({:.1}s)",
+        env.yago.graph.num_nodes(),
+        env.yago.graph.num_logical_edges(),
+        env.lmdb.graph.num_nodes(),
+        env.lmdb.graph.num_logical_edges(),
+        started.elapsed().as_secs_f64()
+    );
+
+    for id in selected {
+        let e = find(id).expect("validated above");
+        eprintln!("running {id}…");
+        let started = std::time::Instant::now();
+        let report = (e.run)(&env);
+        println!("{}", report.render());
+        eprintln!("{id} finished in {:.1}s", started.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,158 @@
+//! Shared evaluation environment: datasets, selectors, F1 machinery.
+
+use nck_core::config::{
+    ContextRwConfig, PathMiningConfig, PprConfig, RandomWalkConfig,
+};
+use nck_core::context::{ContextSelector, TypeFilter};
+use nck_core::context_rw::ContextRw;
+use nck_core::ppr::RandomWalkSelector;
+use nck_core::query::Query;
+use nck_datagen::ground_truth::{simulate_crowd, CrowdConfig, GroundTruth};
+use nck_datagen::queries::QuerySpec;
+use nck_datagen::{generate, Dataset, GeneratorConfig};
+use nck_graph::NodeId;
+use nck_stats::metrics::f1_curve;
+
+/// Evaluation environment holding both datasets and standard settings.
+pub struct EvalEnv {
+    /// The YAGO-like dataset.
+    pub yago: Dataset,
+    /// The LinkedMDB-like dataset.
+    pub lmdb: Dataset,
+    /// PathMining walk budget for ContextRW.
+    pub walks: usize,
+    /// Crowd-simulation settings.
+    pub crowd: CrowdConfig,
+}
+
+impl EvalEnv {
+    /// Builds the standard environment. `scale` multiplies the dataset
+    /// populations (1.0 ≈ 35k-node YAGO-like graph; the default harness
+    /// uses 0.5 for fast runs).
+    pub fn standard(scale: f64, seed: u64, walks: usize) -> Self {
+        Self {
+            yago: generate(&GeneratorConfig::yago_like(seed).scaled(scale)),
+            lmdb: generate(&GeneratorConfig::linkedmdb_like(seed).scaled(scale)),
+            walks,
+            crowd: CrowdConfig::default(),
+        }
+    }
+
+    /// The paper-experiment ContextRW selector (|M| = 5, max length 5).
+    pub fn context_rw(&self) -> ContextRw {
+        self.context_rw_with(self.walks, 5, 5)
+    }
+
+    /// ContextRW with explicit walks / |M| / max length (for the sweeps).
+    pub fn context_rw_with(&self, walks: usize, num_metapaths: usize, max_length: usize) -> ContextRw {
+        ContextRw::new(ContextRwConfig {
+            mining: PathMiningConfig {
+                walks,
+                max_length,
+                seed: 0x0C0FFEE,
+                parallel: true,
+            },
+            num_metapaths,
+            type_filter: TypeFilter::CommonAncestor,
+            max_endpoint_fraction: 0.25,
+        })
+    }
+
+    /// The paper-experiment RandomWalk baseline (damping 0.2, 10 iters).
+    pub fn random_walk(&self) -> RandomWalkSelector {
+        RandomWalkSelector::new(RandomWalkConfig {
+            ppr: PprConfig {
+                damping: 0.2,
+                iterations: 10,
+                parallel: true,
+            },
+            type_filter: TypeFilter::CommonAncestor,
+        })
+    }
+
+    /// Resolves a query spec on a dataset.
+    pub fn query(&self, dataset: &Dataset, spec: &QuerySpec) -> Query {
+        Query::new(&dataset.graph, dataset.query_nodes(spec)).expect("valid generated query")
+    }
+
+    /// The simulated ground truth of a test set.
+    pub fn ground_truth(&self, dataset: &Dataset, spec: &QuerySpec) -> GroundTruth {
+        simulate_crowd(dataset, spec, &self.crowd)
+    }
+
+    /// Ranked context of up to `k_max` nodes from a selector.
+    pub fn ranked_context(
+        &self,
+        selector: &dyn ContextSelector,
+        dataset: &Dataset,
+        spec: &QuerySpec,
+        k_max: usize,
+    ) -> Vec<NodeId> {
+        let query = self.query(dataset, spec);
+        selector
+            .select(&dataset.graph, &query, k_max)
+            .expect("context selection failed")
+            .nodes()
+            .collect()
+    }
+
+    /// F1 of a ranked context at each cutoff.
+    pub fn f1_at_cutoffs(
+        &self,
+        ranked: &[NodeId],
+        gt: &GroundTruth,
+        cutoffs: &[usize],
+    ) -> Vec<f64> {
+        let relevant = gt.relevant_set();
+        let curve = f1_curve(ranked, &relevant);
+        cutoffs
+            .iter()
+            .map(|&k| {
+                if k == 0 || curve.is_empty() {
+                    0.0
+                } else {
+                    curve[(k - 1).min(curve.len() - 1)]
+                }
+            })
+            .collect()
+    }
+}
+
+/// The standard |C| cutoffs of the Figure-2/3 sweeps.
+pub const CONTEXT_CUTOFFS: [usize; 9] = [10, 25, 50, 75, 100, 150, 200, 300, 400];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_env() -> EvalEnv {
+        EvalEnv {
+            yago: generate(&GeneratorConfig::tiny(7)),
+            lmdb: generate(&GeneratorConfig::linkedmdb_like(7).scaled(0.12)),
+            walks: 5_000,
+            crowd: CrowdConfig::default(),
+        }
+    }
+
+    #[test]
+    fn environment_runs_both_selectors() {
+        let env = tiny_env();
+        let spec = nck_datagen::queries::actors5_query();
+        let gt = env.ground_truth(&env.yago, &spec);
+        assert!(!gt.ranked.is_empty());
+        let crw = env.context_rw();
+        let ranked = env.ranked_context(&crw, &env.yago, &spec, 50);
+        assert!(!ranked.is_empty());
+        let f1 = env.f1_at_cutoffs(&ranked, &gt, &[10, 50]);
+        assert_eq!(f1.len(), 2);
+        assert!(f1.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let rw = env.random_walk();
+        let ranked = env.ranked_context(&rw, &env.yago, &spec, 50);
+        assert!(!ranked.is_empty());
+    }
+
+    #[test]
+    fn cutoffs_are_ascending() {
+        assert!(CONTEXT_CUTOFFS.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,328 @@
+//! Distribution-comparison experiments: Figures 7–9, the §4.2 metric
+//! comparison, and the in-text test cases.
+
+use crate::env::EvalEnv;
+use crate::report::{f3, Report};
+use nck_core::config::FindNcConfig;
+use nck_core::context::Context;
+use nck_core::discrimination::{
+    Discrimination, EmdDiscrimination, KlDiscrimination, MultinomialDiscrimination,
+};
+use nck_core::findnc::{FindNc, SearchResult};
+use nck_core::query::Query;
+use nck_datagen::planted::{self, CaseExpectation};
+use nck_datagen::Dataset;
+use nck_stats::ranking::min_swaps;
+use nck_stats::MultinomialTest;
+
+/// Builds the reference context of a planted case: the top-|C| entities of
+/// the simulated crowd ranking (see `nck_datagen::planted` on why cases
+/// are evaluated on a reference context).
+fn reference_context(env: &EvalEnv, dataset: &Dataset, case: &CaseExpectation) -> Context {
+    let gt = env.ground_truth(dataset, &case.query);
+    let nodes: Vec<_> = gt.ranked.iter().copied().take(case.context_size).collect();
+    Context::from_nodes(&nodes)
+}
+
+/// Runs FindNC for a case on the reference context.
+fn run_case(env: &EvalEnv, case: &CaseExpectation) -> (Query, SearchResult) {
+    let dataset = &env.yago;
+    let query = env.query(dataset, &case.query);
+    let context = reference_context(env, dataset, case);
+    let result = FindNc::new(FindNcConfig {
+        context_size: case.context_size,
+        ..FindNcConfig::default()
+    })
+    .discover_with_context(&dataset.graph, &query, &context)
+    .expect("case pipeline failed");
+    (query, result)
+}
+
+fn case_report(env: &EvalEnv, id: &'static str, case: &CaseExpectation) -> Report {
+    let mut r = Report::new(
+        id,
+        format!(
+            "{} — query {:?}, |C| = {}",
+            case.name, case.query.names, case.context_size
+        ),
+    );
+    let (query, result) = run_case(env, case);
+    let graph = &env.yago.graph;
+    r.line(nck_core::explain::report(graph, &result, query.len()));
+    for label in &case.expect_notable {
+        let ch = result.characteristic(label, graph).expect("label scored");
+        r.line(format!(
+            "expected notable: {label} -> {} (δ = {})",
+            if ch.notable() { "NOTABLE ✓" } else { "not notable ✗" },
+            f3(ch.score)
+        ));
+    }
+    for label in &case.expect_not_notable {
+        let ch = result.characteristic(label, graph).expect("label scored");
+        r.line(format!(
+            "expected not notable: {label} -> {} (δ = {})",
+            if ch.notable() { "NOTABLE ✗" } else { "not notable ✓" },
+            f3(ch.score)
+        ));
+    }
+    r
+}
+
+/// Figure 7: the instance distribution of `created` for the 5-actor query.
+pub fn fig7(env: &EvalEnv) -> Report {
+    let mut r = Report::new("fig7", "instance distribution of `created`, 5-actor query, |C| = 100");
+    let case = planted::actors_case();
+    let (_, result) = run_case(env, &case);
+    let graph = &env.yago.graph;
+    let ch = result.characteristic("created", graph).expect("created scored");
+    let d = &ch.distributions;
+    let qt = d.inst_q_total().max(1) as f64;
+    let ct = d.inst_c_total().max(1) as f64;
+    let header = ["instance value", "context P", "query P"];
+    let mut rows = Vec::new();
+    for i in 0..d.inst_q.len() {
+        if d.inst_q[i] == 0 && d.inst_c[i] == 0 {
+            continue;
+        }
+        let value = match d.instance_value(i) {
+            None => "None".to_owned(),
+            Some(n) => graph.node_name(n).to_owned(),
+        };
+        rows.push(vec![
+            value,
+            f3(d.inst_c[i] as f64 / ct),
+            f3(d.inst_q[i] as f64 / qt),
+        ]);
+    }
+    // The paper's figure shows ~30 bars; print the first 30.
+    rows.truncate(30);
+    r.table(&header, &rows);
+    r.line(format!(
+        "query observations dropped (outside context support): {}",
+        d.dropped_q
+    ));
+    r.line(format!(
+        "multinomial significance: inst {:?}, card {:?} -> created {}",
+        ch.inst_significance,
+        ch.card_significance,
+        if ch.notable() { "NOTABLE" } else { "not notable" }
+    ));
+    r.line("paper shape: context is ~43% None with the rest spread thin; the query");
+    r.line("deviates (one None, the others on rare values) and is flagged.");
+    r
+}
+
+/// Figure 8: the cardinality distribution of `hasWonPrize`.
+pub fn fig8(env: &EvalEnv) -> Report {
+    let mut r = Report::new(
+        "fig8",
+        "cardinality distribution of `hasWonPrize`, 5-actor query, |C| = 100",
+    );
+    let case = planted::actors_case();
+    let (_, result) = run_case(env, &case);
+    let graph = &env.yago.graph;
+    let ch = result
+        .characteristic("hasWonPrize", graph)
+        .expect("hasWonPrize scored");
+    let d = &ch.distributions;
+    let qt: u64 = d.card_q.iter().sum();
+    let ct: u64 = d.card_c.iter().sum();
+    let header = ["cardinality", "context P", "query P"];
+    let mut rows = Vec::new();
+    for i in 0..d.card_q.len() {
+        if d.card_q[i] == 0 && d.card_c[i] == 0 {
+            continue;
+        }
+        rows.push(vec![
+            d.binning.bin_label(i),
+            f3(d.card_c[i] as f64 / ct.max(1) as f64),
+            f3(d.card_q[i] as f64 / qt.max(1) as f64),
+        ]);
+    }
+    r.table(&header, &rows);
+    r.line(format!(
+        "multinomial significance: inst {:?}, card {:?} -> hasWonPrize {}",
+        ch.inst_significance,
+        ch.card_significance,
+        if ch.notable() { "NOTABLE" } else { "not notable" }
+    ));
+    r.line("paper shape: the two distributions are close; the test cannot reject.");
+    r
+}
+
+/// Figure 9: per-label significance probabilities, FindNC (ContextRW
+/// context) vs RWMult (RandomWalk context).
+pub fn fig9(env: &EvalEnv) -> Report {
+    let mut r = Report::new(
+        "fig9",
+        "significance probabilities per label: FindNC vs RWMult, 5-actor query",
+    );
+    let case = planted::actors_case();
+    let dataset = &env.yago;
+    let query = env.query(dataset, &case.query);
+    let findnc = FindNc::new(FindNcConfig {
+        context_size: case.context_size,
+        ..FindNcConfig::default()
+    });
+    let crw = env.context_rw();
+    let rw = env.random_walk();
+    let res_findnc = findnc
+        .discover_with_selector(&dataset.graph, &query, &crw)
+        .expect("FindNC run failed");
+    let res_rwmult = findnc
+        .discover_with_selector(&dataset.graph, &query, &rw)
+        .expect("RWMult run failed");
+    let graph = &dataset.graph;
+    let header = ["label", "FindNC Prs", "RWMult Prs", "threshold 0.05"];
+    let mut rows = Vec::new();
+    for ch in &res_findnc.characteristics {
+        let name = graph.label_name(ch.label).to_owned();
+        let f_sig = ch.significance.unwrap_or(f64::NAN);
+        let r_sig = res_rwmult
+            .characteristics
+            .iter()
+            .find(|c| c.label == ch.label)
+            .and_then(|c| c.significance)
+            .unwrap_or(f64::NAN);
+        let verdict = match (f_sig <= 0.05, r_sig <= 0.05) {
+            (true, true) => "both notable",
+            (true, false) => "FindNC only",
+            (false, true) => "RWMult only",
+            (false, false) => "neither",
+        };
+        rows.push(vec![name, f3(f_sig), f3(r_sig), verdict.to_owned()]);
+    }
+    r.table(&header, &rows);
+    r.line("");
+    r.line("paper shape: RWMult wrongly flags common-for-actors labels (actedIn,");
+    r.line("hasWonPrize) because its context mixes non-actors; FindNC does not.");
+    r
+}
+
+/// §4.2 metric comparison: ranking distance (min adjacent swaps) of each
+/// method's label ranking to the expert (planted) ranking.
+pub fn metrics_cmp(env: &EvalEnv) -> Report {
+    let mut r = Report::new(
+        "metrics",
+        "min-swaps between method rankings and the expert ranking (actors case)",
+    );
+    let case = planted::actors_case();
+    let dataset = &env.yago;
+    let query = env.query(dataset, &case.query);
+    let context = reference_context(env, dataset, &case);
+    let graph = &dataset.graph;
+    let expert = planted::expert_ranking();
+    let findnc = FindNc::new(FindNcConfig {
+        context_size: case.context_size,
+        ..FindNcConfig::default()
+    });
+
+    // Rank the expert labels by each method's δ score (descending; ties
+    // broken by significance then by expert order for determinism).
+    let methods: Vec<(&str, Box<dyn Discrimination>)> = vec![
+        (
+            "FindNC",
+            Box::new(MultinomialDiscrimination::new(MultinomialTest::new())),
+        ),
+        ("KL", Box::new(KlDiscrimination::default())),
+        ("EMD", Box::new(EmdDiscrimination)),
+    ];
+    let header = ["method", "ranking (most notable first)", "min swaps"];
+    let mut rows = Vec::new();
+    for (name, discrimination) in &methods {
+        let result = findnc
+            .discover_with_discrimination(graph, &query, &context, discrimination.as_ref())
+            .expect("discrimination run failed");
+        let mut scored: Vec<(usize, f64, f64)> = expert
+            .iter()
+            .enumerate()
+            .map(|(i, label)| {
+                let ch = result.characteristic(label, graph);
+                let score = ch.map_or(0.0, |c| c.score);
+                let sig = ch.and_then(|c| c.significance).unwrap_or(1.0);
+                (i, score, sig)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+                .then(a.0.cmp(&b.0))
+        });
+        let ranking: Vec<&str> = scored.iter().map(|&(i, _, _)| expert[i]).collect();
+        let swaps = min_swaps(&expert, &ranking).expect("same label sets");
+        rows.push(vec![
+            (*name).to_owned(),
+            ranking.join(" > "),
+            swaps.to_string(),
+        ]);
+    }
+    r.table(&header, &rows);
+    r.line("");
+    r.line("paper result: FindNC needed 2 switches, KL 4, EMD 5 — FindNC closest.");
+    r
+}
+
+/// §4.2 test case 2: the authors query.
+pub fn authors(env: &EvalEnv) -> Report {
+    case_report(env, "authors", &planted::authors_case())
+}
+
+/// The introduction's leaders example.
+pub fn leaders(env: &EvalEnv) -> Report {
+    case_report(env, "leaders", &planted::leaders_case())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nck_datagen::ground_truth::CrowdConfig;
+    use nck_datagen::{generate, GeneratorConfig};
+
+    fn small_env() -> EvalEnv {
+        EvalEnv {
+            yago: generate(&GeneratorConfig::yago_like(42).scaled(0.5)),
+            lmdb: generate(&GeneratorConfig::linkedmdb_like(42).scaled(0.2)),
+            walks: 20_000,
+            crowd: CrowdConfig::default(),
+        }
+    }
+
+    #[test]
+    fn fig7_flags_created_and_fig8_spares_haswonprize() {
+        let env = small_env();
+        let r7 = fig7(&env);
+        assert!(r7.body.contains("created NOTABLE"), "{}", r7.body);
+        let r8 = fig8(&env);
+        assert!(
+            r8.body.contains("hasWonPrize not notable"),
+            "{}",
+            r8.body
+        );
+    }
+
+    #[test]
+    fn metrics_ranks_findnc_best() {
+        let env = small_env();
+        let r = metrics_cmp(&env);
+        // Extract the swap counts in method order from the table.
+        let swaps: Vec<u64> = r
+            .body
+            .lines()
+            .filter(|l| l.starts_with("| FindNC") || l.starts_with("| KL") || l.starts_with("| EMD"))
+            .map(|l| {
+                l.rsplit('|')
+                    .nth(1)
+                    .unwrap()
+                    .trim()
+                    .parse::<u64>()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(swaps.len(), 3);
+        assert!(
+            swaps[0] <= swaps[1] && swaps[0] <= swaps[2],
+            "FindNC must be closest to the expert ranking: {swaps:?}"
+        );
+    }
+}

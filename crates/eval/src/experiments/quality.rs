@@ -1,0 +1,128 @@
+//! Context-selection quality experiments (Figures 2–4).
+
+use crate::env::{EvalEnv, CONTEXT_CUTOFFS};
+use crate::report::{f3, Report};
+use nck_datagen::DomainId;
+
+/// Figure 2: F1 vs |C| for the actors query sets, ContextRW (a) and
+/// RandomWalk (b).
+pub fn fig2(env: &EvalEnv) -> Report {
+    let mut r = Report::new("fig2", "F1 vs context size |C|, actors domain, YAGO-like");
+    let specs = env.yago.queries_for(DomainId::Actors);
+    let cutoffs: Vec<usize> = CONTEXT_CUTOFFS.to_vec();
+    for (name, selector) in [
+        ("(a) ContextRW", &env.context_rw() as &dyn nck_core::context::ContextSelector),
+        ("(b) RandomWalk", &env.random_walk()),
+    ] {
+        r.line(name);
+        let header: Vec<String> = std::iter::once("query".to_owned())
+            .chain(cutoffs.iter().map(|c| format!("|C|={c}")))
+            .collect();
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut rows = Vec::new();
+        for spec in &specs {
+            let gt = env.ground_truth(&env.yago, spec);
+            let ranked = env.ranked_context(selector, &env.yago, spec, 400);
+            let f1 = env.f1_at_cutoffs(&ranked, &gt, &cutoffs);
+            let mut row = vec![spec.label()];
+            row.extend(f1.iter().map(|&x| f3(x)));
+            rows.push(row);
+        }
+        r.table(&header_refs, &rows);
+        r.line("");
+    }
+    r
+}
+
+/// Figure 3: F1 vs |C| averaged over all 15 test sets.
+pub fn fig3(env: &EvalEnv) -> Report {
+    let mut r = Report::new("fig3", "average F1 vs context size |C|, YAGO-like");
+    let cutoffs: Vec<usize> = CONTEXT_CUTOFFS.to_vec();
+    let header: Vec<String> = std::iter::once("algorithm".to_owned())
+        .chain(cutoffs.iter().map(|c| format!("|C|={c}")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for (name, selector) in [
+        ("ContextRW", &env.context_rw() as &dyn nck_core::context::ContextSelector),
+        ("RandomWalk", &env.random_walk()),
+    ] {
+        let mut sums = vec![0.0f64; cutoffs.len()];
+        let mut count = 0usize;
+        for spec in &env.yago.queries {
+            let gt = env.ground_truth(&env.yago, spec);
+            let ranked = env.ranked_context(selector, &env.yago, spec, 400);
+            let f1 = env.f1_at_cutoffs(&ranked, &gt, &cutoffs);
+            for (s, x) in sums.iter_mut().zip(&f1) {
+                *s += x;
+            }
+            count += 1;
+        }
+        let mut row = vec![name.to_owned()];
+        row.extend(sums.iter().map(|&s| f3(s / count.max(1) as f64)));
+        rows.push(row);
+    }
+    r.table(&header_refs, &rows);
+    r.line("");
+    r.line("paper shape: ContextRW above RandomWalk across the sweep (up to 4× at |C| = 100).");
+    r
+}
+
+/// Figure 4: average F1 vs |Q| at |C| ∈ {50, 100}.
+pub fn fig4(env: &EvalEnv) -> Report {
+    let mut r = Report::new("fig4", "average F1 vs query size |Q|, YAGO-like");
+    let cutoffs = [50usize, 100];
+    let header = ["algorithm", "|Q|=2", "|Q|=3", "|Q|=4", "|Q|=5", "|Q|=6"];
+    for &k in &cutoffs {
+        r.line(format!("|C| = {k}:"));
+        let mut rows = Vec::new();
+        for (name, selector) in [
+            ("ContextRW", &env.context_rw() as &dyn nck_core::context::ContextSelector),
+            ("RandomWalk", &env.random_walk()),
+        ] {
+            let mut row = vec![name.to_owned()];
+            for size in 2..=6usize {
+                let mut sum = 0.0;
+                let mut n = 0usize;
+                for spec in env.yago.queries.iter().filter(|s| s.len() == size) {
+                    let gt = env.ground_truth(&env.yago, spec);
+                    let ranked = env.ranked_context(selector, &env.yago, spec, k);
+                    sum += env.f1_at_cutoffs(&ranked, &gt, &[k])[0];
+                    n += 1;
+                }
+                row.push(f3(sum / n.max(1) as f64));
+            }
+            rows.push(row);
+        }
+        r.table(&header, &rows);
+        r.line("");
+    }
+    r.line("paper shape: ContextRW improves with |Q|; RandomWalk flat or declining.");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nck_datagen::ground_truth::CrowdConfig;
+    use nck_datagen::{generate, GeneratorConfig};
+
+    fn tiny_env() -> EvalEnv {
+        EvalEnv {
+            yago: generate(&GeneratorConfig::tiny(7)),
+            lmdb: generate(&GeneratorConfig::linkedmdb_like(7).scaled(0.12)),
+            walks: 4_000,
+            crowd: CrowdConfig::default(),
+        }
+    }
+
+    #[test]
+    fn fig2_renders_both_algorithms() {
+        let r = fig2(&tiny_env());
+        assert!(r.body.contains("(a) ContextRW"));
+        assert!(r.body.contains("(b) RandomWalk"));
+        assert!(r.body.contains("|C|=100"));
+        // Five query rows per algorithm.
+        assert_eq!(r.body.matches("actors|Q|=").count(), 10);
+    }
+}

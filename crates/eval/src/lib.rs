@@ -1,0 +1,26 @@
+//! # nck-eval — the paper's evaluation, reproduced
+//!
+//! One module per table and figure of §4 (plus the in-text experiments),
+//! each generating the same rows/series the paper reports, over the
+//! synthetic datasets of `nck-datagen`. The `reproduce` binary drives
+//! them:
+//!
+//! ```text
+//! cargo run --release -p nck-eval --bin reproduce -- all
+//! cargo run --release -p nck-eval --bin reproduce -- fig2 fig3
+//! cargo run --release -p nck-eval --bin reproduce -- --scale 1.0 tab2
+//! ```
+//!
+//! Absolute numbers differ from the paper (different substrate, different
+//! hardware); the *shapes* — who wins, by what factor, where curves peak —
+//! are the reproduction target and are recorded in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod env;
+pub mod experiments;
+pub mod report;
+
+pub use env::EvalEnv;
+pub use report::Report;

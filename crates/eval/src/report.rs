@@ -1,0 +1,105 @@
+//! Plain-text report rendering (markdown-flavored tables and series).
+
+use std::fmt::Write as _;
+
+/// A rendered experiment report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id (`fig2`, `tab3`, …).
+    pub id: &'static str,
+    /// Human-readable title (the paper's caption, abbreviated).
+    pub title: String,
+    /// Rendered body.
+    pub body: String,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &'static str, title: impl Into<String>) -> Self {
+        Self {
+            id,
+            title: title.into(),
+            body: String::new(),
+        }
+    }
+
+    /// Appends a line.
+    pub fn line(&mut self, text: impl AsRef<str>) {
+        self.body.push_str(text.as_ref());
+        self.body.push('\n');
+    }
+
+    /// Appends a markdown table.
+    pub fn table(&mut self, header: &[&str], rows: &[Vec<String>]) {
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for row in rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut line = String::from("|");
+        for (h, w) in header.iter().zip(&widths) {
+            let _ = write!(line, " {h:<w$} |");
+        }
+        self.line(&line);
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        self.line(&sep);
+        for row in rows {
+            let mut line = String::from("|");
+            for (cell, w) in row.iter().zip(&widths) {
+                let _ = write!(line, " {cell:<w$} |");
+            }
+            self.line(&line);
+        }
+    }
+
+    /// Renders the report with its banner.
+    pub fn render(&self) -> String {
+        format!(
+            "==== {} — {} ====\n{}\n",
+            self.id, self.title, self.body
+        )
+    }
+}
+
+/// Formats an f64 with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats seconds with 3 decimals.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut r = Report::new("t", "test");
+        r.table(
+            &["a", "bbbb"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        let s = r.render();
+        assert!(s.contains("| a   | bbbb |"));
+        assert!(s.contains("| 333 | 4    |"));
+        assert!(s.starts_with("==== t — test ===="));
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(secs(std::time::Duration::from_millis(1500)), "1.500");
+    }
+}

@@ -1,0 +1,217 @@
+//! Compressed sparse row adjacency with label-sorted runs.
+//!
+//! Each node's out-edges are stored contiguously, sorted by `(label,
+//! target)`. That ordering gives the two access paths the algorithms need:
+//!
+//! - *PathMining* (random walks) draws a uniform out-edge — O(1) indexing
+//!   into the node's run;
+//! - *metapath matching* expands only edges with a required label —
+//!   binary search for the label's sub-run, no per-edge filtering.
+
+use crate::ids::{EdgeLabelId, NodeId};
+
+/// Immutable CSR adjacency. Built once by [`crate::builder::GraphBuilder`].
+#[derive(Debug, Clone, Default)]
+pub struct Csr {
+    /// `offsets[v] .. offsets[v + 1]` is node v's run; length `n + 1`.
+    offsets: Vec<u32>,
+    /// Edge labels, parallel to `targets`.
+    labels: Vec<EdgeLabelId>,
+    /// Edge targets, parallel to `labels`.
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Builds a CSR from an edge list; `edges` is consumed, sorted by
+    /// `(source, label, target)`.
+    pub fn from_edges(num_nodes: usize, mut edges: Vec<(NodeId, EdgeLabelId, NodeId)>) -> Self {
+        edges.sort_unstable_by_key(|&(s, l, t)| (s, l, t));
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        let mut labels = Vec::with_capacity(edges.len());
+        let mut targets = Vec::with_capacity(edges.len());
+        let mut cursor = 0usize;
+        for v in 0..num_nodes {
+            offsets.push(u32::try_from(labels.len()).expect("edge count exceeds u32"));
+            while cursor < edges.len() && edges[cursor].0.index() == v {
+                labels.push(edges[cursor].1);
+                targets.push(edges[cursor].2);
+                cursor += 1;
+            }
+        }
+        debug_assert_eq!(cursor, edges.len(), "edge with out-of-range source node");
+        offsets.push(u32::try_from(labels.len()).expect("edge count exceeds u32"));
+        Self {
+            offsets,
+            labels,
+            targets,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of stored (directed) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let i = v.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// The half-open range of edge indexes belonging to `v`.
+    #[inline]
+    fn range(&self, v: NodeId) -> std::ops::Range<usize> {
+        let i = v.index();
+        self.offsets[i] as usize..self.offsets[i + 1] as usize
+    }
+
+    /// Iterates over `(label, target)` pairs of `v`'s out-edges.
+    pub fn edges(&self, v: NodeId) -> impl Iterator<Item = (EdgeLabelId, NodeId)> + '_ {
+        let r = self.range(v);
+        self.labels[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.targets[r].iter().copied())
+    }
+
+    /// The `i`-th out-edge of `v` (for O(1) uniform sampling).
+    #[inline]
+    pub fn edge_at(&self, v: NodeId, i: usize) -> (EdgeLabelId, NodeId) {
+        let base = self.offsets[v.index()] as usize;
+        (self.labels[base + i], self.targets[base + i])
+    }
+
+    /// Targets of `v`'s out-edges labeled `l`, as a contiguous slice.
+    pub fn neighbors_with_label(&self, v: NodeId, l: EdgeLabelId) -> &[NodeId] {
+        let r = self.range(v);
+        let run = &self.labels[r.clone()];
+        // Label-sorted run: binary search for the sub-run of `l`.
+        let lo = run.partition_point(|&x| x < l);
+        let hi = run.partition_point(|&x| x <= l);
+        &self.targets[r.start + lo..r.start + hi]
+    }
+
+    /// Number of `v`'s out-edges labeled `l` — the cardinality that feeds
+    /// the Card distribution of §3.2.
+    #[inline]
+    pub fn degree_with_label(&self, v: NodeId, l: EdgeLabelId) -> usize {
+        self.neighbors_with_label(v, l).len()
+    }
+
+    /// Iterates over the distinct labels on `v`'s out-edges.
+    pub fn labels_of(&self, v: NodeId) -> impl Iterator<Item = EdgeLabelId> + '_ {
+        let r = self.range(v);
+        let run = &self.labels[r];
+        DistinctRuns { run, pos: 0 }
+    }
+}
+
+/// Iterator over the first element of each equal-label run.
+struct DistinctRuns<'a> {
+    run: &'a [EdgeLabelId],
+    pos: usize,
+}
+
+impl Iterator for DistinctRuns<'_> {
+    type Item = EdgeLabelId;
+
+    fn next(&mut self) -> Option<EdgeLabelId> {
+        if self.pos >= self.run.len() {
+            return None;
+        }
+        let label = self.run[self.pos];
+        // Skip to the end of this label's sub-run.
+        let rest = &self.run[self.pos..];
+        self.pos += rest.partition_point(|&x| x <= label);
+        Some(label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+    fn l(i: u32) -> EdgeLabelId {
+        EdgeLabelId::new(i)
+    }
+
+    fn sample() -> Csr {
+        // 0 -l0-> 1, 0 -l0-> 2, 0 -l1-> 1, 2 -l0-> 0; node 1 is a sink.
+        Csr::from_edges(
+            3,
+            vec![
+                (n(0), l(1), n(1)),
+                (n(0), l(0), n(2)),
+                (n(2), l(0), n(0)),
+                (n(0), l(0), n(1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = sample();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(n(0)), 3);
+        assert_eq!(g.degree(n(1)), 0);
+        assert_eq!(g.degree(n(2)), 1);
+    }
+
+    #[test]
+    fn edges_sorted_by_label_then_target() {
+        let g = sample();
+        let e: Vec<_> = g.edges(n(0)).collect();
+        assert_eq!(e, vec![(l(0), n(1)), (l(0), n(2)), (l(1), n(1))]);
+    }
+
+    #[test]
+    fn neighbors_with_label_is_exact_subrun() {
+        let g = sample();
+        assert_eq!(g.neighbors_with_label(n(0), l(0)), &[n(1), n(2)]);
+        assert_eq!(g.neighbors_with_label(n(0), l(1)), &[n(1)]);
+        assert!(g.neighbors_with_label(n(0), l(2)).is_empty());
+        assert!(g.neighbors_with_label(n(1), l(0)).is_empty());
+        assert_eq!(g.degree_with_label(n(0), l(0)), 2);
+    }
+
+    #[test]
+    fn edge_at_indexes_into_run() {
+        let g = sample();
+        assert_eq!(g.edge_at(n(0), 0), (l(0), n(1)));
+        assert_eq!(g.edge_at(n(0), 2), (l(1), n(1)));
+    }
+
+    #[test]
+    fn labels_of_deduplicates() {
+        let g = sample();
+        let labels: Vec<_> = g.labels_of(n(0)).collect();
+        assert_eq!(labels, vec![l(0), l(1)]);
+        assert_eq!(g.labels_of(n(1)).count(), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edges(0, vec![]);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn isolated_trailing_nodes_have_empty_runs() {
+        let g = Csr::from_edges(5, vec![(n(1), l(0), n(0))]);
+        assert_eq!(g.degree(n(4)), 0);
+        assert_eq!(g.degree(n(1)), 1);
+    }
+}

@@ -1,0 +1,294 @@
+//! The immutable [`KnowledgeGraph`] query API.
+//!
+//! This is `G = ⟨V, E, φ, ψ⟩` of Def. 1, frozen for concurrent read access:
+//! node names are φ, edge labels are ψ, and the CSR stores both directions
+//! of every logical edge (the `l` / `l⁻¹` convention). All algorithmic
+//! crates (`nck-core`) take `&KnowledgeGraph` and can traverse from
+//! multiple threads without locks.
+
+use crate::csr::Csr;
+use crate::ids::{EdgeLabelId, NodeId, NodeTypeId};
+use crate::interner::Interner;
+use crate::schema::EdgeLabelRegistry;
+use crate::taxonomy::Taxonomy;
+use crate::error::GraphError;
+
+/// An immutable, dictionary-encoded labeled multigraph.
+#[derive(Debug, Clone)]
+pub struct KnowledgeGraph {
+    names: Interner,
+    types: Vec<Option<NodeTypeId>>,
+    labels: EdgeLabelRegistry,
+    taxonomy: Taxonomy,
+    csr: Csr,
+    label_counts: Vec<u64>,
+    num_logical_edges: usize,
+}
+
+impl KnowledgeGraph {
+    /// Assembles a graph from parts; used by [`crate::builder::GraphBuilder`].
+    pub(crate) fn from_parts(
+        names: Interner,
+        types: Vec<Option<NodeTypeId>>,
+        labels: EdgeLabelRegistry,
+        taxonomy: Taxonomy,
+        csr: Csr,
+        label_counts: Vec<u64>,
+        num_logical_edges: usize,
+    ) -> Self {
+        debug_assert_eq!(csr.num_nodes(), types.len());
+        debug_assert_eq!(label_counts.len(), labels.len());
+        Self {
+            names,
+            types,
+            labels,
+            taxonomy,
+            csr,
+            label_counts,
+            num_logical_edges,
+        }
+    }
+
+    // ---- size ----
+
+    /// Number of nodes `|V|`.
+    pub fn num_nodes(&self) -> usize {
+        self.csr.num_nodes()
+    }
+
+    /// Number of logical (user-inserted) edges.
+    pub fn num_logical_edges(&self) -> usize {
+        self.num_logical_edges
+    }
+
+    /// Number of stored directed edges `|E|` (logical + inverse mirrors).
+    /// This is the denominator of Eq. 1's label frequency.
+    pub fn num_stored_edges(&self) -> usize {
+        self.csr.num_edges()
+    }
+
+    // ---- nodes ----
+
+    /// The name (φ label) of `node`.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        self.names.resolve(node.raw())
+    }
+
+    /// Looks a node up by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.names.get(name).map(NodeId::new)
+    }
+
+    /// Looks a node up by name, or errors with the offending name.
+    pub fn require_node(&self, name: &str) -> Result<NodeId, GraphError> {
+        self.node_by_name(name)
+            .ok_or_else(|| GraphError::UnknownNode(name.to_owned()))
+    }
+
+    /// The node's type, when one was assigned.
+    pub fn node_type(&self, node: NodeId) -> Option<NodeTypeId> {
+        self.types[node.index()]
+    }
+
+    /// Whether `node`'s type is (transitively) a subtype of `ty`.
+    pub fn node_has_type(&self, node: NodeId, ty: NodeTypeId) -> bool {
+        match self.node_type(node) {
+            Some(t) => self.taxonomy.is_subtype(t, ty),
+            None => false,
+        }
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as u32).map(NodeId::new)
+    }
+
+    // ---- edges ----
+
+    /// Out-degree of `node` over stored edges (both directions of Def. 1).
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.csr.degree(node)
+    }
+
+    /// Iterates `(label, target)` over `node`'s stored out-edges.
+    pub fn edges(&self, node: NodeId) -> impl Iterator<Item = (EdgeLabelId, NodeId)> + '_ {
+        self.csr.edges(node)
+    }
+
+    /// The `i`-th stored out-edge of `node` (uniform-sampling access path).
+    pub fn edge_at(&self, node: NodeId, i: usize) -> (EdgeLabelId, NodeId) {
+        self.csr.edge_at(node, i)
+    }
+
+    /// Targets of `node`'s out-edges labeled `label`.
+    pub fn neighbors_with_label(&self, node: NodeId, label: EdgeLabelId) -> &[NodeId] {
+        self.csr.neighbors_with_label(node, label)
+    }
+
+    /// Number of `node`'s out-edges labeled `label` (Card distribution input).
+    pub fn degree_with_label(&self, node: NodeId, label: EdgeLabelId) -> usize {
+        self.csr.degree_with_label(node, label)
+    }
+
+    /// Distinct labels on `node`'s out-edges — `L|{node}` of Def. 3.
+    pub fn labels_of(&self, node: NodeId) -> impl Iterator<Item = EdgeLabelId> + '_ {
+        self.csr.labels_of(node)
+    }
+
+    // ---- labels ----
+
+    /// The edge-label registry.
+    pub fn labels(&self) -> &EdgeLabelRegistry {
+        &self.labels
+    }
+
+    /// The name of an edge label.
+    pub fn label_name(&self, label: EdgeLabelId) -> &str {
+        self.labels.name(label)
+    }
+
+    /// Number of stored edges carrying `label` — `|E_l|` of Eq. 1.
+    pub fn label_count(&self, label: EdgeLabelId) -> u64 {
+        self.label_counts[label.index()]
+    }
+
+    /// Relative frequency `|E_l| / |E|` of `label` over stored edges.
+    ///
+    /// Eq. 1 weights a transition by `1 − frequency`, favoring rare
+    /// (informative) labels.
+    pub fn label_frequency(&self, label: EdgeLabelId) -> f64 {
+        let e = self.num_stored_edges();
+        if e == 0 {
+            0.0
+        } else {
+            self.label_count(label) as f64 / e as f64
+        }
+    }
+
+    // ---- taxonomy ----
+
+    /// The node-type taxonomy.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// All nodes whose type is a (transitive) subtype of `ty`.
+    ///
+    /// Linear scan; intended for evaluation tooling, not hot paths.
+    pub fn nodes_with_type(&self, ty: NodeTypeId) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|&n| self.node_has_type(n, ty))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// The Figure-1 example graph of the paper (politicians, studies,
+    /// children), used as a fixture across the workspace.
+    pub(crate) fn figure1() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        for (person, domain) in [
+            ("Merkel", "Physics"),
+            ("Putin", "Law"),
+            ("Renzi", "Law"),
+            ("Hollande", "Law"),
+        ] {
+            b.add_triple(person, "studied", domain);
+        }
+        for (parent, child) in [
+            ("Obama", "Malia"),
+            ("Putin", "Mariya"),
+            ("Renzi", "Ester"),
+            ("Renzi", "Emanuele"),
+            ("Hollande", "Thomas"),
+            ("Hollande", "Clémence"),
+            ("Hollande", "Flora"),
+            ("Hollande", "Julien"),
+        ] {
+            b.add_triple(parent, "hasChild", child);
+        }
+        for p in ["Merkel", "Obama", "Putin", "Renzi", "Hollande"] {
+            let node = b.node(p);
+            b.set_type(node, "politician");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn figure1_shape() {
+        let g = figure1();
+        assert_eq!(g.num_logical_edges(), 12);
+        assert_eq!(g.num_stored_edges(), 24);
+        let merkel = g.require_node("Merkel").unwrap();
+        let has_child = g.labels().get("hasChild").unwrap();
+        let studied = g.labels().get("studied").unwrap();
+        assert_eq!(g.degree_with_label(merkel, has_child), 0);
+        assert_eq!(g.degree_with_label(merkel, studied), 1);
+        let hollande = g.require_node("Hollande").unwrap();
+        assert_eq!(g.degree_with_label(hollande, has_child), 4);
+    }
+
+    #[test]
+    fn inverse_edges_navigate_backwards() {
+        let g = figure1();
+        let physics = g.require_node("Physics").unwrap();
+        let studied = g.labels().get("studied").unwrap();
+        let inv = g.labels().inverse(studied);
+        let students = g.neighbors_with_label(physics, inv);
+        assert_eq!(students.len(), 1);
+        assert_eq!(g.node_name(students[0]), "Merkel");
+    }
+
+    #[test]
+    fn label_frequency_sums_to_one() {
+        let g = figure1();
+        let total: f64 = g.labels().iter().map(|l| g.label_frequency(l)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_node_is_error() {
+        let g = figure1();
+        assert!(matches!(
+            g.require_node("Nixon"),
+            Err(GraphError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn nodes_with_type_finds_politicians() {
+        let g = figure1();
+        let pol = g.taxonomy().get("politician").unwrap();
+        let found = g.nodes_with_type(pol);
+        assert_eq!(found.len(), 5);
+        // Attribute-value nodes have no type.
+        let physics = g.require_node("Physics").unwrap();
+        assert_eq!(g.node_type(physics), None);
+    }
+
+    #[test]
+    fn labels_of_lists_incident_labels() {
+        let g = figure1();
+        let putin = g.require_node("Putin").unwrap();
+        let names: Vec<&str> = g.labels_of(putin).map(|l| g.label_name(l)).collect();
+        assert_eq!(names, vec!["studied", "hasChild"]);
+    }
+
+    #[test]
+    fn edges_iterate_in_label_order() {
+        let g = figure1();
+        let renzi = g.require_node("Renzi").unwrap();
+        let mut prev = None;
+        for (l, _) in g.edges(renzi) {
+            if let Some(p) = prev {
+                assert!(l >= p);
+            }
+            prev = Some(l);
+        }
+        assert_eq!(g.edges(renzi).count(), g.degree(renzi));
+    }
+}

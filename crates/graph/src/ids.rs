@@ -1,0 +1,125 @@
+//! Compact typed identifiers.
+//!
+//! Nodes, node types and edge labels are dictionary-encoded into `u32`
+//! indexes. Newtypes keep the three id spaces from being mixed up at
+//! compile time while staying 4 bytes each (the CSR stores tens of
+//! millions of them).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Wraps a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw `u32` index.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The index as `usize`, for slice addressing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` exceeds `u32::MAX` — the substrate is
+            /// dimensioned for graphs of at most 2³² entities.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id space exhausted (more than 2^32 entries)"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a node (entity or attribute value) in the graph.
+    NodeId,
+    "n"
+);
+define_id!(
+    /// Identifier of an edge label (relationship type), e.g. `hasChild`.
+    EdgeLabelId,
+    "l"
+);
+define_id!(
+    /// Identifier of a node type in the taxonomy, e.g. `politician`.
+    NodeTypeId,
+    "t"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn round_trip_raw_and_index() {
+        let id = NodeId::new(7);
+        assert_eq!(id.raw(), 7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(NodeId::from_index(7), id);
+        assert_eq!(usize::from(id), 7);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(NodeId::new(3).to_string(), "n3");
+        assert_eq!(EdgeLabelId::new(3).to_string(), "l3");
+        assert_eq!(NodeTypeId::new(3).to_string(), "t3");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut set = HashSet::new();
+        set.insert(NodeId::new(1));
+        set.insert(NodeId::new(1));
+        set.insert(NodeId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "id space exhausted")]
+    fn from_index_overflow_panics() {
+        let _ = NodeId::from_index(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn ids_are_four_bytes() {
+        assert_eq!(std::mem::size_of::<NodeId>(), 4);
+        assert_eq!(std::mem::size_of::<EdgeLabelId>(), 4);
+        assert_eq!(std::mem::size_of::<Option<NodeId>>(), 8);
+    }
+}

@@ -1,0 +1,227 @@
+//! TSV triple exchange format.
+//!
+//! One triple per line, `subject \t predicate \t object`, UTF-8, `#`
+//! comments. Node types are encoded as triples with the reserved predicate
+//! [`TYPE_PREDICATE`]; subtype declarations with [`SUBTYPE_PREDICATE`].
+//! Inverse-direction edges are never written (they are reconstructed on
+//! load), so a file round-trips the *logical* graph.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::KnowledgeGraph;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reserved predicate assigning a node its type.
+pub const TYPE_PREDICATE: &str = "rdf:type";
+/// Reserved predicate declaring `subject ⊑ object` in the taxonomy.
+pub const SUBTYPE_PREDICATE: &str = "rdfs:subClassOf";
+
+/// Writes `graph` as TSV triples.
+pub fn write_tsv<W: Write>(graph: &KnowledgeGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    // Types first, then subtype axioms, then logical edges.
+    for node in graph.nodes() {
+        if let Some(ty) = graph.node_type(node) {
+            writeln!(
+                w,
+                "{}\t{}\t{}",
+                graph.node_name(node),
+                TYPE_PREDICATE,
+                graph.taxonomy().name(ty)
+            )?;
+        }
+    }
+    for i in 0..graph.taxonomy().len() {
+        let ty = crate::ids::NodeTypeId::from_index(i);
+        for &sup in graph.taxonomy().parents(ty) {
+            writeln!(
+                w,
+                "{}\t{}\t{}",
+                graph.taxonomy().name(ty),
+                SUBTYPE_PREDICATE,
+                graph.taxonomy().name(sup)
+            )?;
+        }
+    }
+    for node in graph.nodes() {
+        for (label, target) in graph.edges(node) {
+            if graph.labels().is_inverse(label) {
+                continue;
+            }
+            // Symmetric labels store both directions; write each logical
+            // edge once by keeping only the canonical orientation.
+            if graph.labels().inverse(label) == label && target < node {
+                continue;
+            }
+            writeln!(
+                w,
+                "{}\t{}\t{}",
+                graph.node_name(node),
+                graph.label_name(label),
+                graph.node_name(target)
+            )?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Saves `graph` to a TSV file.
+pub fn save_tsv<P: AsRef<Path>>(graph: &KnowledgeGraph, path: P) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    write_tsv(graph, file)
+}
+
+/// Reads a graph from TSV triples.
+pub fn read_tsv<R: Read>(reader: R) -> Result<KnowledgeGraph, GraphError> {
+    let mut builder = GraphBuilder::new();
+    let r = BufReader::new(reader);
+    let mut line_buf = String::new();
+    let mut r = r;
+    let mut line_no = 0usize;
+    loop {
+        line_buf.clear();
+        let read = r.read_line(&mut line_buf)?;
+        if read == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = line_buf.trim_end_matches(['\n', '\r']);
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let (s, p, o) = match (fields.next(), fields.next(), fields.next()) {
+            (Some(s), Some(p), Some(o)) if fields.next().is_none() => (s, p, o),
+            _ => {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    message: format!("expected 3 tab-separated fields, got: {line:?}"),
+                })
+            }
+        };
+        if s.is_empty() || p.is_empty() || o.is_empty() {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: "empty field".into(),
+            });
+        }
+        match p {
+            TYPE_PREDICATE => {
+                let node = builder.node(s);
+                builder.set_type(node, o);
+            }
+            SUBTYPE_PREDICATE => builder.subtype(s, o),
+            _ => {
+                builder.add_triple(s, p, o);
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Loads a graph from a TSV file.
+pub fn load_tsv<P: AsRef<Path>>(path: P) -> Result<KnowledgeGraph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_tsv(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        b.add_triple("Merkel", "studied", "Physics");
+        b.add_triple("Hollande", "hasChild", "Thomas");
+        b.add_triple("Hollande", "hasChild", "Flora");
+        let n = b.node("Merkel");
+        b.set_type(n, "politician");
+        let n = b.node("Hollande");
+        b.set_type(n, "politician");
+        b.subtype("politician", "person");
+        b.build()
+    }
+
+    #[test]
+    fn round_trip_preserves_logical_graph() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_tsv(&g, &mut buf).unwrap();
+        let g2 = read_tsv(&buf[..]).unwrap();
+        assert_eq!(g2.num_logical_edges(), g.num_logical_edges());
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        let hollande = g2.require_node("Hollande").unwrap();
+        let has_child = g2.labels().get("hasChild").unwrap();
+        assert_eq!(g2.degree_with_label(hollande, has_child), 2);
+        // Types and taxonomy survive.
+        let ty = g2.node_type(hollande).unwrap();
+        assert_eq!(g2.taxonomy().name(ty), "politician");
+        let person = g2.taxonomy().get("person").unwrap();
+        assert!(g2.taxonomy().is_subtype(ty, person));
+    }
+
+    #[test]
+    fn inverse_edges_not_written_but_reconstructed() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_tsv(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(!text.contains('\u{207B}'), "no inverse labels in file");
+        let g2 = read_tsv(&buf[..]).unwrap();
+        let thomas = g2.require_node("Thomas").unwrap();
+        let has_child = g2.labels().get("hasChild").unwrap();
+        let inv = g2.labels().inverse(has_child);
+        assert_eq!(g2.degree_with_label(thomas, inv), 1);
+    }
+
+    #[test]
+    fn symmetric_labels_round_trip_once() {
+        let mut b = GraphBuilder::new();
+        let l = b.edge_label_with_inverse("isMarriedTo", "isMarriedTo");
+        let x = b.node("x");
+        let y = b.node("y");
+        b.add_edge(x, l, y);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_tsv(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert_eq!(text.matches("isMarriedTo").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let input = b"# a comment\n\nMerkel\tstudied\tPhysics\n";
+        let g = read_tsv(&input[..]).unwrap();
+        assert_eq!(g.num_logical_edges(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_reported_with_line_number() {
+        let input = b"Merkel\tstudied\tPhysics\nbroken line\n";
+        match read_tsv(&input[..]) {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("unexpected: {other:?}"),
+        }
+        let input = b"a\tb\tc\td\n";
+        assert!(matches!(
+            read_tsv(&input[..]),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        let input = b"a\t\tc\n";
+        assert!(matches!(read_tsv(&input[..]), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("nck_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.tsv");
+        let g = sample();
+        save_tsv(&g, &path).unwrap();
+        let g2 = load_tsv(&path).unwrap();
+        assert_eq!(g2.num_logical_edges(), g.num_logical_edges());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,40 @@
+//! # nck-graph — knowledge-graph substrate
+//!
+//! The paper (Def. 1) models a knowledge graph as `G = ⟨V, E, φ, ψ⟩`: a
+//! directed graph whose nodes and edges carry labels, where every edge
+//! `e` with label `l` has a reverse edge `e⁻¹` labeled `l⁻¹`, and where
+//! attributes (birth dates, prize names, …) are themselves nodes attached
+//! through labeled edges. This crate is that substrate:
+//!
+//! - [`ids`] — compact `u32` identifiers for nodes, node types and edge
+//!   labels (the graph is fully dictionary-encoded);
+//! - [`interner`] — the string dictionary;
+//! - [`schema`] — the edge-label registry with automatic inverse labels;
+//! - [`builder`] — mutable construction API deduplicating parallel edges;
+//! - [`csr`] — compressed sparse row adjacency, per-node runs sorted by
+//!   label so metapath-constrained traversals can binary-search;
+//! - [`graph`] — the immutable [`KnowledgeGraph`] query API;
+//! - [`taxonomy`] — the node-type hierarchy (YAGO's `subclassOf` DAG);
+//! - [`stats`] — label-frequency and degree statistics feeding Eq. 1;
+//! - [`io`] — a TSV triple exchange format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod interner;
+pub mod io;
+pub mod schema;
+pub mod stats;
+pub mod taxonomy;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::KnowledgeGraph;
+pub use ids::{EdgeLabelId, NodeId, NodeTypeId};
+pub use schema::EdgeLabelInfo;
+pub use taxonomy::Taxonomy;

@@ -1,0 +1,219 @@
+//! Edge-label registry with automatic inverse labels.
+//!
+//! Def. 1 of the paper assumes that *"for every edge e ∈ E with type
+//! ψ(e) = l exists a reverse edge e⁻¹ with ψ(e⁻¹) = l⁻¹"* (e.g.
+//! `presidentOf` / `hasPresident`). The registry materializes that
+//! assumption: registering a label always registers its inverse, and the
+//! two ids point at each other. Inverse labels are first-class — they can
+//! appear in metapaths and be reported as characteristics — but carry a
+//! flag so presentation layers can filter them.
+
+use crate::error::GraphError;
+use crate::ids::EdgeLabelId;
+use crate::interner::Interner;
+
+/// Suffix appended to a forward label's name to derive its inverse's name
+/// when no explicit inverse name is supplied.
+pub const INVERSE_SUFFIX: &str = "⁻¹";
+
+/// Metadata for one edge label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeLabelInfo {
+    /// The label's id.
+    pub id: EdgeLabelId,
+    /// The id of the label's inverse (`l⁻¹`; its inverse points back).
+    pub inverse: EdgeLabelId,
+    /// Whether this id is the auto-generated inverse direction.
+    pub is_inverse: bool,
+}
+
+/// Registry of edge labels; label ids index into its tables.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeLabelRegistry {
+    names: Interner,
+    inverse: Vec<EdgeLabelId>,
+    is_inverse: Vec<bool>,
+}
+
+impl EdgeLabelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `name` (or returns the existing id) together with an
+    /// auto-named inverse (`name⁻¹`).
+    pub fn register(&mut self, name: &str) -> EdgeLabelId {
+        self.register_with_inverse(name, &format!("{name}{INVERSE_SUFFIX}"))
+    }
+
+    /// Registers a label and its inverse under explicit names, e.g.
+    /// `presidentOf` / `hasPresident`. Returns the forward id.
+    ///
+    /// Registering the same pair twice is idempotent. Registering `name`
+    /// with a *different* inverse name than before keeps the original
+    /// pairing (the first registration wins), which keeps label ids stable
+    /// across incremental loads.
+    pub fn register_with_inverse(&mut self, name: &str, inverse_name: &str) -> EdgeLabelId {
+        if let Some(id) = self.names.get(name) {
+            return EdgeLabelId::new(id);
+        }
+        let fwd = EdgeLabelId::new(self.names.intern(name));
+        debug_assert_eq!(fwd.index(), self.inverse.len());
+        if name == inverse_name {
+            // Symmetric relationship (e.g. isMarriedTo): self-inverse.
+            self.inverse.push(fwd);
+            self.is_inverse.push(false);
+            return fwd;
+        }
+        let inv = EdgeLabelId::new(self.names.intern(inverse_name));
+        self.inverse.push(inv);
+        self.is_inverse.push(false);
+        debug_assert_eq!(inv.index(), self.inverse.len());
+        self.inverse.push(fwd);
+        self.is_inverse.push(true);
+        fwd
+    }
+
+    /// The id registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<EdgeLabelId> {
+        self.names.get(name).map(EdgeLabelId::new)
+    }
+
+    /// The id registered under `name`, or an [`GraphError::UnknownEdgeLabel`].
+    pub fn require(&self, name: &str) -> Result<EdgeLabelId, GraphError> {
+        self.get(name)
+            .ok_or_else(|| GraphError::UnknownEdgeLabel(name.to_owned()))
+    }
+
+    /// The name of label `id`.
+    pub fn name(&self, id: EdgeLabelId) -> &str {
+        self.names.resolve(id.raw())
+    }
+
+    /// The inverse of label `id`.
+    pub fn inverse(&self, id: EdgeLabelId) -> EdgeLabelId {
+        self.inverse[id.index()]
+    }
+
+    /// Whether `id` is an auto-generated inverse direction.
+    pub fn is_inverse(&self, id: EdgeLabelId) -> bool {
+        self.is_inverse[id.index()]
+    }
+
+    /// Full metadata for `id`.
+    pub fn info(&self, id: EdgeLabelId) -> EdgeLabelInfo {
+        EdgeLabelInfo {
+            id,
+            inverse: self.inverse(id),
+            is_inverse: self.is_inverse(id),
+        }
+    }
+
+    /// Number of registered labels (forward + inverse directions).
+    pub fn len(&self) -> usize {
+        self.inverse.len()
+    }
+
+    /// True when no label is registered.
+    pub fn is_empty(&self) -> bool {
+        self.inverse.is_empty()
+    }
+
+    /// Iterates over all label ids (both directions).
+    pub fn iter(&self) -> impl Iterator<Item = EdgeLabelId> + '_ {
+        (0..self.len() as u32).map(EdgeLabelId::new)
+    }
+
+    /// Iterates over forward (non-inverse) label ids only.
+    pub fn iter_forward(&self) -> impl Iterator<Item = EdgeLabelId> + '_ {
+        self.iter().filter(|&l| !self.is_inverse(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_creates_paired_inverse() {
+        let mut r = EdgeLabelRegistry::new();
+        let has_child = r.register("hasChild");
+        let inv = r.inverse(has_child);
+        assert_ne!(has_child, inv);
+        assert_eq!(r.inverse(inv), has_child);
+        assert_eq!(r.name(inv), "hasChild⁻¹");
+        assert!(!r.is_inverse(has_child));
+        assert!(r.is_inverse(inv));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut r = EdgeLabelRegistry::new();
+        let a = r.register("studied");
+        let b = r.register("studied");
+        assert_eq!(a, b);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn explicit_inverse_names() {
+        let mut r = EdgeLabelRegistry::new();
+        let pres = r.register_with_inverse("presidentOf", "hasPresident");
+        let inv = r.inverse(pres);
+        assert_eq!(r.name(inv), "hasPresident");
+        assert!(r.is_inverse(inv));
+        // Looking up by the inverse name finds the inverse id.
+        assert_eq!(r.get("hasPresident"), Some(inv));
+    }
+
+    #[test]
+    fn symmetric_labels_are_self_inverse() {
+        let mut r = EdgeLabelRegistry::new();
+        let married = r.register_with_inverse("isMarriedTo", "isMarriedTo");
+        assert_eq!(r.inverse(married), married);
+        assert!(!r.is_inverse(married));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn require_reports_unknown_labels() {
+        let r = EdgeLabelRegistry::new();
+        match r.require("nope") {
+            Err(GraphError::UnknownEdgeLabel(name)) => assert_eq!(name, "nope"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn iter_forward_skips_inverses() {
+        let mut r = EdgeLabelRegistry::new();
+        r.register("a");
+        r.register("b");
+        r.register_with_inverse("sym", "sym");
+        let forward: Vec<String> = r.iter_forward().map(|l| r.name(l).to_owned()).collect();
+        assert_eq!(forward, vec!["a", "b", "sym"]);
+        assert_eq!(r.iter().count(), 5);
+    }
+
+    #[test]
+    fn first_registration_wins_on_conflicting_inverse() {
+        let mut r = EdgeLabelRegistry::new();
+        let a = r.register_with_inverse("leads", "ledBy");
+        let a2 = r.register_with_inverse("leads", "otherInverse");
+        assert_eq!(a, a2);
+        assert_eq!(r.name(r.inverse(a)), "ledBy");
+        assert_eq!(r.get("otherInverse"), None);
+    }
+
+    #[test]
+    fn info_bundles_metadata() {
+        let mut r = EdgeLabelRegistry::new();
+        let l = r.register("owns");
+        let info = r.info(l);
+        assert_eq!(info.id, l);
+        assert_eq!(info.inverse, r.inverse(l));
+        assert!(!info.is_inverse);
+    }
+}

@@ -1,0 +1,195 @@
+//! Graph statistics: label frequencies and degree distributions.
+//!
+//! Eq. 1 of the paper turns label frequency into an informativeness weight
+//! (`A_ij = 1 − |E_l|/|E|`); the generators in `nck-datagen` are validated
+//! against these statistics (heavy-tailed label usage, skewed degrees) so
+//! the synthetic data stresses the same regime as YAGO.
+
+use crate::graph::KnowledgeGraph;
+use crate::ids::EdgeLabelId;
+
+/// Frequency record for one edge label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelFrequency {
+    /// The label.
+    pub label: EdgeLabelId,
+    /// Stored-edge count `|E_l|`.
+    pub count: u64,
+    /// Relative frequency `|E_l| / |E|`.
+    pub frequency: f64,
+    /// Eq. 1 informativeness weight `1 − frequency`.
+    pub weight: f64,
+}
+
+/// Aggregate statistics of a [`KnowledgeGraph`].
+#[derive(Debug, Clone)]
+pub struct GraphStatistics {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of logical edges.
+    pub num_logical_edges: usize,
+    /// Number of stored edges (with inverses).
+    pub num_stored_edges: usize,
+    /// Per-label frequency records, descending by count.
+    pub label_frequencies: Vec<LabelFrequency>,
+    /// Histogram of out-degrees: `degree_histogram[d]` = #nodes of degree d
+    /// (clamped into the last bucket).
+    pub degree_histogram: Vec<u64>,
+    /// Maximum out-degree observed.
+    pub max_degree: usize,
+    /// Mean out-degree over stored edges.
+    pub mean_degree: f64,
+}
+
+/// Largest exactly-resolved degree bucket; larger degrees clamp.
+const DEGREE_BUCKETS: usize = 64;
+
+impl GraphStatistics {
+    /// Computes statistics with a single pass over nodes and labels.
+    pub fn compute(graph: &KnowledgeGraph) -> Self {
+        let mut label_frequencies: Vec<LabelFrequency> = graph
+            .labels()
+            .iter()
+            .map(|label| {
+                let count = graph.label_count(label);
+                let frequency = graph.label_frequency(label);
+                LabelFrequency {
+                    label,
+                    count,
+                    frequency,
+                    weight: 1.0 - frequency,
+                }
+            })
+            .collect();
+        label_frequencies.sort_by(|a, b| b.count.cmp(&a.count).then(a.label.cmp(&b.label)));
+
+        let mut degree_histogram = vec![0u64; DEGREE_BUCKETS + 1];
+        let mut max_degree = 0usize;
+        let mut total_degree = 0usize;
+        for v in graph.nodes() {
+            let d = graph.degree(v);
+            max_degree = max_degree.max(d);
+            total_degree += d;
+            degree_histogram[d.min(DEGREE_BUCKETS)] += 1;
+        }
+        let mean_degree = if graph.num_nodes() == 0 {
+            0.0
+        } else {
+            total_degree as f64 / graph.num_nodes() as f64
+        };
+        Self {
+            num_nodes: graph.num_nodes(),
+            num_logical_edges: graph.num_logical_edges(),
+            num_stored_edges: graph.num_stored_edges(),
+            label_frequencies,
+            degree_histogram,
+            max_degree,
+            mean_degree,
+        }
+    }
+
+    /// The `k` most frequent labels.
+    pub fn top_labels(&self, k: usize) -> &[LabelFrequency] {
+        &self.label_frequencies[..k.min(self.label_frequencies.len())]
+    }
+
+    /// Gini coefficient of the label-count distribution — a scalar check
+    /// that label usage is skewed (YAGO-like) rather than uniform.
+    pub fn label_gini(&self) -> f64 {
+        let counts: Vec<f64> = self
+            .label_frequencies
+            .iter()
+            .map(|l| l.count as f64)
+            .collect();
+        gini(&counts)
+    }
+}
+
+/// Gini coefficient of a non-negative vector (0 = uniform, →1 = skewed).
+fn gini(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite value in gini"));
+    let sum: f64 = sorted.iter().sum();
+    if sum == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as f64 + 1.0) * v)
+        .sum();
+    (2.0 * weighted) / (n as f64 * sum) - (n as f64 + 1.0) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn small() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        b.add_triple("a", "p", "b");
+        b.add_triple("a", "p", "c");
+        b.add_triple("a", "p", "d");
+        b.add_triple("a", "q", "b");
+        b.build()
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let s = GraphStatistics::compute(&small());
+        assert_eq!(s.num_logical_edges, 4);
+        assert_eq!(s.num_stored_edges, 8);
+        let total: u64 = s.label_frequencies.iter().map(|l| l.count).sum();
+        assert_eq!(total, 8);
+        let freq_sum: f64 = s.label_frequencies.iter().map(|l| l.frequency).sum();
+        assert!((freq_sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequencies_sorted_descending() {
+        let s = GraphStatistics::compute(&small());
+        for w in s.label_frequencies.windows(2) {
+            assert!(w[0].count >= w[1].count);
+        }
+        assert_eq!(s.top_labels(1)[0].count, 3);
+        assert_eq!(s.top_labels(100).len(), s.label_frequencies.len());
+    }
+
+    #[test]
+    fn weight_is_one_minus_frequency() {
+        let s = GraphStatistics::compute(&small());
+        for l in &s.label_frequencies {
+            assert!((l.weight - (1.0 - l.frequency)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degree_histogram_accounts_for_every_node() {
+        let g = small();
+        let s = GraphStatistics::compute(&g);
+        let total: u64 = s.degree_histogram.iter().sum();
+        assert_eq!(total as usize, g.num_nodes());
+        assert_eq!(s.max_degree, 4); // node `a`: 3×p + 1×q out
+        assert!(s.mean_degree > 0.0);
+    }
+
+    #[test]
+    fn gini_of_uniform_is_zero() {
+        assert!(gini(&[2.0, 2.0, 2.0]).abs() < 1e-12);
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn gini_detects_skew() {
+        let skewed = gini(&[100.0, 1.0, 1.0, 1.0]);
+        let flat = gini(&[26.0, 26.0, 26.0, 25.0]);
+        assert!(skewed > flat);
+        assert!(skewed > 0.5);
+    }
+}

@@ -1,0 +1,253 @@
+//! Node-type taxonomy (YAGO-style `subclassOf` hierarchy).
+//!
+//! YAGO carries 366K node types arranged in a hierarchy; the evaluation's
+//! domains ("politicians", "actors", "movie contributors") are subtrees of
+//! it. The taxonomy is a DAG of type ids with multiple-parent support,
+//! transitive subtype queries and cycle detection.
+
+use crate::error::GraphError;
+use crate::ids::NodeTypeId;
+use crate::interner::Interner;
+use std::collections::HashSet;
+
+/// A DAG of node types.
+#[derive(Debug, Clone, Default)]
+pub struct Taxonomy {
+    names: Interner,
+    parents: Vec<Vec<NodeTypeId>>,
+    children: Vec<Vec<NodeTypeId>>,
+}
+
+impl Taxonomy {
+    /// Creates an empty taxonomy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a type by name (idempotent).
+    pub fn register(&mut self, name: &str) -> NodeTypeId {
+        let raw = self.names.intern(name);
+        if raw as usize >= self.parents.len() {
+            self.parents.push(Vec::new());
+            self.children.push(Vec::new());
+        }
+        NodeTypeId::new(raw)
+    }
+
+    /// The id of a type name, if registered.
+    pub fn get(&self, name: &str) -> Option<NodeTypeId> {
+        self.names.get(name).map(NodeTypeId::new)
+    }
+
+    /// The id of a type name, or an error.
+    pub fn require(&self, name: &str) -> Result<NodeTypeId, GraphError> {
+        self.get(name)
+            .ok_or_else(|| GraphError::UnknownNodeType(name.to_owned()))
+    }
+
+    /// The name of type `id`.
+    pub fn name(&self, id: NodeTypeId) -> &str {
+        self.names.resolve(id.raw())
+    }
+
+    /// Number of registered types.
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// True when no type is registered.
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// Declares `sub ⊑ sup`. Duplicate declarations are ignored; an edge
+    /// that would close a cycle is rejected at query time by
+    /// [`Taxonomy::validate_acyclic`].
+    pub fn add_subtype(&mut self, sub: NodeTypeId, sup: NodeTypeId) {
+        if sub == sup || self.parents[sub.index()].contains(&sup) {
+            return;
+        }
+        self.parents[sub.index()].push(sup);
+        self.children[sup.index()].push(sub);
+    }
+
+    /// Direct supertypes of `ty`.
+    pub fn parents(&self, ty: NodeTypeId) -> &[NodeTypeId] {
+        &self.parents[ty.index()]
+    }
+
+    /// Direct subtypes of `ty`.
+    pub fn children(&self, ty: NodeTypeId) -> &[NodeTypeId] {
+        &self.children[ty.index()]
+    }
+
+    /// All ancestors of `ty` (transitive supertypes, excluding `ty`).
+    pub fn ancestors(&self, ty: NodeTypeId) -> Vec<NodeTypeId> {
+        self.closure(ty, |t| &self.parents[t.index()])
+    }
+
+    /// All descendants of `ty` (transitive subtypes, excluding `ty`).
+    pub fn descendants(&self, ty: NodeTypeId) -> Vec<NodeTypeId> {
+        self.closure(ty, |t| &self.children[t.index()])
+    }
+
+    /// Whether `sub` is (transitively) a subtype of `sup`. A type is a
+    /// subtype of itself.
+    pub fn is_subtype(&self, sub: NodeTypeId, sup: NodeTypeId) -> bool {
+        if sub == sup {
+            return true;
+        }
+        let mut stack = vec![sub];
+        let mut seen = HashSet::new();
+        while let Some(t) = stack.pop() {
+            for &p in &self.parents[t.index()] {
+                if p == sup {
+                    return true;
+                }
+                if seen.insert(p) {
+                    stack.push(p);
+                }
+            }
+        }
+        false
+    }
+
+    /// Checks the taxonomy is a DAG; returns the name of a type on a cycle
+    /// otherwise.
+    pub fn validate_acyclic(&self) -> Result<(), GraphError> {
+        // Kahn's algorithm over the subtype edges.
+        let n = self.len();
+        let mut indegree = vec![0usize; n];
+        for ps in &self.parents {
+            for p in ps {
+                indegree[p.index()] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(i) = queue.pop() {
+            visited += 1;
+            for p in &self.parents[i] {
+                indegree[p.index()] -= 1;
+                if indegree[p.index()] == 0 {
+                    queue.push(p.index());
+                }
+            }
+        }
+        if visited == n {
+            Ok(())
+        } else {
+            let culprit = (0..n)
+                .find(|&i| indegree[i] > 0)
+                .expect("cycle implies a node with positive residual indegree");
+            Err(GraphError::TaxonomyCycle(
+                self.name(NodeTypeId::from_index(culprit)).to_owned(),
+            ))
+        }
+    }
+
+    fn closure<'a, F>(&'a self, start: NodeTypeId, next: F) -> Vec<NodeTypeId>
+    where
+        F: Fn(NodeTypeId) -> &'a [NodeTypeId],
+    {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        let mut stack = vec![start];
+        while let Some(t) = stack.pop() {
+            for &x in next(t) {
+                if seen.insert(x) {
+                    out.push(x);
+                    stack.push(x);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> (Taxonomy, NodeTypeId, NodeTypeId, NodeTypeId) {
+        let mut t = Taxonomy::new();
+        let person = t.register("person");
+        let politician = t.register("politician");
+        let president = t.register("president");
+        t.add_subtype(politician, person);
+        t.add_subtype(president, politician);
+        (t, person, politician, president)
+    }
+
+    #[test]
+    fn subtype_transitivity() {
+        let (t, person, politician, president) = chain();
+        assert!(t.is_subtype(president, person));
+        assert!(t.is_subtype(president, politician));
+        assert!(t.is_subtype(politician, politician));
+        assert!(!t.is_subtype(person, president));
+    }
+
+    #[test]
+    fn ancestors_and_descendants() {
+        let (t, person, politician, president) = chain();
+        let mut anc = t.ancestors(president);
+        anc.sort_unstable();
+        let mut expected = vec![person, politician];
+        expected.sort_unstable();
+        assert_eq!(anc, expected);
+        assert_eq!(t.descendants(person).len(), 2);
+        assert!(t.ancestors(person).is_empty());
+    }
+
+    #[test]
+    fn multiple_parents_supported() {
+        let mut t = Taxonomy::new();
+        let actor = t.register("actor");
+        let person = t.register("person");
+        let artist = t.register("artist");
+        t.add_subtype(actor, person);
+        t.add_subtype(actor, artist);
+        assert!(t.is_subtype(actor, person));
+        assert!(t.is_subtype(actor, artist));
+        assert_eq!(t.parents(actor).len(), 2);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_ignored() {
+        let mut t = Taxonomy::new();
+        let a = t.register("a");
+        let b = t.register("b");
+        t.add_subtype(a, b);
+        t.add_subtype(a, b);
+        t.add_subtype(a, a);
+        assert_eq!(t.parents(a).len(), 1);
+        assert!(t.validate_acyclic().is_ok());
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut t = Taxonomy::new();
+        let a = t.register("a");
+        let b = t.register("b");
+        let c = t.register("c");
+        t.add_subtype(a, b);
+        t.add_subtype(b, c);
+        t.add_subtype(c, a);
+        assert!(matches!(
+            t.validate_acyclic(),
+            Err(GraphError::TaxonomyCycle(_))
+        ));
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut t = Taxonomy::new();
+        let a = t.register("person");
+        let b = t.register("person");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.require("person").unwrap(), a);
+        assert!(t.require("alien").is_err());
+    }
+}

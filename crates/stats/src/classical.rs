@@ -1,0 +1,281 @@
+//! Classical tests the paper considers and rejects (§3.2).
+//!
+//! *"Classical statistical tests, such as the z-test and the χ² test
+//! require either a Gaussian distribution or a minimum size of the
+//! sample."* This module implements both tests **and** their textbook
+//! applicability preconditions, so the pipeline can demonstrate concretely
+//! that the preconditions fail for query sets of ≤ 10 nodes (the χ²
+//! expected-count rule of thumb needs every expected cell count ≥ 5; the
+//! z-test needs `n·p ≥ 5` and `n·(1−p) ≥ 5`).
+
+use crate::error::StatsError;
+
+/// Outcome of an applicability-checked classical test.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClassicalOutcome {
+    /// The test's preconditions hold; carries the test statistic and an
+    /// approximate p-value.
+    Applicable {
+        /// The test statistic (χ² or z).
+        statistic: f64,
+        /// Approximate p-value from the asymptotic reference distribution.
+        p_value: f64,
+    },
+    /// The preconditions fail; carries the human-readable reason. This is
+    /// the branch the paper's workload lands in.
+    NotApplicable {
+        /// Why the test may not be used.
+        reason: String,
+    },
+}
+
+/// Pearson's χ² goodness-of-fit test of observed counts against expected
+/// proportions, with the "all expected counts ≥ 5" rule enforced.
+pub fn chi_square_gof(observed: &[u64], expected_probs: &[f64]) -> Result<ClassicalOutcome, StatsError> {
+    if observed.is_empty() {
+        return Err(StatsError::EmptyDistribution);
+    }
+    if observed.len() != expected_probs.len() {
+        return Err(StatsError::LengthMismatch {
+            left: observed.len(),
+            right: expected_probs.len(),
+        });
+    }
+    let n: u64 = observed.iter().sum();
+    if n == 0 {
+        return Err(StatsError::EmptyObservation);
+    }
+    let mut min_expected = f64::INFINITY;
+    let mut stat = 0.0f64;
+    let mut df = 0usize;
+    for (&o, &p) in observed.iter().zip(expected_probs) {
+        if !p.is_finite() || p < 0.0 {
+            return Err(StatsError::InvalidProbability { index: df });
+        }
+        let e = n as f64 * p;
+        if p > 0.0 {
+            min_expected = min_expected.min(e);
+            stat += (o as f64 - e).powi(2) / e;
+            df += 1;
+        } else if o > 0 {
+            // Observed mass in a zero-probability cell: statistic diverges.
+            return Ok(ClassicalOutcome::NotApplicable {
+                reason: "observed count in zero-probability cell".into(),
+            });
+        }
+    }
+    if df < 2 {
+        return Ok(ClassicalOutcome::NotApplicable {
+            reason: "fewer than two cells with positive expectation".into(),
+        });
+    }
+    if min_expected < 5.0 {
+        return Ok(ClassicalOutcome::NotApplicable {
+            reason: format!(
+                "minimum expected cell count {min_expected:.2} < 5 (sample too small)"
+            ),
+        });
+    }
+    let p_value = chi2_sf(stat, (df - 1) as f64);
+    Ok(ClassicalOutcome::Applicable {
+        statistic: stat,
+        p_value,
+    })
+}
+
+/// One-proportion z-test of `successes/n` against population proportion
+/// `p0`, with the `n·p0 ≥ 5 ∧ n·(1−p0) ≥ 5` normality precondition.
+pub fn z_test_proportion(successes: u64, n: u64, p0: f64) -> Result<ClassicalOutcome, StatsError> {
+    if n == 0 {
+        return Err(StatsError::EmptyObservation);
+    }
+    if successes > n {
+        return Err(StatsError::InvalidParameter {
+            name: "successes",
+            message: format!("{successes} exceeds sample size {n}"),
+        });
+    }
+    if !(0.0..=1.0).contains(&p0) || !p0.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            name: "p0",
+            message: format!("must be in [0, 1], got {p0}"),
+        });
+    }
+    let nf = n as f64;
+    if nf * p0 < 5.0 || nf * (1.0 - p0) < 5.0 {
+        return Ok(ClassicalOutcome::NotApplicable {
+            reason: format!(
+                "normal approximation invalid: n·p0 = {:.2}, n·(1−p0) = {:.2} (need ≥ 5)",
+                nf * p0,
+                nf * (1.0 - p0)
+            ),
+        });
+    }
+    let phat = successes as f64 / nf;
+    let se = (p0 * (1.0 - p0) / nf).sqrt();
+    let z = (phat - p0) / se;
+    let p_value = 2.0 * normal_sf(z.abs());
+    Ok(ClassicalOutcome::Applicable {
+        statistic: z,
+        p_value,
+    })
+}
+
+/// Survival function of the standard normal, via the complementary error
+/// function (Abramowitz-Stegun 7.1.26 rational approximation; |err| < 1.5e-7).
+pub fn normal_sf(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+fn erfc(x: f64) -> f64 {
+    let sign_negative = x < 0.0;
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let e = poly * (-x * x).exp();
+    if sign_negative {
+        2.0 - e
+    } else {
+        e
+    }
+}
+
+/// Survival function of the χ² distribution with `df` degrees of freedom,
+/// via the regularized upper incomplete gamma function.
+pub fn chi2_sf(x: f64, df: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    upper_regularized_gamma(df / 2.0, x / 2.0)
+}
+
+/// Regularized upper incomplete gamma `Q(a, x)`, series/continued-fraction
+/// split at `x = a + 1` (Numerical Recipes).
+fn upper_regularized_gamma(a: f64, x: f64) -> f64 {
+    if x < a + 1.0 {
+        1.0 - lower_series(a, x)
+    } else {
+        upper_continued_fraction(a, x)
+    }
+}
+
+fn lower_series(a: f64, x: f64) -> f64 {
+    let ln_ga = crate::special::ln_gamma(a);
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_ga).exp()
+}
+
+fn upper_continued_fraction(a: f64, x: f64) -> f64 {
+    let ln_ga = crate::special::ln_gamma(a);
+    let tiny = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / tiny;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + an / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_ga).exp() * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi2_small_sample_is_rejected_as_paper_argues() {
+        // A |Q| = 5 query: every expected count is ≤ 2.5 < 5.
+        let out = chi_square_gof(&[3, 2], &[0.5, 0.5]).unwrap();
+        assert!(matches!(out, ClassicalOutcome::NotApplicable { .. }));
+    }
+
+    #[test]
+    fn chi2_large_sample_applicable_and_calibrated() {
+        // 100 fair-coin flips at 60/40: χ² = (10² /50)*2 = 4, p ≈ 0.0455.
+        let out = chi_square_gof(&[60, 40], &[0.5, 0.5]).unwrap();
+        match out {
+            ClassicalOutcome::Applicable { statistic, p_value } => {
+                assert!((statistic - 4.0).abs() < 1e-9);
+                assert!((p_value - 0.0455).abs() < 0.001, "p = {p_value}");
+            }
+            other => panic!("expected applicable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chi2_zero_probability_cell_with_mass() {
+        let out = chi_square_gof(&[10, 5], &[1.0, 0.0]).unwrap();
+        assert!(matches!(out, ClassicalOutcome::NotApplicable { .. }));
+    }
+
+    #[test]
+    fn z_test_small_sample_rejected() {
+        let out = z_test_proportion(1, 5, 0.5).unwrap();
+        assert!(matches!(out, ClassicalOutcome::NotApplicable { .. }));
+    }
+
+    #[test]
+    fn z_test_large_sample_known_value() {
+        // 60/100 vs p0 = 0.5 ⇒ z = 2.0, two-sided p ≈ 0.0455.
+        let out = z_test_proportion(60, 100, 0.5).unwrap();
+        match out {
+            ClassicalOutcome::Applicable { statistic, p_value } => {
+                assert!((statistic - 2.0).abs() < 1e-9);
+                assert!((p_value - 0.0455).abs() < 0.001, "p = {p_value}");
+            }
+            other => panic!("expected applicable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn z_test_parameter_validation() {
+        assert!(z_test_proportion(5, 4, 0.5).is_err());
+        assert!(z_test_proportion(1, 10, 1.5).is_err());
+        assert!(z_test_proportion(0, 0, 0.5).is_err());
+    }
+
+    #[test]
+    fn normal_sf_known_values() {
+        assert!((normal_sf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_sf(1.96) - 0.025).abs() < 1e-4);
+        assert!((normal_sf(-1.96) - 0.975).abs() < 1e-4);
+    }
+
+    #[test]
+    fn chi2_sf_known_values() {
+        // χ²(df=1): P(X > 3.841) ≈ 0.05.
+        assert!((chi2_sf(3.841, 1.0) - 0.05).abs() < 1e-3);
+        // χ²(df=2): SF(x) = exp(−x/2); at x = 2, ≈ 0.3679.
+        assert!((chi2_sf(2.0, 2.0) - (-1.0f64).exp()).abs() < 1e-9);
+        // χ²(df=5): P(X > 11.07) ≈ 0.05.
+        assert!((chi2_sf(11.07, 5.0) - 0.05).abs() < 1e-3);
+        assert_eq!(chi2_sf(-1.0, 3.0), 1.0);
+    }
+}

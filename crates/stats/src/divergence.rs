@@ -1,0 +1,205 @@
+//! Kullback-Leibler and Jensen-Shannon divergences.
+//!
+//! §3.2 of the paper explains why raw KL divergence **cannot** be used as
+//! the discrimination function: the query distribution contains many zero
+//! entries (the context exhibits far more distinct values than ≤ 10 query
+//! nodes can), and KL is undefined whenever `q(i) > 0 ∧ p(i) = 0`. §4.2
+//! nevertheless evaluates KL as a baseline, which requires smoothing; this
+//! module provides both the strict and the smoothed variants so the
+//! evaluation harness can reproduce that comparison.
+
+use crate::error::StatsError;
+
+/// Normalizes raw non-negative weights into a probability vector.
+///
+/// This is the `normalize(y)` helper of §3.2.
+pub fn normalize(weights: &[f64]) -> Result<Vec<f64>, StatsError> {
+    if weights.is_empty() {
+        return Err(StatsError::EmptyDistribution);
+    }
+    let mut total = 0.0f64;
+    for (i, &w) in weights.iter().enumerate() {
+        if !w.is_finite() || w < 0.0 {
+            return Err(StatsError::InvalidProbability { index: i });
+        }
+        total += w;
+    }
+    if total <= 0.0 {
+        return Err(StatsError::ZeroMass);
+    }
+    Ok(weights.iter().map(|&w| w / total).collect())
+}
+
+/// Normalizes unsigned counts into a probability vector.
+pub fn normalize_counts(counts: &[u64]) -> Result<Vec<f64>, StatsError> {
+    let weights: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    normalize(&weights)
+}
+
+/// Strict KL divergence `D(p ‖ q) = Σ p(i) ln(p(i)/q(i))` in nats.
+///
+/// Returns `f64::INFINITY` when `p` puts mass where `q` does not — the
+/// exact failure mode that makes raw KL unusable for the paper's setting.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> Result<f64, StatsError> {
+    check_pair(p, q)?;
+    let mut d = 0.0f64;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi == 0.0 {
+            continue;
+        }
+        if qi == 0.0 {
+            return Ok(f64::INFINITY);
+        }
+        d += pi * (pi / qi).ln();
+    }
+    Ok(d.max(0.0))
+}
+
+/// KL divergence with additive (Laplace) smoothing of both arguments.
+///
+/// Each probability is replaced by `(p(i) + ε) / (1 + kε)`. This is the
+/// variant the §4.2 baseline needs to produce finite scores.
+pub fn kl_divergence_smoothed(p: &[f64], q: &[f64], epsilon: f64) -> Result<f64, StatsError> {
+    if epsilon <= 0.0 || !epsilon.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            name: "epsilon",
+            message: format!("must be positive and finite, got {epsilon}"),
+        });
+    }
+    check_pair(p, q)?;
+    let k = p.len() as f64;
+    let ps: Vec<f64> = p.iter().map(|&x| (x + epsilon) / (1.0 + k * epsilon)).collect();
+    let qs: Vec<f64> = q.iter().map(|&x| (x + epsilon) / (1.0 + k * epsilon)).collect();
+    kl_divergence(&ps, &qs)
+}
+
+/// Jensen-Shannon divergence: symmetric, bounded by `ln 2`, finite even
+/// with zeros. Provided as an additional baseline measure.
+pub fn js_divergence(p: &[f64], q: &[f64]) -> Result<f64, StatsError> {
+    check_pair(p, q)?;
+    let m: Vec<f64> = p.iter().zip(q).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    let d = 0.5 * kl_divergence(p, &m)? + 0.5 * kl_divergence(q, &m)?;
+    Ok(d.max(0.0))
+}
+
+/// Total variation distance `½ Σ |p(i) − q(i)|`.
+pub fn total_variation(p: &[f64], q: &[f64]) -> Result<f64, StatsError> {
+    check_pair(p, q)?;
+    Ok(0.5 * p.iter().zip(q).map(|(&a, &b)| (a - b).abs()).sum::<f64>())
+}
+
+fn check_pair(p: &[f64], q: &[f64]) -> Result<(), StatsError> {
+    if p.is_empty() || q.is_empty() {
+        return Err(StatsError::EmptyDistribution);
+    }
+    if p.len() != q.len() {
+        return Err(StatsError::LengthMismatch {
+            left: p.len(),
+            right: q.len(),
+        });
+    }
+    for (i, &x) in p.iter().enumerate() {
+        if !x.is_finite() || x < 0.0 {
+            return Err(StatsError::InvalidProbability { index: i });
+        }
+    }
+    for (i, &x) in q.iter().enumerate() {
+        if !x.is_finite() || x < 0.0 {
+            return Err(StatsError::InvalidProbability { index: i });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_counts_basic() {
+        assert_eq!(normalize_counts(&[1, 3]).unwrap(), vec![0.25, 0.75]);
+        assert!(matches!(
+            normalize_counts(&[0, 0]),
+            Err(StatsError::ZeroMass)
+        ));
+    }
+
+    #[test]
+    fn kl_of_identical_distributions_is_zero() {
+        let p = [0.2, 0.3, 0.5];
+        assert_eq!(kl_divergence(&p, &p).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn kl_known_value() {
+        // D([1,0] || [0.5,0.5]) = ln 2.
+        let d = kl_divergence(&[1.0, 0.0], &[0.5, 0.5]).unwrap();
+        assert!((d - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_infinite_on_unsupported_mass() {
+        // This is the paper's argument against raw KL.
+        let d = kl_divergence(&[0.5, 0.5], &[1.0, 0.0]).unwrap();
+        assert_eq!(d, f64::INFINITY);
+    }
+
+    #[test]
+    fn smoothed_kl_is_finite_where_raw_is_not() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        let d = kl_divergence_smoothed(&p, &q, 1e-6).unwrap();
+        assert!(d.is_finite());
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn smoothed_kl_rejects_bad_epsilon() {
+        assert!(kl_divergence_smoothed(&[1.0], &[1.0], 0.0).is_err());
+        assert!(kl_divergence_smoothed(&[1.0], &[1.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn js_is_symmetric_and_bounded() {
+        let p = [0.9, 0.1, 0.0];
+        let q = [0.1, 0.2, 0.7];
+        let a = js_divergence(&p, &q).unwrap();
+        let b = js_divergence(&q, &p).unwrap();
+        assert!((a - b).abs() < 1e-12);
+        assert!((0.0..=std::f64::consts::LN_2 + 1e-12).contains(&a));
+    }
+
+    #[test]
+    fn js_finite_with_disjoint_support() {
+        let d = js_divergence(&[1.0, 0.0], &[0.0, 1.0]).unwrap();
+        assert!((d - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_variation_known_values() {
+        assert_eq!(total_variation(&[1.0, 0.0], &[0.0, 1.0]).unwrap(), 1.0);
+        assert_eq!(total_variation(&[0.5, 0.5], &[0.5, 0.5]).unwrap(), 0.0);
+        let d = total_variation(&[0.8, 0.2], &[0.5, 0.5]).unwrap();
+        assert!((d - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        assert!(matches!(
+            kl_divergence(&[1.0], &[0.5, 0.5]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            js_divergence(&[1.0], &[0.5, 0.5]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_probability_rejected() {
+        assert!(matches!(
+            kl_divergence(&[-0.1, 1.1], &[0.5, 0.5]),
+            Err(StatsError::InvalidProbability { index: 0 })
+        ));
+    }
+}

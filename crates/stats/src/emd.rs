@@ -1,0 +1,140 @@
+//! Earth Mover's Distance baselines.
+//!
+//! §3.2 notes that EMD *"requires the definition of distance between
+//! values, which is not defined for Inst"* — instance values (node labels)
+//! have no natural order. Cardinality histograms, however, are indexed by
+//! integers and do have one. The §4.2 baseline comparison therefore needs
+//! two variants:
+//!
+//! - [`emd_1d`]: the classic transport distance on the line (for ordered
+//!   supports such as cardinalities), computable in one pass over the CDF
+//!   difference;
+//! - [`emd_unit`]: EMD under the unit ("0/1") ground distance, the only
+//!   choice available for unordered instance values; it degenerates to the
+//!   total-variation distance.
+
+use crate::divergence::total_variation;
+use crate::error::StatsError;
+
+/// 1-D Earth Mover's Distance between two probability vectors over the
+/// ordered support `0, 1, 2, …, k−1` with ground distance `|i − j|`.
+///
+/// Equal-length, normalized inputs are expected; use
+/// [`crate::divergence::normalize_counts`] upstream. Computed as
+/// `Σ |CDF_p(i) − CDF_q(i)|`.
+pub fn emd_1d(p: &[f64], q: &[f64]) -> Result<f64, StatsError> {
+    validate(p, q)?;
+    let mut acc = 0.0f64;
+    let mut carry = 0.0f64;
+    for (&pi, &qi) in p.iter().zip(q) {
+        carry += pi - qi;
+        acc += carry.abs();
+    }
+    Ok(acc)
+}
+
+/// EMD under the unit ground distance `d(i, j) = [i ≠ j]`, the natural
+/// choice for unordered categorical supports. Equals total variation.
+pub fn emd_unit(p: &[f64], q: &[f64]) -> Result<f64, StatsError> {
+    total_variation(p, q)
+}
+
+fn validate(p: &[f64], q: &[f64]) -> Result<(), StatsError> {
+    if p.is_empty() || q.is_empty() {
+        return Err(StatsError::EmptyDistribution);
+    }
+    if p.len() != q.len() {
+        return Err(StatsError::LengthMismatch {
+            left: p.len(),
+            right: q.len(),
+        });
+    }
+    for v in [p, q] {
+        for (i, &x) in v.iter().enumerate() {
+            if !x.is_finite() || x < 0.0 {
+                return Err(StatsError::InvalidProbability { index: i });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_zero_emd() {
+        let p = [0.25, 0.25, 0.5];
+        assert_eq!(emd_1d(&p, &p).unwrap(), 0.0);
+        assert_eq!(emd_unit(&p, &p).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn adjacent_shift_costs_mass_times_distance() {
+        // Move all mass one step: cost 1.
+        let d = emd_1d(&[1.0, 0.0], &[0.0, 1.0]).unwrap();
+        assert!((d - 1.0).abs() < 1e-12);
+        // Move all mass two steps: cost 2 (unit distance would say 1).
+        let d = emd_1d(&[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]).unwrap();
+        assert!((d - 2.0).abs() < 1e-12);
+        let u = emd_unit(&[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]).unwrap();
+        assert!((u - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_1d_partial_move() {
+        // Half the mass moves one step: cost 0.5.
+        let d = emd_1d(&[1.0, 0.0], &[0.5, 0.5]).unwrap();
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_1d_is_symmetric() {
+        let p = [0.1, 0.4, 0.5];
+        let q = [0.6, 0.1, 0.3];
+        let a = emd_1d(&p, &q).unwrap();
+        let b = emd_1d(&q, &p).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_1d_triangle_inequality_spot_check() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.1, 0.8, 0.1];
+        let r = [0.3, 0.3, 0.4];
+        let pq = emd_1d(&p, &q).unwrap();
+        let pr = emd_1d(&p, &r).unwrap();
+        let rq = emd_1d(&r, &q).unwrap();
+        assert!(pq <= pr + rq + 1e-12);
+    }
+
+    #[test]
+    fn distance_sensitivity_distinguishes_emd_from_tv() {
+        // TV sees both of these as equally far from p; EMD does not.
+        let p = [1.0, 0.0, 0.0];
+        let near = [0.0, 1.0, 0.0];
+        let far = [0.0, 0.0, 1.0];
+        assert!(emd_1d(&p, &far).unwrap() > emd_1d(&p, &near).unwrap());
+        assert_eq!(
+            emd_unit(&p, &far).unwrap(),
+            emd_unit(&p, &near).unwrap()
+        );
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(matches!(
+            emd_1d(&[], &[]),
+            Err(StatsError::EmptyDistribution)
+        ));
+        assert!(matches!(
+            emd_1d(&[1.0], &[0.5, 0.5]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            emd_1d(&[f64::INFINITY, 0.0], &[0.5, 0.5]),
+            Err(StatsError::InvalidProbability { .. })
+        ));
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type shared by the statistical routines.
+
+use std::fmt;
+
+/// Errors produced by the statistics substrate.
+///
+/// The routines in this crate are strict about their inputs: the paper's
+/// pipeline feeds them count vectors derived from graph traversals, and a
+/// malformed vector (empty support, negative mass, mismatched lengths)
+/// always indicates a bug upstream rather than a recoverable condition, so
+/// every constructor validates eagerly and reports precisely what was wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// A probability vector was empty.
+    EmptyDistribution,
+    /// A probability vector contained a negative or non-finite entry.
+    InvalidProbability {
+        /// Index of the offending entry.
+        index: usize,
+    },
+    /// A probability vector did not sum to a positive finite mass.
+    ZeroMass,
+    /// Two vectors that must share a support had different lengths.
+    LengthMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// The observation vector for a test was all zeros.
+    EmptyObservation,
+    /// A parameter was outside its documented domain.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyDistribution => write!(f, "distribution has no categories"),
+            StatsError::InvalidProbability { index } => {
+                write!(f, "probability at index {index} is negative or non-finite")
+            }
+            StatsError::ZeroMass => write!(f, "distribution has zero or non-finite total mass"),
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            StatsError::EmptyObservation => write!(f, "observation vector is all zeros"),
+            StatsError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StatsError::LengthMismatch { left: 3, right: 5 };
+        assert_eq!(e.to_string(), "length mismatch: 3 vs 5");
+        let e = StatsError::InvalidParameter {
+            name: "alpha",
+            message: "must be in (0, 1)".into(),
+        };
+        assert!(e.to_string().contains("alpha"));
+        assert!(e.to_string().contains("(0, 1)"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

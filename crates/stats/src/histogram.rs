@@ -1,0 +1,147 @@
+//! Dense counting histogram over `usize`-indexed categories.
+//!
+//! The Inst/Card distributions of §3.2 are built by *"iterating through the
+//! nodes in each set and counting the respective occurrences"*. Query and
+//! context histograms must share a support (same vector length with aligned
+//! indices); [`Histogram::align`] produces that shared view.
+
+use serde::{Deserialize, Serialize};
+
+/// A growable dense histogram of `u64` counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a histogram with `len` zeroed buckets.
+    pub fn with_len(len: usize) -> Self {
+        Self {
+            counts: vec![0; len],
+        }
+    }
+
+    /// Increments bucket `index`, growing the support as needed.
+    pub fn increment(&mut self, index: usize) {
+        self.add(index, 1);
+    }
+
+    /// Adds `amount` to bucket `index`, growing the support as needed.
+    pub fn add(&mut self, index: usize, amount: u64) {
+        if index >= self.counts.len() {
+            self.counts.resize(index + 1, 0);
+        }
+        self.counts[index] += amount;
+    }
+
+    /// Count in bucket `index` (0 for out-of-range buckets).
+    pub fn get(&self, index: usize) -> u64 {
+        self.counts.get(index).copied().unwrap_or(0)
+    }
+
+    /// Number of buckets currently materialized.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when no bucket has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Total mass across all buckets.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Raw counts slice.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Consumes the histogram, returning its counts.
+    pub fn into_counts(self) -> Vec<u64> {
+        self.counts
+    }
+
+    /// Pads two histograms to a common length and returns the aligned count
+    /// vectors `(left, right)` — the "both vectors have the same size"
+    /// requirement of §3.2.
+    pub fn align(left: &Histogram, right: &Histogram) -> (Vec<u64>, Vec<u64>) {
+        let len = left.len().max(right.len());
+        let mut l = left.counts.clone();
+        let mut r = right.counts.clone();
+        l.resize(len, 0);
+        r.resize(len, 0);
+        (l, r)
+    }
+}
+
+impl FromIterator<usize> for Histogram {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut h = Histogram::new();
+        for idx in iter {
+            h.increment(idx);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increment_grows_support() {
+        let mut h = Histogram::new();
+        h.increment(3);
+        h.increment(3);
+        h.increment(0);
+        assert_eq!(h.counts(), &[1, 0, 0, 2]);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.len(), 4);
+    }
+
+    #[test]
+    fn get_out_of_range_is_zero() {
+        let h = Histogram::with_len(2);
+        assert_eq!(h.get(10), 0);
+        assert_eq!(h.get(1), 0);
+    }
+
+    #[test]
+    fn align_pads_shorter_side() {
+        let mut a = Histogram::new();
+        a.increment(0);
+        let mut b = Histogram::new();
+        b.increment(4);
+        let (l, r) = Histogram::align(&a, &b);
+        assert_eq!(l, vec![1, 0, 0, 0, 0]);
+        assert_eq!(r, vec![0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn from_iterator_counts_occurrences() {
+        let h: Histogram = [1usize, 1, 2, 0, 1].into_iter().collect();
+        assert_eq!(h.counts(), &[1, 3, 1]);
+    }
+
+    #[test]
+    fn add_bulk() {
+        let mut h = Histogram::new();
+        h.add(2, 10);
+        assert_eq!(h.get(2), 10);
+        assert_eq!(h.total(), 10);
+    }
+
+    #[test]
+    fn empty_histograms_align_to_empty() {
+        let (l, r) = Histogram::align(&Histogram::new(), &Histogram::new());
+        assert!(l.is_empty() && r.is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Retrieval metrics: precision, recall, F1.
+//!
+//! §4.1 evaluates context selection by F1 score against the crowdsourced
+//! ground truth, at increasing cut-offs of the ranked context
+//! (`F1 = 2·P·R / (P + R)`). These helpers operate on generic item sets so
+//! the evaluation harness can feed node identifiers directly.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Precision and recall of a retrieved set against a relevant set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecall {
+    /// Fraction of retrieved items that are relevant.
+    pub precision: f64,
+    /// Fraction of relevant items that were retrieved.
+    pub recall: f64,
+    /// Number of retrieved items that are relevant.
+    pub hits: usize,
+}
+
+impl PrecisionRecall {
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        f1_score(self.precision, self.recall)
+    }
+}
+
+/// `F1 = 2·P·R / (P + R)`, with the conventional 0 for `P + R = 0`.
+pub fn f1_score(precision: f64, recall: f64) -> f64 {
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+/// Computes precision and recall of `retrieved` against `relevant`.
+///
+/// Duplicates in `retrieved` are counted once (set semantics), matching how
+/// the paper's context sets are evaluated. An empty retrieved set has
+/// precision 0 by convention; an empty relevant set has recall 0.
+pub fn precision_recall_f1<T: Eq + Hash>(
+    retrieved: impl IntoIterator<Item = T>,
+    relevant: &HashSet<T>,
+) -> PrecisionRecall {
+    let retrieved: HashSet<T> = retrieved.into_iter().collect();
+    let hits = retrieved.iter().filter(|item| relevant.contains(item)).count();
+    let precision = if retrieved.is_empty() {
+        0.0
+    } else {
+        hits as f64 / retrieved.len() as f64
+    };
+    let recall = if relevant.is_empty() {
+        0.0
+    } else {
+        hits as f64 / relevant.len() as f64
+    };
+    PrecisionRecall {
+        precision,
+        recall,
+        hits,
+    }
+}
+
+/// F1 of the top-`k` prefix of a ranked list against a relevant set —
+/// the "F1 at different cut-offs in the ranked context set" of §4.1.
+pub fn f1_at_k<T: Eq + Hash + Clone>(ranked: &[T], relevant: &HashSet<T>, k: usize) -> f64 {
+    let k = k.min(ranked.len());
+    precision_recall_f1(ranked[..k].iter().cloned(), relevant).f1()
+}
+
+/// F1 at every cut-off `1..=ranked.len()`, useful for plotting the
+/// Figure-2 style curves in one pass (O(n) incremental computation).
+pub fn f1_curve<T: Eq + Hash>(ranked: &[T], relevant: &HashSet<T>) -> Vec<f64> {
+    let mut out = Vec::with_capacity(ranked.len());
+    let mut hits = 0usize;
+    let mut seen: HashSet<&T> = HashSet::with_capacity(ranked.len());
+    let total_relevant = relevant.len();
+    for (i, item) in ranked.iter().enumerate() {
+        if seen.insert(item) && relevant.contains(item) {
+            hits += 1;
+        }
+        let precision = hits as f64 / (i + 1) as f64;
+        let recall = if total_relevant == 0 {
+            0.0
+        } else {
+            hits as f64 / total_relevant as f64
+        };
+        out.push(f1_score(precision, recall));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set<T: Eq + Hash>(items: impl IntoIterator<Item = T>) -> HashSet<T> {
+        items.into_iter().collect()
+    }
+
+    #[test]
+    fn perfect_retrieval() {
+        let pr = precision_recall_f1(vec![1, 2, 3], &set([1, 2, 3]));
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 1.0);
+        assert_eq!(pr.f1(), 1.0);
+        assert_eq!(pr.hits, 3);
+    }
+
+    #[test]
+    fn disjoint_retrieval() {
+        let pr = precision_recall_f1(vec![4, 5], &set([1, 2, 3]));
+        assert_eq!(pr.precision, 0.0);
+        assert_eq!(pr.recall, 0.0);
+        assert_eq!(pr.f1(), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_hand_computed() {
+        // Retrieved 4 items, 2 relevant out of 5 total relevant:
+        // P = 0.5, R = 0.4, F1 = 2·0.2/0.9 = 4/9.
+        let pr = precision_recall_f1(vec![1, 2, 10, 11], &set([1, 2, 3, 4, 5]));
+        assert!((pr.precision - 0.5).abs() < 1e-12);
+        assert!((pr.recall - 0.4).abs() < 1e-12);
+        assert!((pr.f1() - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicates_counted_once() {
+        let pr = precision_recall_f1(vec![1, 1, 1], &set([1, 2]));
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 0.5);
+    }
+
+    #[test]
+    fn empty_sets_are_conventional_zero() {
+        let pr = precision_recall_f1(Vec::<u8>::new(), &set([1, 2]));
+        assert_eq!(pr.f1(), 0.0);
+        let pr = precision_recall_f1(vec![1u8], &set::<u8>([]));
+        assert_eq!(pr.f1(), 0.0);
+    }
+
+    #[test]
+    fn f1_at_k_respects_prefix() {
+        let ranked = vec![1, 9, 2, 8, 3];
+        let relevant = set([1, 2, 3]);
+        // k=1: P=1, R=1/3, F1=0.5.
+        assert!((f1_at_k(&ranked, &relevant, 1) - 0.5).abs() < 1e-12);
+        // k beyond length clamps.
+        let full = f1_at_k(&ranked, &relevant, 100);
+        // P=3/5, R=1 ⇒ F1 = 2·0.6/1.6 = 0.75.
+        assert!((full - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_curve_matches_pointwise_f1_at_k() {
+        let ranked = vec![5, 1, 7, 2, 9, 3];
+        let relevant = set([1, 2, 3]);
+        let curve = f1_curve(&ranked, &relevant);
+        assert_eq!(curve.len(), ranked.len());
+        for (i, &v) in curve.iter().enumerate() {
+            let expected = f1_at_k(&ranked, &relevant, i + 1);
+            assert!((v - expected).abs() < 1e-12, "k = {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn f1_curve_has_precision_drop_shape() {
+        // Once all relevant items are found, F1 decreases with k —
+        // the "increase then non-increasing" trend of Figure 2.
+        let ranked: Vec<u32> = (0..50).collect();
+        let relevant = set(0..10u32);
+        let curve = f1_curve(&ranked, &relevant);
+        let peak = curve
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((peak - 1.0).abs() < 1e-12); // perfect at k = 10
+        assert!(curve[49] < curve[9]);
+    }
+}

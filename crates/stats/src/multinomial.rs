@@ -1,0 +1,249 @@
+//! The multinomial distribution: log-pmf and seeded sampling.
+//!
+//! §3.2 of the paper models the context distribution of a characteristic as
+//! a multinomial `Mult(N, π)` and evaluates the query observation against
+//! it. This module provides the distribution object shared by the exact and
+//! Monte-Carlo test drivers.
+
+use crate::error::StatsError;
+use crate::special::ln_factorial;
+use rand::{Rng, RngExt as _};
+
+/// A multinomial distribution over `k` categories.
+///
+/// Probabilities are stored normalized; zero-probability categories are
+/// legal (they arise whenever the query mentions a value the context never
+/// exhibits — precisely the "many zero values" situation §3.2 highlights).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Multinomial {
+    probs: Vec<f64>,
+    /// Cumulative distribution for inverse-CDF sampling.
+    cdf: Vec<f64>,
+}
+
+impl Multinomial {
+    /// Builds a multinomial from raw non-negative weights (e.g. counts).
+    ///
+    /// Weights are normalized to probabilities. Returns an error if the
+    /// vector is empty, contains a negative / non-finite weight, or sums to
+    /// zero.
+    pub fn from_weights(weights: &[f64]) -> Result<Self, StatsError> {
+        if weights.is_empty() {
+            return Err(StatsError::EmptyDistribution);
+        }
+        let mut total = 0.0f64;
+        for (i, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(StatsError::InvalidProbability { index: i });
+            }
+            total += w;
+        }
+        if total <= 0.0 || !total.is_finite() {
+            return Err(StatsError::ZeroMass);
+        }
+        let probs: Vec<f64> = weights.iter().map(|&w| w / total).collect();
+        let mut cdf = Vec::with_capacity(probs.len());
+        let mut acc = 0.0f64;
+        for &p in &probs {
+            acc += p;
+            cdf.push(acc);
+        }
+        // Guard against floating-point shortfall at the tail.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Self { probs, cdf })
+    }
+
+    /// Builds a multinomial from unsigned counts (the common case: the
+    /// context histogram of a characteristic).
+    pub fn from_counts(counts: &[u64]) -> Result<Self, StatsError> {
+        let weights: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        Self::from_weights(&weights)
+    }
+
+    /// Number of categories `k`.
+    #[inline]
+    pub fn num_categories(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Normalized probability vector.
+    #[inline]
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Natural log of `Pr(X = x)` for `X ~ Mult(N, π)` with `N = Σ xᵢ`.
+    ///
+    /// Returns `f64::NEG_INFINITY` when some `xᵢ > 0` has `πᵢ = 0` — the
+    /// observation is impossible under the context distribution, which the
+    /// test layer treats as maximally notable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::LengthMismatch`] when `x` does not match the
+    /// category count.
+    pub fn ln_pmf(&self, x: &[u64]) -> Result<f64, StatsError> {
+        if x.len() != self.probs.len() {
+            return Err(StatsError::LengthMismatch {
+                left: x.len(),
+                right: self.probs.len(),
+            });
+        }
+        let n: u64 = x.iter().sum();
+        let mut ln_p = ln_factorial(n);
+        for (&xi, &pi) in x.iter().zip(&self.probs) {
+            if xi == 0 {
+                continue;
+            }
+            if pi == 0.0 {
+                return Ok(f64::NEG_INFINITY);
+            }
+            ln_p += xi as f64 * pi.ln() - ln_factorial(xi);
+        }
+        Ok(ln_p)
+    }
+
+    /// `Pr(X = x)` in linear space (may underflow to 0 for extreme inputs).
+    pub fn pmf(&self, x: &[u64]) -> Result<f64, StatsError> {
+        Ok(self.ln_pmf(x)?.exp())
+    }
+
+    /// Draws one category index according to `π` (inverse-CDF).
+    #[inline]
+    pub fn sample_category<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // Binary search over the CDF; partition_point returns the first
+        // index whose cumulative mass reaches u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.probs.len() - 1)
+    }
+
+    /// Draws a full outcome vector of `n` trials into `out` (reused buffer).
+    pub fn sample_into<R: Rng + ?Sized>(&self, n: u64, rng: &mut R, out: &mut [u64]) {
+        debug_assert_eq!(out.len(), self.probs.len());
+        out.fill(0);
+        for _ in 0..n {
+            out[self.sample_category(rng)] += 1;
+        }
+    }
+
+    /// Draws a fresh outcome vector of `n` trials.
+    pub fn sample<R: Rng + ?Sized>(&self, n: u64, rng: &mut R) -> Vec<u64> {
+        let mut out = vec![0u64; self.probs.len()];
+        self.sample_into(n, rng, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_counts_normalizes() {
+        let m = Multinomial::from_counts(&[1, 3]).unwrap();
+        assert_eq!(m.probs(), &[0.25, 0.75]);
+        assert_eq!(m.num_categories(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert_eq!(
+            Multinomial::from_weights(&[]).unwrap_err(),
+            StatsError::EmptyDistribution
+        );
+        assert_eq!(
+            Multinomial::from_weights(&[1.0, -0.5]).unwrap_err(),
+            StatsError::InvalidProbability { index: 1 }
+        );
+        assert_eq!(
+            Multinomial::from_weights(&[0.0, 0.0]).unwrap_err(),
+            StatsError::ZeroMass
+        );
+        assert_eq!(
+            Multinomial::from_weights(&[f64::NAN]).unwrap_err(),
+            StatsError::InvalidProbability { index: 0 }
+        );
+    }
+
+    #[test]
+    fn ln_pmf_matches_hand_computation() {
+        // Binomial special case: Mult(3, [0.5, 0.5]), x = (2, 1):
+        // 3! / (2! 1!) * 0.5^3 = 3/8.
+        let m = Multinomial::from_weights(&[0.5, 0.5]).unwrap();
+        let p = m.pmf(&[2, 1]).unwrap();
+        assert!((p - 0.375).abs() < 1e-12, "p = {p}");
+    }
+
+    #[test]
+    fn ln_pmf_trinomial() {
+        // Mult(4, [0.2, 0.3, 0.5]), x = (1, 1, 2):
+        // 4!/(1!1!2!) * 0.2 * 0.3 * 0.25 = 12 * 0.015 = 0.18.
+        let m = Multinomial::from_weights(&[0.2, 0.3, 0.5]).unwrap();
+        let p = m.pmf(&[1, 1, 2]).unwrap();
+        assert!((p - 0.18).abs() < 1e-12, "p = {p}");
+    }
+
+    #[test]
+    fn impossible_observation_has_zero_probability() {
+        let m = Multinomial::from_counts(&[4, 0]).unwrap();
+        assert_eq!(m.ln_pmf(&[1, 1]).unwrap(), f64::NEG_INFINITY);
+        assert_eq!(m.pmf(&[1, 1]).unwrap(), 0.0);
+        // But mass on the supported category is fine.
+        assert!((m.pmf(&[2, 0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_observation_probability_one() {
+        let m = Multinomial::from_counts(&[2, 2]).unwrap();
+        assert!((m.pmf(&[0, 0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let m = Multinomial::from_counts(&[1, 1]).unwrap();
+        assert!(matches!(
+            m.ln_pmf(&[1, 1, 1]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sampling_is_seeded_and_deterministic() {
+        let m = Multinomial::from_counts(&[1, 2, 7]).unwrap();
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        assert_eq!(m.sample(100, &mut r1), m.sample(100, &mut r2));
+    }
+
+    #[test]
+    fn sampling_frequencies_approach_probabilities() {
+        let m = Multinomial::from_counts(&[1, 3]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = m.sample(100_000, &mut rng);
+        let f1 = x[1] as f64 / 100_000.0;
+        assert!((f1 - 0.75).abs() < 0.01, "f1 = {f1}");
+        assert_eq!(x[0] + x[1], 100_000);
+    }
+
+    #[test]
+    fn zero_probability_category_never_sampled() {
+        let m = Multinomial::from_counts(&[5, 0, 5]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = m.sample(10_000, &mut rng);
+        assert_eq!(x[1], 0);
+    }
+
+    #[test]
+    fn sample_into_reuses_buffer() {
+        let m = Multinomial::from_counts(&[1, 1]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buf = vec![99u64, 99];
+        m.sample_into(10, &mut rng, &mut buf);
+        assert_eq!(buf.iter().sum::<u64>(), 10);
+    }
+}

@@ -1,0 +1,245 @@
+//! Ranking comparison: minimum adjacent swaps (Kendall-tau distance).
+//!
+//! §4.2 compares FindNC, KL and EMD against an expert ranking using *"the
+//! minimum number of switches needed to transform one ranking to the
+//! other"* — i.e. the number of adjacent transpositions, which equals the
+//! number of inversions between the two permutations (the unnormalized
+//! Kendall-tau distance). FindNC needed 2 switches, KL 4, EMD 5.
+
+use crate::error::StatsError;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Minimum number of adjacent swaps turning `candidate` into `reference`.
+///
+/// Both slices must contain exactly the same items (each exactly once).
+///
+/// # Errors
+///
+/// [`StatsError::LengthMismatch`] on different lengths;
+/// [`StatsError::InvalidParameter`] on duplicate or unmatched items.
+pub fn min_swaps<T: Eq + Hash + Clone>(reference: &[T], candidate: &[T]) -> Result<u64, StatsError> {
+    if reference.len() != candidate.len() {
+        return Err(StatsError::LengthMismatch {
+            left: reference.len(),
+            right: candidate.len(),
+        });
+    }
+    let mut position: HashMap<&T, usize> = HashMap::with_capacity(reference.len());
+    for (i, item) in reference.iter().enumerate() {
+        if position.insert(item, i).is_some() {
+            return Err(StatsError::InvalidParameter {
+                name: "reference",
+                message: "contains duplicate items".into(),
+            });
+        }
+    }
+    let mut perm = Vec::with_capacity(candidate.len());
+    for item in candidate {
+        match position.get(item) {
+            Some(&i) => perm.push(i),
+            None => {
+                return Err(StatsError::InvalidParameter {
+                    name: "candidate",
+                    message: "contains an item absent from the reference".into(),
+                })
+            }
+        }
+    }
+    {
+        let mut seen = vec![false; perm.len()];
+        for &i in &perm {
+            if seen[i] {
+                return Err(StatsError::InvalidParameter {
+                    name: "candidate",
+                    message: "contains duplicate items".into(),
+                });
+            }
+            seen[i] = true;
+        }
+    }
+    Ok(count_inversions(&mut perm))
+}
+
+/// Normalized Kendall-tau distance in `[0, 1]`: inversions divided by the
+/// maximum `n(n−1)/2`.
+pub fn kendall_tau_distance<T: Eq + Hash + Clone>(
+    reference: &[T],
+    candidate: &[T],
+) -> Result<f64, StatsError> {
+    let n = reference.len() as u64;
+    let swaps = min_swaps(reference, candidate)?;
+    if n < 2 {
+        return Ok(0.0);
+    }
+    Ok(swaps as f64 / (n * (n - 1) / 2) as f64)
+}
+
+/// Counts inversions by merge sort in `O(n log n)`; consumes the buffer.
+fn count_inversions(perm: &mut [usize]) -> u64 {
+    let n = perm.len();
+    if n < 2 {
+        return 0;
+    }
+    let mut scratch = vec![0usize; n];
+    merge_count(perm, &mut scratch)
+}
+
+fn merge_count(a: &mut [usize], scratch: &mut [usize]) -> u64 {
+    let n = a.len();
+    if n < 2 {
+        return 0;
+    }
+    let mid = n / 2;
+    let (left, right) = a.split_at_mut(mid);
+    let mut inv = merge_count(left, &mut scratch[..mid]) + merge_count(right, &mut scratch[mid..]);
+    // Merge with inversion counting.
+    let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        if left[i] <= right[j] {
+            scratch[k] = left[i];
+            i += 1;
+        } else {
+            scratch[k] = right[j];
+            inv += (left.len() - i) as u64;
+            j += 1;
+        }
+        k += 1;
+    }
+    while i < left.len() {
+        scratch[k] = left[i];
+        i += 1;
+        k += 1;
+    }
+    while j < right.len() {
+        scratch[k] = right[j];
+        j += 1;
+        k += 1;
+    }
+    a.copy_from_slice(&scratch[..n]);
+    inv
+}
+
+/// Spearman's footrule: `Σ |pos_ref(item) − pos_cand(item)|`. A second
+/// rank-distance for sanity checks; within factor 2 of Kendall's distance.
+pub fn spearman_footrule<T: Eq + Hash + Clone>(
+    reference: &[T],
+    candidate: &[T],
+) -> Result<u64, StatsError> {
+    if reference.len() != candidate.len() {
+        return Err(StatsError::LengthMismatch {
+            left: reference.len(),
+            right: candidate.len(),
+        });
+    }
+    let mut position: HashMap<&T, usize> = HashMap::with_capacity(reference.len());
+    for (i, item) in reference.iter().enumerate() {
+        position.insert(item, i);
+    }
+    let mut total = 0u64;
+    for (j, item) in candidate.iter().enumerate() {
+        let i = *position.get(item).ok_or(StatsError::InvalidParameter {
+            name: "candidate",
+            message: "contains an item absent from the reference".into(),
+        })?;
+        total += i.abs_diff(j) as u64;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_rankings_need_zero_swaps() {
+        assert_eq!(min_swaps(&["a", "b", "c"], &["a", "b", "c"]).unwrap(), 0);
+    }
+
+    #[test]
+    fn single_adjacent_swap() {
+        assert_eq!(min_swaps(&["a", "b", "c"], &["b", "a", "c"]).unwrap(), 1);
+    }
+
+    #[test]
+    fn full_reversal_is_maximal() {
+        // n(n−1)/2 = 6 for n = 4.
+        assert_eq!(
+            min_swaps(&[1, 2, 3, 4], &[4, 3, 2, 1]).unwrap(),
+            6
+        );
+        assert_eq!(
+            kendall_tau_distance(&[1, 2, 3, 4], &[4, 3, 2, 1]).unwrap(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn matches_bubble_sort_oracle() {
+        // Oracle: bubble sort swap count.
+        fn bubble(mut v: Vec<usize>) -> u64 {
+            let mut swaps = 0;
+            for i in 0..v.len() {
+                for j in 0..v.len() - 1 - i {
+                    if v[j] > v[j + 1] {
+                        v.swap(j, j + 1);
+                        swaps += 1;
+                    }
+                }
+            }
+            swaps
+        }
+        let reference: Vec<usize> = (0..8).collect();
+        let candidates = [
+            vec![3, 1, 4, 0, 5, 7, 2, 6],
+            vec![7, 6, 5, 4, 3, 2, 1, 0],
+            vec![0, 1, 2, 3, 4, 5, 6, 7],
+            vec![1, 0, 3, 2, 5, 4, 7, 6],
+        ];
+        for cand in candidates {
+            assert_eq!(
+                min_swaps(&reference, &cand).unwrap(),
+                bubble(cand.clone()),
+                "candidate {cand:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_example_shape() {
+        // A 6-item ranking where one method is 2 swaps away, another 4,
+        // another 5, mirroring the §4.2 result.
+        let expert = ["inf", "cre", "chd", "prz", "act", "own"];
+        let findnc = ["inf", "chd", "cre", "prz", "own", "act"]; // 2 swaps
+        let kl = ["chd", "inf", "prz", "cre", "own", "act"]; // 4 swaps
+        assert_eq!(min_swaps(&expert, &findnc).unwrap(), 2);
+        assert_eq!(min_swaps(&expert, &kl).unwrap(), 4);
+    }
+
+    #[test]
+    fn error_on_mismatched_content() {
+        assert!(min_swaps(&["a", "b"], &["a", "c"]).is_err());
+        assert!(min_swaps(&["a", "b"], &["a"]).is_err());
+        assert!(min_swaps(&["a", "a"], &["a", "a"]).is_err());
+        assert!(min_swaps(&["a", "b"], &["a", "a"]).is_err());
+    }
+
+    #[test]
+    fn footrule_known_values() {
+        assert_eq!(spearman_footrule(&[1, 2, 3], &[1, 2, 3]).unwrap(), 0);
+        assert_eq!(spearman_footrule(&[1, 2, 3], &[3, 2, 1]).unwrap(), 4);
+        // Diaconis-Graham: K ≤ F ≤ 2K.
+        let r: Vec<usize> = (0..7).collect();
+        let c = vec![2, 0, 1, 5, 3, 6, 4];
+        let k = min_swaps(&r, &c).unwrap();
+        let f = spearman_footrule(&r, &c).unwrap();
+        assert!(k <= f && f <= 2 * k, "K = {k}, F = {f}");
+    }
+
+    #[test]
+    fn empty_and_singleton_rankings() {
+        let empty: [u8; 0] = [];
+        assert_eq!(min_swaps(&empty, &empty).unwrap(), 0);
+        assert_eq!(kendall_tau_distance(&[42], &[42]).unwrap(), 0.0);
+    }
+}

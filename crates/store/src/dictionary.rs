@@ -1,0 +1,172 @@
+//! Term dictionary: IRIs and literals ↔ dense `u32` ids.
+//!
+//! Dictionary encoding is the standard triple-store trick (Jena TDB, RDF-3X,
+//! HDT all do it): triples become fixed-width id tuples, indexes compare
+//! integers instead of strings, and each distinct term is stored once.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a dictionary term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The id as a slice index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An RDF-style term: an IRI (entity / predicate) or a literal value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// A named resource, e.g. `yago:Angela_Merkel`.
+    Iri(String),
+    /// A literal value, e.g. `"1954-07-17"`.
+    Literal(String),
+}
+
+impl Term {
+    /// Convenience constructor for IRIs.
+    pub fn iri(s: impl Into<String>) -> Self {
+        Term::Iri(s.into())
+    }
+
+    /// Convenience constructor for literals.
+    pub fn literal(s: impl Into<String>) -> Self {
+        Term::Literal(s.into())
+    }
+
+    /// The lexical form, without the IRI/literal distinction.
+    pub fn lexical(&self) -> &str {
+        match self {
+            Term::Iri(s) | Term::Literal(s) => s,
+        }
+    }
+
+    /// True for [`Term::Literal`].
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(s) => write!(f, "<{s}>"),
+            Term::Literal(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// Two-way dictionary of [`Term`]s.
+#[derive(Debug, Clone, Default)]
+pub struct TermDictionary {
+    terms: Vec<Term>,
+    index: HashMap<Term, TermId>,
+}
+
+impl TermDictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a term, returning its id (existing or fresh).
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        if let Some(&id) = self.index.get(term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("term dictionary exhausted u32"));
+        self.terms.push(term.clone());
+        self.index.insert(term.clone(), id);
+        id
+    }
+
+    /// The id of `term`, if interned.
+    pub fn get(&self, term: &Term) -> Option<TermId> {
+        self.index.get(term).copied()
+    }
+
+    /// The term behind `id`, if valid.
+    pub fn resolve(&self, id: TermId) -> Option<&Term> {
+        self.terms.get(id.index())
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no term is interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates `(id, term)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_distinguishes_iri_from_literal() {
+        let mut d = TermDictionary::new();
+        let a = d.intern(&Term::iri("Physics"));
+        let b = d.intern(&Term::literal("Physics"));
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut d = TermDictionary::new();
+        let t = Term::iri("yago:Angela_Merkel");
+        let id = d.intern(&t);
+        assert_eq!(d.resolve(id), Some(&t));
+        assert_eq!(d.get(&t), Some(id));
+        assert_eq!(d.intern(&t), id);
+        assert_eq!(d.resolve(TermId(99)), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::iri("x").to_string(), "<x>");
+        assert_eq!(Term::literal("v").to_string(), "\"v\"");
+        assert_eq!(TermId(4).to_string(), "#4");
+    }
+
+    #[test]
+    fn lexical_strips_kind() {
+        assert_eq!(Term::iri("a").lexical(), "a");
+        assert_eq!(Term::literal("a").lexical(), "a");
+        assert!(Term::literal("a").is_literal());
+        assert!(!Term::iri("a").is_literal());
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut d = TermDictionary::new();
+        d.intern(&Term::iri("a"));
+        d.intern(&Term::iri("b"));
+        let ids: Vec<u32> = d.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Adapter: triple store → [`nck_graph::KnowledgeGraph`].
+//!
+//! The paper's pipeline keeps the dataset in a triple store and traverses
+//! it as a labeled graph. This module is that hand-off: IRIs become nodes,
+//! predicates become edge labels (with automatic inverses per Def. 1),
+//! literals become attribute-value nodes, and the reserved predicates
+//! `rdf:type` / `rdfs:subClassOf` populate node types and the taxonomy.
+
+use crate::dictionary::Term;
+use crate::store::TripleStore;
+use nck_graph::{GraphBuilder, KnowledgeGraph};
+
+/// Reserved predicate mapping a subject to its node type.
+pub const TYPE_PREDICATE: &str = "rdf:type";
+/// Reserved predicate declaring a subtype axiom.
+pub const SUBTYPE_PREDICATE: &str = "rdfs:subClassOf";
+
+/// Materializes a [`KnowledgeGraph`] from every statement in the store.
+///
+/// - `(s, rdf:type, o)` sets node `s`'s type to `o`;
+/// - `(s, rdfs:subClassOf, o)` adds the taxonomy axiom `s ⊑ o`;
+/// - any other `(s, p, o)` becomes a logical edge, with a literal `o`
+///   interned under its lexical form.
+pub fn to_knowledge_graph(store: &TripleStore) -> KnowledgeGraph {
+    let mut builder = GraphBuilder::with_capacity(store.num_terms(), store.len());
+    for t in store.iter() {
+        let st = store.decode(t);
+        match st.p {
+            Term::Iri(p) if p == TYPE_PREDICATE => {
+                let node = builder.node(st.s.lexical());
+                builder.set_type(node, st.o.lexical());
+            }
+            Term::Iri(p) if p == SUBTYPE_PREDICATE => {
+                builder.subtype(st.s.lexical(), st.o.lexical());
+            }
+            _ => {
+                builder.add_triple(st.s.lexical(), st.p.lexical(), st.o.lexical());
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dictionary::Term;
+
+    fn sample_store() -> TripleStore {
+        let mut s = TripleStore::new();
+        s.insert_iris("Merkel", "rdf:type", "politician");
+        s.insert_iris("Obama", "rdf:type", "politician");
+        s.insert_iris("politician", "rdfs:subClassOf", "person");
+        s.insert_iris("Merkel", "studied", "Physics");
+        s.insert_iris("Obama", "hasChild", "Malia");
+        s.insert(
+            &Term::iri("Merkel"),
+            &Term::iri("birthDate"),
+            &Term::literal("1954-07-17"),
+        );
+        s
+    }
+
+    #[test]
+    fn statements_become_edges() {
+        let g = to_knowledge_graph(&sample_store());
+        let merkel = g.require_node("Merkel").unwrap();
+        let studied = g.labels().get("studied").unwrap();
+        let targets = g.neighbors_with_label(merkel, studied);
+        assert_eq!(targets.len(), 1);
+        assert_eq!(g.node_name(targets[0]), "Physics");
+        // 4 logical edges: studied, hasChild, birthDate — plus nothing for
+        // the reserved predicates.
+        assert_eq!(g.num_logical_edges(), 3);
+    }
+
+    #[test]
+    fn types_and_taxonomy_populated() {
+        let g = to_knowledge_graph(&sample_store());
+        let merkel = g.require_node("Merkel").unwrap();
+        let ty = g.node_type(merkel).unwrap();
+        assert_eq!(g.taxonomy().name(ty), "politician");
+        let person = g.taxonomy().get("person").unwrap();
+        assert!(g.taxonomy().is_subtype(ty, person));
+    }
+
+    #[test]
+    fn literals_become_value_nodes() {
+        let g = to_knowledge_graph(&sample_store());
+        let date = g.require_node("1954-07-17").unwrap();
+        let birth = g.labels().get("birthDate").unwrap();
+        let inv = g.labels().inverse(birth);
+        let owners = g.neighbors_with_label(date, inv);
+        assert_eq!(owners.len(), 1);
+        assert_eq!(g.node_name(owners[0]), "Merkel");
+    }
+
+    #[test]
+    fn reserved_predicates_do_not_become_labels() {
+        let g = to_knowledge_graph(&sample_store());
+        assert!(g.labels().get(TYPE_PREDICATE).is_none());
+        assert!(g.labels().get(SUBTYPE_PREDICATE).is_none());
+    }
+
+    #[test]
+    fn empty_store_builds_empty_graph() {
+        let g = to_knowledge_graph(&TripleStore::new());
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_logical_edges(), 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! The three triple orderings: SPO, POS, OSP.
+//!
+//! Any pattern whose bound positions form a prefix of one of the three
+//! orderings is a contiguous key range in that ordering:
+//!
+//! | bound       | ordering | prefix        |
+//! |-------------|----------|---------------|
+//! | — (scan)    | SPO      | ∅             |
+//! | S           | SPO      | (s)           |
+//! | S, P        | SPO      | (s, p)        |
+//! | S, P, O     | SPO      | (s, p, o)     |
+//! | P           | POS      | (p)           |
+//! | P, O        | POS      | (p, o)        |
+//! | O           | OSP      | (o)           |
+//! | O, S        | OSP      | (o, s)        |
+//!
+//! Each ordering is a `BTreeSet` over permuted `(u32, u32, u32)` keys; all
+//! three are updated on insert/remove, so the store costs 3× memory for
+//! O(log n + answer) pattern scans — the classic triple-store trade-off.
+
+use crate::dictionary::TermId;
+use crate::triple::{Triple, TriplePattern};
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+type Key = (u32, u32, u32);
+
+/// Which ordering a pattern resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ordering {
+    /// subject-predicate-object
+    Spo,
+    /// predicate-object-subject
+    Pos,
+    /// object-subject-predicate
+    Osp,
+}
+
+/// The triple index set.
+#[derive(Debug, Clone, Default)]
+pub struct TripleIndexes {
+    spo: BTreeSet<Key>,
+    pos: BTreeSet<Key>,
+    osp: BTreeSet<Key>,
+}
+
+impl TripleIndexes {
+    /// Creates empty indexes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a triple into all orderings; returns `true` if it was new.
+    pub fn insert(&mut self, t: Triple) -> bool {
+        let fresh = self.spo.insert((t.s.0, t.p.0, t.o.0));
+        if fresh {
+            self.pos.insert((t.p.0, t.o.0, t.s.0));
+            self.osp.insert((t.o.0, t.s.0, t.p.0));
+        }
+        fresh
+    }
+
+    /// Removes a triple from all orderings; returns `true` if present.
+    pub fn remove(&mut self, t: Triple) -> bool {
+        let was = self.spo.remove(&(t.s.0, t.p.0, t.o.0));
+        if was {
+            self.pos.remove(&(t.p.0, t.o.0, t.s.0));
+            self.osp.remove(&(t.o.0, t.s.0, t.p.0));
+        }
+        was
+    }
+
+    /// Number of stored triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: Triple) -> bool {
+        self.spo.contains(&(t.s.0, t.p.0, t.o.0))
+    }
+
+    /// Chooses the ordering whose prefix covers the pattern's bound
+    /// positions (S* → SPO, P-without-S → POS, O-only / O+S → OSP).
+    pub fn choose_ordering(pattern: &TriplePattern) -> Ordering {
+        match (pattern.s.is_some(), pattern.p.is_some(), pattern.o.is_some()) {
+            // S bound (with or without P/O): SPO unless only S+O, which OSP
+            // serves with the (o, s) prefix.
+            (true, false, true) => Ordering::Osp,
+            (true, _, _) => Ordering::Spo,
+            (false, true, _) => Ordering::Pos,
+            (false, false, true) => Ordering::Osp,
+            (false, false, false) => Ordering::Spo,
+        }
+    }
+
+    /// Streams all triples matching `pattern` via the best ordering.
+    pub fn scan<'a>(&'a self, pattern: &TriplePattern) -> Box<dyn Iterator<Item = Triple> + 'a> {
+        let ordering = Self::choose_ordering(pattern);
+        match ordering {
+            Ordering::Spo => {
+                let range = prefix_range(pattern.s, pattern.p, pattern.o);
+                Box::new(self.spo.range(range).map(|&(s, p, o)| {
+                    Triple::new(TermId(s), TermId(p), TermId(o))
+                }))
+            }
+            Ordering::Pos => {
+                let range = prefix_range(pattern.p, pattern.o, pattern.s);
+                Box::new(self.pos.range(range).map(|&(p, o, s)| {
+                    Triple::new(TermId(s), TermId(p), TermId(o))
+                }))
+            }
+            Ordering::Osp => {
+                let range = prefix_range(pattern.o, pattern.s, pattern.p);
+                let p_filter = pattern.p;
+                Box::new(
+                    self.osp
+                        .range(range)
+                        .map(|&(o, s, p)| Triple::new(TermId(s), TermId(p), TermId(o)))
+                        .filter(move |t| p_filter.is_none_or(|p| p == t.p)),
+                )
+            }
+        }
+    }
+
+    /// Iterates every triple in SPO order.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo
+            .iter()
+            .map(|&(s, p, o)| Triple::new(TermId(s), TermId(p), TermId(o)))
+    }
+}
+
+/// Builds the `BTreeSet::range` bounds for a bound-prefix query over a
+/// permuted key `(a, b, c)` where `a` must be bound for `b` to be usable,
+/// and `b` for `c`.
+fn prefix_range(
+    a: Option<TermId>,
+    b: Option<TermId>,
+    c: Option<TermId>,
+) -> (Bound<Key>, Bound<Key>) {
+    match (a, b, c) {
+        (None, _, _) => (Bound::Unbounded, Bound::Unbounded),
+        (Some(a), None, _) => (
+            Bound::Included((a.0, 0, 0)),
+            Bound::Included((a.0, u32::MAX, u32::MAX)),
+        ),
+        (Some(a), Some(b), None) => (
+            Bound::Included((a.0, b.0, 0)),
+            Bound::Included((a.0, b.0, u32::MAX)),
+        ),
+        (Some(a), Some(b), Some(c)) => (
+            Bound::Included((a.0, b.0, c.0)),
+            Bound::Included((a.0, b.0, c.0)),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(TermId(s), TermId(p), TermId(o))
+    }
+
+    fn sample() -> TripleIndexes {
+        let mut idx = TripleIndexes::new();
+        for triple in [t(1, 10, 2), t(1, 10, 3), t(1, 11, 2), t(2, 10, 1), t(3, 11, 1)] {
+            idx.insert(triple);
+        }
+        idx
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut idx = TripleIndexes::new();
+        assert!(idx.insert(t(1, 2, 3)));
+        assert!(!idx.insert(t(1, 2, 3)));
+        assert_eq!(idx.len(), 1);
+        assert!(idx.contains(t(1, 2, 3)));
+    }
+
+    #[test]
+    fn remove_updates_all_orderings() {
+        let mut idx = sample();
+        assert!(idx.remove(t(1, 10, 2)));
+        assert!(!idx.remove(t(1, 10, 2)));
+        assert_eq!(idx.len(), 4);
+        // No ordering still returns the removed triple.
+        for pattern in [
+            TriplePattern::with_s(TermId(1)),
+            TriplePattern::with_p(TermId(10)),
+            TriplePattern::with_o(TermId(2)),
+        ] {
+            assert!(idx.scan(&pattern).all(|x| x != t(1, 10, 2)));
+        }
+    }
+
+    #[test]
+    fn all_eight_pattern_shapes_agree_with_naive_filter() {
+        let idx = sample();
+        let all: Vec<Triple> = idx.iter().collect();
+        let candidates = [
+            TriplePattern::ANY,
+            TriplePattern::with_s(TermId(1)),
+            TriplePattern::with_p(TermId(10)),
+            TriplePattern::with_o(TermId(2)),
+            TriplePattern::with_sp(TermId(1), TermId(10)),
+            TriplePattern::with_po(TermId(10), TermId(2)),
+            TriplePattern::with_so(TermId(1), TermId(2)),
+            TriplePattern::exact(t(1, 11, 2)),
+        ];
+        for pattern in candidates {
+            let mut expected: Vec<Triple> =
+                all.iter().copied().filter(|x| pattern.matches(x)).collect();
+            let mut got: Vec<Triple> = idx.scan(&pattern).collect();
+            expected.sort();
+            got.sort();
+            assert_eq!(got, expected, "pattern {pattern:?}");
+        }
+    }
+
+    #[test]
+    fn ordering_choice_covers_bound_prefixes() {
+        use Ordering::*;
+        assert_eq!(
+            TripleIndexes::choose_ordering(&TriplePattern::ANY),
+            Spo
+        );
+        assert_eq!(
+            TripleIndexes::choose_ordering(&TriplePattern::with_s(TermId(1))),
+            Spo
+        );
+        assert_eq!(
+            TripleIndexes::choose_ordering(&TriplePattern::with_p(TermId(1))),
+            Pos
+        );
+        assert_eq!(
+            TripleIndexes::choose_ordering(&TriplePattern::with_o(TermId(1))),
+            Osp
+        );
+        assert_eq!(
+            TripleIndexes::choose_ordering(&TriplePattern::with_so(TermId(1), TermId(2))),
+            Osp
+        );
+        assert_eq!(
+            TripleIndexes::choose_ordering(&TriplePattern::with_po(TermId(1), TermId(2))),
+            Pos
+        );
+    }
+
+    #[test]
+    fn boundary_ids_scan_correctly() {
+        let mut idx = TripleIndexes::new();
+        idx.insert(t(0, 0, 0));
+        idx.insert(t(u32::MAX, u32::MAX, u32::MAX));
+        assert_eq!(idx.scan(&TriplePattern::with_s(TermId(0))).count(), 1);
+        assert_eq!(
+            idx.scan(&TriplePattern::with_s(TermId(u32::MAX))).count(),
+            1
+        );
+        assert_eq!(idx.scan(&TriplePattern::ANY).count(), 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! # nck-store — triple-store substrate
+//!
+//! The paper's experimental setup loads YAGO and LinkedMDB into an Apache
+//! Jena triple store *"to perform quick traversals on the graph without
+//! loading it into main memory"*. This crate reproduces the access paths
+//! that workload needs, in Rust:
+//!
+//! - [`dictionary`] — term dictionary mapping IRIs/literals ↔ dense ids;
+//! - [`triple`] — dictionary-encoded triples and match patterns;
+//! - [`index`] — the three orderings (SPO, POS, OSP) every bound/unbound
+//!   pattern combination can be answered from with a range scan;
+//! - [`store`] — the [`TripleStore`] facade: insert, remove, pattern
+//!   queries, bulk load;
+//! - [`ntriples`] — an N-Triples-subset parser and writer;
+//! - [`graph_view`] — adapter materializing a [`nck_graph::KnowledgeGraph`]
+//!   from the store (the hand-off point to the algorithm crates).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dictionary;
+pub mod error;
+pub mod graph_view;
+pub mod index;
+pub mod ntriples;
+pub mod store;
+pub mod triple;
+
+pub use dictionary::{Term, TermDictionary, TermId};
+pub use error::StoreError;
+pub use store::TripleStore;
+pub use triple::{Triple, TriplePattern};

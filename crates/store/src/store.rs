@@ -1,0 +1,250 @@
+//! The [`TripleStore`] facade.
+//!
+//! Combines the term dictionary and the three index orderings behind a
+//! string-friendly API: callers insert `(subject, predicate, object)`
+//! statements as [`Term`]s and query with optional constraints; all
+//! internal work happens on dictionary ids.
+
+use crate::dictionary::{Term, TermDictionary, TermId};
+use crate::index::TripleIndexes;
+use crate::triple::{Triple, TriplePattern};
+
+/// An in-memory, dictionary-encoded triple store with SPO/POS/OSP indexes.
+#[derive(Debug, Clone, Default)]
+pub struct TripleStore {
+    dict: TermDictionary,
+    indexes: TripleIndexes,
+}
+
+/// A decoded query answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Statement<'a> {
+    /// Subject term.
+    pub s: &'a Term,
+    /// Predicate term.
+    pub p: &'a Term,
+    /// Object term.
+    pub o: &'a Term,
+}
+
+impl TripleStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored triples.
+    pub fn len(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// True when the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.indexes.is_empty()
+    }
+
+    /// Number of distinct terms in the dictionary.
+    pub fn num_terms(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Interns a term, returning its id.
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        self.dict.intern(term)
+    }
+
+    /// The id of `term`, if known.
+    pub fn term_id(&self, term: &Term) -> Option<TermId> {
+        self.dict.get(term)
+    }
+
+    /// The term behind `id`, if valid.
+    pub fn term(&self, id: TermId) -> Option<&Term> {
+        self.dict.resolve(id)
+    }
+
+    /// Inserts a statement; returns `true` when it was new.
+    pub fn insert(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
+        let t = Triple::new(self.dict.intern(s), self.dict.intern(p), self.dict.intern(o));
+        self.indexes.insert(t)
+    }
+
+    /// Inserts a statement of three IRIs (the common bulk-load shape).
+    pub fn insert_iris(&mut self, s: &str, p: &str, o: &str) -> bool {
+        self.insert(&Term::iri(s), &Term::iri(p), &Term::iri(o))
+    }
+
+    /// Removes a statement; returns `true` when it was present.
+    pub fn remove(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
+        match (self.dict.get(s), self.dict.get(p), self.dict.get(o)) {
+            (Some(s), Some(p), Some(o)) => self.indexes.remove(Triple::new(s, p, o)),
+            _ => false,
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, s: &Term, p: &Term, o: &Term) -> bool {
+        match (self.dict.get(s), self.dict.get(p), self.dict.get(o)) {
+            (Some(s), Some(p), Some(o)) => self.indexes.contains(Triple::new(s, p, o)),
+            _ => false,
+        }
+    }
+
+    /// Streams id-level triples matching a pattern of optional terms.
+    ///
+    /// A constraint on a term that is not in the dictionary matches
+    /// nothing (the empty iterator), mirroring SQL's empty result rather
+    /// than an error.
+    pub fn query<'a>(
+        &'a self,
+        s: Option<&Term>,
+        p: Option<&Term>,
+        o: Option<&Term>,
+    ) -> Box<dyn Iterator<Item = Triple> + 'a> {
+        let resolve = |t: Option<&Term>| -> Result<Option<TermId>, ()> {
+            match t {
+                None => Ok(None),
+                Some(term) => match self.dict.get(term) {
+                    Some(id) => Ok(Some(id)),
+                    None => Err(()),
+                },
+            }
+        };
+        match (resolve(s), resolve(p), resolve(o)) {
+            (Ok(s), Ok(p), Ok(o)) => self.indexes.scan(&TriplePattern::new(s, p, o)),
+            _ => Box::new(std::iter::empty()),
+        }
+    }
+
+    /// Streams decoded statements matching a pattern.
+    pub fn query_decoded<'a>(
+        &'a self,
+        s: Option<&Term>,
+        p: Option<&Term>,
+        o: Option<&Term>,
+    ) -> impl Iterator<Item = Statement<'a>> + 'a {
+        self.query(s, p, o).map(move |t| self.decode(t))
+    }
+
+    /// Streams id-level triples for an id-level pattern.
+    pub fn scan<'a>(&'a self, pattern: &TriplePattern) -> Box<dyn Iterator<Item = Triple> + 'a> {
+        self.indexes.scan(pattern)
+    }
+
+    /// Iterates every triple (SPO order).
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.indexes.iter()
+    }
+
+    /// Decodes an id triple into terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the triple's ids did not come from this store.
+    pub fn decode(&self, t: Triple) -> Statement<'_> {
+        Statement {
+            s: self.dict.resolve(t.s).expect("foreign subject id"),
+            p: self.dict.resolve(t.p).expect("foreign predicate id"),
+            o: self.dict.resolve(t.o).expect("foreign object id"),
+        }
+    }
+
+    /// Distinct predicates in use (by scanning; intended for tooling).
+    pub fn predicates(&self) -> Vec<TermId> {
+        let mut out: Vec<TermId> = self.iter().map(|t| t.p).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn politicians() -> TripleStore {
+        let mut s = TripleStore::new();
+        s.insert_iris("Merkel", "studied", "Physics");
+        s.insert_iris("Putin", "studied", "Law");
+        s.insert_iris("Hollande", "hasChild", "Thomas");
+        s.insert_iris("Hollande", "hasChild", "Flora");
+        s.insert(
+            &Term::iri("Merkel"),
+            &Term::iri("birthDate"),
+            &Term::literal("1954-07-17"),
+        );
+        s
+    }
+
+    #[test]
+    fn insert_query_remove_cycle() {
+        let mut s = politicians();
+        assert_eq!(s.len(), 5);
+        assert!(s.contains(&Term::iri("Merkel"), &Term::iri("studied"), &Term::iri("Physics")));
+        assert!(s.remove(&Term::iri("Merkel"), &Term::iri("studied"), &Term::iri("Physics")));
+        assert!(!s.contains(&Term::iri("Merkel"), &Term::iri("studied"), &Term::iri("Physics")));
+        assert_eq!(s.len(), 4);
+        // Removing a triple with unknown terms is a no-op.
+        assert!(!s.remove(&Term::iri("Nobody"), &Term::iri("studied"), &Term::iri("Physics")));
+    }
+
+    #[test]
+    fn query_by_subject() {
+        let s = politicians();
+        let results: Vec<_> = s
+            .query_decoded(Some(&Term::iri("Hollande")), None, None)
+            .map(|st| st.o.lexical().to_owned())
+            .collect();
+        assert_eq!(results.len(), 2);
+        assert!(results.contains(&"Thomas".to_owned()));
+        assert!(results.contains(&"Flora".to_owned()));
+    }
+
+    #[test]
+    fn query_by_predicate_and_object() {
+        let s = politicians();
+        let studied_law: Vec<_> = s
+            .query_decoded(None, Some(&Term::iri("studied")), Some(&Term::iri("Law")))
+            .map(|st| st.s.lexical().to_owned())
+            .collect();
+        assert_eq!(studied_law, vec!["Putin".to_owned()]);
+    }
+
+    #[test]
+    fn unknown_term_matches_nothing() {
+        let s = politicians();
+        assert_eq!(s.query(Some(&Term::iri("Ghost")), None, None).count(), 0);
+    }
+
+    #[test]
+    fn literals_are_distinct_from_iris() {
+        let s = politicians();
+        // birthDate object is a literal; querying the IRI form finds nothing.
+        assert_eq!(
+            s.query(None, None, Some(&Term::iri("1954-07-17"))).count(),
+            0
+        );
+        assert_eq!(
+            s.query(None, None, Some(&Term::literal("1954-07-17"))).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn predicates_deduplicated() {
+        let s = politicians();
+        let preds: Vec<String> = s
+            .predicates()
+            .into_iter()
+            .map(|id| s.term(id).unwrap().lexical().to_owned())
+            .collect();
+        assert_eq!(preds.len(), 3);
+    }
+
+    #[test]
+    fn full_scan_covers_everything() {
+        let s = politicians();
+        assert_eq!(s.iter().count(), s.len());
+        assert_eq!(s.query(None, None, None).count(), s.len());
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the triple store.
+
+use nck_store::dictionary::Term;
+use nck_store::ntriples::{read_ntriples, write_ntriples};
+use nck_store::triple::TriplePattern;
+use nck_store::TripleStore;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0u8..12).prop_map(|i| Term::iri(format!("node{i}"))),
+        (0u8..4).prop_map(|i| Term::literal(format!("value {i} \"x\"\n\t\\"))),
+    ]
+}
+
+fn statements() -> impl Strategy<Value = Vec<(Term, Term, Term)>> {
+    prop::collection::vec(
+        (
+            (0u8..12).prop_map(|i| Term::iri(format!("node{i}"))),
+            (0u8..5).prop_map(|i| Term::iri(format!("pred{i}"))),
+            term_strategy(),
+        ),
+        0..50,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn store_len_equals_distinct_statements(stmts in statements()) {
+        let mut store = TripleStore::new();
+        for (s, p, o) in &stmts {
+            store.insert(s, p, o);
+        }
+        let distinct: BTreeSet<_> = stmts.iter().collect();
+        prop_assert_eq!(store.len(), distinct.len());
+    }
+
+    #[test]
+    fn every_pattern_agrees_with_naive_filter(stmts in statements()) {
+        let mut store = TripleStore::new();
+        for (s, p, o) in &stmts {
+            store.insert(s, p, o);
+        }
+        let all: Vec<_> = store.iter().collect();
+        // Exercise patterns derived from actual triples (and ANY).
+        let mut patterns = vec![TriplePattern::ANY];
+        for t in all.iter().take(5) {
+            patterns.push(TriplePattern::with_s(t.s));
+            patterns.push(TriplePattern::with_p(t.p));
+            patterns.push(TriplePattern::with_o(t.o));
+            patterns.push(TriplePattern::with_sp(t.s, t.p));
+            patterns.push(TriplePattern::with_po(t.p, t.o));
+            patterns.push(TriplePattern::with_so(t.s, t.o));
+            patterns.push(TriplePattern::exact(*t));
+        }
+        for pattern in patterns {
+            let mut expected: Vec<_> = all.iter().copied().filter(|t| pattern.matches(t)).collect();
+            let mut got: Vec<_> = store.scan(&pattern).collect();
+            expected.sort();
+            got.sort();
+            prop_assert_eq!(got, expected, "pattern {:?}", pattern);
+        }
+    }
+
+    #[test]
+    fn insert_then_remove_restores_absence(stmts in statements()) {
+        let mut store = TripleStore::new();
+        for (s, p, o) in &stmts {
+            store.insert(s, p, o);
+        }
+        for (s, p, o) in &stmts {
+            store.remove(s, p, o);
+        }
+        prop_assert!(store.is_empty());
+        prop_assert_eq!(store.iter().count(), 0);
+    }
+
+    #[test]
+    fn ntriples_round_trip(stmts in statements()) {
+        let mut store = TripleStore::new();
+        for (s, p, o) in &stmts {
+            store.insert(s, p, o);
+        }
+        let mut buf = Vec::new();
+        write_ntriples(&store, &mut buf).unwrap();
+        let back = read_ntriples(&buf[..]).unwrap();
+        prop_assert_eq!(back.len(), store.len());
+        for (s, p, o) in &stmts {
+            prop_assert!(back.contains(s, p, o), "missing {:?} {:?} {:?}", s, p, o);
+        }
+    }
+
+    #[test]
+    fn graph_view_preserves_edge_count(stmts in statements()) {
+        let mut store = TripleStore::new();
+        for (s, p, o) in &stmts {
+            store.insert(s, p, o);
+        }
+        let g = nck_store::graph_view::to_knowledge_graph(&store);
+        // Logical edges = distinct statements up to lexical collapsing of
+        // IRI/literal objects with identical text.
+        let distinct_lexical: BTreeSet<(String, String, String)> = stmts
+            .iter()
+            .map(|(s, p, o)| {
+                (
+                    s.lexical().to_owned(),
+                    p.lexical().to_owned(),
+                    o.lexical().to_owned(),
+                )
+            })
+            .collect();
+        prop_assert_eq!(g.num_logical_edges(), distinct_lexical.len());
+    }
+}

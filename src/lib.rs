@@ -1,0 +1,80 @@
+//! # notable-characteristics
+//!
+//! A Rust reproduction of *"Notable Characteristics Search through
+//! Knowledge Graphs"* (Mottin, Grasnick, Kroschk, Siegler, Müller — EDBT
+//! 2018, arXiv:1802.04060).
+//!
+//! Given a small set of query entities in a knowledge graph, the system
+//!
+//! 1. retrieves a **context set** — the top-k nodes most similar to the
+//!    query, via metapath-constrained random walks (`ContextRW`) or a
+//!    frequency-weighted Personalized PageRank baseline (`RandomWalk`);
+//! 2. flags **notable characteristics** — edge labels whose value
+//!    (*instance*) or count (*cardinality*) distribution over the query
+//!    deviates significantly from the context's, under an exact /
+//!    Monte-Carlo multinomial test (`FindNC`).
+//!
+//! This crate is the façade over the workspace:
+//!
+//! - [`graph`] — knowledge-graph substrate (dictionary-encoded CSR);
+//! - [`store`] — triple-store substrate (SPO/POS/OSP indexes);
+//! - [`stats`] — statistics substrate (multinomial test, divergences);
+//! - [`core`] — the paper's algorithms;
+//! - [`datagen`] — seeded synthetic YAGO-like / LinkedMDB-like data;
+//! - [`eval`] — the experiment harness reproducing every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use notable_characteristics::prelude::*;
+//!
+//! // Build the paper's Figure-1 graph: politicians, studies, children.
+//! let mut b = GraphBuilder::new();
+//! b.add_triple("Merkel", "studied", "Physics");
+//! for (p, domain) in [("Putin", "Law"), ("Renzi", "Law"), ("Hollande", "Law")] {
+//!     b.add_triple(p, "studied", domain);
+//! }
+//! for (p, c) in [
+//!     ("Obama", "Malia"), ("Putin", "Mariya"), ("Renzi", "Ester"),
+//!     ("Renzi", "Emanuele"), ("Hollande", "Thomas"), ("Hollande", "Clemence"),
+//! ] {
+//!     b.add_triple(p, "hasChild", c);
+//! }
+//! let graph = b.build();
+//!
+//! // Query: {Merkel, Obama}; context: the other leaders.
+//! let query = Query::by_names(&graph, ["Merkel", "Obama"]).unwrap();
+//! let context_nodes: Vec<_> = ["Putin", "Renzi", "Hollande"]
+//!     .iter().map(|n| graph.node_by_name(n).unwrap()).collect();
+//! let context = Context::from_nodes(&context_nodes);
+//!
+//! // Find notable characteristics against that context.
+//! let findnc = FindNc::new(FindNcConfig::default());
+//! let result = findnc.discover_with_context(&graph, &query, &context).unwrap();
+//! // "Merkel has no child" style deviations surface as notable labels.
+//! assert!(result.characteristics.iter().any(|c| {
+//!     graph.label_name(c.label) == "hasChild" && c.score > 0.0
+//! }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use nck_core as core;
+pub use nck_datagen as datagen;
+pub use nck_eval as eval;
+pub use nck_graph as graph;
+pub use nck_stats as stats;
+pub use nck_store as store;
+
+/// Commonly used items, re-exported for `use notable_characteristics::prelude::*`.
+pub mod prelude {
+    pub use nck_core::config::{ContextRwConfig, FindNcConfig, PathMiningConfig, PprConfig};
+    pub use nck_core::context::{Context, ContextSelector};
+    pub use nck_core::context_rw::ContextRw;
+    pub use nck_core::findnc::{FindNc, NotableCharacteristic, SearchResult};
+    pub use nck_core::ppr::RandomWalkSelector;
+    pub use nck_core::query::Query;
+    pub use nck_graph::{EdgeLabelId, GraphBuilder, KnowledgeGraph, NodeId};
+    pub use nck_stats::MultinomialTest;
+}

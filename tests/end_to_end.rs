@@ -1,0 +1,176 @@
+//! Workspace integration tests: the full stack, from triple store to
+//! notable characteristics, exercised together.
+
+use notable_characteristics::core::config::{
+    ContextRwConfig, FindNcConfig, PathMiningConfig,
+};
+use notable_characteristics::core::context::TypeFilter;
+use notable_characteristics::datagen::{generate, GeneratorConfig};
+use notable_characteristics::prelude::*;
+use notable_characteristics::store::graph_view::to_knowledge_graph;
+use notable_characteristics::store::TripleStore;
+
+/// Store → graph → FindNC: a dataset loaded through the triple-store
+/// substrate produces the same discoveries as one built directly.
+#[test]
+fn store_backed_pipeline_matches_direct_graph() {
+    // Direct construction.
+    let mut b = GraphBuilder::new();
+    b.add_triple("q", "quirk", "weird");
+    for i in 0..25 {
+        let n = format!("c{i}");
+        b.add_triple(&n, "quirk", if i == 0 { "weird" } else { "normal" });
+        b.add_triple(&n, "usual", "common");
+    }
+    b.add_triple("q", "usual", "common");
+    let direct = b.build();
+
+    // Store-backed construction of the same facts.
+    let mut store = TripleStore::new();
+    store.insert_iris("q", "quirk", "weird");
+    store.insert_iris("q", "usual", "common");
+    for i in 0..25 {
+        let n = format!("c{i}");
+        store.insert_iris(&n, "quirk", if i == 0 { "weird" } else { "normal" });
+        store.insert_iris(&n, "usual", "common");
+    }
+    let via_store = to_knowledge_graph(&store);
+    assert_eq!(via_store.num_logical_edges(), direct.num_logical_edges());
+
+    for graph in [&direct, &via_store] {
+        let query = Query::by_names(graph, ["q"]).unwrap();
+        let names: Vec<String> = (0..25).map(|i| format!("c{i}")).collect();
+        let context = Context::from_names(graph, &names).unwrap();
+        let result = FindNc::new(FindNcConfig::default())
+            .discover_with_context(graph, &query, &context)
+            .unwrap();
+        let quirk = result.characteristic("quirk", graph).unwrap();
+        assert!(quirk.notable(), "rare value must be notable");
+        let usual = result.characteristic("usual", graph).unwrap();
+        assert!(!usual.notable(), "shared value must not be notable");
+    }
+}
+
+/// Graph TSV round trip preserves discovery results.
+#[test]
+fn tsv_round_trip_preserves_discoveries() {
+    let dataset = generate(&GeneratorConfig::tiny(5));
+    let mut buf = Vec::new();
+    notable_characteristics::graph::io::write_tsv(&dataset.graph, &mut buf).unwrap();
+    let reloaded = notable_characteristics::graph::io::read_tsv(&buf[..]).unwrap();
+    assert_eq!(
+        reloaded.num_logical_edges(),
+        dataset.graph.num_logical_edges()
+    );
+    // Merkel's planted facts survive the round trip.
+    let merkel = reloaded.require_node("Angela Merkel").unwrap();
+    let has_child = reloaded.labels().get("hasChild").unwrap();
+    assert_eq!(reloaded.degree_with_label(merkel, has_child), 0);
+    let studied = reloaded.labels().get("studied").unwrap();
+    let subjects = reloaded.neighbors_with_label(merkel, studied);
+    assert_eq!(subjects.len(), 1);
+    assert_eq!(reloaded.node_name(subjects[0]), "Physics");
+}
+
+/// The full mined pipeline runs end to end on the synthetic dataset and
+/// produces a plausible, explained result.
+#[test]
+fn mined_pipeline_produces_explained_results() {
+    let dataset = generate(&GeneratorConfig::tiny(42));
+    let graph = &dataset.graph;
+    let spec = notable_characteristics::datagen::queries::actors5_query();
+    let query = Query::new(graph, dataset.query_nodes(&spec)).unwrap();
+    let findnc = FindNc::new(FindNcConfig {
+        context: ContextRwConfig {
+            mining: PathMiningConfig {
+                walks: 30_000,
+                max_length: 5,
+                seed: 4,
+                parallel: true,
+            },
+            num_metapaths: 5,
+            type_filter: TypeFilter::CommonAncestor,
+            max_endpoint_fraction: 0.25,
+        },
+        context_size: 50,
+        ..FindNcConfig::default()
+    });
+    let result = findnc.discover(graph, &query).unwrap();
+    assert!(!result.context.is_empty());
+    assert!(!result.characteristics.is_empty());
+    // Scores are sorted and the report renders every label.
+    for w in result.characteristics.windows(2) {
+        assert!(w[0].score >= w[1].score);
+    }
+    let text =
+        notable_characteristics::core::explain::report(graph, &result, query.len());
+    for ch in &result.characteristics {
+        assert!(text.contains(graph.label_name(ch.label)));
+    }
+}
+
+/// Determinism across the whole stack: same seed, same results.
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let dataset = generate(&GeneratorConfig::tiny(11));
+        let graph = &dataset.graph;
+        let spec = notable_characteristics::datagen::queries::actors5_query();
+        let query = Query::new(graph, dataset.query_nodes(&spec)).unwrap();
+        let findnc = FindNc::new(FindNcConfig {
+            context: ContextRwConfig {
+                mining: PathMiningConfig {
+                    walks: 10_000,
+                    max_length: 4,
+                    seed: 9,
+                    parallel: false,
+                },
+                num_metapaths: 5,
+                type_filter: TypeFilter::CommonAncestor,
+                max_endpoint_fraction: 0.25,
+            },
+            context_size: 40,
+            ..FindNcConfig::default()
+        });
+        let result = findnc.discover(graph, &query).unwrap();
+        result
+            .characteristics
+            .iter()
+            .map(|c| (graph.label_name(c.label).to_owned(), c.score))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+/// The λ selectors disagree the way the paper says they do: the baseline's
+/// context contains close-but-irrelevant neighbors that ContextRW skips.
+#[test]
+fn selectors_disagree_on_context_composition() {
+    let dataset = generate(&GeneratorConfig::tiny(42));
+    let graph = &dataset.graph;
+    let spec = notable_characteristics::datagen::queries::actors5_query();
+    let query = Query::new(graph, dataset.query_nodes(&spec)).unwrap();
+    let crw = ContextRw::new(ContextRwConfig {
+        mining: PathMiningConfig {
+            walks: 30_000,
+            max_length: 5,
+            seed: 21,
+            parallel: true,
+        },
+        num_metapaths: 5,
+        type_filter: TypeFilter::CommonAncestor,
+        max_endpoint_fraction: 0.25,
+    });
+    let rw = RandomWalkSelector::paper_experiment();
+    use notable_characteristics::core::context::ContextSelector;
+    let c1 = crw.select(graph, &query, 60).unwrap();
+    let c2 = rw.select(graph, &query, 60).unwrap();
+    let overlap = c1
+        .node_set()
+        .intersection(&c2.node_set())
+        .count();
+    assert!(
+        overlap < 60,
+        "the two selectors must not return identical contexts"
+    );
+}
