@@ -39,11 +39,9 @@ fn bench_context_selection(c: &mut Criterion) {
     group.sample_size(10);
     for spec in d.queries_for(DomainId::Actors) {
         let query = Query::new(&d.graph, d.query_nodes(spec)).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("ContextRW", spec.len()),
-            &query,
-            |b, q| b.iter(|| crw.select(&d.graph, q, 100).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("ContextRW", spec.len()), &query, |b, q| {
+            b.iter(|| crw.select(&d.graph, q, 100).unwrap())
+        });
         group.bench_with_input(
             BenchmarkId::new("RandomWalk", spec.len()),
             &query,

@@ -19,7 +19,7 @@
 
 use crate::error::CoreError;
 use crate::query::Query;
-use nck_graph::{KnowledgeGraph, NodeId, NodeTypeId};
+use nck_graph::{GraphAccess, NodeId, NodeTypeId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -63,8 +63,9 @@ impl Context {
     }
 
     /// Builds a context from entity names.
-    pub fn from_names<I, S>(graph: &KnowledgeGraph, names: I) -> Result<Self, CoreError>
+    pub fn from_names<G, I, S>(graph: &G, names: I) -> Result<Self, CoreError>
     where
+        G: GraphAccess,
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
@@ -112,15 +113,11 @@ impl Context {
     }
 }
 
-/// A similarity-based context selector (σ of Def. 2).
-pub trait ContextSelector {
+/// A similarity-based context selector (σ of Def. 2), generic over the
+/// graph backend.
+pub trait ContextSelector<G: GraphAccess> {
     /// Scores all candidates and returns the top-`k` as a context.
-    fn select(
-        &self,
-        graph: &KnowledgeGraph,
-        query: &Query,
-        k: usize,
-    ) -> Result<Context, CoreError>;
+    fn select(&self, graph: &G, query: &Query, k: usize) -> Result<Context, CoreError>;
 
     /// Human-readable selector name (for reports).
     fn name(&self) -> &'static str;
@@ -137,7 +134,7 @@ pub struct CandidateFilter {
 impl CandidateFilter {
     /// Builds the predicate by intersecting the query nodes' ancestor
     /// sets and testing every registered type against the intersection.
-    pub fn new(graph: &KnowledgeGraph, query: &Query, filter: TypeFilter) -> Self {
+    pub fn new<G: GraphAccess>(graph: &G, query: &Query, filter: TypeFilter) -> Self {
         let tax = graph.taxonomy();
         let n_types = tax.len();
         match filter {
@@ -164,8 +161,7 @@ impl CandidateFilter {
                 for &q in query.nodes() {
                     let set: HashSet<NodeTypeId> = match graph.node_type(q) {
                         Some(t) => {
-                            let mut s: HashSet<NodeTypeId> =
-                                tax.ancestors(t).into_iter().collect();
+                            let mut s: HashSet<NodeTypeId> = tax.ancestors(t).into_iter().collect();
                             s.insert(t);
                             s
                         }
@@ -195,7 +191,7 @@ impl CandidateFilter {
     }
 
     /// Whether `node` qualifies as a context candidate.
-    pub fn allows(&self, graph: &KnowledgeGraph, node: NodeId) -> bool {
+    pub fn allows<G: GraphAccess>(&self, graph: &G, node: NodeId) -> bool {
         match graph.node_type(node) {
             Some(t) => self.allowed_types.get(t.index()).copied().unwrap_or(false),
             None => self.allow_untyped,
@@ -205,8 +201,8 @@ impl CandidateFilter {
 
 /// Shared top-k finalization: filter, drop query nodes, sort by score
 /// (descending, ties by id for determinism), truncate to `k`.
-pub(crate) fn top_k_context(
-    graph: &KnowledgeGraph,
+pub(crate) fn top_k_context<G: GraphAccess>(
+    graph: &G,
     query: &Query,
     scores: impl IntoIterator<Item = (NodeId, f64)>,
     filter: &CandidateFilter,
@@ -219,7 +215,11 @@ pub(crate) fn top_k_context(
         .into_iter()
         .filter(|&(n, s)| s > 0.0 && !query.contains(n) && filter.allows(graph, n))
         .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
     ranked.truncate(k);
     Ok(Context::from_ranked(ranked))
 }
@@ -227,7 +227,7 @@ pub(crate) fn top_k_context(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nck_graph::GraphBuilder;
+    use nck_graph::{GraphBuilder, KnowledgeGraph};
 
     fn typed_graph() -> KnowledgeGraph {
         let mut b = GraphBuilder::new();
@@ -315,10 +315,7 @@ mod tests {
         assert!(!ctx.is_empty());
         let top1 = ctx.truncated(1);
         assert_eq!(top1.len(), 1);
-        assert_eq!(
-            g.node_name(top1.nodes().next().unwrap()),
-            "clooney"
-        );
+        assert_eq!(g.node_name(top1.nodes().next().unwrap()), "clooney");
         assert_eq!(ctx.node_set().len(), 2);
         assert!(Context::from_names(&g, ["ghost"]).is_err());
     }

@@ -18,7 +18,7 @@ use crate::context::{top_k_context, CandidateFilter, Context, ContextSelector};
 use crate::error::CoreError;
 use crate::metapath::{Metapath, MinedMetapaths, PathMiner};
 use crate::query::Query;
-use nck_graph::{KnowledgeGraph, NodeId};
+use nck_graph::{GraphAccess, NodeId};
 use std::collections::HashMap;
 
 /// The ContextRW selector.
@@ -39,8 +39,8 @@ impl ContextRw {
 
     /// Counts, for one query node, the number of `m`-paths ending at each
     /// node: a frontier of path multiplicities pushed label by label.
-    fn match_metapath(
-        graph: &KnowledgeGraph,
+    fn match_metapath<G: GraphAccess>(
+        graph: &G,
         start: NodeId,
         metapath: &Metapath,
     ) -> HashMap<NodeId, f64> {
@@ -51,7 +51,7 @@ impl ContextRw {
             }
             let mut next: HashMap<NodeId, f64> = HashMap::with_capacity(frontier.len() * 2);
             for (node, count) in frontier {
-                for &t in graph.neighbors_with_label(node, label) {
+                for &t in graph.neighbors_with_label(node, label).iter() {
                     *next.entry(t).or_insert(0.0) += count;
                 }
             }
@@ -61,9 +61,9 @@ impl ContextRw {
     }
 
     /// Computes σ for all nodes given mined metapaths.
-    pub fn score(
+    pub fn score<G: GraphAccess>(
         &self,
-        graph: &KnowledgeGraph,
+        graph: &G,
         query: &Query,
         mined: &MinedMetapaths,
     ) -> HashMap<NodeId, f64> {
@@ -100,9 +100,9 @@ impl ContextRw {
     /// does not consume one of the |M| slots; the next-ranked metapath
     /// takes its place. With [`crate::context::TypeFilter::None`] this is
     /// exactly the paper's plain top-|M| selection.
-    pub fn select_with_metapaths(
+    pub fn select_with_metapaths<G: GraphAccess + Sync>(
         &self,
-        graph: &KnowledgeGraph,
+        graph: &G,
         query: &Query,
         k: usize,
     ) -> Result<(Context, MinedMetapaths), CoreError> {
@@ -183,13 +183,8 @@ impl Default for ContextRw {
     }
 }
 
-impl ContextSelector for ContextRw {
-    fn select(
-        &self,
-        graph: &KnowledgeGraph,
-        query: &Query,
-        k: usize,
-    ) -> Result<Context, CoreError> {
+impl<G: GraphAccess + Sync> ContextSelector<G> for ContextRw {
+    fn select(&self, graph: &G, query: &Query, k: usize) -> Result<Context, CoreError> {
         self.select_with_metapaths(graph, query, k).map(|(c, _)| c)
     }
 
@@ -203,7 +198,7 @@ mod tests {
     use super::*;
     use crate::config::PathMiningConfig;
     use crate::context::TypeFilter;
-    use nck_graph::GraphBuilder;
+    use nck_graph::{GraphBuilder, KnowledgeGraph};
 
     /// Employer graph: q0 and q1 work at acme together with colleagues;
     /// others work elsewhere.

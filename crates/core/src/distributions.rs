@@ -32,7 +32,7 @@
 
 use crate::context::Context;
 use crate::query::Query;
-use nck_graph::{EdgeLabelId, KnowledgeGraph, NodeId};
+use nck_graph::{EdgeLabelId, GraphAccess, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -128,8 +128,8 @@ pub struct LabelDistributions {
 impl LabelDistributions {
     /// Builds the distributions of `label` for the given sets under the
     /// default support policy.
-    pub fn build(
-        graph: &KnowledgeGraph,
+    pub fn build<G: GraphAccess>(
+        graph: &G,
         query: &Query,
         context: &Context,
         label: EdgeLabelId,
@@ -139,8 +139,8 @@ impl LabelDistributions {
 
     /// Builds the distributions under an explicit support policy and the
     /// default binning.
-    pub fn build_with_support(
-        graph: &KnowledgeGraph,
+    pub fn build_with_support<G: GraphAccess>(
+        graph: &G,
         query: &Query,
         context: &Context,
         label: EdgeLabelId,
@@ -157,8 +157,8 @@ impl LabelDistributions {
     }
 
     /// Builds the distributions under explicit support and binning.
-    pub fn build_full(
-        graph: &KnowledgeGraph,
+    pub fn build_full<G: GraphAccess>(
+        graph: &G,
         query: &Query,
         context: &Context,
         label: EdgeLabelId,
@@ -183,7 +183,7 @@ impl LabelDistributions {
                 inst_c[0] += 1;
                 continue;
             }
-            for &t in targets {
+            for &t in targets.iter() {
                 let idx = *value_index.entry(t).or_insert_with(|| {
                     inst_support.push(t);
                     inst_support.len()
@@ -209,7 +209,7 @@ impl LabelDistributions {
                 inst_q[0] += 1;
                 continue;
             }
-            for &t in targets {
+            for &t in targets.iter() {
                 match (value_index.get(&t), support) {
                     (Some(&idx), _) => inst_q[idx] += 1,
                     (None, InstanceSupport::Union) => {
@@ -269,8 +269,8 @@ impl LabelDistributions {
 ///
 /// `include_inverse` keeps the auto-generated `l⁻¹` directions; the
 /// paper's experiments report forward labels.
-pub fn incident_labels(
-    graph: &KnowledgeGraph,
+pub fn incident_labels<G: GraphAccess>(
+    graph: &G,
     query: &Query,
     context: &Context,
     include_inverse: bool,
@@ -300,7 +300,7 @@ pub fn incident_labels(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nck_graph::GraphBuilder;
+    use nck_graph::{GraphBuilder, KnowledgeGraph};
 
     /// The Figure-1 fixture: Merkel studied Physics; Putin/Renzi/Hollande
     /// studied Law; children per the paper's figure.
@@ -339,13 +339,7 @@ mod tests {
         let g = figure1();
         let (q, c) = q_and_c(&g);
         let studied = g.labels().get("studied").unwrap();
-        let d = LabelDistributions::build_with_support(
-            &g,
-            &q,
-            &c,
-            studied,
-            InstanceSupport::Union,
-        );
+        let d = LabelDistributions::build_with_support(&g, &q, &c, studied, InstanceSupport::Union);
         let physics = g.node_by_name("Physics").unwrap();
         let law = g.node_by_name("Law").unwrap();
         assert_eq!(d.inst_support, vec![law, physics]); // context first

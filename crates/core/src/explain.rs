@@ -13,11 +13,11 @@
 
 use crate::discrimination::Trigger;
 use crate::findnc::{NotableCharacteristic, SearchResult};
-use nck_graph::KnowledgeGraph;
+use nck_graph::GraphAccess;
 use std::fmt::Write as _;
 
 /// Renders a one-line explanation of a characteristic.
-pub fn explain(graph: &KnowledgeGraph, ch: &NotableCharacteristic, query_size: usize) -> String {
+pub fn explain<G: GraphAccess>(graph: &G, ch: &NotableCharacteristic, query_size: usize) -> String {
     let label = graph.label_name(ch.label);
     let d = &ch.distributions;
     let ctx_size: u64 = d.card_c.iter().sum();
@@ -85,7 +85,7 @@ pub fn explain(graph: &KnowledgeGraph, ch: &NotableCharacteristic, query_size: u
 }
 
 /// Renders the full result as a ranked report.
-pub fn report(graph: &KnowledgeGraph, result: &SearchResult, query_size: usize) -> String {
+pub fn report<G: GraphAccess>(graph: &G, result: &SearchResult, query_size: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,

@@ -14,7 +14,7 @@ use crate::discrimination::{Discrimination, MultinomialDiscrimination, Trigger};
 use crate::distributions::{incident_labels, LabelDistributions};
 use crate::error::CoreError;
 use crate::query::Query;
-use nck_graph::{EdgeLabelId, KnowledgeGraph};
+use nck_graph::{EdgeLabelId, GraphAccess};
 use nck_stats::MultinomialTest;
 
 /// One scored characteristic in a [`SearchResult`].
@@ -62,10 +62,10 @@ impl SearchResult {
     }
 
     /// Looks a characteristic up by label name.
-    pub fn characteristic(
+    pub fn characteristic<G: GraphAccess>(
         &self,
         label_name: &str,
-        graph: &KnowledgeGraph,
+        graph: &G,
     ) -> Option<&NotableCharacteristic> {
         let label = graph.labels().get(label_name)?;
         self.characteristics.iter().find(|c| c.label == label)
@@ -98,9 +98,9 @@ impl FindNc {
     }
 
     /// Full pipeline: ContextRW context selection, then discrimination.
-    pub fn discover(
+    pub fn discover<G: GraphAccess + Sync>(
         &self,
-        graph: &KnowledgeGraph,
+        graph: &G,
         query: &Query,
     ) -> Result<SearchResult, CoreError> {
         let selector = ContextRw::new(self.config.context.clone());
@@ -109,11 +109,11 @@ impl FindNc {
 
     /// Pipeline with a caller-chosen context selector (e.g. the RWMult
     /// ablation of Figure 9).
-    pub fn discover_with_selector(
+    pub fn discover_with_selector<G: GraphAccess>(
         &self,
-        graph: &KnowledgeGraph,
+        graph: &G,
         query: &Query,
-        selector: &dyn ContextSelector,
+        selector: &dyn ContextSelector<G>,
     ) -> Result<SearchResult, CoreError> {
         let context = selector.select(graph, query, self.config.context_size)?;
         self.discover_with_context(graph, query, &context)
@@ -121,9 +121,9 @@ impl FindNc {
 
     /// Discrimination against a fixed context (also used by tests and by
     /// callers with an externally curated context).
-    pub fn discover_with_context(
+    pub fn discover_with_context<G: GraphAccess>(
         &self,
-        graph: &KnowledgeGraph,
+        graph: &G,
         query: &Query,
         context: &Context,
     ) -> Result<SearchResult, CoreError> {
@@ -133,9 +133,9 @@ impl FindNc {
 
     /// Fully pluggable variant: fixed context and any discrimination
     /// function (used by the §4.2 KL/EMD comparison).
-    pub fn discover_with_discrimination(
+    pub fn discover_with_discrimination<G: GraphAccess>(
         &self,
-        graph: &KnowledgeGraph,
+        graph: &G,
         query: &Query,
         context: &Context,
         discrimination: &dyn Discrimination,
@@ -146,12 +146,7 @@ impl FindNc {
                 available: 0,
             });
         }
-        let labels = incident_labels(
-            graph,
-            query,
-            context,
-            self.config.include_inverse_labels,
-        );
+        let labels = incident_labels(graph, query, context, self.config.include_inverse_labels);
         let mut characteristics = Vec::with_capacity(labels.len());
         for label in labels {
             let dists = LabelDistributions::build_full(
@@ -304,7 +299,7 @@ mod tests {
                 },
                 num_metapaths: 5,
                 type_filter: TypeFilter::None,
-            max_endpoint_fraction: 0.25,
+                max_endpoint_fraction: 0.25,
             },
             context_size: 20,
             ..FindNcConfig::default()

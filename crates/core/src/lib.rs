@@ -70,6 +70,7 @@ pub mod prelude {
     pub use crate::findnc::{FindNc, NotableCharacteristic, SearchResult};
     pub use crate::ppr::RandomWalkSelector;
     pub use crate::query::Query;
+    pub use nck_graph::GraphAccess;
 }
 
 pub use error::CoreError;

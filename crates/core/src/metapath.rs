@@ -31,7 +31,7 @@
 use crate::config::PathMiningConfig;
 use crate::parallel;
 use crate::query::Query;
-use nck_graph::{EdgeLabelId, KnowledgeGraph, NodeId};
+use nck_graph::{EdgeLabelId, GraphAccess, NodeId};
 use rand::rngs::SmallRng;
 use rand::{RngExt as _, SeedableRng};
 use std::collections::HashMap;
@@ -65,7 +65,7 @@ impl Metapath {
     }
 
     /// Renders the metapath with label names, e.g. `actedIn → actedIn⁻¹`.
-    pub fn display(&self, graph: &KnowledgeGraph) -> String {
+    pub fn display<G: GraphAccess>(&self, graph: &G) -> String {
         self.labels
             .iter()
             .map(|&l| graph.label_name(l))
@@ -146,7 +146,7 @@ impl PathMiner {
     }
 
     /// Mines metapaths for `query` over `graph`.
-    pub fn mine(&self, graph: &KnowledgeGraph, query: &Query) -> MinedMetapaths {
+    pub fn mine<G: GraphAccess + Sync>(&self, graph: &G, query: &Query) -> MinedMetapaths {
         let n = graph.num_nodes();
         if n == 0 || query.len() >= n {
             return MinedMetapaths::default();
@@ -192,8 +192,8 @@ impl PathMiner {
 
 /// One mining walk; returns the reversed-inverted label sequence when the
 /// walk reaches a query node within the length budget.
-fn walk_once(
-    graph: &KnowledgeGraph,
+fn walk_once<G: GraphAccess>(
+    graph: &G,
     query: &Query,
     label_weight: &[f64],
     max_len: usize,
@@ -240,7 +240,7 @@ fn walk_once(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nck_graph::GraphBuilder;
+    use nck_graph::{GraphBuilder, KnowledgeGraph};
 
     /// Star graph: `center` connected to many leaves via `spoke`; query
     /// is the center — the only mineable metapath is [spoke] (outward).

@@ -86,9 +86,8 @@ mod tests {
     #[test]
     fn parallel_equals_sequential() {
         let n = 10_000usize;
-        let worker = |_i: usize, r: std::ops::Range<usize>| -> u64 {
-            r.map(|x| x as u64 * 3 + 1).sum()
-        };
+        let worker =
+            |_i: usize, r: std::ops::Range<usize>| -> u64 { r.map(|x| x as u64 * 3 + 1).sum() };
         let seq = map_chunks(n, false, worker, 0u64, |a, b| a + b);
         let par = map_chunks(n, true, worker, 0u64, |a, b| a + b);
         assert_eq!(seq, par);

@@ -18,11 +18,12 @@ use crate::context::{top_k_context, CandidateFilter, Context, ContextSelector};
 use crate::error::CoreError;
 use crate::parallel;
 use crate::query::Query;
-use nck_graph::{KnowledgeGraph, NodeId};
+use nck_graph::{GraphAccess, NodeId};
 
-/// Power-iteration Personalized PageRank over the weighted graph.
-pub struct PersonalizedPageRank<'g> {
-    graph: &'g KnowledgeGraph,
+/// Power-iteration Personalized PageRank over the weighted graph,
+/// generic over the [`GraphAccess`] backend.
+pub struct PersonalizedPageRank<'g, G> {
+    graph: &'g G,
     config: PprConfig,
     /// Per-label Eq. 1 weight `1 − |E_l|/|E|`.
     label_weight: Vec<f64>,
@@ -30,9 +31,9 @@ pub struct PersonalizedPageRank<'g> {
     out_weight: Vec<f64>,
 }
 
-impl<'g> PersonalizedPageRank<'g> {
+impl<'g, G: GraphAccess> PersonalizedPageRank<'g, G> {
     /// Precomputes weights for `graph`.
-    pub fn new(graph: &'g KnowledgeGraph, config: PprConfig) -> Result<Self, CoreError> {
+    pub fn new(graph: &'g G, config: PprConfig) -> Result<Self, CoreError> {
         if !(0.0..=1.0).contains(&config.damping) || !config.damping.is_finite() {
             return Err(CoreError::InvalidConfig {
                 field: "damping",
@@ -138,13 +139,8 @@ impl Default for RandomWalkSelector {
     }
 }
 
-impl ContextSelector for RandomWalkSelector {
-    fn select(
-        &self,
-        graph: &KnowledgeGraph,
-        query: &Query,
-        k: usize,
-    ) -> Result<Context, CoreError> {
+impl<G: GraphAccess + Sync> ContextSelector<G> for RandomWalkSelector {
+    fn select(&self, graph: &G, query: &Query, k: usize) -> Result<Context, CoreError> {
         let ppr = PersonalizedPageRank::new(graph, self.config.ppr.clone())?;
         let nq = query.len();
         // One PageRank per query node ("setting v_n = 1 for each n ∈ Q,
@@ -187,7 +183,7 @@ impl ContextSelector for RandomWalkSelector {
 mod tests {
     use super::*;
     use crate::context::TypeFilter;
-    use nck_graph::GraphBuilder;
+    use nck_graph::{GraphBuilder, KnowledgeGraph};
 
     /// A small two-community graph: `a*` nodes interlinked, `b*` nodes
     /// interlinked, one bridge.

@@ -1,7 +1,7 @@
 //! The query set `Q` (Def. 2).
 
 use crate::error::CoreError;
-use nck_graph::{KnowledgeGraph, NodeId};
+use nck_graph::{GraphAccess, NodeId};
 
 /// Maximum supported query size; the paper considers the query "reasonably
 /// small (i.e., ≤ 10 elements)".
@@ -15,7 +15,7 @@ pub struct Query {
 
 impl Query {
     /// Builds a query from node ids, validating size and uniqueness.
-    pub fn new(graph: &KnowledgeGraph, nodes: Vec<NodeId>) -> Result<Self, CoreError> {
+    pub fn new<G: GraphAccess>(graph: &G, nodes: Vec<NodeId>) -> Result<Self, CoreError> {
         if nodes.is_empty() {
             return Err(CoreError::EmptyQuery);
         }
@@ -32,17 +32,16 @@ impl Query {
                 )));
             }
             if nodes[..i].contains(&n) {
-                return Err(CoreError::DuplicateQueryNode(
-                    graph.node_name(n).to_owned(),
-                ));
+                return Err(CoreError::DuplicateQueryNode(graph.node_name(n).to_owned()));
             }
         }
         Ok(Self { nodes })
     }
 
     /// Builds a query by entity names.
-    pub fn by_names<I, S>(graph: &KnowledgeGraph, names: I) -> Result<Self, CoreError>
+    pub fn by_names<G, I, S>(graph: &G, names: I) -> Result<Self, CoreError>
     where
+        G: GraphAccess,
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
@@ -81,7 +80,7 @@ impl Query {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nck_graph::GraphBuilder;
+    use nck_graph::{GraphBuilder, KnowledgeGraph};
 
     fn graph() -> KnowledgeGraph {
         let mut b = GraphBuilder::new();

@@ -1,12 +1,14 @@
 //! Cross-crate pipeline tests: the paper's qualitative claims must hold
 //! on the synthetic datasets.
 
-use nck_core::config::{ContextRwConfig, FindNcConfig, PathMiningConfig, PprConfig, RandomWalkConfig};
+use nck_core::config::{
+    ContextRwConfig, FindNcConfig, PathMiningConfig, PprConfig, RandomWalkConfig,
+};
 use nck_core::context::{ContextSelector, TypeFilter};
 use nck_core::context_rw::ContextRw;
+use nck_core::findnc::FindNc;
 use nck_core::ppr::RandomWalkSelector;
 use nck_core::query::Query;
-use nck_core::findnc::FindNc;
 use nck_datagen::ground_truth::{simulate_crowd, CrowdConfig};
 use nck_datagen::{generate, queries, Dataset, GeneratorConfig};
 use nck_stats::precision_recall_f1;
@@ -29,7 +31,7 @@ fn context_rw(walks: usize) -> ContextRw {
         },
         num_metapaths: 5,
         type_filter: TypeFilter::CommonAncestor,
-            max_endpoint_fraction: 0.25,
+        max_endpoint_fraction: 0.25,
     })
 }
 
@@ -44,7 +46,12 @@ fn random_walk() -> RandomWalkSelector {
     })
 }
 
-fn f1_of(selector: &dyn ContextSelector, d: &Dataset, q: &queries::QuerySpec, k: usize) -> f64 {
+fn f1_of(
+    selector: &dyn ContextSelector<nck_graph::KnowledgeGraph>,
+    d: &Dataset,
+    q: &queries::QuerySpec,
+    k: usize,
+) -> f64 {
     let graph = &d.graph;
     let query = Query::new(graph, d.query_nodes(q)).unwrap();
     let gt = simulate_crowd(d, q, &CrowdConfig::default());
@@ -162,10 +169,10 @@ fn context_quality_improves_with_query_size_for_context_rw() {
     let d = dataset();
     let qs = d.queries_for(nck_datagen::DomainId::Actors);
     let crw = context_rw(40_000);
-    let f1_small = f1_of(&crw, &d, qs[0], 100); // |Q| = 2
-    let f1_large = f1_of(&crw, &d, qs[4], 100); // |Q| = 6
     // The paper's Figure 4: quality must not collapse as |Q| grows (it
     // improves on average; allow slack for one seed).
+    let f1_small = f1_of(&crw, &d, qs[0], 100); // |Q| = 2
+    let f1_large = f1_of(&crw, &d, qs[4], 100); // |Q| = 6
     assert!(
         f1_large >= f1_small * 0.75,
         "F1 dropped sharply with |Q|: {f1_small:.3} -> {f1_large:.3}"

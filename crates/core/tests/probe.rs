@@ -48,10 +48,7 @@ fn probe_contexts() {
         }
         println!("-- ContextRW top 25:");
         for &(n, s) in ctx.ranked().iter().take(25) {
-            let ty = g
-                .node_type(n)
-                .map(|t| g.taxonomy().name(t))
-                .unwrap_or("?");
+            let ty = g.node_type(n).map(|t| g.taxonomy().name(t)).unwrap_or("?");
             let hit = if gt.ranked.contains(&n) { "GT" } else { "  " };
             println!("   {s:.5} {hit} [{ty}] {}", g.node_name(n));
         }
@@ -71,10 +68,7 @@ fn probe_contexts() {
         let ctx = rw.select(g, &query, 100).unwrap();
         println!("-- RandomWalk top 25:");
         for &(n, s) in ctx.ranked().iter().take(25) {
-            let ty = g
-                .node_type(n)
-                .map(|t| g.taxonomy().name(t))
-                .unwrap_or("?");
+            let ty = g.node_type(n).map(|t| g.taxonomy().name(t)).unwrap_or("?");
             let hit = if gt.ranked.contains(&n) { "GT" } else { "  " };
             println!("   {s:.5} {hit} [{ty}] {}", g.node_name(n));
         }

@@ -28,7 +28,7 @@ fn probe_f1_by_domain() {
         },
         num_metapaths: 5,
         type_filter: TypeFilter::CommonAncestor,
-            max_endpoint_fraction: 0.25,
+        max_endpoint_fraction: 0.25,
     });
     let rw = RandomWalkSelector::new(RandomWalkConfig {
         ppr: PprConfig {

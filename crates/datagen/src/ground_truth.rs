@@ -171,10 +171,7 @@ pub fn simulate_crowd(dataset: &Dataset, query: &QuerySpec, cfg: &CrowdConfig) -
 
 /// Counts, for every node, the number of neighbors shared with any query
 /// node (a 2-hop sweep from the query).
-fn shared_neighbor_counts(
-    dataset: &Dataset,
-    query_nodes: &[NodeId],
-) -> HashMap<NodeId, u32> {
+fn shared_neighbor_counts(dataset: &Dataset, query_nodes: &[NodeId]) -> HashMap<NodeId, u32> {
     let g = &dataset.graph;
     let mut counts: HashMap<NodeId, u32> = HashMap::new();
     for &q in query_nodes {

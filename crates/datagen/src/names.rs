@@ -58,8 +58,18 @@ pub fn place_name(kind: &str, i: u64) -> String {
 /// A deterministic title, e.g. `The Silent Karos` (movies, books, songs).
 pub fn work_title(kind: &str, i: u64) -> String {
     const ADJ: [&str; 12] = [
-        "Silent", "Golden", "Last", "Hidden", "Broken", "Electric", "Crimson", "Endless",
-        "Forgotten", "Burning", "Frozen", "Distant",
+        "Silent",
+        "Golden",
+        "Last",
+        "Hidden",
+        "Broken",
+        "Electric",
+        "Crimson",
+        "Endless",
+        "Forgotten",
+        "Burning",
+        "Frozen",
+        "Distant",
     ];
     let adj = ADJ[(i % ADJ.len() as u64) as usize];
     format!("{kind}: The {adj} {}", syllables(i / 3 + 17, 2))

@@ -49,7 +49,11 @@ pub fn anchors(domain: DomainId) -> &'static [&'static str] {
 /// The 15 Table-1 query sets (3 domains × |Q| ∈ 2..=6).
 pub fn table1_queries() -> Vec<QuerySpec> {
     let mut out = Vec::with_capacity(15);
-    for domain in [DomainId::Politicians, DomainId::Actors, DomainId::Contributors] {
+    for domain in [
+        DomainId::Politicians,
+        DomainId::Actors,
+        DomainId::Contributors,
+    ] {
         let list = anchors(domain);
         for size in 2..=list.len() {
             out.push(QuerySpec {
@@ -94,7 +98,11 @@ mod tests {
     fn fifteen_table1_queries() {
         let qs = table1_queries();
         assert_eq!(qs.len(), 15);
-        for domain in [DomainId::Politicians, DomainId::Actors, DomainId::Contributors] {
+        for domain in [
+            DomainId::Politicians,
+            DomainId::Actors,
+            DomainId::Contributors,
+        ] {
             let sizes: Vec<usize> = qs
                 .iter()
                 .filter(|q| q.domain == domain)
@@ -123,7 +131,10 @@ mod tests {
 
     #[test]
     fn special_queries() {
-        assert_eq!(authors_query().names, vec!["Douglas Adams", "Terry Pratchett"]);
+        assert_eq!(
+            authors_query().names,
+            vec!["Douglas Adams", "Terry Pratchett"]
+        );
         let a5 = actors5_query();
         assert_eq!(a5.len(), 5);
         assert!(!a5.names.contains(&"Angelina Jolie".to_owned()));

@@ -223,7 +223,14 @@ mod tests {
 
     #[test]
     fn paper_labels_present() {
-        for l in ["created", "hasWonPrize", "actedIn", "influences", "owns", "hasChild"] {
+        for l in [
+            "created",
+            "hasWonPrize",
+            "actedIn",
+            "influences",
+            "owns",
+            "hasChild",
+        ] {
             assert!(
                 YAGO_LABELS.contains(&l),
                 "paper-referenced label {l} missing from YAGO schema"

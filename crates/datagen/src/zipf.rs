@@ -24,7 +24,10 @@ impl Zipf {
     /// Panics when `n == 0` or `s` is negative/non-finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and ≥ 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Zipf exponent must be finite and ≥ 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for r in 1..=n {

@@ -80,9 +80,7 @@ fn main() -> ExitCode {
         out
     };
 
-    eprintln!(
-        "generating datasets (scale {scale}, seed {seed}, {walks} mining walks)…"
-    );
+    eprintln!("generating datasets (scale {scale}, seed {seed}, {walks} mining walks)…");
     let started = std::time::Instant::now();
     let env = EvalEnv::standard(scale, seed, walks);
     eprintln!(

@@ -1,8 +1,6 @@
 //! Shared evaluation environment: datasets, selectors, F1 machinery.
 
-use nck_core::config::{
-    ContextRwConfig, PathMiningConfig, PprConfig, RandomWalkConfig,
-};
+use nck_core::config::{ContextRwConfig, PathMiningConfig, PprConfig, RandomWalkConfig};
 use nck_core::context::{ContextSelector, TypeFilter};
 use nck_core::context_rw::ContextRw;
 use nck_core::ppr::RandomWalkSelector;
@@ -10,7 +8,7 @@ use nck_core::query::Query;
 use nck_datagen::ground_truth::{simulate_crowd, CrowdConfig, GroundTruth};
 use nck_datagen::queries::QuerySpec;
 use nck_datagen::{generate, Dataset, GeneratorConfig};
-use nck_graph::NodeId;
+use nck_graph::{KnowledgeGraph, NodeId};
 use nck_stats::metrics::f1_curve;
 
 /// Evaluation environment holding both datasets and standard settings.
@@ -44,7 +42,12 @@ impl EvalEnv {
     }
 
     /// ContextRW with explicit walks / |M| / max length (for the sweeps).
-    pub fn context_rw_with(&self, walks: usize, num_metapaths: usize, max_length: usize) -> ContextRw {
+    pub fn context_rw_with(
+        &self,
+        walks: usize,
+        num_metapaths: usize,
+        max_length: usize,
+    ) -> ContextRw {
         ContextRw::new(ContextRwConfig {
             mining: PathMiningConfig {
                 walks,
@@ -83,7 +86,7 @@ impl EvalEnv {
     /// Ranked context of up to `k_max` nodes from a selector.
     pub fn ranked_context(
         &self,
-        selector: &dyn ContextSelector,
+        selector: &dyn ContextSelector<KnowledgeGraph>,
         dataset: &Dataset,
         spec: &QuerySpec,
         k_max: usize,

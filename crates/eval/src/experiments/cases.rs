@@ -53,7 +53,11 @@ fn case_report(env: &EvalEnv, id: &'static str, case: &CaseExpectation) -> Repor
         let ch = result.characteristic(label, graph).expect("label scored");
         r.line(format!(
             "expected notable: {label} -> {} (δ = {})",
-            if ch.notable() { "NOTABLE ✓" } else { "not notable ✗" },
+            if ch.notable() {
+                "NOTABLE ✓"
+            } else {
+                "not notable ✗"
+            },
             f3(ch.score)
         ));
     }
@@ -61,7 +65,11 @@ fn case_report(env: &EvalEnv, id: &'static str, case: &CaseExpectation) -> Repor
         let ch = result.characteristic(label, graph).expect("label scored");
         r.line(format!(
             "expected not notable: {label} -> {} (δ = {})",
-            if ch.notable() { "NOTABLE ✗" } else { "not notable ✓" },
+            if ch.notable() {
+                "NOTABLE ✗"
+            } else {
+                "not notable ✓"
+            },
             f3(ch.score)
         ));
     }
@@ -70,11 +78,16 @@ fn case_report(env: &EvalEnv, id: &'static str, case: &CaseExpectation) -> Repor
 
 /// Figure 7: the instance distribution of `created` for the 5-actor query.
 pub fn fig7(env: &EvalEnv) -> Report {
-    let mut r = Report::new("fig7", "instance distribution of `created`, 5-actor query, |C| = 100");
+    let mut r = Report::new(
+        "fig7",
+        "instance distribution of `created`, 5-actor query, |C| = 100",
+    );
     let case = planted::actors_case();
     let (_, result) = run_case(env, &case);
     let graph = &env.yago.graph;
-    let ch = result.characteristic("created", graph).expect("created scored");
+    let ch = result
+        .characteristic("created", graph)
+        .expect("created scored");
     let d = &ch.distributions;
     let qt = d.inst_q_total().max(1) as f64;
     let ct = d.inst_c_total().max(1) as f64;
@@ -105,7 +118,11 @@ pub fn fig7(env: &EvalEnv) -> Report {
         "multinomial significance: inst {:?}, card {:?} -> created {}",
         ch.inst_significance,
         ch.card_significance,
-        if ch.notable() { "NOTABLE" } else { "not notable" }
+        if ch.notable() {
+            "NOTABLE"
+        } else {
+            "not notable"
+        }
     ));
     r.line("paper shape: context is ~43% None with the rest spread thin; the query");
     r.line("deviates (one None, the others on rare values) and is flagged.");
@@ -144,7 +161,11 @@ pub fn fig8(env: &EvalEnv) -> Report {
         "multinomial significance: inst {:?}, card {:?} -> hasWonPrize {}",
         ch.inst_significance,
         ch.card_significance,
-        if ch.notable() { "NOTABLE" } else { "not notable" }
+        if ch.notable() {
+            "NOTABLE"
+        } else {
+            "not notable"
+        }
     ));
     r.line("paper shape: the two distributions are close; the test cannot reject.");
     r
@@ -294,11 +315,7 @@ mod tests {
         let r7 = fig7(&env);
         assert!(r7.body.contains("created NOTABLE"), "{}", r7.body);
         let r8 = fig8(&env);
-        assert!(
-            r8.body.contains("hasWonPrize not notable"),
-            "{}",
-            r8.body
-        );
+        assert!(r8.body.contains("hasWonPrize not notable"), "{}", r8.body);
     }
 
     #[test]
@@ -309,15 +326,10 @@ mod tests {
         let swaps: Vec<u64> = r
             .body
             .lines()
-            .filter(|l| l.starts_with("| FindNC") || l.starts_with("| KL") || l.starts_with("| EMD"))
-            .map(|l| {
-                l.rsplit('|')
-                    .nth(1)
-                    .unwrap()
-                    .trim()
-                    .parse::<u64>()
-                    .unwrap()
+            .filter(|l| {
+                l.starts_with("| FindNC") || l.starts_with("| KL") || l.starts_with("| EMD")
             })
+            .map(|l| l.rsplit('|').nth(1).unwrap().trim().parse::<u64>().unwrap())
             .collect();
         assert_eq!(swaps.len(), 3);
         assert!(

@@ -111,7 +111,10 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 14);
-        assert!(reg.iter().all(|e| e.id.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())));
+        assert!(reg.iter().all(|e| e
+            .id
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())));
         assert!(find("fig2").is_some());
         assert!(find("nope").is_none());
     }

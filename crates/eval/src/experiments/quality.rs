@@ -11,7 +11,10 @@ pub fn fig2(env: &EvalEnv) -> Report {
     let specs = env.yago.queries_for(DomainId::Actors);
     let cutoffs: Vec<usize> = CONTEXT_CUTOFFS.to_vec();
     for (name, selector) in [
-        ("(a) ContextRW", &env.context_rw() as &dyn nck_core::context::ContextSelector),
+        (
+            "(a) ContextRW",
+            &env.context_rw() as &dyn nck_core::context::ContextSelector<nck_graph::KnowledgeGraph>,
+        ),
         ("(b) RandomWalk", &env.random_walk()),
     ] {
         r.line(name);
@@ -44,7 +47,10 @@ pub fn fig3(env: &EvalEnv) -> Report {
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut rows = Vec::new();
     for (name, selector) in [
-        ("ContextRW", &env.context_rw() as &dyn nck_core::context::ContextSelector),
+        (
+            "ContextRW",
+            &env.context_rw() as &dyn nck_core::context::ContextSelector<nck_graph::KnowledgeGraph>,
+        ),
         ("RandomWalk", &env.random_walk()),
     ] {
         let mut sums = vec![0.0f64; cutoffs.len()];
@@ -77,7 +83,11 @@ pub fn fig4(env: &EvalEnv) -> Report {
         r.line(format!("|C| = {k}:"));
         let mut rows = Vec::new();
         for (name, selector) in [
-            ("ContextRW", &env.context_rw() as &dyn nck_core::context::ContextSelector),
+            (
+                "ContextRW",
+                &env.context_rw()
+                    as &dyn nck_core::context::ContextSelector<nck_graph::KnowledgeGraph>,
+            ),
             ("RandomWalk", &env.random_walk()),
         ] {
             let mut row = vec![name.to_owned()];

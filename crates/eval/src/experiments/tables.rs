@@ -7,7 +7,10 @@ use nck_datagen::{Dataset, DomainId};
 
 /// Table 1: the evaluation entities of the three domains.
 pub fn tab1(_env: &EvalEnv) -> Report {
-    let mut r = Report::new("tab1", "entities in the three domains used in the evaluation");
+    let mut r = Report::new(
+        "tab1",
+        "entities in the three domains used in the evaluation",
+    );
     let header = ["politicians", "actors", "movie contributors"];
     let pol = anchors(DomainId::Politicians);
     let act = anchors(DomainId::Actors);
@@ -97,8 +100,8 @@ pub fn tab3(env: &EvalEnv) -> Report {
     for (ci, &c) in cs.iter().enumerate() {
         let mut row = vec![c.to_string()];
         for (mi, _) in ms.iter().enumerate() {
-            let avg: f64 = per_m_curves[mi].iter().map(|f| f[ci]).sum::<f64>()
-                / specs.len().max(1) as f64;
+            let avg: f64 =
+                per_m_curves[mi].iter().map(|f| f[ci]).sum::<f64>() / specs.len().max(1) as f64;
             row.push(f3(avg));
         }
         rows.push(row);

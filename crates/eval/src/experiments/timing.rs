@@ -20,7 +20,10 @@ pub fn fig5(env: &EvalEnv) -> Report {
     let header = ["algorithm", "|Q|=2", "|Q|=3", "|Q|=4", "|Q|=5", "|Q|=6"];
     let mut rows = Vec::new();
     for (name, selector) in [
-        ("ContextRW", &env.context_rw() as &dyn ContextSelector),
+        (
+            "ContextRW",
+            &env.context_rw() as &dyn ContextSelector<nck_graph::KnowledgeGraph>,
+        ),
         ("RandomWalk", &env.random_walk()),
     ] {
         let mut row = vec![name.to_owned()];

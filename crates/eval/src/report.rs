@@ -60,10 +60,7 @@ impl Report {
 
     /// Renders the report with its banner.
     pub fn render(&self) -> String {
-        format!(
-            "==== {} — {} ====\n{}\n",
-            self.id, self.title, self.body
-        )
+        format!("==== {} — {} ====\n{}\n", self.id, self.title, self.body)
     }
 }
 
@@ -86,10 +83,7 @@ mod tests {
         let mut r = Report::new("t", "test");
         r.table(
             &["a", "bbbb"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
         let s = r.render();
         assert!(s.contains("| a   | bbbb |"));

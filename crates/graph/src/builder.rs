@@ -134,30 +134,7 @@ impl GraphBuilder {
     /// the mirror already exists as a logical edge).
     pub fn build(self) -> KnowledgeGraph {
         let num_nodes = self.types.len();
-        let mut stored = Vec::with_capacity(self.edges.len() * 2);
-        let mut label_counts = vec![0u64; self.labels.len()];
-        for &(s, l, t) in &self.edges {
-            stored.push((s, l, t));
-            label_counts[l.index()] += 1;
-            let inv = self.labels.inverse(l);
-            let mirror = (t, inv, s);
-            // A symmetric label's mirror may coincide with an explicitly
-            // added logical edge; the dedup set keeps the store duplicate-free.
-            if !self.seen.contains(&mirror) || inv != l {
-                stored.push(mirror);
-                label_counts[inv.index()] += 1;
-            }
-        }
-        // Deduplicate stored edges: two logical edges (a,l,b) and (b,l,a)
-        // with a symmetric label would otherwise both insert mirrors that
-        // collide with the originals; sort + dedup is cheap and final.
-        stored.sort_unstable();
-        stored.dedup();
-        // Recompute label counts after dedup for exactness.
-        label_counts.iter_mut().for_each(|c| *c = 0);
-        for &(_, l, _) in &stored {
-            label_counts[l.index()] += 1;
-        }
+        let (stored, label_counts) = close_under_inversion(&self.labels, &self.edges);
         let csr = Csr::from_edges(num_nodes, stored);
         KnowledgeGraph::from_parts(
             self.names,
@@ -169,6 +146,44 @@ impl GraphBuilder {
             self.edges.len(),
         )
     }
+}
+
+/// Closes a logical edge set under Def.-1 inversion, the single source of
+/// truth for what a backend stores: every logical edge `(s, l, t)` plus
+/// its mirror `(t, l⁻¹, s)` — except that a symmetric label's mirror is
+/// skipped when the mirror is itself a logical edge — sorted by
+/// `(source, label, target)` and deduplicated (lexical collapsing can
+/// alias logical edges). Returns the stored edges and per-label counts.
+///
+/// Both [`GraphBuilder::build`] and `nck-store`'s `StoreGraph` derive
+/// their stored-edge statistics from this function, which is what keeps
+/// the two backends id-for-id interchangeable.
+pub fn close_under_inversion(
+    labels: &EdgeLabelRegistry,
+    logical: &[(NodeId, EdgeLabelId, NodeId)],
+) -> (Vec<(NodeId, EdgeLabelId, NodeId)>, Vec<u64>) {
+    let seen: HashSet<(NodeId, EdgeLabelId, NodeId)> = logical.iter().copied().collect();
+    let mut stored = Vec::with_capacity(logical.len() * 2);
+    for &(s, l, t) in logical {
+        stored.push((s, l, t));
+        let inv = labels.inverse(l);
+        let mirror = (t, inv, s);
+        // A symmetric label's mirror may coincide with an explicitly
+        // added logical edge; the dedup set keeps the store duplicate-free.
+        if !seen.contains(&mirror) || inv != l {
+            stored.push(mirror);
+        }
+    }
+    // Deduplicate stored edges: two logical edges (a,l,b) and (b,l,a)
+    // with a symmetric label would otherwise both insert mirrors that
+    // collide with the originals; sort + dedup is cheap and final.
+    stored.sort_unstable();
+    stored.dedup();
+    let mut label_counts = vec![0u64; labels.len()];
+    for &(_, l, _) in &stored {
+        label_counts[l.index()] += 1;
+    }
+    (stored, label_counts)
 }
 
 #[cfg(test)]
@@ -264,11 +279,7 @@ mod tests {
         assert_eq!(g.label_count(p), 2);
         assert_eq!(g.label_count(g.labels().inverse(p)), 2);
         assert_eq!(g.label_count(q), 1);
-        let total: u64 = g
-            .labels()
-            .iter()
-            .map(|l| g.label_count(l))
-            .sum();
+        let total: u64 = g.labels().iter().map(|l| g.label_count(l)).sum();
         assert_eq!(total, g.num_stored_edges() as u64);
     }
 }

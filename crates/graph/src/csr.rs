@@ -74,7 +74,7 @@ impl Csr {
     }
 
     /// Iterates over `(label, target)` pairs of `v`'s out-edges.
-    pub fn edges(&self, v: NodeId) -> impl Iterator<Item = (EdgeLabelId, NodeId)> + '_ {
+    pub fn edges(&self, v: NodeId) -> EdgeIter<'_> {
         let r = self.range(v);
         self.labels[r.clone()]
             .iter()
@@ -107,20 +107,28 @@ impl Csr {
     }
 
     /// Iterates over the distinct labels on `v`'s out-edges.
-    pub fn labels_of(&self, v: NodeId) -> impl Iterator<Item = EdgeLabelId> + '_ {
+    pub fn labels_of(&self, v: NodeId) -> DistinctLabels<'_> {
         let r = self.range(v);
         let run = &self.labels[r];
-        DistinctRuns { run, pos: 0 }
+        DistinctLabels { run, pos: 0 }
     }
 }
 
-/// Iterator over the first element of each equal-label run.
-struct DistinctRuns<'a> {
+/// Concrete iterator type behind [`Csr::edges`] (named so backend-generic
+/// code can use it as a GAT instantiation).
+pub type EdgeIter<'a> = std::iter::Zip<
+    std::iter::Copied<std::slice::Iter<'a, EdgeLabelId>>,
+    std::iter::Copied<std::slice::Iter<'a, NodeId>>,
+>;
+
+/// Iterator over the first element of each equal-label run (the distinct
+/// labels of a node, ascending); see [`Csr::labels_of`].
+pub struct DistinctLabels<'a> {
     run: &'a [EdgeLabelId],
     pos: usize,
 }
 
-impl Iterator for DistinctRuns<'_> {
+impl Iterator for DistinctLabels<'_> {
     type Item = EdgeLabelId;
 
     fn next(&mut self) -> Option<EdgeLabelId> {

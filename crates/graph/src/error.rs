@@ -36,7 +36,9 @@ impl fmt::Display for GraphError {
             GraphError::TaxonomyCycle(name) => {
                 write!(f, "taxonomy cycle involving type {name:?}")
             }
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             GraphError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }
@@ -63,7 +65,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(GraphError::UnknownNode("X".into()).to_string().contains("X"));
+        assert!(GraphError::UnknownNode("X".into())
+            .to_string()
+            .contains("X"));
         assert!(GraphError::Parse {
             line: 3,
             message: "bad".into()

@@ -7,11 +7,11 @@
 //! multiple threads without locks.
 
 use crate::csr::Csr;
+use crate::error::GraphError;
 use crate::ids::{EdgeLabelId, NodeId, NodeTypeId};
 use crate::interner::Interner;
 use crate::schema::EdgeLabelRegistry;
 use crate::taxonomy::Taxonomy;
-use crate::error::GraphError;
 
 /// An immutable, dictionary-encoded labeled multigraph.
 #[derive(Debug, Clone)]
@@ -111,7 +111,7 @@ impl KnowledgeGraph {
     }
 
     /// Iterates `(label, target)` over `node`'s stored out-edges.
-    pub fn edges(&self, node: NodeId) -> impl Iterator<Item = (EdgeLabelId, NodeId)> + '_ {
+    pub fn edges(&self, node: NodeId) -> crate::csr::EdgeIter<'_> {
         self.csr.edges(node)
     }
 
@@ -131,7 +131,7 @@ impl KnowledgeGraph {
     }
 
     /// Distinct labels on `node`'s out-edges — `L|{node}` of Def. 3.
-    pub fn labels_of(&self, node: NodeId) -> impl Iterator<Item = EdgeLabelId> + '_ {
+    pub fn labels_of(&self, node: NodeId) -> crate::csr::DistinctLabels<'_> {
         self.csr.labels_of(node)
     }
 

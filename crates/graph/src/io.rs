@@ -210,7 +210,10 @@ mod tests {
             Err(GraphError::Parse { line: 1, .. })
         ));
         let input = b"a\t\tc\n";
-        assert!(matches!(read_tsv(&input[..]), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            read_tsv(&input[..]),
+            Err(GraphError::Parse { .. })
+        ));
     }
 
     #[test]

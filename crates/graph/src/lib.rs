@@ -6,6 +6,9 @@
 //! attributes (birth dates, prize names, …) are themselves nodes attached
 //! through labeled edges. This crate is that substrate:
 //!
+//! - [`access`] — the backend-generic [`GraphAccess`] trait every
+//!   algorithm crate programs against (the CSR graph here and the
+//!   triple-store-backed `StoreGraph` in `nck-store` both implement it);
 //! - [`ids`] — compact `u32` identifiers for nodes, node types and edge
 //!   labels (the graph is fully dictionary-encoded);
 //! - [`interner`] — the string dictionary;
@@ -21,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod builder;
 pub mod csr;
 pub mod error;
@@ -32,6 +36,7 @@ pub mod schema;
 pub mod stats;
 pub mod taxonomy;
 
+pub use access::GraphAccess;
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::KnowledgeGraph;

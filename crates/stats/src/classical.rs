@@ -31,7 +31,10 @@ pub enum ClassicalOutcome {
 
 /// Pearson's χ² goodness-of-fit test of observed counts against expected
 /// proportions, with the "all expected counts ≥ 5" rule enforced.
-pub fn chi_square_gof(observed: &[u64], expected_probs: &[f64]) -> Result<ClassicalOutcome, StatsError> {
+pub fn chi_square_gof(
+    observed: &[u64],
+    expected_probs: &[f64],
+) -> Result<ClassicalOutcome, StatsError> {
     if observed.is_empty() {
         return Err(StatsError::EmptyDistribution);
     }
@@ -71,9 +74,7 @@ pub fn chi_square_gof(observed: &[u64], expected_probs: &[f64]) -> Result<Classi
     }
     if min_expected < 5.0 {
         return Ok(ClassicalOutcome::NotApplicable {
-            reason: format!(
-                "minimum expected cell count {min_expected:.2} < 5 (sample too small)"
-            ),
+            reason: format!("minimum expected cell count {min_expected:.2} < 5 (sample too small)"),
         });
     }
     let p_value = chi2_sf(stat, (df - 1) as f64);
@@ -133,7 +134,8 @@ fn erfc(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let e = poly * (-x * x).exp();
     if sign_negative {
         2.0 - e

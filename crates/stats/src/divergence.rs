@@ -68,8 +68,14 @@ pub fn kl_divergence_smoothed(p: &[f64], q: &[f64], epsilon: f64) -> Result<f64,
     }
     check_pair(p, q)?;
     let k = p.len() as f64;
-    let ps: Vec<f64> = p.iter().map(|&x| (x + epsilon) / (1.0 + k * epsilon)).collect();
-    let qs: Vec<f64> = q.iter().map(|&x| (x + epsilon) / (1.0 + k * epsilon)).collect();
+    let ps: Vec<f64> = p
+        .iter()
+        .map(|&x| (x + epsilon) / (1.0 + k * epsilon))
+        .collect();
+    let qs: Vec<f64> = q
+        .iter()
+        .map(|&x| (x + epsilon) / (1.0 + k * epsilon))
+        .collect();
     kl_divergence(&ps, &qs)
 }
 

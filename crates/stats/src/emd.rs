@@ -116,10 +116,7 @@ mod tests {
         let near = [0.0, 1.0, 0.0];
         let far = [0.0, 0.0, 1.0];
         assert!(emd_1d(&p, &far).unwrap() > emd_1d(&p, &near).unwrap());
-        assert_eq!(
-            emd_unit(&p, &far).unwrap(),
-            emd_unit(&p, &near).unwrap()
-        );
+        assert_eq!(emd_unit(&p, &far).unwrap(), emd_unit(&p, &near).unwrap());
     }
 
     #[test]

@@ -60,14 +60,7 @@ pub fn exact_significance(dist: &Multinomial, x: &[u64]) -> Result<f64, StatsErr
     // Depth-first walk over compositions of n into |support| parts.
     // `partial` carries Σ (yᵢ ln πᵢ − ln yᵢ!) for the prefix.
     let mut total = 0.0f64;
-    enumerate(
-        &ln_probs,
-        0,
-        n,
-        ln_n_fact,
-        threshold,
-        &mut total,
-    );
+    enumerate(&ln_probs, 0, n, ln_n_fact, threshold, &mut total);
     Ok(total.min(1.0))
 }
 

@@ -45,7 +45,10 @@ pub fn precision_recall_f1<T: Eq + Hash>(
     relevant: &HashSet<T>,
 ) -> PrecisionRecall {
     let retrieved: HashSet<T> = retrieved.into_iter().collect();
-    let hits = retrieved.iter().filter(|item| relevant.contains(item)).count();
+    let hits = retrieved
+        .iter()
+        .filter(|item| relevant.contains(item))
+        .count();
     let precision = if retrieved.is_empty() {
         0.0
     } else {
@@ -173,10 +176,7 @@ mod tests {
         let ranked: Vec<u32> = (0..50).collect();
         let relevant = set(0..10u32);
         let curve = f1_curve(&ranked, &relevant);
-        let peak = curve
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let peak = curve.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!((peak - 1.0).abs() < 1e-12); // perfect at k = 10
         assert!(curve[49] < curve[9]);
     }

@@ -18,7 +18,10 @@ use std::hash::Hash;
 ///
 /// [`StatsError::LengthMismatch`] on different lengths;
 /// [`StatsError::InvalidParameter`] on duplicate or unmatched items.
-pub fn min_swaps<T: Eq + Hash + Clone>(reference: &[T], candidate: &[T]) -> Result<u64, StatsError> {
+pub fn min_swaps<T: Eq + Hash + Clone>(
+    reference: &[T],
+    candidate: &[T],
+) -> Result<u64, StatsError> {
     if reference.len() != candidate.len() {
         return Err(StatsError::LengthMismatch {
             left: reference.len(),
@@ -164,10 +167,7 @@ mod tests {
     #[test]
     fn full_reversal_is_maximal() {
         // n(n−1)/2 = 6 for n = 4.
-        assert_eq!(
-            min_swaps(&[1, 2, 3, 4], &[4, 3, 2, 1]).unwrap(),
-            6
-        );
+        assert_eq!(min_swaps(&[1, 2, 3, 4], &[4, 3, 2, 1]).unwrap(), 6);
         assert_eq!(
             kendall_tau_distance(&[1, 2, 3, 4], &[4, 3, 2, 1]).unwrap(),
             1.0

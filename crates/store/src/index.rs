@@ -88,7 +88,11 @@ impl TripleIndexes {
     /// Chooses the ordering whose prefix covers the pattern's bound
     /// positions (S* → SPO, P-without-S → POS, O-only / O+S → OSP).
     pub fn choose_ordering(pattern: &TriplePattern) -> Ordering {
-        match (pattern.s.is_some(), pattern.p.is_some(), pattern.o.is_some()) {
+        match (
+            pattern.s.is_some(),
+            pattern.p.is_some(),
+            pattern.o.is_some(),
+        ) {
             // S bound (with or without P/O): SPO unless only S+O, which OSP
             // serves with the (o, s) prefix.
             (true, false, true) => Ordering::Osp,
@@ -105,15 +109,19 @@ impl TripleIndexes {
         match ordering {
             Ordering::Spo => {
                 let range = prefix_range(pattern.s, pattern.p, pattern.o);
-                Box::new(self.spo.range(range).map(|&(s, p, o)| {
-                    Triple::new(TermId(s), TermId(p), TermId(o))
-                }))
+                Box::new(
+                    self.spo
+                        .range(range)
+                        .map(|&(s, p, o)| Triple::new(TermId(s), TermId(p), TermId(o))),
+                )
             }
             Ordering::Pos => {
                 let range = prefix_range(pattern.p, pattern.o, pattern.s);
-                Box::new(self.pos.range(range).map(|&(p, o, s)| {
-                    Triple::new(TermId(s), TermId(p), TermId(o))
-                }))
+                Box::new(
+                    self.pos
+                        .range(range)
+                        .map(|&(p, o, s)| Triple::new(TermId(s), TermId(p), TermId(o))),
+                )
             }
             Ordering::Osp => {
                 let range = prefix_range(pattern.o, pattern.s, pattern.p);
@@ -171,7 +179,13 @@ mod tests {
 
     fn sample() -> TripleIndexes {
         let mut idx = TripleIndexes::new();
-        for triple in [t(1, 10, 2), t(1, 10, 3), t(1, 11, 2), t(2, 10, 1), t(3, 11, 1)] {
+        for triple in [
+            t(1, 10, 2),
+            t(1, 10, 3),
+            t(1, 11, 2),
+            t(2, 10, 1),
+            t(3, 11, 1),
+        ] {
             idx.insert(triple);
         }
         idx
@@ -229,10 +243,7 @@ mod tests {
     #[test]
     fn ordering_choice_covers_bound_prefixes() {
         use Ordering::*;
-        assert_eq!(
-            TripleIndexes::choose_ordering(&TriplePattern::ANY),
-            Spo
-        );
+        assert_eq!(TripleIndexes::choose_ordering(&TriplePattern::ANY), Spo);
         assert_eq!(
             TripleIndexes::choose_ordering(&TriplePattern::with_s(TermId(1))),
             Spo

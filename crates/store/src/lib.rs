@@ -12,8 +12,11 @@
 //! - [`store`] — the [`TripleStore`] facade: insert, remove, pattern
 //!   queries, bulk load;
 //! - [`ntriples`] — an N-Triples-subset parser and writer;
+//! - [`store_graph`] — [`StoreGraph`], a [`nck_graph::GraphAccess`]
+//!   backend answering the algorithm crates' surface directly from the
+//!   indexes with a lazy per-predicate cache (no materialization);
 //! - [`graph_view`] — adapter materializing a [`nck_graph::KnowledgeGraph`]
-//!   from the store (the hand-off point to the algorithm crates).
+//!   from the store (the optional fast path when memory allows).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,9 +27,11 @@ pub mod graph_view;
 pub mod index;
 pub mod ntriples;
 pub mod store;
+pub mod store_graph;
 pub mod triple;
 
 pub use dictionary::{Term, TermDictionary, TermId};
 pub use error::StoreError;
 pub use store::TripleStore;
+pub use store_graph::StoreGraph;
 pub use triple::{Triple, TriplePattern};

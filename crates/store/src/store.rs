@@ -65,7 +65,11 @@ impl TripleStore {
 
     /// Inserts a statement; returns `true` when it was new.
     pub fn insert(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
-        let t = Triple::new(self.dict.intern(s), self.dict.intern(p), self.dict.intern(o));
+        let t = Triple::new(
+            self.dict.intern(s),
+            self.dict.intern(p),
+            self.dict.intern(o),
+        );
         self.indexes.insert(t)
     }
 
@@ -180,12 +184,28 @@ mod tests {
     fn insert_query_remove_cycle() {
         let mut s = politicians();
         assert_eq!(s.len(), 5);
-        assert!(s.contains(&Term::iri("Merkel"), &Term::iri("studied"), &Term::iri("Physics")));
-        assert!(s.remove(&Term::iri("Merkel"), &Term::iri("studied"), &Term::iri("Physics")));
-        assert!(!s.contains(&Term::iri("Merkel"), &Term::iri("studied"), &Term::iri("Physics")));
+        assert!(s.contains(
+            &Term::iri("Merkel"),
+            &Term::iri("studied"),
+            &Term::iri("Physics")
+        ));
+        assert!(s.remove(
+            &Term::iri("Merkel"),
+            &Term::iri("studied"),
+            &Term::iri("Physics")
+        ));
+        assert!(!s.contains(
+            &Term::iri("Merkel"),
+            &Term::iri("studied"),
+            &Term::iri("Physics")
+        ));
         assert_eq!(s.len(), 4);
         // Removing a triple with unknown terms is a no-op.
-        assert!(!s.remove(&Term::iri("Nobody"), &Term::iri("studied"), &Term::iri("Physics")));
+        assert!(!s.remove(
+            &Term::iri("Nobody"),
+            &Term::iri("studied"),
+            &Term::iri("Physics")
+        ));
     }
 
     #[test]
@@ -225,7 +245,8 @@ mod tests {
             0
         );
         assert_eq!(
-            s.query(None, None, Some(&Term::literal("1954-07-17"))).count(),
+            s.query(None, None, Some(&Term::literal("1954-07-17")))
+                .count(),
             1
         );
     }

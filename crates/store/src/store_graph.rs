@@ -1,0 +1,598 @@
+//! [`StoreGraph`] — a [`GraphAccess`] backend answering directly from the
+//! SPO/POS/OSP triple indexes.
+//!
+//! The paper runs its traversals against an Apache Jena store *"without
+//! loading the graph into main memory"*. [`graph_view::to_knowledge_graph`]
+//! (the original hand-off) materializes a full CSR copy of the store;
+//! `StoreGraph` instead implements the backend-generic
+//! [`GraphAccess`] surface over the store itself:
+//!
+//! - **Construction** makes one pass over the triples to build the *small*
+//!   graph-level state: the node dictionary (terms collapsed by lexical
+//!   form, exactly as the materializing adapter does), node types, the
+//!   taxonomy, the edge-label registry with Def.-1 inverses, and per-label
+//!   edge counts. No adjacency is materialized here.
+//! - **Per-label queries** ([`GraphAccess::neighbors_with_label`],
+//!   [`GraphAccess::degree_with_label`]) are served from a lazy
+//!   *per-predicate cache*: the first touch of a label runs one POS range
+//!   scan and caches that label's sorted adjacency run; later touches are
+//!   array lookups. A FindNC run against a fixed context therefore builds
+//!   runs only for the labels incident to `Q ∪ C`.
+//! - **Node-level queries** ([`GraphAccess::labels_of`]) are answered
+//!   directly by SPO/OSP prefix scans — no cache involved.
+//! - **Whole-graph traversals** ([`GraphAccess::edges`],
+//!   [`GraphAccess::degree`], [`GraphAccess::edge_at`] — the access paths
+//!   of PathMining walks and PageRank) fault in all per-label runs on
+//!   first use; the cache is then equivalent to a label-sharded CSR and
+//!   each step costs one pass over the (small, fixed) label set rather
+//!   than the CSR backend's O(1) — the price of never materializing a
+//!   merged adjacency.
+//!
+//! Node, label and type ids are assigned in the same store-iteration
+//! order as [`graph_view::to_knowledge_graph`], so the two backends are
+//! id-for-id interchangeable on the same store — the workspace's parity
+//! tests exploit this to compare full pipeline runs exactly.
+//!
+//! [`graph_view::to_knowledge_graph`]: crate::graph_view::to_knowledge_graph
+
+use crate::dictionary::{Term, TermId};
+use crate::graph_view::{SUBTYPE_PREDICATE, TYPE_PREDICATE};
+use crate::store::TripleStore;
+use crate::triple::TriplePattern;
+use nck_graph::interner::Interner;
+use nck_graph::schema::EdgeLabelRegistry;
+use nck_graph::{EdgeLabelId, GraphAccess, NodeId, NodeTypeId, Taxonomy};
+use std::borrow::Cow;
+use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
+
+/// How a predicate term contributes edges to one label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Triples `(s, p, o)` contribute `(s → o)`.
+    Forward,
+    /// Triples `(s, p, o)` contribute the Def.-1 mirror `(o → s)`.
+    Mirror,
+}
+
+/// One label's adjacency, CSR-shaped: `offsets[v]..offsets[v+1]` indexes
+/// the sorted targets of node `v` under this label.
+#[derive(Debug)]
+struct LabelRun {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+}
+
+impl LabelRun {
+    fn targets_of(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+/// A triple-store-backed [`GraphAccess`] implementation. See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct StoreGraph<'s> {
+    store: &'s TripleStore,
+    names: Interner,
+    /// Up to two dictionary terms (IRI / literal) collapsing onto a node.
+    node_terms: Vec<Vec<TermId>>,
+    /// Dictionary term → node (integer lookup for run building).
+    term_node: HashMap<TermId, NodeId>,
+    types: Vec<Option<NodeTypeId>>,
+    labels: EdgeLabelRegistry,
+    taxonomy: Taxonomy,
+    /// Predicate term → forward label id.
+    pred_label: HashMap<TermId, EdgeLabelId>,
+    /// Per-label `(predicate term, direction)` contributions.
+    contribs: Vec<Vec<(TermId, Direction)>>,
+    label_counts: Vec<u64>,
+    num_stored: usize,
+    num_logical: usize,
+    /// The lazy per-predicate adjacency cache.
+    runs: Vec<OnceLock<LabelRun>>,
+    /// Set once every run is built (whole-graph traversal mode).
+    all_runs_built: OnceLock<()>,
+    /// Lazy per-node total degree (faulted in with the full run set).
+    degrees: OnceLock<Vec<u32>>,
+}
+
+impl<'s> StoreGraph<'s> {
+    /// Builds the graph-level state from one pass over `store`.
+    ///
+    /// `(s, rdf:type, o)` sets node `s`'s type, `(s, rdfs:subClassOf, o)`
+    /// adds a taxonomy axiom, and every other statement becomes a logical
+    /// edge with an automatic inverse — the same interpretation as
+    /// [`crate::graph_view::to_knowledge_graph`].
+    pub fn new(store: &'s TripleStore) -> Self {
+        let mut names = Interner::new();
+        let mut node_terms: Vec<Vec<TermId>> = Vec::new();
+        let mut term_node: HashMap<TermId, NodeId> = HashMap::new();
+        let mut types: Vec<Option<NodeTypeId>> = Vec::new();
+        let mut labels = EdgeLabelRegistry::new();
+        let mut taxonomy = Taxonomy::new();
+        let mut pred_label: HashMap<TermId, EdgeLabelId> = HashMap::new();
+        let mut contribs: Vec<Vec<(TermId, Direction)>> = Vec::new();
+        // Logical edges after lexical collapsing, for builder-exact counts.
+        let mut logical: HashSet<(NodeId, EdgeLabelId, NodeId)> = HashSet::new();
+        let mut logical_order: Vec<(NodeId, EdgeLabelId, NodeId)> = Vec::new();
+
+        let node = |names: &mut Interner,
+                    node_terms: &mut Vec<Vec<TermId>>,
+                    term_node: &mut HashMap<TermId, NodeId>,
+                    types: &mut Vec<Option<NodeTypeId>>,
+                    term: &Term,
+                    id: TermId|
+         -> NodeId {
+            let raw = names.intern(term.lexical());
+            if raw as usize >= types.len() {
+                types.push(None);
+                node_terms.push(Vec::new());
+            }
+            let slot = &mut node_terms[raw as usize];
+            if !slot.contains(&id) {
+                slot.push(id);
+            }
+            let n = NodeId::new(raw);
+            term_node.insert(id, n);
+            n
+        };
+
+        for t in store.iter() {
+            let st = store.decode(t);
+            match st.p {
+                Term::Iri(p) if p == TYPE_PREDICATE => {
+                    let n = node(
+                        &mut names,
+                        &mut node_terms,
+                        &mut term_node,
+                        &mut types,
+                        st.s,
+                        t.s,
+                    );
+                    let ty = taxonomy.register(st.o.lexical());
+                    types[n.index()] = Some(ty);
+                }
+                Term::Iri(p) if p == SUBTYPE_PREDICATE => {
+                    let sub = taxonomy.register(st.s.lexical());
+                    let sup = taxonomy.register(st.o.lexical());
+                    taxonomy.add_subtype(sub, sup);
+                }
+                _ => {
+                    let s = node(
+                        &mut names,
+                        &mut node_terms,
+                        &mut term_node,
+                        &mut types,
+                        st.s,
+                        t.s,
+                    );
+                    let l = labels.register(st.p.lexical());
+                    let o = node(
+                        &mut names,
+                        &mut node_terms,
+                        &mut term_node,
+                        &mut types,
+                        st.o,
+                        t.o,
+                    );
+                    while contribs.len() < labels.len() {
+                        contribs.push(Vec::new());
+                    }
+                    if let std::collections::hash_map::Entry::Vacant(e) = pred_label.entry(t.p) {
+                        e.insert(l);
+                        contribs[l.index()].push((t.p, Direction::Forward));
+                        contribs[labels.inverse(l).index()].push((t.p, Direction::Mirror));
+                    }
+                    if logical.insert((s, l, o)) {
+                        logical_order.push((s, l, o));
+                    }
+                }
+            }
+        }
+
+        // Stored edges = the shared Def.-1 closure — the same code path
+        // GraphBuilder::build uses, so the two backends cannot drift.
+        // This transiently allocates the closed edge list to count it
+        // (O(|E|) peak, dropped immediately); only the counts are
+        // retained, and no adjacency survives construction.
+        let (stored, label_counts) =
+            nck_graph::builder::close_under_inversion(&labels, &logical_order);
+        let num_stored = stored.len();
+        let num_logical = logical.len();
+        drop(stored);
+        drop(logical);
+
+        let runs = (0..labels.len()).map(|_| OnceLock::new()).collect();
+        Self {
+            store,
+            names,
+            node_terms,
+            term_node,
+            types,
+            labels,
+            taxonomy,
+            pred_label,
+            contribs,
+            label_counts,
+            num_stored,
+            num_logical,
+            runs,
+            all_runs_built: OnceLock::new(),
+            degrees: OnceLock::new(),
+        }
+    }
+
+    /// Number of logical (user-inserted) edges after lexical collapsing.
+    pub fn num_logical_edges(&self) -> usize {
+        self.num_logical
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &'s TripleStore {
+        self.store
+    }
+
+    /// Number of per-label runs currently cached (for tests/metrics).
+    pub fn cached_runs(&self) -> usize {
+        self.runs.iter().filter(|r| r.get().is_some()).count()
+    }
+
+    fn node_of_term(&self, id: TermId) -> NodeId {
+        *self
+            .term_node
+            .get(&id)
+            .expect("edge term was interned during construction")
+    }
+
+    /// The lazily built adjacency run of `label` (one POS scan per
+    /// contributing predicate on first touch).
+    fn run(&self, label: EdgeLabelId) -> &LabelRun {
+        self.runs[label.index()].get_or_init(|| {
+            let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+            for &(p, dir) in &self.contribs[label.index()] {
+                for t in self.store.scan(&TriplePattern::with_p(p)) {
+                    let s = self.node_of_term(t.s);
+                    let o = self.node_of_term(t.o);
+                    pairs.push(match dir {
+                        Direction::Forward => (s, o),
+                        Direction::Mirror => (o, s),
+                    });
+                }
+            }
+            pairs.sort_unstable();
+            pairs.dedup();
+            let n = self.names.len();
+            let mut offsets = Vec::with_capacity(n + 1);
+            let mut targets = Vec::with_capacity(pairs.len());
+            let mut cursor = 0usize;
+            for v in 0..n {
+                offsets.push(u32::try_from(targets.len()).expect("label run exceeds u32"));
+                while cursor < pairs.len() && pairs[cursor].0.index() == v {
+                    targets.push(pairs[cursor].1);
+                    cursor += 1;
+                }
+            }
+            offsets.push(u32::try_from(targets.len()).expect("label run exceeds u32"));
+            debug_assert_eq!(
+                targets.len() as u64,
+                self.label_counts[label.index()],
+                "run size must match the construction-time count"
+            );
+            LabelRun { offsets, targets }
+        })
+    }
+
+    /// Faults in every per-label run (whole-graph traversal mode); a
+    /// one-shot flag keeps the repeat cost at a single atomic load.
+    fn ensure_all_runs(&self) {
+        self.all_runs_built.get_or_init(|| {
+            for l in self.labels.iter() {
+                self.run(l);
+            }
+        });
+    }
+
+    fn degree_table(&self) -> &[u32] {
+        self.degrees.get_or_init(|| {
+            self.ensure_all_runs();
+            let n = self.names.len();
+            let mut deg = vec![0u32; n];
+            for l in self.labels.iter() {
+                let run = self.run(l);
+                for v in 0..n {
+                    deg[v] += run.offsets[v + 1] - run.offsets[v];
+                }
+            }
+            deg
+        })
+    }
+}
+
+/// Iterator over a node's stored out-edges, ascending by `(label, target)`
+/// (see [`GraphAccess::edges`]).
+pub struct StoreEdges<'a> {
+    runs: &'a [OnceLock<LabelRun>],
+    node: NodeId,
+    label: usize,
+    pos: usize,
+}
+
+impl Iterator for StoreEdges<'_> {
+    type Item = (EdgeLabelId, NodeId);
+
+    fn next(&mut self) -> Option<(EdgeLabelId, NodeId)> {
+        while self.label < self.runs.len() {
+            let run = self.runs[self.label]
+                .get()
+                .expect("all runs are built before iteration");
+            let targets = run.targets_of(self.node);
+            if self.pos < targets.len() {
+                let t = targets[self.pos];
+                self.pos += 1;
+                return Some((EdgeLabelId::from_index(self.label), t));
+            }
+            self.label += 1;
+            self.pos = 0;
+        }
+        None
+    }
+}
+
+impl<'s> GraphAccess for StoreGraph<'s> {
+    type Edges<'a>
+        = StoreEdges<'a>
+    where
+        Self: 'a;
+    type Labels<'a>
+        = std::vec::IntoIter<EdgeLabelId>
+    where
+        Self: 'a;
+
+    fn num_nodes(&self) -> usize {
+        self.names.len()
+    }
+
+    fn num_stored_edges(&self) -> usize {
+        self.num_stored
+    }
+
+    fn node_name(&self, node: NodeId) -> &str {
+        self.names.resolve(node.raw())
+    }
+
+    fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.names.get(name).map(NodeId::new)
+    }
+
+    fn node_type(&self, node: NodeId) -> Option<NodeTypeId> {
+        self.types[node.index()]
+    }
+
+    fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    fn degree(&self, node: NodeId) -> usize {
+        self.degree_table()[node.index()] as usize
+    }
+
+    fn edges(&self, node: NodeId) -> StoreEdges<'_> {
+        self.ensure_all_runs();
+        StoreEdges {
+            runs: &self.runs,
+            node,
+            label: 0,
+            pos: 0,
+        }
+    }
+
+    fn edge_at(&self, node: NodeId, i: usize) -> (EdgeLabelId, NodeId) {
+        self.ensure_all_runs();
+        let mut remaining = i;
+        for l in self.labels.iter() {
+            let targets = self.run(l).targets_of(node);
+            if remaining < targets.len() {
+                return (l, targets[remaining]);
+            }
+            remaining -= targets.len();
+        }
+        panic!(
+            "edge index {i} out of range for node {node} (degree {})",
+            self.degree(node)
+        );
+    }
+
+    fn neighbors_with_label(&self, node: NodeId, label: EdgeLabelId) -> Cow<'_, [NodeId]> {
+        Cow::Borrowed(self.run(label).targets_of(node))
+    }
+
+    fn labels_of(&self, node: NodeId) -> std::vec::IntoIter<EdgeLabelId> {
+        // Answered by SPO / OSP prefix scans — no run cache involved.
+        let mut out: Vec<EdgeLabelId> = Vec::new();
+        for &term in &self.node_terms[node.index()] {
+            for t in self.store.scan(&TriplePattern::with_s(term)) {
+                if let Some(&l) = self.pred_label.get(&t.p) {
+                    out.push(l);
+                }
+            }
+            for t in self.store.scan(&TriplePattern::with_o(term)) {
+                if let Some(&l) = self.pred_label.get(&t.p) {
+                    out.push(self.labels.inverse(l));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out.into_iter()
+    }
+
+    fn labels(&self) -> &EdgeLabelRegistry {
+        &self.labels
+    }
+
+    fn label_count(&self, label: EdgeLabelId) -> u64 {
+        self.label_counts[label.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_view::to_knowledge_graph;
+    use nck_graph::KnowledgeGraph;
+
+    fn sample_store() -> TripleStore {
+        let mut s = TripleStore::new();
+        s.insert_iris("Merkel", "rdf:type", "politician");
+        s.insert_iris("Obama", "rdf:type", "politician");
+        s.insert_iris("politician", "rdfs:subClassOf", "person");
+        s.insert_iris("Merkel", "studied", "Physics");
+        s.insert_iris("Putin", "studied", "Law");
+        s.insert_iris("Obama", "hasChild", "Malia");
+        s.insert_iris("Obama", "hasChild", "Sasha");
+        s.insert(
+            &Term::iri("Merkel"),
+            &Term::iri("birthDate"),
+            &Term::literal("1954-07-17"),
+        );
+        s
+    }
+
+    /// Both backends must agree on every trait observation, id for id.
+    fn assert_backends_agree(sg: &StoreGraph<'_>, kg: &KnowledgeGraph) {
+        assert_eq!(GraphAccess::num_nodes(sg), GraphAccess::num_nodes(kg));
+        assert_eq!(
+            GraphAccess::num_stored_edges(sg),
+            GraphAccess::num_stored_edges(kg)
+        );
+        assert_eq!(sg.num_logical_edges(), kg.num_logical_edges());
+        assert_eq!(sg.labels().len(), kg.labels().len());
+        for l in sg.labels().iter() {
+            assert_eq!(sg.labels().name(l), kg.labels().name(l));
+            assert_eq!(sg.labels().inverse(l), kg.labels().inverse(l));
+            assert_eq!(
+                GraphAccess::label_count(sg, l),
+                GraphAccess::label_count(kg, l),
+                "label {}",
+                sg.labels().name(l)
+            );
+        }
+        for v in GraphAccess::nodes(sg) {
+            assert_eq!(GraphAccess::node_name(sg, v), GraphAccess::node_name(kg, v));
+            assert_eq!(
+                GraphAccess::node_type(sg, v).map(|t| sg.taxonomy().name(t).to_owned()),
+                GraphAccess::node_type(kg, v).map(|t| kg.taxonomy().name(t).to_owned())
+            );
+            assert_eq!(GraphAccess::degree(sg, v), GraphAccess::degree(kg, v));
+            let se: Vec<_> = GraphAccess::edges(sg, v).collect();
+            let ke: Vec<_> = GraphAccess::edges(kg, v).collect();
+            assert_eq!(se, ke, "edges of {}", GraphAccess::node_name(sg, v));
+            for i in 0..se.len() {
+                assert_eq!(GraphAccess::edge_at(sg, v, i), se[i]);
+            }
+            let sl: Vec<_> = GraphAccess::labels_of(sg, v).collect();
+            let kl: Vec<_> = GraphAccess::labels_of(kg, v).collect();
+            assert_eq!(sl, kl, "labels of {}", GraphAccess::node_name(sg, v));
+            for l in sg.labels().iter() {
+                assert_eq!(
+                    GraphAccess::neighbors_with_label(sg, v, l).as_ref(),
+                    GraphAccess::neighbors_with_label(kg, v, l).as_ref()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_materialized_graph_id_for_id() {
+        let store = sample_store();
+        let sg = StoreGraph::new(&store);
+        let kg = to_knowledge_graph(&store);
+        assert_backends_agree(&sg, &kg);
+    }
+
+    #[test]
+    fn symmetric_labels_close_like_the_builder() {
+        let mut store = TripleStore::new();
+        store.insert_iris("x", "knows", "y");
+        store.insert_iris("y", "knows", "x");
+        store.insert_iris("a", "knows", "b");
+        let sg = StoreGraph::new(&store);
+        let kg = to_knowledge_graph(&store);
+        assert_backends_agree(&sg, &kg);
+    }
+
+    #[test]
+    fn lexical_collapse_of_iri_and_literal_objects() {
+        let mut store = TripleStore::new();
+        store.insert(&Term::iri("a"), &Term::iri("p"), &Term::iri("v"));
+        store.insert(&Term::iri("a"), &Term::iri("p"), &Term::literal("v"));
+        store.insert(&Term::iri("b"), &Term::iri("p"), &Term::literal("v"));
+        let sg = StoreGraph::new(&store);
+        let kg = to_knowledge_graph(&store);
+        // The two "v" terms collapse onto one node; a→v is one edge.
+        assert_eq!(sg.num_logical_edges(), 2);
+        assert_backends_agree(&sg, &kg);
+    }
+
+    #[test]
+    fn per_label_queries_only_build_touched_runs() {
+        let store = sample_store();
+        let sg = StoreGraph::new(&store);
+        assert_eq!(sg.cached_runs(), 0);
+        let merkel = GraphAccess::require_node(&sg, "Merkel").unwrap();
+        let studied = sg.labels().get("studied").unwrap();
+        let physics = GraphAccess::node_by_name(&sg, "Physics").unwrap();
+        assert_eq!(
+            GraphAccess::neighbors_with_label(&sg, merkel, studied).as_ref(),
+            &[physics]
+        );
+        assert_eq!(sg.cached_runs(), 1, "only the touched label is cached");
+        // labels_of goes straight to the indexes, not the cache.
+        let names: Vec<&str> = GraphAccess::labels_of(&sg, merkel)
+            .map(|l| sg.labels().name(l))
+            .collect();
+        assert_eq!(names, vec!["studied", "birthDate"]);
+        assert_eq!(sg.cached_runs(), 1);
+        // A whole-graph access faults everything in.
+        let _ = GraphAccess::degree(&sg, merkel);
+        assert_eq!(sg.cached_runs(), sg.labels().len());
+    }
+
+    #[test]
+    fn inverse_navigation_from_value_nodes() {
+        let store = sample_store();
+        let sg = StoreGraph::new(&store);
+        let date = GraphAccess::require_node(&sg, "1954-07-17").unwrap();
+        let birth = sg.labels().get("birthDate").unwrap();
+        let inv = sg.labels().inverse(birth);
+        let owners = GraphAccess::neighbors_with_label(&sg, date, inv);
+        assert_eq!(owners.len(), 1);
+        assert_eq!(GraphAccess::node_name(&sg, owners[0]), "Merkel");
+        // labels_of on the value node sees only the inverse direction.
+        let ls: Vec<_> = GraphAccess::labels_of(&sg, date).collect();
+        assert_eq!(ls, vec![inv]);
+    }
+
+    #[test]
+    fn types_and_taxonomy_answered_without_materialization() {
+        let store = sample_store();
+        let sg = StoreGraph::new(&store);
+        let merkel = GraphAccess::require_node(&sg, "Merkel").unwrap();
+        let ty = GraphAccess::node_type(&sg, merkel).unwrap();
+        assert_eq!(sg.taxonomy().name(ty), "politician");
+        let person = sg.taxonomy().get("person").unwrap();
+        assert!(GraphAccess::node_has_type(&sg, merkel, person));
+        assert_eq!(sg.cached_runs(), 0);
+    }
+
+    #[test]
+    fn empty_store_is_an_empty_graph() {
+        let store = TripleStore::new();
+        let sg = StoreGraph::new(&store);
+        assert_eq!(GraphAccess::num_nodes(&sg), 0);
+        assert_eq!(GraphAccess::num_stored_edges(&sg), 0);
+        assert_eq!(sg.num_logical_edges(), 0);
+    }
+}

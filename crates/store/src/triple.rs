@@ -93,7 +93,9 @@ impl TriplePattern {
 
     /// Number of bound positions (0–3).
     pub fn bound_count(&self) -> usize {
-        usize::from(self.s.is_some()) + usize::from(self.p.is_some()) + usize::from(self.o.is_some())
+        usize::from(self.s.is_some())
+            + usize::from(self.p.is_some())
+            + usize::from(self.o.is_some())
     }
 }
 

@@ -20,7 +20,10 @@ fn main() {
 
     let case = planted::authors_case();
     let query = Query::new(graph, dataset.query_nodes(&case.query)).expect("anchors exist");
-    println!("query: {:?}, |C| = {}\n", case.query.names, case.context_size);
+    println!(
+        "query: {:?}, |C| = {}\n",
+        case.query.names, case.context_size
+    );
 
     // Reference context: the simulated crowd's top-30 writers (see
     // nck_datagen::planted for why cases use the reference context).
@@ -49,7 +52,15 @@ fn main() {
     let created = result.characteristic("created", graph).expect("scored");
     println!(
         "influences -> {} | created -> {}",
-        if influences.notable() { "NOTABLE ✓ (shared influence target)" } else { "not notable ✗" },
-        if created.notable() { "NOTABLE ✗" } else { "not notable ✓ (own works, like everyone)" },
+        if influences.notable() {
+            "NOTABLE ✓ (shared influence target)"
+        } else {
+            "not notable ✗"
+        },
+        if created.notable() {
+            "NOTABLE ✗"
+        } else {
+            "not notable ✓ (own works, like everyone)"
+        },
     );
 }

@@ -18,13 +18,25 @@ fn main() {
     // 40 ordinary cameras: one mount, a common sensor, 1–2 lenses.
     for i in 0..40 {
         let name = format!("Camera M{i:02}");
-        b.add_triple(&name, "hasSensor", if i % 3 == 0 { "APS-C" } else { "Full Frame" });
+        b.add_triple(
+            &name,
+            "hasSensor",
+            if i % 3 == 0 { "APS-C" } else { "Full Frame" },
+        );
         b.add_triple(&name, "hasMount", "E-Mount");
         b.add_triple(&name, "supportsLens", &format!("Lens {}", i % 7));
         if i % 2 == 0 {
             b.add_triple(&name, "supportsLens", &format!("Lens {}", (i + 3) % 7));
         }
-        b.add_triple(&name, "madeBy", if i % 2 == 0 { "Acme Optics" } else { "Lumen Werke" });
+        b.add_triple(
+            &name,
+            "madeBy",
+            if i % 2 == 0 {
+                "Acme Optics"
+            } else {
+                "Lumen Werke"
+            },
+        );
         if i % 5 != 0 {
             b.add_triple(&name, "hasViewfinder", "Electronic");
         }
@@ -64,7 +76,10 @@ fn main() {
 
     let sensor = result.characteristic("hasSensor", &graph).unwrap();
     let mount = result.characteristic("hasMount", &graph).unwrap();
-    assert!(sensor.notable(), "the rare global-shutter sensor is the notable feature");
+    assert!(
+        sensor.notable(),
+        "the rare global-shutter sensor is the notable feature"
+    );
     assert!(!mount.notable(), "the ubiquitous mount must not be notable");
     println!("✓ the cameras' special feature (global-shutter sensor) was discovered.");
 }

@@ -55,8 +55,8 @@ fn main() {
     );
 
     // ---- the query and its context ------------------------------------
-    let query = Query::by_names(&graph, ["Angela Merkel", "Barack Obama"])
-        .expect("query entities exist");
+    let query =
+        Query::by_names(&graph, ["Angela Merkel", "Barack Obama"]).expect("query entities exist");
     let mut context_names: Vec<String> = vec![
         "Vladimir Putin".into(),
         "Matteo Renzi".into(),

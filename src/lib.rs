@@ -16,8 +16,14 @@
 //!
 //! This crate is the façade over the workspace:
 //!
-//! - [`graph`] — knowledge-graph substrate (dictionary-encoded CSR);
-//! - [`store`] — triple-store substrate (SPO/POS/OSP indexes);
+//! - [`graph`] — knowledge-graph substrate: the dictionary-encoded CSR
+//!   [`KnowledgeGraph`](graph::KnowledgeGraph) and the backend-generic
+//!   [`GraphAccess`](graph::GraphAccess) trait the algorithms run
+//!   against;
+//! - [`store`] — triple-store substrate (SPO/POS/OSP indexes), including
+//!   [`StoreGraph`](store::StoreGraph), the `GraphAccess` backend that
+//!   answers traversals straight from the indexes without materializing
+//!   the graph;
 //! - [`stats`] — statistics substrate (multinomial test, divergences);
 //! - [`core`] — the paper's algorithms;
 //! - [`datagen`] — seeded synthetic YAGO-like / LinkedMDB-like data;
@@ -75,6 +81,7 @@ pub mod prelude {
     pub use nck_core::findnc::{FindNc, NotableCharacteristic, SearchResult};
     pub use nck_core::ppr::RandomWalkSelector;
     pub use nck_core::query::Query;
-    pub use nck_graph::{EdgeLabelId, GraphBuilder, KnowledgeGraph, NodeId};
+    pub use nck_graph::{EdgeLabelId, GraphAccess, GraphBuilder, KnowledgeGraph, NodeId};
     pub use nck_stats::MultinomialTest;
+    pub use nck_store::StoreGraph;
 }

@@ -1,9 +1,7 @@
 //! Workspace integration tests: the full stack, from triple store to
 //! notable characteristics, exercised together.
 
-use notable_characteristics::core::config::{
-    ContextRwConfig, FindNcConfig, PathMiningConfig,
-};
+use notable_characteristics::core::config::{ContextRwConfig, FindNcConfig, PathMiningConfig};
 use notable_characteristics::core::context::TypeFilter;
 use notable_characteristics::datagen::{generate, GeneratorConfig};
 use notable_characteristics::prelude::*;
@@ -102,8 +100,7 @@ fn mined_pipeline_produces_explained_results() {
     for w in result.characteristics.windows(2) {
         assert!(w[0].score >= w[1].score);
     }
-    let text =
-        notable_characteristics::core::explain::report(graph, &result, query.len());
+    let text = notable_characteristics::core::explain::report(graph, &result, query.len());
     for ch in &result.characteristics {
         assert!(text.contains(graph.label_name(ch.label)));
     }
@@ -165,12 +162,237 @@ fn selectors_disagree_on_context_composition() {
     use notable_characteristics::core::context::ContextSelector;
     let c1 = crw.select(graph, &query, 60).unwrap();
     let c2 = rw.select(graph, &query, 60).unwrap();
-    let overlap = c1
-        .node_set()
-        .intersection(&c2.node_set())
-        .count();
+    let overlap = c1.node_set().intersection(&c2.node_set()).count();
     assert!(
         overlap < 60,
         "the two selectors must not return identical contexts"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Backend parity: the same pipeline over the materialized CSR graph and the
+// index-backed StoreGraph must rank the same notable characteristics.
+// ---------------------------------------------------------------------------
+
+use notable_characteristics::graph::GraphAccess;
+use notable_characteristics::store::graph_view::{SUBTYPE_PREDICATE, TYPE_PREDICATE};
+use notable_characteristics::store::StoreGraph;
+
+/// Exports a built graph into a triple store (forward labels only; the
+/// Def.-1 inverses are reconstructed by each backend).
+fn store_from_graph(graph: &KnowledgeGraph) -> TripleStore {
+    let mut store = TripleStore::new();
+    for v in graph.nodes() {
+        for (l, t) in KnowledgeGraph::edges(graph, v) {
+            if !graph.labels().is_inverse(l) {
+                store.insert_iris(
+                    KnowledgeGraph::node_name(graph, v),
+                    graph.label_name(l),
+                    KnowledgeGraph::node_name(graph, t),
+                );
+            }
+        }
+        if let Some(ty) = KnowledgeGraph::node_type(graph, v) {
+            store.insert_iris(
+                KnowledgeGraph::node_name(graph, v),
+                TYPE_PREDICATE,
+                graph.taxonomy().name(ty),
+            );
+        }
+    }
+    let tax = graph.taxonomy();
+    for i in 0..tax.len() {
+        let ty = notable_characteristics::graph::ids::NodeTypeId::from_index(i);
+        for &sup in tax.parents(ty) {
+            store.insert_iris(tax.name(ty), SUBTYPE_PREDICATE, tax.name(sup));
+        }
+    }
+    store
+}
+
+/// `(label name, δ score, significance)` rows of a projected ranking.
+type NamedRanking = Vec<(String, f64, Option<f64>)>;
+
+/// Runs FindNC over a backend and projects the result onto names.
+fn ranked_by_name<G: GraphAccess + Sync>(
+    graph: &G,
+    query_names: &[String],
+    config: FindNcConfig,
+) -> (Vec<String>, NamedRanking) {
+    let query = Query::by_names(graph, query_names).expect("query resolves");
+    let result = FindNc::new(config)
+        .discover(graph, &query)
+        .expect("discovery runs");
+    let context = result
+        .context
+        .nodes()
+        .map(|n| graph.node_name(n).to_owned())
+        .collect();
+    let ranked = result
+        .characteristics
+        .iter()
+        .map(|c| {
+            (
+                graph.label_name(c.label).to_owned(),
+                c.score,
+                c.significance,
+            )
+        })
+        .collect();
+    (context, ranked)
+}
+
+fn assert_rankings_match(
+    (ctx_a, ranked_a): &(Vec<String>, NamedRanking),
+    (ctx_b, ranked_b): &(Vec<String>, NamedRanking),
+) {
+    assert_eq!(ctx_a, ctx_b, "context composition must match");
+    assert_eq!(ranked_a.len(), ranked_b.len());
+    for ((la, sa, pa), (lb, sb, pb)) in ranked_a.iter().zip(ranked_b) {
+        assert_eq!(la, lb, "label order must match");
+        assert!((sa - sb).abs() < 1e-9, "{la}: scores {sa} vs {sb}");
+        match (pa, pb) {
+            (Some(pa), Some(pb)) => {
+                assert!((pa - pb).abs() < 1e-9, "{la}: significance {pa} vs {pb}")
+            }
+            (None, None) => {}
+            other => panic!("{la}: significance presence differs: {other:?}"),
+        }
+    }
+}
+
+/// Figure-1 parity: fixed-context discrimination and the full mined
+/// pipeline agree across backends on the paper's example graph.
+#[test]
+fn backends_rank_identically_on_figure1() {
+    let mut store = TripleStore::new();
+    store.insert_iris("Merkel", "studied", "Physics");
+    for p in ["Putin", "Renzi", "Hollande"] {
+        store.insert_iris(p, "studied", "Law");
+    }
+    for (p, c) in [
+        ("Obama", "Malia"),
+        ("Putin", "Mariya"),
+        ("Renzi", "Ester"),
+        ("Renzi", "Emanuele"),
+        ("Hollande", "Thomas"),
+        ("Hollande", "Clemence"),
+        ("Hollande", "Flora"),
+        ("Hollande", "Julien"),
+    ] {
+        store.insert_iris(p, "hasChild", c);
+    }
+    // Extra leaders so the multinomial test has context mass, plus a
+    // shared forum so PathMining finds query→context metapaths.
+    for i in 0..22 {
+        let n = format!("leader{i}");
+        store.insert_iris(&n, "studied", "Law");
+        store.insert_iris(&n, "hasChild", &format!("child{i}"));
+        store.insert_iris(&n, TYPE_PREDICATE, "politician");
+        store.insert_iris(&n, "memberOf", "G20");
+    }
+    for p in ["Merkel", "Obama", "Putin", "Renzi", "Hollande"] {
+        store.insert_iris(p, TYPE_PREDICATE, "politician");
+        store.insert_iris(p, "memberOf", "G20");
+    }
+    store.insert_iris("politician", SUBTYPE_PREDICATE, "person");
+
+    let kg = to_knowledge_graph(&store);
+    let sg = StoreGraph::new(&store);
+
+    // Fixed-context discrimination (no sampling in context selection).
+    let query_names = ["Merkel".to_owned(), "Obama".to_owned()];
+    let mut context_names: Vec<String> = ["Putin", "Renzi", "Hollande"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    context_names.extend((0..22).map(|i| format!("leader{i}")));
+    let config = FindNcConfig::default();
+    let kq = Query::by_names(&kg, &query_names).unwrap();
+    let kc = Context::from_names(&kg, &context_names).unwrap();
+    let kr = FindNc::new(config.clone())
+        .discover_with_context(&kg, &kq, &kc)
+        .unwrap();
+    let sq = Query::by_names(&sg, &query_names).unwrap();
+    let sc = Context::from_names(&sg, &context_names).unwrap();
+    let sr = FindNc::new(config)
+        .discover_with_context(&sg, &sq, &sc)
+        .unwrap();
+    let project = |r: &SearchResult, g: &dyn Fn(EdgeLabelId) -> String| {
+        r.characteristics
+            .iter()
+            .map(|c| (g(c.label), c.score, c.significance))
+            .collect::<Vec<_>>()
+    };
+    let ka = project(&kr, &|l| kg.label_name(l).to_owned());
+    let sa = project(&sr, &|l| GraphAccess::label_name(&sg, l).to_owned());
+    assert_rankings_match(&(vec![], ka.clone()), &(vec![], sa.clone()));
+    assert!(
+        ka.iter().any(|(l, s, _)| l == "studied" && *s > 0.0),
+        "Figure-1 headline must be notable on both backends: {ka:?}"
+    );
+
+    // Full mined pipeline (PathMining + ContextRW + discrimination).
+    let config = FindNcConfig {
+        context: ContextRwConfig {
+            mining: PathMiningConfig {
+                walks: 8_000,
+                max_length: 4,
+                seed: 7,
+                parallel: true,
+            },
+            num_metapaths: 5,
+            type_filter: TypeFilter::CommonAncestor,
+            max_endpoint_fraction: 1.0,
+        },
+        context_size: 20,
+        ..FindNcConfig::default()
+    };
+    let a = ranked_by_name(&kg, &query_names, config.clone());
+    let b = ranked_by_name(&sg, &query_names, config);
+    assert!(!a.0.is_empty(), "mined context must not be empty");
+    assert_rankings_match(&a, &b);
+}
+
+/// Generated-dataset parity: the full seeded pipeline agrees across
+/// backends on an nck-datagen graph loaded through the store.
+#[test]
+fn backends_rank_identically_on_generated_dataset() {
+    let dataset = generate(&GeneratorConfig::tiny(13));
+    let spec = notable_characteristics::datagen::queries::actors5_query();
+    let query_names: Vec<String> = dataset
+        .query_nodes(&spec)
+        .into_iter()
+        .map(|n| dataset.graph.node_name(n).to_owned())
+        .collect();
+
+    let store = store_from_graph(&dataset.graph);
+    let kg = to_knowledge_graph(&store);
+    let sg = StoreGraph::new(&store);
+    assert_eq!(
+        GraphAccess::num_nodes(&sg),
+        KnowledgeGraph::num_nodes(&kg),
+        "backends must agree on the node universe"
+    );
+
+    let config = FindNcConfig {
+        context: ContextRwConfig {
+            mining: PathMiningConfig {
+                walks: 12_000,
+                max_length: 4,
+                seed: 99,
+                parallel: true,
+            },
+            num_metapaths: 5,
+            type_filter: TypeFilter::CommonAncestor,
+            max_endpoint_fraction: 0.25,
+        },
+        context_size: 40,
+        ..FindNcConfig::default()
+    };
+    let a = ranked_by_name(&kg, &query_names, config.clone());
+    let b = ranked_by_name(&sg, &query_names, config);
+    assert!(!a.0.is_empty(), "mined context must not be empty");
+    assert!(!a.1.is_empty(), "characteristics must be scored");
+    assert_rankings_match(&a, &b);
 }

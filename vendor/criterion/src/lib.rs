@@ -1,0 +1,328 @@
+//! Offline substitute for the `criterion` benchmark harness.
+//!
+//! Implements the API surface the workspace benches use — `Criterion`,
+//! `BenchmarkGroup` (with `sample_size`), `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros — with a simple
+//! measurement model: one warm-up call, then `sample_size` timed calls per
+//! benchmark, reporting min / median / mean wall time.
+//!
+//! Results print as a table and, when the `NCK_BENCH_JSON` environment
+//! variable names a file, are appended to it as JSON lines so a baseline
+//! (`BENCH_baseline.json`) can be assembled across bench binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher<'m> {
+    samples: &'m mut Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`: one warm-up call, then `sample_size` measured
+    /// calls, each recorded in nanoseconds.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    group: String,
+    bench: String,
+    sample_count: usize,
+    min_ns: f64,
+    median_ns: f64,
+    mean_ns: f64,
+}
+
+impl BenchResult {
+    fn from_samples(group: &str, bench: &str, mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let n = samples.len().max(1);
+        let min = samples.first().copied().unwrap_or(0.0);
+        let median = if samples.is_empty() {
+            0.0
+        } else if n % 2 == 1 {
+            samples[n / 2]
+        } else {
+            (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+        };
+        let mean = if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().sum::<f64>() / n as f64
+        };
+        Self {
+            group: group.to_owned(),
+            bench: bench.to_owned(),
+            sample_count: samples.len(),
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+        }
+    }
+
+    fn json_line(&self) -> String {
+        format!(
+            "{{\"group\":\"{}\",\"bench\":\"{}\",\"samples\":{},\"min_ns\":{:.1},\"median_ns\":{:.1},\"mean_ns\":{:.1}}}",
+            escape(&self.group),
+            escape(&self.bench),
+            self.sample_count,
+            self.min_ns,
+            self.median_ns,
+            self.mean_ns,
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            results: Vec::new(),
+            default_sample_size: default_sample_size(),
+        }
+    }
+}
+
+fn default_sample_size() -> usize {
+    std::env::var("NCK_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: default_sample_size(),
+        }
+    }
+
+    /// Runs a stand-alone benchmark (group name = benchmark name).
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(name.to_owned(), name.to_owned(), sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, group: String, bench: String, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut samples = Vec::with_capacity(sample_size);
+        f(&mut Bencher {
+            samples: &mut samples,
+            sample_size,
+        });
+        let result = BenchResult::from_samples(&group, &bench, samples);
+        println!(
+            "bench {:<40} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
+            format!("{}/{}", result.group, result.bench),
+            human(result.min_ns),
+            human(result.median_ns),
+            human(result.mean_ns),
+            result.sample_count,
+        );
+        self.results.push(result);
+    }
+
+    /// Prints the summary and appends JSON lines to `$NCK_BENCH_JSON`.
+    pub fn final_summary(&mut self) {
+        if let Ok(path) = std::env::var("NCK_BENCH_JSON") {
+            use std::io::Write as _;
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
+            for r in &self.results {
+                writeln!(file, "{}", r.json_line()).expect("bench JSON write");
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // The environment cap keeps baseline generation fast when set.
+        let cap = std::env::var("NCK_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(usize::MAX);
+        self.sample_size = n.max(1).min(cap);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let group = self.name.clone();
+        self.criterion
+            .run_one(group, id.to_string(), self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let group = self.name.clone();
+        self.criterion
+            .run_one(group, id.to_string(), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main` for one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(4);
+        let mut calls = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        // 1 warm-up + 4 samples.
+        assert_eq!(calls, 5);
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].sample_count, 4);
+    }
+
+    #[test]
+    fn median_of_even_and_odd() {
+        let r = BenchResult::from_samples("g", "b", vec![3.0, 1.0, 2.0]);
+        assert_eq!(r.median_ns, 2.0);
+        let r = BenchResult::from_samples("g", "b", vec![4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(r.median_ns, 2.5);
+        assert_eq!(r.min_ns, 1.0);
+    }
+
+    #[test]
+    fn json_line_escapes() {
+        let r = BenchResult::from_samples("g\"x", "b", vec![1.0]);
+        assert!(r.json_line().contains("g\\\"x"));
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

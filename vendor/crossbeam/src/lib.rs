@@ -1,0 +1,75 @@
+//! Offline substitute for the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is provided — the one API this workspace uses —
+//! implemented on top of `std::thread::scope` (stable since Rust 1.63,
+//! which post-dates crossbeam's scoped threads and makes them redundant).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// A fork-join scope handed to the closure of [`scope`].
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    /// The argument passed to spawned closures (crossbeam passes a nested
+    /// scope; every caller here ignores it with `|_|`).
+    pub struct NestedScope(());
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives a
+        /// [`NestedScope`] placeholder for crossbeam API compatibility.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle(self.0.spawn(move || f(&NestedScope(()))))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all threads are joined before this returns.
+    ///
+    /// Unlike crossbeam, a panicking child that was already joined inside
+    /// `f` simply propagates its panic; the `Result` wrapper is kept for
+    /// call-site compatibility and is always `Ok` on normal return.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope(s))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum()
+        })
+        .expect("scope succeeds");
+        assert_eq!(total, 10);
+    }
+}

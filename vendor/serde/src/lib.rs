@@ -1,0 +1,18 @@
+//! Offline substitute for `serde`.
+//!
+//! The workspace tags types with `#[derive(Serialize, Deserialize)]` but
+//! performs no serialization (reports are rendered by hand), so the traits
+//! are markers and the derives are no-ops. Swap this for the real crate by
+//! changing one line in the workspace manifest when a registry is
+//! available.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,20 @@
+//! Offline substitute for `serde_derive`.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its config and id
+//! types for downstream ergonomics but never performs serialization, so
+//! these derives accept the input (including `#[serde(...)]` helper
+//! attributes) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
