@@ -1,0 +1,91 @@
+//! Batched engine vs one-at-a-time FindNC on a repeated-seed workload —
+//! the amortization `nck-engine` exists for.
+//!
+//! The workload models public-KB traffic: 32 queries over 8 distinct
+//! seed pairs, every pair anchored on the domain's most prominent
+//! entity (so >50% of all seeds are shared) and each pair repeated 4
+//! times. `batched_32` executes it cold through a fresh engine (dedup +
+//! scheduling + worker threads); `batched_32_warm` re-submits it to an
+//! already-warm engine (steady-state serving, all result-cache hits);
+//! `sequential_32` is the `FindNc::discover` loop the engine replaces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nck_bench::small_dataset;
+use nck_core::config::{ContextRwConfig, FindNcConfig, PathMiningConfig};
+use nck_core::context::TypeFilter;
+use nck_core::findnc::FindNc;
+use nck_core::query::Query;
+use nck_datagen::DomainId;
+use nck_engine::{EngineConfig, QueryEngine};
+use nck_graph::KnowledgeGraph;
+
+fn workload(graph: &KnowledgeGraph) -> Vec<Query> {
+    let d = small_dataset();
+    let members = &d
+        .domain(DomainId::Actors)
+        .expect("actors domain exists")
+        .members;
+    let mut queries = Vec::with_capacity(32);
+    for _rep in 0..4 {
+        for i in 0..8 {
+            queries.push(
+                Query::new(graph, vec![members[0], members[1 + i]]).expect("valid seed pair"),
+            );
+        }
+    }
+    queries
+}
+
+fn pipeline_config() -> FindNcConfig {
+    FindNcConfig {
+        context: ContextRwConfig {
+            mining: PathMiningConfig {
+                walks: 4_000,
+                max_length: 5,
+                seed: 2,
+                parallel: true,
+            },
+            num_metapaths: 5,
+            type_filter: TypeFilter::CommonAncestor,
+            max_endpoint_fraction: 0.25,
+        },
+        context_size: 50,
+        ..FindNcConfig::default()
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let d = small_dataset();
+    let graph = &d.graph;
+    let queries = workload(graph);
+    let engine_config = EngineConfig {
+        findnc: pipeline_config(),
+        ..EngineConfig::default()
+    };
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("sequential_32", |b| {
+        let findnc = FindNc::new(pipeline_config());
+        b.iter(|| {
+            for q in &queries {
+                findnc.discover(graph, q).unwrap();
+            }
+        })
+    });
+    group.bench_function("batched_32", |b| {
+        b.iter(|| {
+            let engine = QueryEngine::new(graph, engine_config.clone()).unwrap();
+            engine.run_batch(&queries).unwrap()
+        })
+    });
+    group.bench_function("batched_32_warm", |b| {
+        let engine = QueryEngine::new(graph, engine_config.clone()).unwrap();
+        engine.run_batch(&queries).unwrap();
+        b.iter(|| engine.run_batch(&queries).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -201,7 +201,12 @@ impl CandidateFilter {
 
 /// Shared top-k finalization: filter, drop query nodes, sort by score
 /// (descending, ties by id for determinism), truncate to `k`.
-pub(crate) fn top_k_context<G: GraphAccess>(
+///
+/// Exposed so external selectors — e.g. the caching RandomWalk path in
+/// `nck-engine` — finalize their score maps exactly the way the built-in
+/// selectors do. Scores that are zero or negative are dropped before the
+/// cut, and `k == 0` is rejected with [`CoreError::EmptyContext`].
+pub fn top_k_context<G: GraphAccess>(
     graph: &G,
     query: &Query,
     scores: impl IntoIterator<Item = (NodeId, f64)>,

@@ -98,6 +98,36 @@ impl FindNc {
     }
 
     /// Full pipeline: ContextRW context selection, then discrimination.
+    ///
+    /// ```
+    /// use nck_core::config::{FindNcConfig, PathMiningConfig};
+    /// use nck_core::context::TypeFilter;
+    /// use nck_core::prelude::*;
+    /// use nck_graph::GraphBuilder;
+    ///
+    /// // Figure 1: every G20 leader has a child — except Merkel.
+    /// let mut b = GraphBuilder::new();
+    /// b.add_triple("Merkel", "memberOf", "G20");
+    /// for i in 0..20 {
+    ///     let leader = format!("leader{i}");
+    ///     b.add_triple(&leader, "memberOf", "G20");
+    ///     b.add_triple(&leader, "hasChild", &format!("child{i}"));
+    /// }
+    /// let graph = b.build();
+    ///
+    /// let mut config = FindNcConfig::default();
+    /// config.context.mining = PathMiningConfig { walks: 2_000, ..Default::default() };
+    /// config.context.type_filter = TypeFilter::None; // untyped toy graph
+    /// config.context_size = 20;
+    ///
+    /// let query = Query::by_names(&graph, ["Merkel"]).unwrap();
+    /// let result = FindNc::new(config).discover(&graph, &query).unwrap();
+    /// // The mined co-membership metapath retrieves the other leaders…
+    /// assert_eq!(result.context.len(), 20);
+    /// // …and the missing child surfaces as a notable cardinality deviation.
+    /// let has_child = result.characteristic("hasChild", &graph).unwrap();
+    /// assert!(has_child.notable());
+    /// ```
     pub fn discover<G: GraphAccess + Sync>(
         &self,
         graph: &G,

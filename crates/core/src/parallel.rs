@@ -7,7 +7,17 @@
 //! produce byte-identical output to sequential ones as long as each chunk
 //! derives its randomness from its chunk index.
 
-/// Number of worker threads to use for `n` work items.
+/// Number of worker threads to use for `n` work items: the hardware
+/// parallelism, clamped to `[1, min(n, 16)]` so tiny workloads never
+/// spawn idle threads and huge machines never oversubscribe the fork-join
+/// helper.
+///
+/// ```
+/// use nck_core::parallel::thread_count;
+/// assert_eq!(thread_count(0), 1);          // no work still gets one worker
+/// assert!(thread_count(4) <= 4);           // never more threads than items
+/// assert!(thread_count(usize::MAX) <= 16); // hard ceiling
+/// ```
 pub fn thread_count(n: usize) -> usize {
     let hw = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -15,7 +25,17 @@ pub fn thread_count(n: usize) -> usize {
     hw.min(n.max(1)).min(16)
 }
 
-/// Splits `0..n` into `chunks` half-open ranges of near-equal size.
+/// Splits `0..n` into `chunks` half-open ranges of near-equal size (the
+/// first `n % chunks` ranges are one longer). `chunks` is clamped to
+/// `[1, max(n, 1)]`, so asking for more chunks than items degrades to
+/// one item per chunk and `n = 0` yields a single empty range.
+///
+/// ```
+/// use nck_core::parallel::split_range;
+/// assert_eq!(split_range(7, 3), vec![0..3, 3..5, 5..7]);
+/// assert_eq!(split_range(0, 4), vec![0..0]);
+/// assert_eq!(split_range(2, 8).len(), 2); // clamped to n
+/// ```
 pub fn split_range(n: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
     let chunks = chunks.clamp(1, n.max(1));
     let base = n / chunks;
@@ -111,5 +131,42 @@ mod tests {
         assert_eq!(thread_count(0), 1);
         assert!(thread_count(1_000_000) <= 16);
         assert!(thread_count(2) <= 2);
+        assert!(thread_count(1) == 1);
+    }
+
+    #[test]
+    fn split_of_zero_items_is_one_empty_range() {
+        for chunks in [1usize, 2, 16] {
+            assert_eq!(split_range(0, chunks), vec![0..0]);
+        }
+    }
+
+    #[test]
+    fn fewer_items_than_chunks_clamps_to_singletons() {
+        let ranges = split_range(3, 8);
+        assert_eq!(ranges, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn uneven_split_puts_extras_first() {
+        // 10 items over 4 chunks: 3, 3, 2, 2.
+        assert_eq!(split_range(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+        // 5 over 3: 2, 2, 1.
+        assert_eq!(split_range(5, 3), vec![0..2, 2..4, 4..5]);
+        // Chunk sizes never differ by more than one.
+        for n in [11usize, 29, 97] {
+            for chunks in [2usize, 3, 5, 7] {
+                let lens: Vec<usize> = split_range(n, chunks).iter().map(|r| r.len()).collect();
+                let min = lens.iter().min().unwrap();
+                let max = lens.iter().max().unwrap();
+                assert!(max - min <= 1, "n={n} chunks={chunks}: {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunks_on_empty_input_folds_once() {
+        let calls = map_chunks(0, true, |_i, r| r.len(), 0usize, |a, b| a + b);
+        assert_eq!(calls, 0);
     }
 }

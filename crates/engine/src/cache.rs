@@ -1,0 +1,238 @@
+//! A small deterministic LRU cache with bounded memory.
+//!
+//! The engine keeps three of these (PPR vectors, contexts, full results);
+//! all are exact caches — a hit returns precisely the value a fresh
+//! computation would produce — so cache state never changes *what* the
+//! engine answers, only how fast. Eviction is least-recently-used with
+//! a monotonic use counter, which makes single-threaded traces fully
+//! deterministic (concurrent traces may interleave uses differently, but
+//! since entries are exact that can only affect hit rates, not results).
+//!
+//! Memory is bounded two ways: an entry budget (`capacity`) and an
+//! approximate byte budget (`max_bytes`) fed by a per-value cost function.
+//! Whichever bound is exceeded first triggers eviction.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Counters describing a cache's lifetime behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the key.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to stay within the bounds.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+    /// Approximate bytes currently resident (as reported by the cost
+    /// function passed to [`LruCache::insert_with_cost`]).
+    pub bytes: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    cost: usize,
+    last_used: u64,
+}
+
+/// Deterministic least-recently-used cache. See the [module docs](self).
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, Entry<V>>,
+    capacity: usize,
+    max_bytes: usize,
+    bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache bounded by `capacity` entries (byte budget
+    /// unlimited). A zero capacity disables caching entirely.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_max_bytes(capacity, usize::MAX)
+    }
+
+    /// Creates a cache bounded by `capacity` entries *and* `max_bytes`
+    /// approximate resident bytes.
+    pub fn with_max_bytes(capacity: usize, max_bytes: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            capacity,
+            max_bytes,
+            bytes: 0,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks `key` up, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.hits += 1;
+                Some(&e.value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts with a unit cost (entry-count bounding only).
+    pub fn insert(&mut self, key: K, value: V) {
+        self.insert_with_cost(key, value, 1);
+    }
+
+    /// Inserts `value` under `key` with an approximate byte `cost`,
+    /// evicting least-recently-used entries until both bounds hold.
+    ///
+    /// Re-inserting an existing key replaces the value (callers that
+    /// computed a value concurrently store equal values, so replacement
+    /// is observationally a no-op). A value whose cost alone exceeds the
+    /// byte budget, or a zero-capacity cache, stores nothing.
+    pub fn insert_with_cost(&mut self, key: K, value: V, cost: usize) {
+        if self.capacity == 0 || cost > self.max_bytes {
+            return;
+        }
+        self.tick += 1;
+        if let Some(old) = self.map.insert(
+            key,
+            Entry {
+                value,
+                cost,
+                last_used: self.tick,
+            },
+        ) {
+            self.bytes -= old.cost;
+        }
+        self.bytes += cost;
+        while self.map.len() > self.capacity || self.bytes > self.max_bytes {
+            self.evict_lru();
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        // Use counters are unique, so the minimum is unambiguous and the
+        // scan is deterministic. Caches are small (tens to hundreds of
+        // entries); the O(len) scan is not a hot path.
+        let victim = self
+            .map
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone());
+        if let Some(k) = victim {
+            if let Some(e) = self.map.remove(&k) {
+                self.bytes -= e.cost;
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Snapshot of the hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.map.len(),
+            bytes: self.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut c: LruCache<u32, &str> = LruCache::new(2);
+        assert!(c.get(&1).is_none());
+        c.insert(1, "one");
+        assert_eq!(c.get(&1), Some(&"one"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(&10)); // 1 becomes MRU
+        c.insert(3, 30); // evicts 2
+        assert!(c.get(&2).is_none());
+        assert_eq!(c.get(&1), Some(&10));
+        assert_eq!(c.get(&3), Some(&30));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts() {
+        let mut c: LruCache<u32, Vec<u8>> = LruCache::with_max_bytes(100, 100);
+        c.insert_with_cost(1, vec![0; 60], 60);
+        c.insert_with_cost(2, vec![0; 60], 60); // 120 > 100 → evict 1
+        assert!(c.get(&1).is_none());
+        assert!(c.get(&2).is_some());
+        assert_eq!(c.stats().bytes, 60);
+    }
+
+    #[test]
+    fn oversized_value_is_not_stored() {
+        let mut c: LruCache<u32, Vec<u8>> = LruCache::with_max_bytes(10, 50);
+        c.insert_with_cost(1, vec![0; 99], 99);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        c.insert(1, 1);
+        assert!(c.get(&1).is_none());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_rebalances_bytes() {
+        let mut c: LruCache<u32, u32> = LruCache::with_max_bytes(4, 100);
+        c.insert_with_cost(1, 1, 40);
+        c.insert_with_cost(1, 2, 70);
+        assert_eq!(c.get(&1), Some(&2));
+        assert_eq!(c.stats().bytes, 70);
+        assert_eq!(c.len(), 1);
+    }
+}

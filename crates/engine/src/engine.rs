@@ -1,0 +1,649 @@
+//! [`QueryEngine`] — the batched, cache-sharing execution layer.
+//!
+//! One engine owns one graph backend and one pipeline configuration, and
+//! answers any number of queries through three exact caches:
+//!
+//! - a **PPR cache** keyed by personalization seed set (the RandomWalk
+//!   selector runs one Personalized PageRank per seed node; distinct
+//!   queries sharing a seed share the vector), bounded by entries *and*
+//!   approximate bytes;
+//! - a **context cache** keyed by the query's seed list — repeated seeds
+//!   skip context selection (PathMining walks or power iterations)
+//!   entirely;
+//! - a **result cache** keyed the same way — exact repeats skip the
+//!   whole pipeline.
+//!
+//! All three store values bit-identical to what a fresh sequential
+//! [`FindNc`] run would compute, so engine answers are id-for-id equal to
+//! one-at-a-time [`FindNc::discover`] regardless of batch composition,
+//! cache pressure, or thread count (the workspace's parity tests assert
+//! this on both backends, including under forced eviction).
+//!
+//! Batches are planned by [`crate::schedule`]: exact repeats are executed
+//! once and fanned back out, distinct queries are clustered around their
+//! hottest shared seed so cache hits land before evictions, and the
+//! backend's per-predicate runs ([`GraphAccess::warm_predicate`]) are
+//! faulted in up front. Groups then execute across worker threads via the
+//! same fork-join helper the pipeline itself uses.
+
+use crate::cache::{CacheStats, LruCache};
+use crate::schedule;
+use nck_core::config::{FindNcConfig, RandomWalkConfig};
+use nck_core::context::{top_k_context, CandidateFilter, Context, ContextSelector};
+use nck_core::context_rw::ContextRw;
+use nck_core::error::CoreError;
+use nck_core::findnc::{FindNc, SearchResult};
+use nck_core::parallel;
+use nck_core::ppr::PersonalizedPageRank;
+use nck_core::query::Query;
+use nck_graph::{EdgeLabelId, GraphAccess, NodeId};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which context selector the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectorMode {
+    /// The paper's metapath-constrained ContextRW (what
+    /// [`FindNc::discover`] uses); contexts are cached per seed list.
+    #[default]
+    ContextRw,
+    /// The frequency-weighted Personalized PageRank baseline, served
+    /// through the seed-keyed PPR vector cache. Matches
+    /// [`nck_core::ppr::RandomWalkSelector`] with sequential summation
+    /// (`PprConfig::parallel = false`) bit for bit.
+    RandomWalk,
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The pipeline configuration every query runs under (context
+    /// selection settings, |C|, α, Monte-Carlo budget, …).
+    pub findnc: FindNcConfig,
+    /// Which context selector to run.
+    pub selector: SelectorMode,
+    /// RandomWalk-mode settings (ignored under
+    /// [`SelectorMode::ContextRw`]).
+    pub randomwalk: RandomWalkConfig,
+    /// Entry bound of the PPR vector cache.
+    pub ppr_cache_entries: usize,
+    /// Approximate byte bound of the PPR vector cache (each vector costs
+    /// `8 · |V|` bytes; both bounds apply, whichever trips first).
+    pub ppr_cache_bytes: usize,
+    /// Entry bound of the context cache.
+    pub context_cache_entries: usize,
+    /// Entry bound of the result cache.
+    pub result_cache_entries: usize,
+    /// Execute batch groups across worker threads (results are identical
+    /// either way; see the [module docs](self)).
+    pub parallel: bool,
+    /// Fault the per-predicate runs of a batch's seed-incident labels
+    /// into the backend's cache before executing
+    /// ([`GraphAccess::warm_predicate`]; a no-op on the CSR backend).
+    pub warm_predicates: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            findnc: FindNcConfig::default(),
+            selector: SelectorMode::ContextRw,
+            randomwalk: RandomWalkConfig::default(),
+            ppr_cache_entries: 256,
+            ppr_cache_bytes: 64 << 20,
+            context_cache_entries: 512,
+            result_cache_entries: 512,
+            parallel: true,
+            warm_predicates: true,
+        }
+    }
+}
+
+/// A snapshot of the engine's cache and dedup counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Batches executed so far.
+    pub batches: u64,
+    /// Queries submitted (batch members plus single runs).
+    pub queries: u64,
+    /// Distinct work units actually executed.
+    pub executed_groups: u64,
+    /// Queries answered by batch-level deduplication alone.
+    pub deduplicated: u64,
+    /// PPR vector cache counters.
+    pub ppr: CacheStats,
+    /// Context cache counters.
+    pub context: CacheStats,
+    /// Result cache counters.
+    pub result: CacheStats,
+}
+
+/// Per-predicate statistics row (see [`QueryEngine::predicate_stats`]).
+#[derive(Debug, Clone)]
+pub struct PredicateStat {
+    /// The edge label.
+    pub label: EdgeLabelId,
+    /// Its name.
+    pub name: String,
+    /// Stored-edge count `|E_l|`.
+    pub count: u64,
+    /// Relative frequency `|E_l| / |E|` (Eq. 1's input).
+    pub frequency: f64,
+}
+
+/// The batched query engine. See the [module docs](self).
+pub struct QueryEngine<'g, G: GraphAccess + Sync> {
+    graph: &'g G,
+    config: EngineConfig,
+    findnc: FindNc,
+    context_rw: ContextRw,
+    /// Built once per engine in RandomWalk mode (weight precomputation is
+    /// `O(|E|)` and identical for every query).
+    ppr: Option<PersonalizedPageRank<'g, G>>,
+    ppr_cache: Mutex<LruCache<Vec<NodeId>, Arc<Vec<f64>>>>,
+    context_cache: Mutex<LruCache<Vec<NodeId>, Context>>,
+    result_cache: Mutex<LruCache<Vec<NodeId>, Arc<SearchResult>>>,
+    batches: AtomicU64,
+    queries: AtomicU64,
+    executed_groups: AtomicU64,
+    deduplicated: AtomicU64,
+}
+
+impl<'g, G: GraphAccess + Sync> QueryEngine<'g, G> {
+    /// Creates an engine over `graph`. Fails if the RandomWalk PageRank
+    /// configuration is invalid (damping out of range, zero iterations).
+    pub fn new(graph: &'g G, config: EngineConfig) -> Result<Self, CoreError> {
+        let ppr = match config.selector {
+            SelectorMode::RandomWalk => Some(PersonalizedPageRank::new(
+                graph,
+                config.randomwalk.ppr.clone(),
+            )?),
+            SelectorMode::ContextRw => None,
+        };
+        Ok(Self {
+            graph,
+            findnc: FindNc::new(config.findnc.clone()),
+            context_rw: ContextRw::new(config.findnc.context.clone()),
+            ppr,
+            ppr_cache: Mutex::new(LruCache::with_max_bytes(
+                config.ppr_cache_entries,
+                config.ppr_cache_bytes,
+            )),
+            context_cache: Mutex::new(LruCache::new(config.context_cache_entries)),
+            result_cache: Mutex::new(LruCache::new(config.result_cache_entries)),
+            batches: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            executed_groups: AtomicU64::new(0),
+            deduplicated: AtomicU64::new(0),
+            config,
+        })
+    }
+
+    /// Creates an engine with the default configuration.
+    pub fn with_defaults(graph: &'g G) -> Self {
+        Self::new(graph, EngineConfig::default()).expect("default configuration is valid")
+    }
+
+    /// The graph backend the engine answers from.
+    pub fn graph(&self) -> &'g G {
+        self.graph
+    }
+
+    /// Read access to the configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs one query through the caches. The result is bit-identical to
+    /// sequential [`FindNc::discover`] (ContextRW mode) or
+    /// [`FindNc::discover_with_selector`] with a sequential-summation
+    /// RandomWalk selector (RandomWalk mode) under the same
+    /// configuration.
+    pub fn run(&self, query: &Query) -> Result<Arc<SearchResult>, CoreError> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.run_planned(query)
+    }
+
+    /// `run` minus the submitted-query accounting (batch members are
+    /// counted once by [`run_batch`](Self::run_batch)).
+    fn run_planned(&self, query: &Query) -> Result<Arc<SearchResult>, CoreError> {
+        let key = schedule::canonical_key(query);
+        if let Some(hit) = self.result_cache.lock().expect("cache lock").get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        self.executed_groups.fetch_add(1, Ordering::Relaxed);
+        let context = self.context_for(query, &key)?;
+        let result = Arc::new(
+            self.findnc
+                .discover_with_context(self.graph, query, &context)?,
+        );
+        self.result_cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, Arc::clone(&result));
+        Ok(result)
+    }
+
+    /// The query's context, via the context cache.
+    fn context_for(&self, query: &Query, key: &[NodeId]) -> Result<Context, CoreError> {
+        if let Some(hit) = self
+            .context_cache
+            .lock()
+            .expect("cache lock")
+            .get(&key.to_vec())
+        {
+            return Ok(hit.clone());
+        }
+        let context = match self.config.selector {
+            SelectorMode::ContextRw => {
+                self.context_rw
+                    .select(self.graph, query, self.config.findnc.context_size)?
+            }
+            SelectorMode::RandomWalk => self.randomwalk_context(query)?,
+        };
+        self.context_cache
+            .lock()
+            .expect("cache lock")
+            .insert(key.to_vec(), context.clone());
+        Ok(context)
+    }
+
+    /// RandomWalk-baseline selection through the PPR cache: one cached
+    /// PageRank per seed node, summed in seed order (the same
+    /// element-wise accumulation the sequential selector performs).
+    fn randomwalk_context(&self, query: &Query) -> Result<Context, CoreError> {
+        let ppr = self.ppr.as_ref().expect("built in RandomWalk mode");
+        let mut acc = vec![0.0f64; self.graph.num_nodes()];
+        for &seed in query.nodes() {
+            let v = self.ppr_vector(seed, ppr);
+            for (a, b) in acc.iter_mut().zip(v.iter()) {
+                *a += b;
+            }
+        }
+        let filter = CandidateFilter::new(self.graph, query, self.config.randomwalk.type_filter);
+        let pairs = acc
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (NodeId::from_index(i), s));
+        top_k_context(
+            self.graph,
+            query,
+            pairs,
+            &filter,
+            self.config.findnc.context_size,
+        )
+    }
+
+    /// The PageRank vector personalized on `seed`, via the PPR cache.
+    fn ppr_vector(&self, seed: NodeId, ppr: &PersonalizedPageRank<'g, G>) -> Arc<Vec<f64>> {
+        let key = vec![seed];
+        if let Some(hit) = self.ppr_cache.lock().expect("cache lock").get(&key) {
+            return Arc::clone(hit);
+        }
+        // Computed outside the lock; concurrent computations of the same
+        // seed produce identical vectors, so last-write-wins is exact.
+        let v = Arc::new(ppr.run(&[seed]));
+        let cost = v.len() * std::mem::size_of::<f64>() + 64;
+        self.ppr_cache
+            .lock()
+            .expect("cache lock")
+            .insert_with_cost(key, Arc::clone(&v), cost);
+        v
+    }
+
+    /// Executes a batch: plans it (dedup + seed clustering), warms the
+    /// backend's predicate runs, runs the distinct groups across worker
+    /// threads, and fans results back out to input order. `results[i]`
+    /// answers `queries[i]`; the first failing group (in plan order)
+    /// aborts the batch with its error.
+    pub fn run_batch(&self, queries: &[Query]) -> Result<Vec<Arc<SearchResult>>, CoreError> {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.queries
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        let plan = schedule::plan(queries);
+        self.deduplicated
+            .fetch_add(plan.deduplicated() as u64, Ordering::Relaxed);
+        if self.config.warm_predicates {
+            self.warm_batch_predicates(&plan, queries);
+        }
+        let groups = &plan.groups;
+        // Chunk order is preserved by the fold, so per-group results come
+        // back sorted by group index and error selection is deterministic.
+        let per_group: Vec<(usize, Result<Arc<SearchResult>, CoreError>)> = parallel::map_chunks(
+            groups.len(),
+            self.config.parallel && groups.len() > 1,
+            |_chunk, range| {
+                range
+                    .map(|gi| (gi, self.run_planned(&queries[groups[gi].representative])))
+                    .collect::<Vec<_>>()
+            },
+            Vec::new(),
+            |mut acc, part| {
+                acc.extend(part);
+                acc
+            },
+        );
+        let mut out: Vec<Option<Arc<SearchResult>>> = vec![None; queries.len()];
+        for (gi, result) in per_group {
+            let result = result?;
+            for &pos in &groups[gi].positions {
+                out[pos] = Some(Arc::clone(&result));
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every position belongs to exactly one group"))
+            .collect())
+    }
+
+    /// Consumes a query stream in batches of `batch_size` (clamped to at
+    /// least 1), concatenating the per-batch results in input order.
+    pub fn run_stream<I>(
+        &self,
+        queries: I,
+        batch_size: usize,
+    ) -> Result<Vec<Arc<SearchResult>>, CoreError>
+    where
+        I: IntoIterator<Item = Query>,
+    {
+        let batch_size = batch_size.max(1);
+        let mut out = Vec::new();
+        let mut buf: Vec<Query> = Vec::with_capacity(batch_size);
+        for q in queries {
+            buf.push(q);
+            if buf.len() == batch_size {
+                out.extend(self.run_batch(&buf)?);
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            out.extend(self.run_batch(&buf)?);
+        }
+        Ok(out)
+    }
+
+    /// Faults the per-predicate runs of every label incident to the
+    /// batch's seed nodes into the backend's cache (the engine-side half
+    /// of the cache shared with `StoreGraph`'s lazy run cache; a no-op on
+    /// fully materialized backends).
+    fn warm_batch_predicates(&self, plan: &schedule::BatchPlan, queries: &[Query]) {
+        let mut seeds: BTreeSet<NodeId> = BTreeSet::new();
+        for group in &plan.groups {
+            seeds.extend(queries[group.representative].nodes());
+        }
+        let mut labels: BTreeSet<EdgeLabelId> = BTreeSet::new();
+        for &seed in &seeds {
+            labels.extend(self.graph.labels_of(seed));
+        }
+        for label in labels {
+            self.graph.warm_predicate(label);
+        }
+    }
+
+    /// Per-predicate statistics of the backend, descending by stored-edge
+    /// count (forward labels only) — the hot-predicate profile batch
+    /// scheduling exploits.
+    pub fn predicate_stats(&self) -> Vec<PredicateStat> {
+        let labels = self.graph.labels();
+        let mut rows: Vec<PredicateStat> = labels
+            .iter_forward()
+            .map(|l| PredicateStat {
+                label: l,
+                name: labels.name(l).to_owned(),
+                count: self.graph.label_count(l),
+                frequency: self.graph.label_frequency(l),
+            })
+            .collect();
+        rows.sort_by(|a, b| b.count.cmp(&a.count).then(a.label.cmp(&b.label)));
+        rows
+    }
+
+    /// Snapshot of the cache and dedup counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            executed_groups: self.executed_groups.load(Ordering::Relaxed),
+            deduplicated: self.deduplicated.load(Ordering::Relaxed),
+            ppr: self.ppr_cache.lock().expect("cache lock").stats(),
+            context: self.context_cache.lock().expect("cache lock").stats(),
+            result: self.result_cache.lock().expect("cache lock").stats(),
+        }
+    }
+
+    /// Drops every cached PPR vector, context and result. Engine-level
+    /// counters (batches, queries, executed groups) keep accumulating;
+    /// the per-cache hit/miss counters restart with the fresh caches.
+    /// Useful for cold-cache measurements.
+    pub fn clear_caches(&self) {
+        let cfg = &self.config;
+        *self.ppr_cache.lock().expect("cache lock") =
+            LruCache::with_max_bytes(cfg.ppr_cache_entries, cfg.ppr_cache_bytes);
+        *self.context_cache.lock().expect("cache lock") = LruCache::new(cfg.context_cache_entries);
+        *self.result_cache.lock().expect("cache lock") = LruCache::new(cfg.result_cache_entries);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nck_core::config::{ContextRwConfig, PathMiningConfig};
+    use nck_core::context::TypeFilter;
+    use nck_graph::{GraphBuilder, KnowledgeGraph};
+
+    /// Figure-1-style population large enough for real discoveries.
+    fn leaders() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        b.add_triple("Merkel", "studied", "Physics");
+        b.add_triple("Obama", "studied", "Law");
+        for i in 0..24 {
+            let n = format!("leader{i}");
+            b.add_triple(&n, "studied", "Law");
+            for c in 0..(1 + i % 3) {
+                b.add_triple(&n, "hasChild", &format!("child{i}_{c}"));
+            }
+            b.add_triple(&n, "memberOf", "G20");
+        }
+        b.add_triple("Obama", "hasChild", "Malia");
+        b.add_triple("Merkel", "memberOf", "G20");
+        b.add_triple("Obama", "memberOf", "G20");
+        b.build()
+    }
+
+    fn fast_config() -> EngineConfig {
+        EngineConfig {
+            findnc: FindNcConfig {
+                context: ContextRwConfig {
+                    mining: PathMiningConfig {
+                        walks: 4_000,
+                        max_length: 3,
+                        seed: 5,
+                        parallel: false,
+                    },
+                    num_metapaths: 5,
+                    type_filter: TypeFilter::None,
+                    max_endpoint_fraction: 1.0,
+                },
+                context_size: 20,
+                ..FindNcConfig::default()
+            },
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_run_matches_sequential_discover() {
+        let g = leaders();
+        let q = Query::by_names(&g, ["Merkel", "Obama"]).unwrap();
+        let cfg = fast_config();
+        let engine = QueryEngine::new(&g, cfg.clone()).unwrap();
+        let engine_result = engine.run(&q).unwrap();
+        let sequential = FindNc::new(cfg.findnc).discover(&g, &q).unwrap();
+        assert_eq!(
+            engine_result.characteristics.len(),
+            sequential.characteristics.len()
+        );
+        for (a, b) in engine_result
+            .characteristics
+            .iter()
+            .zip(&sequential.characteristics)
+        {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.score, b.score, "bit-exact parity");
+            assert_eq!(a.significance, b.significance);
+        }
+    }
+
+    #[test]
+    fn repeats_hit_the_result_cache() {
+        let g = leaders();
+        let q = Query::by_names(&g, ["Merkel", "Obama"]).unwrap();
+        let engine = QueryEngine::new(&g, fast_config()).unwrap();
+        let a = engine.run(&q).unwrap();
+        let b = engine.run(&q).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second run must be the cached Arc");
+        let s = engine.stats();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.executed_groups, 1);
+        assert_eq!(s.result.hits, 1);
+    }
+
+    #[test]
+    fn batch_fans_results_out_in_input_order() {
+        let g = leaders();
+        let q1 = Query::by_names(&g, ["Merkel", "Obama"]).unwrap();
+        let q2 = Query::by_names(&g, ["leader0", "leader1"]).unwrap();
+        let batch = vec![q1.clone(), q2.clone(), q1.clone(), q2, q1];
+        let engine = QueryEngine::new(&g, fast_config()).unwrap();
+        let results = engine.run_batch(&batch).unwrap();
+        assert_eq!(results.len(), 5);
+        assert!(Arc::ptr_eq(&results[0], &results[2]));
+        assert!(Arc::ptr_eq(&results[0], &results[4]));
+        assert!(Arc::ptr_eq(&results[1], &results[3]));
+        assert!(!Arc::ptr_eq(&results[0], &results[1]));
+        let s = engine.stats();
+        assert_eq!(s.queries, 5);
+        assert_eq!(s.executed_groups, 2);
+        assert_eq!(s.deduplicated, 3);
+    }
+
+    #[test]
+    fn randomwalk_mode_matches_sequential_selector() {
+        use nck_core::config::PprConfig;
+        use nck_core::ppr::RandomWalkSelector;
+        let g = leaders();
+        let q = Query::by_names(&g, ["Merkel", "Obama"]).unwrap();
+        let rw = RandomWalkConfig {
+            ppr: PprConfig {
+                damping: 0.2,
+                iterations: 10,
+                parallel: false,
+            },
+            type_filter: TypeFilter::None,
+        };
+        let cfg = EngineConfig {
+            selector: SelectorMode::RandomWalk,
+            randomwalk: rw.clone(),
+            ..fast_config()
+        };
+        let engine = QueryEngine::new(&g, cfg.clone()).unwrap();
+        let engine_result = engine.run(&q).unwrap();
+        let selector = RandomWalkSelector::new(rw);
+        let sequential = FindNc::new(cfg.findnc)
+            .discover_with_selector(&g, &q, &selector)
+            .unwrap();
+        assert_eq!(
+            engine_result.context.ranked(),
+            sequential.context.ranked(),
+            "contexts must agree bit for bit"
+        );
+        for (a, b) in engine_result
+            .characteristics
+            .iter()
+            .zip(&sequential.characteristics)
+        {
+            assert_eq!((a.label, a.score), (b.label, b.score));
+        }
+        // A second query sharing Merkel reuses her cached PPR vector.
+        let q2 = Query::by_names(&g, ["Merkel", "leader0"]).unwrap();
+        engine.run(&q2).unwrap();
+        assert_eq!(engine.stats().ppr.hits, 1, "shared seed must hit");
+    }
+
+    #[test]
+    fn run_stream_chunks_and_preserves_order() {
+        let g = leaders();
+        let q1 = Query::by_names(&g, ["Merkel", "Obama"]).unwrap();
+        let q2 = Query::by_names(&g, ["leader0", "leader1"]).unwrap();
+        let stream = vec![q1.clone(), q2.clone(), q1.clone(), q2, q1];
+        let engine = QueryEngine::new(&g, fast_config()).unwrap();
+        let results = engine.run_stream(stream, 2).unwrap();
+        assert_eq!(results.len(), 5);
+        assert!(Arc::ptr_eq(&results[0], &results[2]));
+        assert_eq!(engine.stats().batches, 3, "2 + 2 + 1");
+    }
+
+    #[test]
+    fn eviction_pressure_does_not_change_results() {
+        let g = leaders();
+        let queries: Vec<Query> = (0..6)
+            .map(|i| {
+                Query::by_names(&g, [format!("leader{i}"), format!("leader{}", i + 6)]).unwrap()
+            })
+            .collect();
+        let roomy = QueryEngine::new(&g, fast_config()).unwrap();
+        let tight = QueryEngine::new(
+            &g,
+            EngineConfig {
+                ppr_cache_entries: 1,
+                context_cache_entries: 1,
+                result_cache_entries: 1,
+                ..fast_config()
+            },
+        )
+        .unwrap();
+        // Run the workload twice through each engine; the tight engine
+        // evicts constantly, the roomy one hits constantly.
+        for _ in 0..2 {
+            let a = roomy.run_batch(&queries).unwrap();
+            let b = tight.run_batch(&queries).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.context.ranked(), y.context.ranked());
+                for (cx, cy) in x.characteristics.iter().zip(&y.characteristics) {
+                    assert_eq!((cx.label, cx.score), (cy.label, cy.score));
+                }
+            }
+        }
+        assert!(tight.stats().result.evictions > 0, "pressure must evict");
+        assert!(roomy.stats().result.hits >= 6, "second pass must hit");
+    }
+
+    #[test]
+    fn predicate_stats_descend_by_count() {
+        let g = leaders();
+        let engine = QueryEngine::with_defaults(&g);
+        let stats = engine.predicate_stats();
+        assert!(!stats.is_empty());
+        for w in stats.windows(2) {
+            assert!(w[0].count >= w[1].count);
+        }
+        let total: f64 = stats.iter().map(|s| s.frequency).sum();
+        // Forward labels carry half the stored (closed) edge mass.
+        assert!((total - 0.5).abs() < 1e-9, "forward frequency sum {total}");
+    }
+
+    #[test]
+    fn clear_caches_resets_entries_not_counters() {
+        let g = leaders();
+        let q = Query::by_names(&g, ["Merkel", "Obama"]).unwrap();
+        let engine = QueryEngine::new(&g, fast_config()).unwrap();
+        engine.run(&q).unwrap();
+        assert_eq!(engine.stats().result.len, 1);
+        engine.clear_caches();
+        assert_eq!(engine.stats().result.len, 0);
+        assert_eq!(engine.stats().queries, 1);
+        engine.run(&q).unwrap();
+        assert_eq!(engine.stats().executed_groups, 2, "recomputed after clear");
+    }
+}

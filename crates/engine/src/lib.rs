@@ -1,0 +1,70 @@
+//! # nck-engine — batched query execution with shared caches
+//!
+//! The algorithm crates answer one query at a time; this crate is the
+//! serving layer above them. A [`QueryEngine`] owns a graph backend and a
+//! pipeline configuration and executes *workloads* — batches or streams
+//! of [`Query`](nck_core::query::Query) values — deduplicating and
+//! amortizing the work that public-KB traffic repeats constantly:
+//!
+//! - **[`cache`]** — a deterministic, memory-bounded LRU used for PPR
+//!   vectors (keyed by personalization seed set), selected contexts and
+//!   full search results;
+//! - **[`schedule`]** — the deterministic batch planner: exact repeats
+//!   collapse to one execution, distinct queries cluster around their
+//!   hottest shared seed so cache hits land before evictions;
+//! - **[`engine`]** — [`QueryEngine`] itself: plans, warms the backend's
+//!   per-predicate runs ([`GraphAccess::warm_predicate`]), executes
+//!   groups across worker threads, and fans results back out.
+//!
+//! Every cache stores exact values, so engine output is **id-for-id
+//! identical** to running [`FindNc::discover`] sequentially — the
+//! speedup comes purely from not recomputing shared work. The `nck` CLI,
+//! the criterion benches and the evaluation harness all drive their
+//! workloads through this layer.
+//!
+//! ```
+//! use nck_core::config::{FindNcConfig, PathMiningConfig};
+//! use nck_core::context::TypeFilter;
+//! use nck_core::query::Query;
+//! use nck_engine::{EngineConfig, QueryEngine};
+//! use nck_graph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_triple("Merkel", "studied", "Physics");
+//! for i in 0..20 {
+//!     let n = format!("leader{i}");
+//!     b.add_triple(&n, "studied", "Law");
+//!     b.add_triple(&n, "memberOf", "G20");
+//! }
+//! b.add_triple("Merkel", "memberOf", "G20");
+//! let graph = b.build();
+//!
+//! let mut config = EngineConfig::default();
+//! config.findnc.context.mining = PathMiningConfig { walks: 2_000, ..Default::default() };
+//! config.findnc.context.type_filter = TypeFilter::None;
+//! config.findnc.context_size = 10;
+//! let engine = QueryEngine::new(&graph, config).unwrap();
+//!
+//! // A repeated-seed workload: the duplicate executes once, and both
+//! // positions share the one computed result.
+//! let q = Query::by_names(&graph, ["Merkel"]).unwrap();
+//! let results = engine.run_batch(&[q.clone(), q]).unwrap();
+//! assert_eq!(results.len(), 2);
+//! assert_eq!(engine.stats().executed_groups, 1);
+//! assert!(std::sync::Arc::ptr_eq(&results[0], &results[1]));
+//! assert!(!results[0].characteristics.is_empty());
+//! ```
+//!
+//! [`FindNc::discover`]: nck_core::findnc::FindNc::discover
+//! [`GraphAccess::warm_predicate`]: nck_graph::GraphAccess::warm_predicate
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod schedule;
+
+pub use cache::{CacheStats, LruCache};
+pub use engine::{EngineConfig, EngineStats, PredicateStat, QueryEngine, SelectorMode};
+pub use schedule::{canonical_key, plan, BatchPlan, QueryGroup};

@@ -1,0 +1,137 @@
+//! Engine batching experiment (beyond the paper): batched, cache-sharing
+//! execution vs the one-at-a-time pipeline on a repeated-seed workload.
+//!
+//! The paper measures per-query latency (Figures 5 and 6); this
+//! experiment measures *throughput* under the traffic shape the ROADMAP
+//! targets — many queries, few distinct seed sets. The workload replays
+//! the actors-domain query sets four times each; the engine answers it
+//! once through `run_batch` (dedup + scheduling + shared caches) and the
+//! baseline loops `FindNc::discover`. Rankings are verified identical
+//! before the table is printed.
+
+use crate::env::EvalEnv;
+use crate::report::{f3, Report};
+use nck_core::config::{ContextRwConfig, FindNcConfig, PathMiningConfig};
+use nck_core::context::TypeFilter;
+use nck_core::findnc::FindNc;
+use nck_core::query::Query;
+use nck_datagen::DomainId;
+use nck_engine::{EngineConfig, QueryEngine};
+use std::time::Instant;
+
+/// Pipeline settings matching the harness's ContextRW experiments.
+fn pipeline_config(env: &EvalEnv) -> FindNcConfig {
+    FindNcConfig {
+        context: ContextRwConfig {
+            mining: PathMiningConfig {
+                walks: env.walks,
+                max_length: 5,
+                seed: 0x0C0FFEE,
+                parallel: true,
+            },
+            num_metapaths: 5,
+            type_filter: TypeFilter::CommonAncestor,
+            max_endpoint_fraction: 0.25,
+        },
+        context_size: 100,
+        ..FindNcConfig::default()
+    }
+}
+
+/// Batched vs sequential execution of a repeated actors-domain workload.
+pub fn engine(env: &EvalEnv) -> Report {
+    const REPEATS: usize = 4;
+    let mut r = Report::new(
+        "engine",
+        "batched engine vs one-at-a-time FindNC, repeated actors workload, YAGO-like",
+    );
+    let graph = &env.yago.graph;
+    let specs = env.yago.queries_for(DomainId::Actors);
+    let distinct: Vec<Query> = specs.iter().map(|s| env.query(&env.yago, s)).collect();
+    let mut workload: Vec<Query> = Vec::with_capacity(distinct.len() * REPEATS);
+    for _ in 0..REPEATS {
+        workload.extend(distinct.iter().cloned());
+    }
+
+    let config = pipeline_config(env);
+    let findnc = FindNc::new(config.clone());
+    let started = Instant::now();
+    let sequential: Vec<_> = workload
+        .iter()
+        .map(|q| findnc.discover(graph, q).expect("sequential run"))
+        .collect();
+    let seq_secs = started.elapsed().as_secs_f64();
+
+    let engine = QueryEngine::new(
+        graph,
+        EngineConfig {
+            findnc: config,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("engine config is valid");
+    let started = Instant::now();
+    let batched = engine.run_batch(&workload).expect("batched run");
+    let eng_secs = started.elapsed().as_secs_f64();
+
+    for (a, b) in batched.iter().zip(&sequential) {
+        assert_eq!(
+            a.characteristics.len(),
+            b.characteristics.len(),
+            "engine and sequential rankings must agree"
+        );
+        for (x, y) in a.characteristics.iter().zip(&b.characteristics) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.score, y.score);
+        }
+    }
+
+    let stats = engine.stats();
+    let n = workload.len();
+    r.table(
+        &["mode", "queries", "total (s)", "queries/s"],
+        &[
+            vec![
+                "sequential".into(),
+                n.to_string(),
+                f3(seq_secs),
+                f3(n as f64 / seq_secs.max(1e-12)),
+            ],
+            vec![
+                "batched".into(),
+                n.to_string(),
+                f3(eng_secs),
+                f3(n as f64 / eng_secs.max(1e-12)),
+            ],
+        ],
+    );
+    r.line("");
+    r.line(format!(
+        "speedup {:.2}x; {} of {} executions deduplicated; rankings verified identical",
+        seq_secs / eng_secs.max(1e-12),
+        stats.deduplicated,
+        stats.queries,
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nck_datagen::ground_truth::CrowdConfig;
+    use nck_datagen::{generate, GeneratorConfig};
+
+    #[test]
+    fn engine_experiment_verifies_parity_and_reports() {
+        let env = EvalEnv {
+            yago: generate(&GeneratorConfig::tiny(7)),
+            lmdb: generate(&GeneratorConfig::linkedmdb_like(7).scaled(0.12)),
+            walks: 2_000,
+            crowd: CrowdConfig::default(),
+        };
+        let r = engine(&env);
+        assert!(r.body.contains("batched"));
+        assert!(r.body.contains("speedup"));
+        assert!(r.body.contains("deduplicated"));
+    }
+}

@@ -7,7 +7,7 @@
 //! search pipeline uses — node/edge iteration, per-label neighbor runs,
 //! label and degree statistics, names, types and the taxonomy — so every
 //! algorithm in `nck-core` is generic over the backend. The CSR
-//! [`KnowledgeGraph`](crate::KnowledgeGraph) is the reference
+//! [`KnowledgeGraph`] is the reference
 //! implementation; `nck-store` provides `StoreGraph`, which answers the
 //! same surface directly from SPO/POS/OSP triple indexes.
 //!
@@ -31,7 +31,7 @@
 //!   ascending.
 //! - **Stable dense ids.** Node ids are dense in `0..num_nodes()` and
 //!   never change; label ids index the shared
-//!   [`EdgeLabelRegistry`](crate::schema::EdgeLabelRegistry).
+//!   [`EdgeLabelRegistry`].
 //! - **Consistent statistics.** `label_count(l)` equals the number of
 //!   stored edges labeled `l`, and `Σ_l label_count(l) ==
 //!   num_stored_edges()`.
@@ -166,6 +166,18 @@ pub trait GraphAccess {
     fn label_name(&self, label: EdgeLabelId) -> &str {
         self.labels().name(label)
     }
+
+    /// Hints that `label`'s adjacency is about to be read heavily, so a
+    /// lazily materializing backend can fault its per-predicate run in
+    /// now (once, up front) instead of on first touch inside a query.
+    ///
+    /// The default is a no-op — fully materialized backends like the CSR
+    /// [`KnowledgeGraph`] have nothing to warm.
+    /// `nck-store`'s `StoreGraph` overrides it to build the label's run
+    /// in its shared per-predicate cache; batch executors (the `nck-engine`
+    /// scheduler) call it for every predicate incident to a batch's seed
+    /// entities before fanning queries out across threads.
+    fn warm_predicate(&self, _label: EdgeLabelId) {}
 
     /// Relative frequency `|E_l| / |E|` of `label` over stored edges;
     /// Eq. 1 weights a transition by `1 − frequency`.

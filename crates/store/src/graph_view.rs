@@ -41,6 +41,59 @@ pub fn to_knowledge_graph(store: &TripleStore) -> KnowledgeGraph {
     builder.build()
 }
 
+/// The reverse hand-off: exports a built [`KnowledgeGraph`] into a fresh
+/// triple store (the inverse of [`to_knowledge_graph`]).
+///
+/// Only forward (logical) edges are written — the Def.-1 inverse mirrors
+/// are reconstructed by whichever backend later reads the store. Node
+/// types become `rdf:type` statements and taxonomy axioms become
+/// `rdfs:subClassOf` statements.
+///
+/// Re-importing with [`to_knowledge_graph`] reproduces the same graph
+/// **up to node-id assignment**: the importer hands out ids in
+/// store-scan order, which can differ from the source graph's
+/// first-mention order when a node's edges interleave labels (the CSR
+/// iterates them label-sorted). Compare round trips by *name*, never by
+/// source-graph `NodeId` — in particular, resolve datagen query seeds
+/// by name after persisting with `nck gen`. (Both backends reading the
+/// *same* store still agree with each other id for id.)
+///
+/// One class of nodes does not survive: an **isolated, untyped node**
+/// (no edges in either direction, no `rdf:type`) appears in no
+/// statement — triples cannot express a bare node — so it is absent
+/// from the export and from any re-import.
+/// Used by the `nck gen` CLI to persist datagen graphs as N-Triples and
+/// by the backend-parity tests.
+pub fn to_triple_store(graph: &KnowledgeGraph) -> TripleStore {
+    let mut store = TripleStore::new();
+    for v in graph.nodes() {
+        for (l, t) in graph.edges(v) {
+            if !graph.labels().is_inverse(l) {
+                store.insert_iris(
+                    graph.node_name(v),
+                    graph.labels().name(l),
+                    graph.node_name(t),
+                );
+            }
+        }
+        if let Some(ty) = graph.node_type(v) {
+            store.insert_iris(
+                graph.node_name(v),
+                TYPE_PREDICATE,
+                graph.taxonomy().name(ty),
+            );
+        }
+    }
+    let tax = graph.taxonomy();
+    for i in 0..tax.len() {
+        let ty = nck_graph::NodeTypeId::from_index(i);
+        for &sup in tax.parents(ty) {
+            store.insert_iris(tax.name(ty), SUBTYPE_PREDICATE, tax.name(sup));
+        }
+    }
+    store
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +160,53 @@ mod tests {
         let g = to_knowledge_graph(&TripleStore::new());
         assert_eq!(g.num_nodes(), 0);
         assert_eq!(g.num_logical_edges(), 0);
+    }
+
+    #[test]
+    fn export_round_trips_by_name() {
+        let g = to_knowledge_graph(&sample_store());
+        assert_round_trips_by_name(&g);
+    }
+
+    #[test]
+    fn export_round_trips_when_labels_interleave() {
+        // Regression: node `a`'s edges arrive p, q, p — the CSR stores
+        // them label-sorted (p,x),(p,z),(q,y), so the re-import assigns
+        // node ids in a different order than the source graph. The round
+        // trip must still be exact at the name level.
+        let mut b = nck_graph::GraphBuilder::new();
+        b.add_triple("a", "p", "x");
+        b.add_triple("a", "q", "y");
+        b.add_triple("a", "p", "z");
+        assert_round_trips_by_name(&b.build());
+    }
+
+    /// Name-level round-trip equality: same node set, and per node the
+    /// same `(label name, target name)` edge multiset and type. Node ids
+    /// are *not* compared — the importer may assign them differently
+    /// (see [`to_triple_store`]'s docs).
+    fn assert_round_trips_by_name(g: &KnowledgeGraph) {
+        let back = to_knowledge_graph(&to_triple_store(g));
+        assert_eq!(back.num_nodes(), g.num_nodes());
+        assert_eq!(back.num_logical_edges(), g.num_logical_edges());
+        assert_eq!(back.labels().len(), g.labels().len());
+        let named_edges = |g: &KnowledgeGraph, v| {
+            let mut out: Vec<(String, String)> = g
+                .edges(v)
+                .map(|(l, t)| (g.labels().name(l).to_owned(), g.node_name(t).to_owned()))
+                .collect();
+            out.sort();
+            out
+        };
+        for v in g.nodes() {
+            let name = g.node_name(v);
+            let bv = back.require_node(name).expect("node survives round trip");
+            assert_eq!(named_edges(g, v), named_edges(&back, bv), "edges of {name}");
+            assert_eq!(
+                g.node_type(v).map(|t| g.taxonomy().name(t)),
+                back.node_type(bv).map(|t| back.taxonomy().name(t)),
+                "type of {name}"
+            );
+        }
     }
 }

@@ -435,6 +435,13 @@ impl<'s> GraphAccess for StoreGraph<'s> {
     fn label_count(&self, label: EdgeLabelId) -> u64 {
         self.label_counts[label.index()]
     }
+
+    fn warm_predicate(&self, label: EdgeLabelId) {
+        // Fault the label's adjacency into the shared per-predicate run
+        // cache now, so concurrent batch queries find it resident instead
+        // of each paying the first-touch POS scan.
+        self.run(label);
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,772 @@
+//! `nck` — command-line front end for notable-characteristics search.
+//!
+//! Three subcommands cover the workload lifecycle:
+//!
+//! - `nck gen`   — generate a synthetic dataset (YAGO-like / LinkedMDB-like
+//!   / tiny) and persist it as N-Triples, optionally with a ready-to-run
+//!   batch query file;
+//! - `nck query` — run one query through the batched engine and print the
+//!   ranked characteristics;
+//! - `nck batch` — run a batch/repeated-query workload through the engine,
+//!   sequentially, or both (`--mode compare`), reporting wall times, the
+//!   speedup, and the engine's cache statistics.
+//!
+//! Output is human-readable tables by default, or JSON with `--json`.
+
+use notable_characteristics::core::config::{PathMiningConfig, PprConfig};
+use notable_characteristics::core::context::TypeFilter;
+use notable_characteristics::core::findnc::{FindNc, SearchResult};
+use notable_characteristics::core::ppr::RandomWalkSelector;
+use notable_characteristics::core::query::Query;
+use notable_characteristics::datagen::{generate, GeneratorConfig};
+use notable_characteristics::engine::{EngineConfig, QueryEngine, SelectorMode};
+use notable_characteristics::graph::GraphAccess;
+use notable_characteristics::store::graph_view::{to_knowledge_graph, to_triple_store};
+use notable_characteristics::store::ntriples::{read_ntriples, write_ntriples};
+use notable_characteristics::store::{StoreGraph, TripleStore};
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "\
+nck — notable characteristics search through knowledge graphs
+
+USAGE:
+  nck gen   --kind tiny|yago|lmdb --out FILE [--seed N] [--scale F]
+            [--queries-out FILE]
+  nck query --graph FILE.nt --query \"A,B,…\" [options]
+  nck batch --graph FILE.nt --queries FILE [--repeat N]
+            [--mode engine|sequential|compare] [--chunk N] [options]
+
+query/batch options:
+  --backend csr|store       graph backend (default: csr)
+  --selector contextrw|randomwalk   context selector (default: contextrw)
+  --type-filter common|query|none   candidate type filter (default: common)
+  --context-size N          context size |C| (default: 100)
+  --walks N                 PathMining walk budget (default: 30000)
+  --top N                   characteristics to print per query (default: 10)
+  --json                    emit JSON instead of tables
+  --no-parallel             single-threaded execution
+
+The batch query file holds one query per line: comma-separated entity
+names (names containing a comma cannot be expressed); blank lines and
+lines starting with '#' are skipped. --repeat N replays the whole file
+N times (a repeated-seed workload); --chunk N streams the workload
+through the engine in batches of N.";
+
+/// Parsed command-line options shared by `query` and `batch`.
+struct RunOpts {
+    graph: String,
+    backend: String,
+    selector: SelectorMode,
+    type_filter: TypeFilter,
+    context_size: usize,
+    walks: usize,
+    top: usize,
+    json: bool,
+    parallel: bool,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        Self {
+            graph: String::new(),
+            backend: "csr".into(),
+            selector: SelectorMode::ContextRw,
+            type_filter: TypeFilter::CommonAncestor,
+            context_size: 100,
+            walks: 30_000,
+            top: 10,
+            json: false,
+            parallel: true,
+        }
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("nck: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => fail(&format!("unknown subcommand {other:?}")),
+        None => fail("a subcommand is required"),
+    }
+}
+
+/// Pulls `--flag value` pairs out of `args`; returns leftovers it does
+/// not recognize so each subcommand can reject them.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(v))
+    } else {
+        Ok(None)
+    }
+}
+
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("{flag}: bad value {v:?}"))
+}
+
+fn parse_run_opts(args: &mut Vec<String>) -> Result<RunOpts, String> {
+    let mut o = RunOpts::default();
+    if let Some(v) = take_flag(args, "--graph")? {
+        o.graph = v;
+    }
+    if let Some(v) = take_flag(args, "--backend")? {
+        if v != "csr" && v != "store" {
+            return Err(format!("--backend must be csr or store, got {v:?}"));
+        }
+        o.backend = v;
+    }
+    if let Some(v) = take_flag(args, "--selector")? {
+        o.selector = match v.as_str() {
+            "contextrw" => SelectorMode::ContextRw,
+            "randomwalk" => SelectorMode::RandomWalk,
+            _ => {
+                return Err(format!(
+                    "--selector must be contextrw or randomwalk, got {v:?}"
+                ))
+            }
+        };
+    }
+    if let Some(v) = take_flag(args, "--type-filter")? {
+        o.type_filter = match v.as_str() {
+            "common" => TypeFilter::CommonAncestor,
+            "query" => TypeFilter::QueryTypes,
+            "none" => TypeFilter::None,
+            _ => {
+                return Err(format!(
+                    "--type-filter must be common, query or none, got {v:?}"
+                ))
+            }
+        };
+    }
+    if let Some(v) = take_flag(args, "--context-size")? {
+        o.context_size = parse_num(&v, "--context-size")?;
+    }
+    if let Some(v) = take_flag(args, "--walks")? {
+        o.walks = parse_num(&v, "--walks")?;
+    }
+    if let Some(v) = take_flag(args, "--top")? {
+        o.top = parse_num(&v, "--top")?;
+    }
+    o.json = take_switch(args, "--json");
+    o.parallel = !take_switch(args, "--no-parallel");
+    Ok(o)
+}
+
+fn engine_config(o: &RunOpts) -> EngineConfig {
+    let mut cfg = EngineConfig::default();
+    cfg.findnc.context.mining = PathMiningConfig {
+        walks: o.walks,
+        parallel: o.parallel,
+        ..PathMiningConfig::default()
+    };
+    cfg.findnc.context.type_filter = o.type_filter;
+    cfg.findnc.context_size = o.context_size;
+    cfg.selector = o.selector;
+    cfg.randomwalk.type_filter = o.type_filter;
+    // Sequential summation so engine answers are bit-identical to the
+    // sequential baseline the compare mode measures against.
+    cfg.randomwalk.ppr = PprConfig {
+        parallel: false,
+        ..PprConfig::default()
+    };
+    cfg.parallel = o.parallel;
+    cfg
+}
+
+fn load_store(path: &str) -> Result<TripleStore, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+    read_ntriples(std::io::BufReader::new(file)).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// nck gen
+// ---------------------------------------------------------------------------
+
+fn cmd_gen(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let parsed = (|| -> Result<(), String> {
+        let kind = take_flag(&mut args, "--kind")?.ok_or("--kind is required")?;
+        let out = take_flag(&mut args, "--out")?.ok_or("--out is required")?;
+        let seed: u64 = match take_flag(&mut args, "--seed")? {
+            Some(v) => parse_num(&v, "--seed")?,
+            None => 42,
+        };
+        let scale: f64 = match take_flag(&mut args, "--scale")? {
+            Some(v) => parse_num(&v, "--scale")?,
+            None => 1.0,
+        };
+        let queries_out = take_flag(&mut args, "--queries-out")?;
+        if let Some(junk) = args.first() {
+            return Err(format!("unexpected argument {junk:?}"));
+        }
+        let config = match kind.as_str() {
+            "tiny" => GeneratorConfig::tiny(seed),
+            "yago" => GeneratorConfig::yago_like(seed).scaled(scale),
+            "lmdb" => GeneratorConfig::linkedmdb_like(seed).scaled(scale),
+            _ => return Err(format!("--kind must be tiny, yago or lmdb, got {kind:?}")),
+        };
+        let started = Instant::now();
+        let dataset = generate(&config);
+        let store = to_triple_store(&dataset.graph);
+        let file =
+            std::fs::File::create(&out).map_err(|e| format!("cannot create {out:?}: {e}"))?;
+        write_ntriples(&store, std::io::BufWriter::new(file))
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!(
+            "wrote {} ({} nodes, {} logical edges, {} statements) in {:.1}s",
+            out,
+            dataset.graph.num_nodes(),
+            dataset.graph.num_logical_edges(),
+            store.len(),
+            started.elapsed().as_secs_f64()
+        );
+        if let Some(qpath) = queries_out {
+            let mut f = std::fs::File::create(&qpath)
+                .map_err(|e| format!("cannot create {qpath:?}: {e}"))?;
+            let mut n = 0usize;
+            for spec in &dataset.queries {
+                // The batch file format is comma-delimited; a name
+                // containing a comma would be silently unparseable by
+                // `nck batch`, so skip it loudly instead.
+                if spec.names.iter().any(|name| name.contains(',')) {
+                    eprintln!(
+                        "skipping query set {}: an entity name contains the ',' delimiter",
+                        spec.label()
+                    );
+                    continue;
+                }
+                let line: Vec<&str> = spec.names.iter().map(String::as_str).collect();
+                writeln!(f, "# {}", spec.label()).map_err(|e| e.to_string())?;
+                writeln!(f, "{}", line.join(",")).map_err(|e| e.to_string())?;
+                n += 1;
+            }
+            eprintln!("wrote {n} query sets to {qpath}");
+        }
+        Ok(())
+    })();
+    match parsed {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// nck query / nck batch
+// ---------------------------------------------------------------------------
+
+fn cmd_query(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let run = (|| -> Result<(), String> {
+        let query_spec = take_flag(&mut args, "--query")?.ok_or("--query is required")?;
+        let opts = parse_run_opts(&mut args)?;
+        if opts.graph.is_empty() {
+            return Err("--graph is required".into());
+        }
+        if let Some(junk) = args.first() {
+            return Err(format!("unexpected argument {junk:?}"));
+        }
+        let store = load_store(&opts.graph)?;
+        with_backend(&store, &opts, |graph, opts| {
+            run_single(graph, opts, &query_spec)
+        })
+    })();
+    match run {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("nck: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_batch(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let run = (|| -> Result<(), String> {
+        let queries_path = take_flag(&mut args, "--queries")?.ok_or("--queries is required")?;
+        let repeat: usize = match take_flag(&mut args, "--repeat")? {
+            Some(v) => parse_num(&v, "--repeat")?,
+            None => 1,
+        };
+        let mode = take_flag(&mut args, "--mode")?.unwrap_or_else(|| "engine".into());
+        if !["engine", "sequential", "compare"].contains(&mode.as_str()) {
+            return Err(format!(
+                "--mode must be engine, sequential or compare, got {mode:?}"
+            ));
+        }
+        let chunk: usize = match take_flag(&mut args, "--chunk")? {
+            Some(v) => parse_num(&v, "--chunk")?,
+            None => 0,
+        };
+        let opts = parse_run_opts(&mut args)?;
+        if opts.graph.is_empty() {
+            return Err("--graph is required".into());
+        }
+        if let Some(junk) = args.first() {
+            return Err(format!("unexpected argument {junk:?}"));
+        }
+        let text = std::fs::read_to_string(&queries_path)
+            .map_err(|e| format!("cannot read {queries_path:?}: {e}"))?;
+        let lines: Vec<String> = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_owned)
+            .collect();
+        if lines.is_empty() {
+            return Err(format!("{queries_path}: no queries"));
+        }
+        let store = load_store(&opts.graph)?;
+        with_backend(&store, &opts, |graph, opts| {
+            run_workload(graph, opts, &lines, repeat.max(1), &mode, chunk)
+        })
+    })();
+    match run {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("nck: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Dispatches on `--backend`, keeping the workload code generic over
+/// [`GraphAccess`].
+fn with_backend<F>(store: &TripleStore, opts: &RunOpts, f: F) -> Result<(), String>
+where
+    F: for<'a> Fn(&'a (dyn DynGraph + 'a), &RunOpts) -> Result<(), String>,
+{
+    let started = Instant::now();
+    if opts.backend == "csr" {
+        let graph = to_knowledge_graph(store);
+        eprintln!(
+            "loaded csr backend: {} nodes, {} stored edges ({:.1}s)",
+            graph.num_nodes(),
+            GraphAccess::num_stored_edges(&graph),
+            started.elapsed().as_secs_f64()
+        );
+        f(&graph, opts)
+    } else {
+        let graph = StoreGraph::new(store);
+        eprintln!(
+            "loaded store backend: {} nodes, {} stored edges ({:.1}s)",
+            GraphAccess::num_nodes(&graph),
+            GraphAccess::num_stored_edges(&graph),
+            started.elapsed().as_secs_f64()
+        );
+        f(&graph, opts)
+    }
+}
+
+/// Object-safe subset shim: the CLI only needs `GraphAccess` through
+/// generic helpers, so re-dispatch through a small enum-free trait.
+trait DynGraph: Sync {
+    fn run_single(&self, opts: &RunOpts, query_spec: &str) -> Result<(), String>;
+    fn run_workload(
+        &self,
+        opts: &RunOpts,
+        lines: &[String],
+        repeat: usize,
+        mode: &str,
+        chunk: usize,
+    ) -> Result<(), String>;
+}
+
+impl<G: GraphAccess + Sync> DynGraph for G {
+    fn run_single(&self, opts: &RunOpts, query_spec: &str) -> Result<(), String> {
+        run_single_impl(self, opts, query_spec)
+    }
+    fn run_workload(
+        &self,
+        opts: &RunOpts,
+        lines: &[String],
+        repeat: usize,
+        mode: &str,
+        chunk: usize,
+    ) -> Result<(), String> {
+        run_workload_impl(self, opts, lines, repeat, mode, chunk)
+    }
+}
+
+fn run_single(graph: &(dyn DynGraph + '_), opts: &RunOpts, spec: &str) -> Result<(), String> {
+    graph.run_single(opts, spec)
+}
+
+fn run_workload(
+    graph: &(dyn DynGraph + '_),
+    opts: &RunOpts,
+    lines: &[String],
+    repeat: usize,
+    mode: &str,
+    chunk: usize,
+) -> Result<(), String> {
+    graph.run_workload(opts, lines, repeat, mode, chunk)
+}
+
+fn parse_query<G: GraphAccess>(graph: &G, line: &str) -> Result<Query, String> {
+    let names: Vec<&str> = line
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    Query::by_names(graph, &names).map_err(|e| format!("query {line:?}: {e}"))
+}
+
+fn run_single_impl<G: GraphAccess + Sync>(
+    graph: &G,
+    opts: &RunOpts,
+    spec: &str,
+) -> Result<(), String> {
+    let query = parse_query(graph, spec)?;
+    let engine = QueryEngine::new(graph, engine_config(opts)).map_err(|e| e.to_string())?;
+    let started = Instant::now();
+    let result = engine.run(&query).map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
+    if opts.json {
+        println!("{}", result_json(graph, spec, &result, opts.top));
+    } else {
+        print_result(graph, spec, &result, opts.top);
+        println!("({:.3}s)", elapsed.as_secs_f64());
+    }
+    Ok(())
+}
+
+fn run_workload_impl<G: GraphAccess + Sync>(
+    graph: &G,
+    opts: &RunOpts,
+    lines: &[String],
+    repeat: usize,
+    mode: &str,
+    chunk: usize,
+) -> Result<(), String> {
+    let base: Vec<Query> = lines
+        .iter()
+        .map(|l| parse_query(graph, l))
+        .collect::<Result<_, _>>()?;
+    let mut workload: Vec<Query> = Vec::with_capacity(base.len() * repeat);
+    for _ in 0..repeat {
+        workload.extend(base.iter().cloned());
+    }
+    let cfg = engine_config(opts);
+
+    if mode == "compare" {
+        // Level the substrate between the two timed phases: fault every
+        // per-predicate run into the store backend's shared cache now
+        // (a no-op on the CSR backend). Otherwise whichever phase runs
+        // first would absorb the one-time POS scans and skew the
+        // printed speedup.
+        for label in graph.labels().iter() {
+            graph.warm_predicate(label);
+        }
+    }
+
+    let mut engine_secs = None;
+    let mut seq_secs = None;
+    let mut engine_results = None;
+    let mut stats = None;
+
+    if mode == "engine" || mode == "compare" {
+        let engine = QueryEngine::new(graph, cfg.clone()).map_err(|e| e.to_string())?;
+        let started = Instant::now();
+        let results = if chunk > 0 {
+            engine
+                .run_stream(workload.iter().cloned(), chunk)
+                .map_err(|e| e.to_string())?
+        } else {
+            engine.run_batch(&workload).map_err(|e| e.to_string())?
+        };
+        engine_secs = Some(started.elapsed().as_secs_f64());
+        stats = Some(engine.stats());
+        engine_results = Some(results);
+    }
+    if mode == "sequential" || mode == "compare" {
+        let findnc = FindNc::new(cfg.findnc.clone());
+        let started = Instant::now();
+        let mut results = Vec::with_capacity(workload.len());
+        for q in &workload {
+            let r = match cfg.selector {
+                SelectorMode::ContextRw => findnc.discover(graph, q),
+                SelectorMode::RandomWalk => {
+                    let selector = RandomWalkSelector::new(cfg.randomwalk.clone());
+                    findnc.discover_with_selector(graph, q, &selector)
+                }
+            }
+            .map_err(|e| e.to_string())?;
+            results.push(r);
+        }
+        seq_secs = Some(started.elapsed().as_secs_f64());
+        if let Some(engine_results) = &engine_results {
+            let identical = engine_results
+                .iter()
+                .zip(&results)
+                .all(|(a, b)| rankings_equal(a, b));
+            if !identical {
+                return Err("engine and sequential rankings diverged".into());
+            }
+        }
+        if engine_results.is_none() {
+            engine_results = Some(results.into_iter().map(std::sync::Arc::new).collect());
+        }
+    }
+
+    let results = engine_results.expect("at least one mode ran");
+    if opts.json {
+        println!(
+            "{}",
+            workload_json(
+                graph,
+                lines,
+                repeat,
+                &results,
+                opts,
+                engine_secs,
+                seq_secs,
+                &stats
+            )
+        );
+    } else {
+        print_workload(
+            graph,
+            lines,
+            repeat,
+            &results,
+            opts,
+            engine_secs,
+            seq_secs,
+            &stats,
+        );
+    }
+    Ok(())
+}
+
+fn rankings_equal(a: &SearchResult, b: &SearchResult) -> bool {
+    a.context.ranked() == b.context.ranked()
+        && a.characteristics.len() == b.characteristics.len()
+        && a.characteristics
+            .iter()
+            .zip(&b.characteristics)
+            .all(|(x, y)| {
+                x.label == y.label && x.score == y.score && x.significance == y.significance
+            })
+}
+
+// ---------------------------------------------------------------------------
+// output
+// ---------------------------------------------------------------------------
+
+fn print_result<G: GraphAccess>(graph: &G, spec: &str, result: &SearchResult, top: usize) {
+    println!("query: {spec}");
+    println!(
+        "context: {} nodes (top: {})",
+        result.context.len(),
+        result
+            .context
+            .nodes()
+            .take(5)
+            .map(|n| graph.node_name(n).to_owned())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "{:<28} {:>8} {:>12} {:>12}",
+        "label", "score", "inst-p", "card-p"
+    );
+    for c in result.characteristics.iter().take(top) {
+        println!(
+            "{:<28} {:>8.3} {:>12} {:>12}",
+            graph.label_name(c.label),
+            c.score,
+            fmt_p(c.inst_significance),
+            fmt_p(c.card_significance),
+        );
+    }
+}
+
+fn fmt_p(p: Option<f64>) -> String {
+    match p {
+        Some(p) => format!("{p:.4}"),
+        None => "-".into(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn print_workload<G: GraphAccess>(
+    graph: &G,
+    lines: &[String],
+    repeat: usize,
+    results: &[std::sync::Arc<SearchResult>],
+    opts: &RunOpts,
+    engine_secs: Option<f64>,
+    seq_secs: Option<f64>,
+    stats: &Option<notable_characteristics::engine::EngineStats>,
+) {
+    println!(
+        "workload: {} queries ({} distinct lines × {repeat})",
+        results.len(),
+        lines.len()
+    );
+    if let Some(s) = engine_secs {
+        println!(
+            "engine:     {s:.3}s total, {:.1} queries/s",
+            results.len() as f64 / s.max(1e-12)
+        );
+    }
+    if let Some(s) = seq_secs {
+        println!(
+            "sequential: {s:.3}s total, {:.1} queries/s",
+            results.len() as f64 / s.max(1e-12)
+        );
+    }
+    if let (Some(e), Some(s)) = (engine_secs, seq_secs) {
+        println!(
+            "speedup:    {:.2}× (identical rankings verified)",
+            s / e.max(1e-12)
+        );
+    }
+    if let Some(st) = stats {
+        println!(
+            "engine stats: {} executed of {} submitted ({} deduplicated); \
+             result cache {}/{} hits, context cache {}/{}, ppr cache {}/{}",
+            st.executed_groups,
+            st.queries,
+            st.deduplicated,
+            st.result.hits,
+            st.result.hits + st.result.misses,
+            st.context.hits,
+            st.context.hits + st.context.misses,
+            st.ppr.hits,
+            st.ppr.hits + st.ppr.misses,
+        );
+    }
+    // Per distinct query line, the top characteristics of its first run.
+    for (i, line) in lines.iter().enumerate() {
+        println!();
+        print_result(graph, line, &results[i], opts.top);
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+fn result_json<G: GraphAccess>(graph: &G, spec: &str, result: &SearchResult, top: usize) -> String {
+    let chars: Vec<String> = result
+        .characteristics
+        .iter()
+        .take(top)
+        .map(|c| {
+            format!(
+                "{{\"label\":\"{}\",\"score\":{},\"notable\":{},\"inst_p\":{},\"card_p\":{}}}",
+                json_escape(graph.label_name(c.label)),
+                json_num(c.score),
+                c.notable(),
+                c.inst_significance.map_or("null".into(), json_num),
+                c.card_significance.map_or("null".into(), json_num),
+            )
+        })
+        .collect();
+    let context: Vec<String> = result
+        .context
+        .nodes()
+        .map(|n| format!("\"{}\"", json_escape(graph.node_name(n))))
+        .collect();
+    format!(
+        "{{\"query\":\"{}\",\"context_size\":{},\"context\":[{}],\"characteristics\":[{}]}}",
+        json_escape(spec),
+        result.context.len(),
+        context.join(","),
+        chars.join(",")
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn workload_json<G: GraphAccess>(
+    graph: &G,
+    lines: &[String],
+    repeat: usize,
+    results: &[std::sync::Arc<SearchResult>],
+    opts: &RunOpts,
+    engine_secs: Option<f64>,
+    seq_secs: Option<f64>,
+    stats: &Option<notable_characteristics::engine::EngineStats>,
+) -> String {
+    let per_query: Vec<String> = lines
+        .iter()
+        .enumerate()
+        .map(|(i, line)| result_json(graph, line, &results[i], opts.top))
+        .collect();
+    let mut fields = vec![
+        format!("\"queries\":{}", results.len()),
+        format!("\"distinct_lines\":{}", lines.len()),
+        format!("\"repeat\":{repeat}"),
+    ];
+    if let Some(s) = engine_secs {
+        fields.push(format!("\"engine_secs\":{}", json_num(s)));
+    }
+    if let Some(s) = seq_secs {
+        fields.push(format!("\"sequential_secs\":{}", json_num(s)));
+    }
+    if let (Some(e), Some(s)) = (engine_secs, seq_secs) {
+        fields.push(format!("\"speedup\":{}", json_num(s / e.max(1e-12))));
+    }
+    if let Some(st) = stats {
+        fields.push(format!(
+            "\"engine_stats\":{{\"submitted\":{},\"executed\":{},\"deduplicated\":{},\
+             \"result_hits\":{},\"context_hits\":{},\"ppr_hits\":{}}}",
+            st.queries,
+            st.executed_groups,
+            st.deduplicated,
+            st.result.hits,
+            st.context.hits,
+            st.ppr.hits
+        ));
+    }
+    fields.push(format!("\"results\":[{}]", per_query.join(",")));
+    format!("{{{}}}", fields.join(","))
+}

@@ -68,19 +68,28 @@
 
 pub use nck_core as core;
 pub use nck_datagen as datagen;
+pub use nck_engine as engine;
 pub use nck_eval as eval;
 pub use nck_graph as graph;
 pub use nck_stats as stats;
 pub use nck_store as store;
 
+/// Compiles and runs `README.md`'s code blocks as doctests, so the
+/// quickstart can never rot (`cargo test --doc` exercises it; the
+/// rendered docs omit this item).
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
+
 /// Commonly used items, re-exported for `use notable_characteristics::prelude::*`.
 pub mod prelude {
     pub use nck_core::config::{ContextRwConfig, FindNcConfig, PathMiningConfig, PprConfig};
-    pub use nck_core::context::{Context, ContextSelector};
+    pub use nck_core::context::{Context, ContextSelector, TypeFilter};
     pub use nck_core::context_rw::ContextRw;
     pub use nck_core::findnc::{FindNc, NotableCharacteristic, SearchResult};
     pub use nck_core::ppr::RandomWalkSelector;
     pub use nck_core::query::Query;
+    pub use nck_engine::{EngineConfig, QueryEngine, SelectorMode};
     pub use nck_graph::{EdgeLabelId, GraphAccess, GraphBuilder, KnowledgeGraph, NodeId};
     pub use nck_stats::MultinomialTest;
     pub use nck_store::StoreGraph;

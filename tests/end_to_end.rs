@@ -175,40 +175,10 @@ fn selectors_disagree_on_context_composition() {
 // ---------------------------------------------------------------------------
 
 use notable_characteristics::graph::GraphAccess;
-use notable_characteristics::store::graph_view::{SUBTYPE_PREDICATE, TYPE_PREDICATE};
+use notable_characteristics::store::graph_view::{
+    to_triple_store, SUBTYPE_PREDICATE, TYPE_PREDICATE,
+};
 use notable_characteristics::store::StoreGraph;
-
-/// Exports a built graph into a triple store (forward labels only; the
-/// Def.-1 inverses are reconstructed by each backend).
-fn store_from_graph(graph: &KnowledgeGraph) -> TripleStore {
-    let mut store = TripleStore::new();
-    for v in graph.nodes() {
-        for (l, t) in KnowledgeGraph::edges(graph, v) {
-            if !graph.labels().is_inverse(l) {
-                store.insert_iris(
-                    KnowledgeGraph::node_name(graph, v),
-                    graph.label_name(l),
-                    KnowledgeGraph::node_name(graph, t),
-                );
-            }
-        }
-        if let Some(ty) = KnowledgeGraph::node_type(graph, v) {
-            store.insert_iris(
-                KnowledgeGraph::node_name(graph, v),
-                TYPE_PREDICATE,
-                graph.taxonomy().name(ty),
-            );
-        }
-    }
-    let tax = graph.taxonomy();
-    for i in 0..tax.len() {
-        let ty = notable_characteristics::graph::ids::NodeTypeId::from_index(i);
-        for &sup in tax.parents(ty) {
-            store.insert_iris(tax.name(ty), SUBTYPE_PREDICATE, tax.name(sup));
-        }
-    }
-    store
-}
 
 /// `(label name, δ score, significance)` rows of a projected ranking.
 type NamedRanking = Vec<(String, f64, Option<f64>)>;
@@ -366,7 +336,7 @@ fn backends_rank_identically_on_generated_dataset() {
         .map(|n| dataset.graph.node_name(n).to_owned())
         .collect();
 
-    let store = store_from_graph(&dataset.graph);
+    let store = to_triple_store(&dataset.graph);
     let kg = to_knowledge_graph(&store);
     let sg = StoreGraph::new(&store);
     assert_eq!(

@@ -1,0 +1,154 @@
+//! Engine cache correctness: batched execution through `nck-engine` must
+//! be id-for-id identical to sequential `FindNc::discover` on **both**
+//! graph backends, including under forced cache eviction.
+
+use notable_characteristics::core::config::{ContextRwConfig, FindNcConfig, PathMiningConfig};
+use notable_characteristics::core::context::TypeFilter;
+use notable_characteristics::core::findnc::{FindNc, SearchResult};
+use notable_characteristics::core::query::Query;
+use notable_characteristics::datagen::{generate, DomainId, GeneratorConfig};
+use notable_characteristics::engine::{EngineConfig, QueryEngine};
+use notable_characteristics::graph::GraphAccess;
+use notable_characteristics::store::graph_view::{to_knowledge_graph, to_triple_store};
+use notable_characteristics::store::StoreGraph;
+
+fn pipeline_config() -> FindNcConfig {
+    FindNcConfig {
+        context: ContextRwConfig {
+            mining: PathMiningConfig {
+                walks: 6_000,
+                max_length: 4,
+                seed: 99,
+                parallel: true,
+            },
+            num_metapaths: 5,
+            type_filter: TypeFilter::CommonAncestor,
+            max_endpoint_fraction: 0.25,
+        },
+        context_size: 30,
+        ..FindNcConfig::default()
+    }
+}
+
+/// A repeated-seed workload over the actors domain: 4 distinct seed
+/// pairs anchored on the most prominent actor, each repeated twice.
+fn workload<G: GraphAccess>(graph: &G, names: &[Vec<String>]) -> Vec<Query> {
+    let mut out = Vec::new();
+    for _ in 0..2 {
+        for q in names {
+            out.push(Query::by_names(graph, q).expect("workload query resolves"));
+        }
+    }
+    out
+}
+
+fn assert_identical(label: &str, a: &SearchResult, b: &SearchResult) {
+    assert_eq!(
+        a.context.ranked(),
+        b.context.ranked(),
+        "{label}: contexts must agree bit for bit"
+    );
+    assert_eq!(a.characteristics.len(), b.characteristics.len(), "{label}");
+    for (x, y) in a.characteristics.iter().zip(&b.characteristics) {
+        assert_eq!(x.label, y.label, "{label}: label order");
+        assert_eq!(x.score, y.score, "{label}: scores");
+        assert_eq!(x.significance, y.significance, "{label}: significance");
+        assert_eq!(x.inst_significance, y.inst_significance, "{label}");
+        assert_eq!(x.card_significance, y.card_significance, "{label}");
+    }
+}
+
+/// Runs the workload through an engine and a sequential loop over the
+/// same backend and asserts exact agreement; returns the engine for
+/// further inspection.
+fn check_backend<'g, G: GraphAccess + Sync>(
+    label: &str,
+    graph: &'g G,
+    names: &[Vec<String>],
+    config: EngineConfig,
+) -> QueryEngine<'g, G> {
+    let queries = workload(graph, names);
+    let engine = QueryEngine::new(graph, config).expect("engine builds");
+    let batched = engine.run_batch(&queries).expect("batched run");
+    let findnc = FindNc::new(pipeline_config());
+    for (q, b) in queries.iter().zip(&batched) {
+        let sequential = findnc.discover(graph, q).expect("sequential run");
+        assert_identical(label, b, &sequential);
+    }
+    engine
+}
+
+fn seed_pairs(dataset: &notable_characteristics::datagen::Dataset) -> Vec<Vec<String>> {
+    let members = &dataset
+        .domain(DomainId::Actors)
+        .expect("actors domain")
+        .members;
+    (0..4)
+        .map(|i| {
+            vec![
+                dataset.graph.node_name(members[0]).to_owned(),
+                dataset.graph.node_name(members[1 + i]).to_owned(),
+            ]
+        })
+        .collect()
+}
+
+#[test]
+fn engine_matches_sequential_on_both_backends() {
+    let dataset = generate(&GeneratorConfig::tiny(13));
+    let names = seed_pairs(&dataset);
+    let store = to_triple_store(&dataset.graph);
+    let kg = to_knowledge_graph(&store);
+    let sg = StoreGraph::new(&store);
+
+    let config = EngineConfig {
+        findnc: pipeline_config(),
+        ..EngineConfig::default()
+    };
+    let kg_engine = check_backend("csr", &kg, &names, config.clone());
+    let sg_engine = check_backend("store", &sg, &names, config);
+
+    // The batch dedups the repeated half of the workload on both.
+    assert_eq!(kg_engine.stats().deduplicated, 4);
+    assert_eq!(sg_engine.stats().deduplicated, 4);
+    // Batch warming faulted the seeds' predicate runs into the store's
+    // shared per-predicate cache before execution.
+    assert!(
+        sg.cached_runs() > 0,
+        "warm_predicate must populate the store's run cache"
+    );
+
+    // And the two backends agree with each other, id for id.
+    let kq = workload(&kg, &names);
+    let sq = workload(&sg, &names);
+    let kr = kg_engine.run_batch(&kq).unwrap();
+    let sr = sg_engine.run_batch(&sq).unwrap();
+    for (a, b) in kr.iter().zip(&sr) {
+        assert_identical("cross-backend", a, b);
+    }
+}
+
+#[test]
+fn eviction_under_pressure_keeps_results_exact() {
+    let dataset = generate(&GeneratorConfig::tiny(13));
+    let names = seed_pairs(&dataset);
+    let store = to_triple_store(&dataset.graph);
+    let kg = to_knowledge_graph(&store);
+    let sg = StoreGraph::new(&store);
+
+    // Caches one entry deep: every distinct query evicts its
+    // predecessor, so the second replay recomputes everything.
+    let tight = EngineConfig {
+        findnc: pipeline_config(),
+        ppr_cache_entries: 1,
+        context_cache_entries: 1,
+        result_cache_entries: 1,
+        ..EngineConfig::default()
+    };
+    let kg_engine = check_backend("csr/tight", &kg, &names, tight.clone());
+    assert!(
+        kg_engine.stats().result.evictions > 0,
+        "one-deep caches must evict under an 8-query workload"
+    );
+    check_backend("store/tight", &sg, &names, tight);
+}
