@@ -1,0 +1,156 @@
+//! The [`ApiError`] taxonomy — every way a service call can fail.
+
+use serde::Serialize;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors surfaced by [`NckService`](crate::NckService) and its builder.
+///
+/// The taxonomy separates *caller* faults (bad request, unknown entity)
+/// from *environment* faults (I/O, parse) and *pipeline* faults, so a
+/// transport layer can map them onto status codes mechanically — see
+/// [`ApiError::code`] and [`ApiError::body`].
+#[derive(Debug)]
+pub enum ApiError {
+    /// A data file could not be read.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A data file could not be parsed.
+    Parse {
+        /// The offending path.
+        path: PathBuf,
+        /// What went wrong.
+        message: String,
+    },
+    /// The service was built without a data source, or with inconsistent
+    /// builder settings.
+    InvalidConfig(String),
+    /// A request referenced an entity name the graph does not contain.
+    UnknownEntity(String),
+    /// A request was structurally invalid (empty entity list, duplicate
+    /// entities, unsupported combination of options).
+    InvalidRequest(String),
+    /// The search pipeline itself failed.
+    Pipeline(nck_core::error::CoreError),
+    /// A compare-mode workload found the engine and sequential rankings
+    /// disagreeing on one query — a bug, never expected in practice.
+    Diverged {
+        /// Index of the first diverging query in the workload.
+        index: usize,
+    },
+}
+
+impl ApiError {
+    /// A stable machine-readable code for the error class.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ApiError::Io { .. } => "io",
+            ApiError::Parse { .. } => "parse",
+            ApiError::InvalidConfig(_) => "invalid_config",
+            ApiError::UnknownEntity(_) => "unknown_entity",
+            ApiError::InvalidRequest(_) => "invalid_request",
+            ApiError::Pipeline(_) => "pipeline",
+            ApiError::Diverged { .. } => "diverged",
+        }
+    }
+
+    /// The serializable wire form of the error.
+    pub fn body(&self) -> ErrorBody {
+        ErrorBody {
+            error: self.code().to_owned(),
+            message: self.to_string(),
+        }
+    }
+
+    /// Maps a query-resolution failure onto the API taxonomy: unknown
+    /// names become [`ApiError::UnknownEntity`], structural problems
+    /// become [`ApiError::InvalidRequest`].
+    pub(crate) fn from_resolution(e: nck_core::error::CoreError) -> Self {
+        use nck_core::error::CoreError;
+        match e {
+            CoreError::UnknownNode(name) => ApiError::UnknownEntity(name),
+            CoreError::Graph(nck_graph::GraphError::UnknownNode(name)) => {
+                ApiError::UnknownEntity(name)
+            }
+            e @ (CoreError::EmptyQuery
+            | CoreError::QueryTooLarge { .. }
+            | CoreError::DuplicateQueryNode(_)) => ApiError::InvalidRequest(e.to_string()),
+            other => ApiError::Pipeline(other),
+        }
+    }
+}
+
+/// The serializable wire form of an [`ApiError`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ErrorBody {
+    /// Machine-readable class ([`ApiError::code`]).
+    pub error: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::Io { path, source } => {
+                write!(f, "cannot read {}: {source}", path.display())
+            }
+            ApiError::Parse { path, message } => {
+                write!(f, "cannot parse {}: {message}", path.display())
+            }
+            ApiError::InvalidConfig(message) => write!(f, "invalid service config: {message}"),
+            ApiError::UnknownEntity(name) => write!(f, "unknown entity {name:?}"),
+            ApiError::InvalidRequest(message) => write!(f, "invalid request: {message}"),
+            ApiError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+            ApiError::Diverged { index } => write!(
+                f,
+                "engine and sequential rankings diverged at query {index}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ApiError::Io { source, .. } => Some(source),
+            ApiError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nck_core::error::CoreError> for ApiError {
+    fn from(e: nck_core::error::CoreError) -> Self {
+        ApiError::Pipeline(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_errors_map_to_caller_faults() {
+        use nck_core::error::CoreError;
+        let e = ApiError::from_resolution(CoreError::UnknownNode("X".into()));
+        assert!(matches!(e, ApiError::UnknownEntity(ref n) if n == "X"));
+        let e = ApiError::from_resolution(CoreError::EmptyQuery);
+        assert!(matches!(e, ApiError::InvalidRequest(_)));
+        let e = ApiError::from_resolution(CoreError::EmptyContext);
+        assert!(matches!(e, ApiError::Pipeline(_)));
+    }
+
+    #[test]
+    fn body_serializes_code_and_message() {
+        let body = ApiError::UnknownEntity("Merkel".into()).body();
+        assert_eq!(
+            serde::json::to_string(&body),
+            r#"{"error":"unknown_entity","message":"unknown entity \"Merkel\""}"#
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! # nck-api — the serde-first service façade
+//!
+//! The paper frames FindNC as an interactive service over public
+//! knowledge bases; this crate is the workspace's one front door to that
+//! service. It owns three things:
+//!
+//! - a **request/response vocabulary** ([`types`]) — serde-able
+//!   [`QueryRequest`], [`QueryResponse`], [`WorkloadRequest`],
+//!   [`WorkloadReport`] — that the CLI, the eval harness and any future
+//!   transport all share (one schema instead of three ad-hoc ones);
+//! - an **error taxonomy** ([`ApiError`]) separating caller faults from
+//!   environment and pipeline faults, with a serializable wire form;
+//! - the **[`NckService`] façade**: built once over a dataset
+//!   (`NckService::builder().ntriples(path).backend(Backend::Store)
+//!   .engine(cfg).build()?`), it materializes the chosen backend behind a
+//!   runtime-erased [`nck_graph::ErasedGraph`] and answers single
+//!   queries, batches, streams and benchmark workloads through a shared
+//!   [`nck_engine::QueryEngine`].
+//!
+//! Backend choice is a *runtime* value here — the erasure layer
+//! ([`nck_graph::erased`]) keeps the whole generic pipeline intact, and
+//! the workspace's parity tests pin erased answers to be id-for-id
+//! identical to the concrete backends'.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod service;
+pub mod types;
+
+pub use error::{ApiError, ErrorBody};
+pub use service::{rankings_equal, Backend, NckService, NckServiceBuilder};
+pub use types::{
+    Characteristic, EngineStatsReport, QueryOverrides, QueryRequest, QueryResponse, WorkloadMode,
+    WorkloadReport, WorkloadRequest,
+};
+
+/// JSON encode/decode entry points (`json::to_string` / `json::from_str`),
+/// re-exported so façade consumers need no direct serde dependency.
+pub use serde::json;

@@ -1,0 +1,641 @@
+//! [`NckService`] — the one front door to the pipeline.
+
+use crate::error::ApiError;
+use crate::types::{
+    Characteristic, EngineStatsReport, QueryOverrides, QueryRequest, QueryResponse, WorkloadMode,
+    WorkloadReport, WorkloadRequest,
+};
+use nck_core::findnc::{FindNc, SearchResult};
+use nck_core::ppr::RandomWalkSelector;
+use nck_core::query::Query;
+use nck_engine::{EngineConfig, EngineStats, QueryEngine, SelectorMode};
+use nck_graph::{ErasedGraph, GraphAccess, KnowledgeGraph};
+use nck_store::graph_view::to_knowledge_graph;
+use nck_store::ntriples::read_ntriples;
+use nck_store::{StoreGraph, TripleStore};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which [`GraphAccess`] backend the service materializes its dataset
+/// into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Backend {
+    /// The in-memory CSR [`KnowledgeGraph`] (fast traversals, full
+    /// materialization).
+    #[default]
+    Csr,
+    /// [`StoreGraph`]: answers straight from the SPO/POS/OSP triple
+    /// indexes with a lazy per-predicate run cache.
+    Store,
+}
+
+impl Backend {
+    /// The backend's short name (`"csr"` / `"store"`), as printed by the
+    /// CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Csr => "csr",
+            Backend::Store => "store",
+        }
+    }
+}
+
+/// Where the builder gets its dataset from. The graph-shaped variants
+/// are boxed: a built `KnowledgeGraph` is hundreds of bytes of headers
+/// and would bloat every `Source` otherwise (clippy: large_enum_variant).
+enum Source {
+    Ntriples(PathBuf),
+    Store(Box<TripleStore>),
+    Csr(Box<KnowledgeGraph>),
+    Erased {
+        graph: ErasedGraph,
+        name: &'static str,
+    },
+}
+
+/// Builder for [`NckService`] — see [`NckService::builder`].
+pub struct NckServiceBuilder {
+    source: Option<Source>,
+    /// `Some` only when the caller called [`backend`](Self::backend) —
+    /// an *explicit* choice that must not be silently dropped when the
+    /// source already fixes the backend.
+    backend: Option<Backend>,
+    engine: EngineConfig,
+}
+
+impl NckServiceBuilder {
+    fn new() -> Self {
+        Self {
+            source: None,
+            backend: None,
+            engine: EngineConfig::default(),
+        }
+    }
+
+    /// Loads the dataset from an N-Triples file.
+    pub fn ntriples(mut self, path: impl Into<PathBuf>) -> Self {
+        self.source = Some(Source::Ntriples(path.into()));
+        self
+    }
+
+    /// Uses an already-loaded triple store.
+    pub fn triple_store(mut self, store: TripleStore) -> Self {
+        self.source = Some(Source::Store(Box::new(store)));
+        self
+    }
+
+    /// Uses an already-built CSR graph (the backend choice is then fixed
+    /// to [`Backend::Csr`] — the triples needed to build a `StoreGraph`
+    /// are not available).
+    pub fn knowledge_graph(mut self, graph: KnowledgeGraph) -> Self {
+        self.source = Some(Source::Csr(Box::new(graph)));
+        self
+    }
+
+    /// Uses any pre-erased backend as-is.
+    pub fn erased(mut self, graph: ErasedGraph) -> Self {
+        self.source = Some(Source::Erased {
+            graph,
+            name: "erased",
+        });
+        self
+    }
+
+    /// Selects the backend the dataset is materialized into (default:
+    /// [`Backend::Csr`]). Only triple-shaped sources
+    /// ([`ntriples`](Self::ntriples) / [`triple_store`](Self::triple_store))
+    /// can honor a choice; combining an explicit backend with a source
+    /// that already fixes it ([`knowledge_graph`](Self::knowledge_graph)
+    /// to a different one, or any [`erased`](Self::erased) source) makes
+    /// [`build`](Self::build) fail with [`ApiError::InvalidConfig`]
+    /// instead of silently serving from something else.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Sets the engine configuration (selector mode, pipeline settings,
+    /// cache bounds).
+    pub fn engine(mut self, config: EngineConfig) -> Self {
+        self.engine = config;
+        self
+    }
+
+    /// Loads the dataset, builds the chosen backend behind an
+    /// [`ErasedGraph`], and constructs the engine.
+    pub fn build(self) -> Result<NckService, ApiError> {
+        let source = self.source.ok_or_else(|| {
+            ApiError::InvalidConfig(
+                "no data source: call ntriples(), triple_store(), \
+                 knowledge_graph() or erased()"
+                    .into(),
+            )
+        })?;
+        let store = match source {
+            Source::Ntriples(path) => {
+                let file = std::fs::File::open(&path).map_err(|source| ApiError::Io {
+                    path: path.clone(),
+                    source,
+                })?;
+                let store =
+                    read_ntriples(std::io::BufReader::new(file)).map_err(|e| ApiError::Parse {
+                        path: path.clone(),
+                        message: e.to_string(),
+                    })?;
+                Some(store)
+            }
+            Source::Store(store) => Some(*store),
+            Source::Csr(graph) => {
+                if let Some(requested) = self.backend {
+                    if requested != Backend::Csr {
+                        return Err(ApiError::InvalidConfig(format!(
+                            "backend({requested:?}) conflicts with knowledge_graph(): \
+                             a pre-built CSR graph cannot serve the {} backend — \
+                             load triples (ntriples()/triple_store()) instead",
+                            requested.name()
+                        )));
+                    }
+                }
+                return Self::finish(ErasedGraph::new(*graph), Backend::Csr.name(), self.engine);
+            }
+            Source::Erased { graph, name } => {
+                if let Some(requested) = self.backend {
+                    return Err(ApiError::InvalidConfig(format!(
+                        "backend({requested:?}) conflicts with erased(): an erased \
+                         source already fixes the backend"
+                    )));
+                }
+                return Self::finish(graph, name, self.engine);
+            }
+        };
+        let store = store.expect("triple-shaped source");
+        let started = Instant::now();
+        let (graph, name) = match self.backend.unwrap_or_default() {
+            Backend::Csr => (
+                ErasedGraph::new(to_knowledge_graph(&store)),
+                Backend::Csr.name(),
+            ),
+            Backend::Store => (
+                ErasedGraph::new(StoreGraph::new(store)),
+                Backend::Store.name(),
+            ),
+        };
+        let load_secs = started.elapsed().as_secs_f64();
+        let mut service = Self::finish(graph, name, self.engine)?;
+        service.load_secs = load_secs;
+        Ok(service)
+    }
+
+    fn finish(
+        graph: ErasedGraph,
+        backend_name: &'static str,
+        config: EngineConfig,
+    ) -> Result<NckService, ApiError> {
+        let engine = QueryEngine::new(graph.clone(), config.clone())?;
+        Ok(NckService {
+            graph,
+            engine,
+            config,
+            backend_name,
+            load_secs: 0.0,
+        })
+    }
+}
+
+/// The service façade: owns the loaded dataset (behind an
+/// [`ErasedGraph`]) and a [`QueryEngine`], and answers single queries,
+/// batches, streams and benchmark-shaped workloads through the serde
+/// request/response vocabulary of [`crate::types`].
+///
+/// ```
+/// use nck_api::{NckService, QueryRequest};
+/// use nck_core::config::PathMiningConfig;
+/// use nck_core::context::TypeFilter;
+/// use nck_engine::EngineConfig;
+/// use nck_graph::GraphBuilder;
+///
+/// // Figure 1 in miniature: every leader has a child — except Merkel.
+/// let mut b = GraphBuilder::new();
+/// b.add_triple("Merkel", "memberOf", "G20");
+/// for i in 0..20 {
+///     let leader = format!("leader{i}");
+///     b.add_triple(&leader, "memberOf", "G20");
+///     b.add_triple(&leader, "hasChild", &format!("child{i}"));
+/// }
+///
+/// let mut config = EngineConfig::default();
+/// config.findnc.context.mining = PathMiningConfig { walks: 2_000, ..Default::default() };
+/// config.findnc.context.type_filter = TypeFilter::None; // untyped toy graph
+/// config.findnc.context_size = 20;
+///
+/// let service = NckService::builder()
+///     .knowledge_graph(b.build())
+///     .engine(config)
+///     .build()
+///     .unwrap();
+///
+/// let response = service.query(&QueryRequest::entities(["Merkel"])).unwrap();
+/// assert_eq!(response.context_size, 20);
+/// assert!(response.characteristic("hasChild").unwrap().notable);
+/// ```
+pub struct NckService {
+    graph: ErasedGraph,
+    engine: QueryEngine<ErasedGraph>,
+    config: EngineConfig,
+    backend_name: &'static str,
+    load_secs: f64,
+}
+
+impl std::fmt::Debug for NckService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NckService")
+            .field("backend", &self.backend_name)
+            .field("num_nodes", &self.num_nodes())
+            .field("num_stored_edges", &self.num_stored_edges())
+            .finish_non_exhaustive()
+    }
+}
+
+impl NckService {
+    /// Starts building a service.
+    pub fn builder() -> NckServiceBuilder {
+        NckServiceBuilder::new()
+    }
+
+    /// The erased graph backend (cheap to clone and share).
+    pub fn graph(&self) -> &ErasedGraph {
+        &self.graph
+    }
+
+    /// The engine the service answers from.
+    pub fn engine(&self) -> &QueryEngine<ErasedGraph> {
+        &self.engine
+    }
+
+    /// The short name of the materialized backend (`"csr"`, `"store"`,
+    /// `"erased"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend_name
+    }
+
+    /// Seconds spent materializing the backend (0 for pre-built sources).
+    pub fn load_secs(&self) -> f64 {
+        self.load_secs
+    }
+
+    /// Number of nodes in the loaded graph.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Number of stored (Def.-1 closed) edges in the loaded graph.
+    pub fn num_stored_edges(&self) -> usize {
+        self.graph.num_stored_edges()
+    }
+
+    /// Engine cache/dedup counters in wire form.
+    pub fn stats(&self) -> EngineStatsReport {
+        EngineStatsReport::from(self.raw_stats())
+    }
+
+    /// Engine counters in the engine's own form.
+    pub fn raw_stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    /// Answers one query. The response carries its wall-clock time in
+    /// [`QueryResponse::secs`].
+    pub fn query(&self, request: &QueryRequest) -> Result<QueryResponse, ApiError> {
+        let query = self.resolve(request)?;
+        let started = Instant::now();
+        let result = match effective_overrides(request) {
+            Some(overrides) => self.run_with_overrides(&query, overrides)?,
+            None => self.engine.run(&query)?,
+        };
+        let mut response = self.response_for(request, &result);
+        response.secs = Some(started.elapsed().as_secs_f64());
+        Ok(response)
+    }
+
+    /// Answers a batch. Requests without overrides execute through the
+    /// engine's batch planner (dedup + seed clustering + shared caches);
+    /// requests with overrides run one-off pipelines. Responses come back
+    /// in input order.
+    pub fn batch(&self, requests: &[QueryRequest]) -> Result<Vec<QueryResponse>, ApiError> {
+        let mut engine_queries: Vec<Query> = Vec::new();
+        let mut engine_positions: Vec<usize> = Vec::new();
+        let mut out: Vec<Option<QueryResponse>> = vec![None; requests.len()];
+        for (i, request) in requests.iter().enumerate() {
+            let query = self.resolve(request)?;
+            match effective_overrides(request) {
+                Some(overrides) => {
+                    let result = self.run_with_overrides(&query, overrides)?;
+                    out[i] = Some(self.response_for(request, &result));
+                }
+                None => {
+                    engine_queries.push(query);
+                    engine_positions.push(i);
+                }
+            }
+        }
+        if !engine_queries.is_empty() {
+            let results = self.engine.run_batch(&engine_queries)?;
+            for (pos, result) in engine_positions.into_iter().zip(&results) {
+                out[pos] = Some(self.response_for(&requests[pos], result));
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect())
+    }
+
+    /// Streams a request sequence through the engine in batches of
+    /// `chunk_size` (clamped to at least 1). Overrides are rejected here:
+    /// a stream is the high-throughput path, and one-off pipelines would
+    /// serialize it.
+    pub fn stream<I>(&self, requests: I, chunk_size: usize) -> Result<Vec<QueryResponse>, ApiError>
+    where
+        I: IntoIterator<Item = QueryRequest>,
+    {
+        let requests: Vec<QueryRequest> = requests.into_iter().collect();
+        let mut queries = Vec::with_capacity(requests.len());
+        for request in &requests {
+            if effective_overrides(request).is_some() {
+                return Err(ApiError::InvalidRequest(
+                    "per-request overrides are not supported in streams; \
+                     use query() or batch()"
+                        .into(),
+                ));
+            }
+            queries.push(self.resolve(request)?);
+        }
+        let results = self.engine.run_stream(queries, chunk_size)?;
+        Ok(requests
+            .iter()
+            .zip(&results)
+            .map(|(request, result)| self.response_for(request, result))
+            .collect())
+    }
+
+    /// Executes a benchmark-shaped workload: the distinct queries replayed
+    /// `repeat` times, through the engine, a sequential baseline, or both
+    /// (verifying id-for-id identical rankings and reporting the
+    /// speedup). The report carries one response per distinct query.
+    ///
+    /// The engine phase runs on a **fresh engine** (same graph, same
+    /// configuration), so timings and counters describe this workload
+    /// alone — the service's long-lived serving caches neither skew the
+    /// benchmark nor get flushed by it. Production traffic belongs on
+    /// [`query`](Self::query) / [`batch`](Self::batch) /
+    /// [`stream`](Self::stream), which share the serving caches.
+    pub fn workload(&self, request: &WorkloadRequest) -> Result<WorkloadReport, ApiError> {
+        if request.queries.is_empty() {
+            return Err(ApiError::InvalidRequest("workload has no queries".into()));
+        }
+        if let Some(bad) = request
+            .queries
+            .iter()
+            .position(|q| effective_overrides(q).is_some())
+        {
+            return Err(ApiError::InvalidRequest(format!(
+                "workload query {bad} carries overrides; workloads run \
+                 under the service's single engine configuration"
+            )));
+        }
+        let base: Vec<Query> = request
+            .queries
+            .iter()
+            .map(|q| self.resolve(q))
+            .collect::<Result<_, _>>()?;
+        let repeat = request.repeat.max(1);
+        let mut workload: Vec<Query> = Vec::with_capacity(base.len() * repeat);
+        for _ in 0..repeat {
+            workload.extend(base.iter().cloned());
+        }
+
+        if request.mode == WorkloadMode::Compare {
+            // Level the substrate between the two timed phases: fault
+            // every per-predicate run into the store backend's shared
+            // cache now (a no-op on the CSR backend). Otherwise whichever
+            // phase runs first would absorb the one-time POS scans and
+            // skew the reported speedup.
+            for label in self.graph.labels().iter() {
+                self.graph.warm_predicate(label);
+            }
+        }
+
+        let mut engine_secs = None;
+        let mut sequential_secs = None;
+        let mut engine_results: Option<Vec<Arc<SearchResult>>> = None;
+        let mut stats = None;
+
+        if matches!(request.mode, WorkloadMode::Engine | WorkloadMode::Compare) {
+            // A fresh engine for the benchmark: the service's long-lived
+            // caches would otherwise leak prior traffic into the timed
+            // phase (a result-cache hit from yesterday's query() making
+            // the "engine" side look arbitrarily fast), and flushing the
+            // shared engine instead would trash the serving caches of a
+            // live service. A fresh engine also makes the counters
+            // per-workload by construction. Backend-level state (the
+            // store's per-predicate runs) is shared by design and leveled
+            // above for compare mode.
+            let engine = QueryEngine::new(self.graph.clone(), self.config.clone())?;
+            let started = Instant::now();
+            let results = if request.chunk > 0 {
+                engine.run_stream(workload.iter().cloned(), request.chunk)?
+            } else {
+                engine.run_batch(&workload)?
+            };
+            engine_secs = Some(started.elapsed().as_secs_f64());
+            stats = Some(EngineStatsReport::from(engine.stats()));
+            engine_results = Some(results);
+        }
+        if matches!(
+            request.mode,
+            WorkloadMode::Sequential | WorkloadMode::Compare
+        ) {
+            let compare = request.mode == WorkloadMode::Compare;
+            // Pipeline construction happens once, *outside* the timed
+            // region — sequential_secs measures query execution, not
+            // config cloning.
+            let (findnc, selector) = self.sequential_pipeline(compare);
+            let started = Instant::now();
+            let mut results = Vec::with_capacity(workload.len());
+            for q in &workload {
+                let result = match &selector {
+                    None => findnc.discover(&self.graph, q),
+                    Some(sel) => findnc.discover_with_selector(&self.graph, q, sel),
+                }?;
+                results.push(result);
+            }
+            sequential_secs = Some(started.elapsed().as_secs_f64());
+            if let Some(engine_results) = &engine_results {
+                for (index, (a, b)) in engine_results.iter().zip(&results).enumerate() {
+                    if !rankings_equal(a, b) {
+                        return Err(ApiError::Diverged { index });
+                    }
+                }
+            }
+            if engine_results.is_none() {
+                engine_results = Some(results.into_iter().map(Arc::new).collect());
+            }
+        }
+
+        let results = engine_results.expect("at least one mode ran");
+        let responses: Vec<QueryResponse> = request
+            .queries
+            .iter()
+            .zip(&results)
+            .map(|(q, r)| self.response_for(q, r))
+            .collect();
+        let speedup = match (engine_secs, sequential_secs) {
+            (Some(e), Some(s)) => Some(s / f64::max(e, 1e-12)),
+            _ => None,
+        };
+        Ok(WorkloadReport {
+            queries: results.len(),
+            distinct_lines: request.queries.len(),
+            repeat,
+            engine_secs,
+            sequential_secs,
+            speedup,
+            engine_stats: stats,
+            results: responses,
+        })
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    fn resolve(&self, request: &QueryRequest) -> Result<Query, ApiError> {
+        Query::by_names(&self.graph, request.entities.iter().map(String::as_str))
+            .map_err(ApiError::from_resolution)
+    }
+
+    /// The sequential baseline pipeline (`None` selector = ContextRW via
+    /// [`FindNc::discover`]), built once per workload phase.
+    ///
+    /// With `bit_exact` (compare mode), RandomWalk summation is forced
+    /// sequential regardless of `ppr.parallel`: the engine's RandomWalk
+    /// answers are *defined* as sequential per-seed summation (its PPR
+    /// cache adds the vectors in seed order), and chunked summation
+    /// associates the f64 additions differently — a multi-seed query
+    /// would trip the bit-exact compare check on correct results.
+    /// Without it (pure sequential mode), the configured pipeline runs
+    /// untouched, so `sequential_secs` measures what the caller asked
+    /// to measure.
+    fn sequential_pipeline(&self, bit_exact: bool) -> (FindNc, Option<RandomWalkSelector>) {
+        let findnc = FindNc::new(self.config.findnc.clone());
+        let selector = match self.config.selector {
+            SelectorMode::ContextRw => None,
+            SelectorMode::RandomWalk => {
+                let mut config = self.config.randomwalk.clone();
+                if bit_exact {
+                    config.ppr.parallel = false;
+                }
+                Some(RandomWalkSelector::new(config))
+            }
+        };
+        (findnc, selector)
+    }
+
+    /// One-off pipeline for an overridden request (outside the shared
+    /// caches — they are only valid under the base configuration).
+    fn run_with_overrides(
+        &self,
+        query: &Query,
+        overrides: &QueryOverrides,
+    ) -> Result<Arc<SearchResult>, ApiError> {
+        let mut config = self.config.clone();
+        if let Some(k) = overrides.context_size {
+            config.findnc.context_size = k;
+        }
+        if let Some(walks) = overrides.walks {
+            config.findnc.context.mining.walks = walks;
+        }
+        if let Some(selector) = overrides.selector {
+            config.selector = selector;
+        }
+        if let Some(filter) = overrides.type_filter {
+            config.findnc.context.type_filter = filter;
+            config.randomwalk.type_filter = filter;
+        }
+        let findnc = FindNc::new(config.findnc.clone());
+        let result = match config.selector {
+            SelectorMode::ContextRw => findnc.discover(&self.graph, query),
+            SelectorMode::RandomWalk => {
+                let selector = RandomWalkSelector::new(config.randomwalk.clone());
+                findnc.discover_with_selector(&self.graph, query, &selector)
+            }
+        }?;
+        Ok(Arc::new(result))
+    }
+
+    fn response_for(&self, request: &QueryRequest, result: &SearchResult) -> QueryResponse {
+        let top = request.top.unwrap_or(usize::MAX);
+        QueryResponse {
+            query: request.display(),
+            context_size: result.context.len(),
+            context: result
+                .context
+                .nodes()
+                .map(|n| self.graph.node_name(n).to_owned())
+                .collect(),
+            characteristics: result
+                .characteristics
+                .iter()
+                .take(top)
+                .map(|c| Characteristic {
+                    label: self.graph.label_name(c.label).to_owned(),
+                    score: c.score,
+                    notable: c.notable(),
+                    inst_p: c.inst_significance,
+                    card_p: c.card_significance,
+                })
+                .collect(),
+            secs: None,
+        }
+    }
+}
+
+/// `Some(overrides)` only when the request actually overrides something.
+fn effective_overrides(request: &QueryRequest) -> Option<&QueryOverrides> {
+    request.overrides.as_ref().filter(|o| !o.is_noop())
+}
+
+/// Exact ranking equality: same context order, same labels, same scores
+/// and significances bit for bit.
+///
+/// Floats are compared by bit pattern, not `==`: NaN scores are a
+/// supported (deterministically last-ranked) outcome, and `NaN == NaN`
+/// is false — IEEE equality would report two identical rankings as
+/// diverged.
+pub fn rankings_equal(a: &SearchResult, b: &SearchResult) -> bool {
+    fn f64_eq(x: f64, y: f64) -> bool {
+        x.to_bits() == y.to_bits()
+    }
+    fn opt_eq(x: Option<f64>, y: Option<f64>) -> bool {
+        match (x, y) {
+            (Some(x), Some(y)) => f64_eq(x, y),
+            (None, None) => true,
+            _ => false,
+        }
+    }
+    a.context.ranked().len() == b.context.ranked().len()
+        && a.context
+            .ranked()
+            .iter()
+            .zip(b.context.ranked())
+            .all(|((na, sa), (nb, sb))| na == nb && f64_eq(*sa, *sb))
+        && a.characteristics.len() == b.characteristics.len()
+        && a.characteristics
+            .iter()
+            .zip(&b.characteristics)
+            .all(|(x, y)| {
+                x.label == y.label
+                    && f64_eq(x.score, y.score)
+                    && opt_eq(x.significance, y.significance)
+            })
+}

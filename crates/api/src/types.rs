@@ -1,0 +1,300 @@
+//! The serde-first request/response vocabulary of the service façade.
+//!
+//! Every type here derives `Serialize`/`Deserialize` and round-trips
+//! through JSON (`serde::json::to_string` / `from_str`), so the same
+//! structs serve as the CLI's output schema, a future HTTP layer's wire
+//! format, and the eval harness's experiment plumbing. Field names and
+//! order intentionally reproduce the schema the CLI's retired hand-rolled
+//! JSON emitter produced, so downstream consumers see byte-identical
+//! output.
+//!
+//! One deliberate asymmetry, shared with `serde_json`: a non-finite
+//! `f64` (NaN/±∞ has no JSON representation) encodes as `null`, and
+//! `null` does not decode back into a plain `f64` — so a response
+//! carrying a non-finite score is a one-way payload. The pipeline only
+//! produces finite δ in practice (NaN is a degenerate-distribution
+//! artifact, ranked last by `FindNc`), and `Option<f64>` fields like the
+//! significances are unaffected (`null` ↔ `None`).
+
+use nck_core::context::TypeFilter;
+use nck_engine::{EngineStats, SelectorMode};
+use serde::{Deserialize, Serialize};
+
+/// One notable-characteristics query: which entities, plus presentation
+/// and (optional) execution options.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// Entity names to query (`Q` of Problem 1). Order matters: it is
+    /// part of the engine's cache key, because floating-point context
+    /// accumulation is order-sensitive.
+    pub entities: Vec<String>,
+    /// Free-form tag echoed back as [`QueryResponse::query`]; defaults to
+    /// the comma-joined entity list.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub label: Option<String>,
+    /// Truncates the response's characteristics list (the full ranking is
+    /// computed either way); `None` returns every scored label.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub top: Option<usize>,
+    /// Per-request execution overrides. When set, the query runs on a
+    /// fresh one-off pipeline **outside the shared engine caches** (cache
+    /// entries are keyed by seed list under one fixed configuration, so
+    /// serving overridden queries from them would be wrong).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub overrides: Option<QueryOverrides>,
+}
+
+impl QueryRequest {
+    /// A plain request for `entities` with default options.
+    pub fn entities<I, S>(entities: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            entities: entities.into_iter().map(Into::into).collect(),
+            label: None,
+            top: None,
+            overrides: None,
+        }
+    }
+
+    /// The display form: the label if set, else the comma-joined entities.
+    pub fn display(&self) -> String {
+        match &self.label {
+            Some(l) => l.clone(),
+            None => self.entities.join(","),
+        }
+    }
+}
+
+/// Per-request configuration overrides (see
+/// [`QueryRequest::overrides`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QueryOverrides {
+    /// Context size `|C|`.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub context_size: Option<usize>,
+    /// PathMining walk budget.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub walks: Option<usize>,
+    /// Context selector.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub selector: Option<SelectorMode>,
+    /// Candidate type filter.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub type_filter: Option<TypeFilter>,
+}
+
+impl QueryOverrides {
+    /// Whether every override is unset (the request runs on the shared
+    /// engine).
+    pub fn is_noop(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// One scored characteristic, name-resolved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Characteristic {
+    /// The edge-label name.
+    pub label: String,
+    /// δ — 0 means not notable.
+    pub score: f64,
+    /// Whether δ > 0 (Def. 3).
+    pub notable: bool,
+    /// Significance probability of the instance test (`null` when the
+    /// test did not run).
+    pub inst_p: Option<f64>,
+    /// Significance probability of the cardinality test.
+    pub card_p: Option<f64>,
+}
+
+/// The answer to one [`QueryRequest`], fully name-resolved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResponse {
+    /// Echo of the request ([`QueryRequest::display`]).
+    pub query: String,
+    /// Context size `|C|` actually retrieved.
+    pub context_size: usize,
+    /// Context entity names, descending by similarity score.
+    pub context: Vec<String>,
+    /// Scored characteristics, descending by δ, truncated to the
+    /// request's `top`.
+    pub characteristics: Vec<Characteristic>,
+    /// Wall-clock seconds spent answering (set on single-query calls;
+    /// workload members report timing at the report level instead).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub secs: Option<f64>,
+}
+
+impl QueryResponse {
+    /// The notable subset of [`characteristics`](Self::characteristics).
+    pub fn notable(&self) -> impl Iterator<Item = &Characteristic> {
+        self.characteristics.iter().filter(|c| c.notable)
+    }
+
+    /// Looks a characteristic up by label name.
+    pub fn characteristic(&self, label: &str) -> Option<&Characteristic> {
+        self.characteristics.iter().find(|c| c.label == label)
+    }
+}
+
+/// How a workload executes (see [`WorkloadRequest::mode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum WorkloadMode {
+    /// Through the batched engine (dedup, scheduling, shared caches).
+    #[default]
+    Engine,
+    /// One-at-a-time sequential `FindNc` runs (the baseline).
+    Sequential,
+    /// Both, verifying id-for-id identical rankings and reporting the
+    /// speedup.
+    Compare,
+}
+
+/// A batch/repeated-query workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadRequest {
+    /// The distinct queries, in submission order. Per-request
+    /// [`QueryRequest::overrides`] are rejected here: workload execution
+    /// is the exact-parity path, and overrides would silently fork the
+    /// configuration mid-benchmark.
+    pub queries: Vec<QueryRequest>,
+    /// Replays the whole query list this many times (a repeated-seed
+    /// workload); clamped to at least 1.
+    pub repeat: usize,
+    /// Execution mode.
+    pub mode: WorkloadMode,
+    /// When positive, streams the workload through the engine in batches
+    /// of this size instead of one big batch.
+    pub chunk: usize,
+}
+
+impl WorkloadRequest {
+    /// An engine-mode workload over `queries`, run once, unchunked.
+    pub fn new(queries: Vec<QueryRequest>) -> Self {
+        Self {
+            queries,
+            repeat: 1,
+            mode: WorkloadMode::Engine,
+            chunk: 0,
+        }
+    }
+}
+
+/// Engine cache/dedup counters in wire form.
+///
+/// The serialized fields reproduce the legacy CLI schema (hit counts
+/// only); the `*_misses` fields ride along unserialized for consumers —
+/// like the CLI's table renderer — that want hit *rates*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EngineStatsReport {
+    /// Queries submitted (batch members plus single runs).
+    pub submitted: u64,
+    /// Distinct work units actually executed.
+    pub executed: u64,
+    /// Queries answered by batch-level deduplication alone.
+    pub deduplicated: u64,
+    /// Result-cache hits.
+    pub result_hits: u64,
+    /// Context-cache hits.
+    pub context_hits: u64,
+    /// PPR-vector-cache hits.
+    pub ppr_hits: u64,
+    /// Result-cache misses (not serialized; legacy schema).
+    #[serde(skip)]
+    pub result_misses: u64,
+    /// Context-cache misses (not serialized; legacy schema).
+    #[serde(skip)]
+    pub context_misses: u64,
+    /// PPR-vector-cache misses (not serialized; legacy schema).
+    #[serde(skip)]
+    pub ppr_misses: u64,
+}
+
+impl From<EngineStats> for EngineStatsReport {
+    fn from(s: EngineStats) -> Self {
+        Self {
+            submitted: s.queries,
+            executed: s.executed_groups,
+            deduplicated: s.deduplicated,
+            result_hits: s.result.hits,
+            context_hits: s.context.hits,
+            ppr_hits: s.ppr.hits,
+            result_misses: s.result.misses,
+            context_misses: s.context.misses,
+            ppr_misses: s.ppr.misses,
+        }
+    }
+}
+
+/// The answer to a [`WorkloadRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadReport {
+    /// Total queries executed (distinct × repeat).
+    pub queries: usize,
+    /// Number of distinct submitted queries.
+    pub distinct_lines: usize,
+    /// The replay factor.
+    pub repeat: usize,
+    /// Engine-phase wall time (engine/compare modes).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub engine_secs: Option<f64>,
+    /// Sequential-phase wall time (sequential/compare modes).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub sequential_secs: Option<f64>,
+    /// `sequential_secs / engine_secs` (compare mode).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub speedup: Option<f64>,
+    /// Engine counters (engine/compare modes).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub engine_stats: Option<EngineStatsReport>,
+    /// One response per distinct query (its first execution).
+    pub results: Vec<QueryResponse>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_display_prefers_label() {
+        let mut req = QueryRequest::entities(["A", "B"]);
+        assert_eq!(req.display(), "A,B");
+        req.label = Some("A, B".into());
+        assert_eq!(req.display(), "A, B");
+    }
+
+    #[test]
+    fn optional_fields_are_omitted_from_json() {
+        let req = QueryRequest::entities(["Merkel", "Obama"]);
+        assert_eq!(
+            serde::json::to_string(&req),
+            r#"{"entities":["Merkel","Obama"]}"#
+        );
+    }
+
+    #[test]
+    fn engine_stats_misses_stay_off_the_wire() {
+        let report = EngineStatsReport {
+            submitted: 8,
+            executed: 4,
+            deduplicated: 4,
+            result_hits: 2,
+            context_hits: 1,
+            ppr_hits: 0,
+            result_misses: 9,
+            context_misses: 9,
+            ppr_misses: 9,
+        };
+        let text = serde::json::to_string(&report);
+        assert_eq!(
+            text,
+            r#"{"submitted":8,"executed":4,"deduplicated":4,"result_hits":2,"context_hits":1,"ppr_hits":0}"#
+        );
+        let back: EngineStatsReport = serde::json::from_str(&text).unwrap();
+        assert_eq!(back.result_misses, 0, "skipped fields rebuild as default");
+        assert_eq!(back.submitted, 8);
+    }
+}

@@ -1,0 +1,202 @@
+//! Behavioral guarantees of [`NckService`] beyond serialization: workload
+//! stats describe the workload (not the engine's lifetime), and
+//! compare-mode never falsely reports divergence.
+
+use nck_api::{NckService, QueryRequest, WorkloadMode, WorkloadRequest};
+use nck_core::config::{PathMiningConfig, PprConfig};
+use nck_core::context::TypeFilter;
+use nck_engine::{EngineConfig, SelectorMode};
+use nck_graph::GraphBuilder;
+
+fn toy_service(config: EngineConfig) -> NckService {
+    let mut b = GraphBuilder::new();
+    b.add_triple("Merkel", "memberOf", "G20");
+    b.add_triple("Obama", "memberOf", "G20");
+    b.add_triple("Obama", "hasChild", "Malia");
+    for i in 0..20 {
+        let leader = format!("leader{i}");
+        b.add_triple(&leader, "memberOf", "G20");
+        b.add_triple(&leader, "hasChild", &format!("child{i}"));
+    }
+    NckService::builder()
+        .knowledge_graph(b.build())
+        .engine(config)
+        .build()
+        .unwrap()
+}
+
+fn toy_config() -> EngineConfig {
+    let mut config = EngineConfig::default();
+    config.findnc.context.mining = PathMiningConfig {
+        walks: 2_000,
+        ..PathMiningConfig::default()
+    };
+    config.findnc.context.type_filter = TypeFilter::None;
+    config.findnc.context_size = 10;
+    config
+}
+
+/// Regression: each workload reports *its own* counters and timings — a
+/// service that has already answered traffic must not leak its history
+/// (cumulative counters, warm serving caches) into the benchmark.
+#[test]
+fn workload_stats_are_per_workload_not_cumulative() {
+    let service = toy_service(toy_config());
+
+    // Prior traffic: a single query plus a first workload.
+    let warmup = QueryRequest::entities(["Merkel"]);
+    service.query(&warmup).unwrap();
+    let request = WorkloadRequest {
+        queries: vec![QueryRequest::entities(["Merkel", "Obama"])],
+        repeat: 3,
+        mode: WorkloadMode::Engine,
+        chunk: 0,
+    };
+    let first = service.workload(&request).unwrap();
+    let second = service.workload(&request).unwrap();
+
+    let first_stats = first.engine_stats.unwrap();
+    let second_stats = second.engine_stats.unwrap();
+    // Each workload runs on a fresh engine: identical submissions,
+    // identical dedup, identical (cold) execution counts — no prior
+    // traffic visible, neither from query() nor from the first workload.
+    assert_eq!(first_stats.submitted, 3);
+    assert_eq!(second_stats.submitted, 3);
+    assert_eq!(first_stats.deduplicated, 2);
+    assert_eq!(second_stats.deduplicated, 2);
+    assert_eq!(first_stats.executed, 1);
+    assert_eq!(second_stats.executed, 1);
+    // The serving engine's own counters only saw the warmup query, not
+    // the benchmark traffic.
+    assert_eq!(service.stats().submitted, 1);
+}
+
+/// Regression: `rankings_equal` must treat two bit-identical rankings
+/// containing NaN scores as equal (IEEE `==` would call them diverged,
+/// failing compare-mode workloads on correct results).
+#[test]
+fn rankings_equal_tolerates_nan_scores() {
+    use nck_api::rankings_equal;
+    use nck_core::context::Context;
+    use nck_core::discrimination::{Discrimination, DiscriminationScore, Trigger};
+    use nck_core::error::CoreError;
+    use nck_core::findnc::FindNc;
+    use nck_core::query::Query;
+
+    struct AllNan;
+    impl Discrimination for AllNan {
+        fn score(
+            &self,
+            _dists: &nck_core::distributions::LabelDistributions,
+        ) -> Result<DiscriminationScore, CoreError> {
+            Ok(DiscriminationScore {
+                score: f64::NAN,
+                inst_score: f64::NAN,
+                card_score: 0.0,
+                trigger: Trigger::Instance,
+                inst_significance: None,
+                card_significance: None,
+            })
+        }
+        fn name(&self) -> &'static str {
+            "all-nan"
+        }
+    }
+
+    let mut b = GraphBuilder::new();
+    b.add_triple("Merkel", "memberOf", "G20");
+    for i in 0..5 {
+        let leader = format!("leader{i}");
+        b.add_triple(&leader, "memberOf", "G20");
+        b.add_triple(&leader, "hasChild", &format!("child{i}"));
+    }
+    let g = b.build();
+    let q = Query::by_names(&g, ["Merkel"]).unwrap();
+    let names: Vec<String> = (0..5).map(|i| format!("leader{i}")).collect();
+    let c = Context::from_names(&g, &names).unwrap();
+    let run = || {
+        FindNc::default()
+            .discover_with_discrimination(&g, &q, &c, &AllNan)
+            .unwrap()
+    };
+    let (a, b) = (run(), run());
+    assert!(
+        a.characteristics.iter().any(|ch| ch.score.is_nan()),
+        "the stub must actually produce NaN scores"
+    );
+    assert!(
+        rankings_equal(&a, &b),
+        "bit-identical NaN rankings must compare equal"
+    );
+}
+
+/// Regression: an explicit backend choice that the source cannot honor
+/// must fail the build, not silently serve from a different backend.
+#[test]
+fn builder_rejects_contradictory_backend() {
+    use nck_api::{ApiError, Backend};
+    use nck_graph::ErasedGraph;
+
+    let g = || {
+        let mut b = GraphBuilder::new();
+        b.add_triple("a", "knows", "b");
+        b.build()
+    };
+    // knowledge_graph() + backend(Store): contradiction.
+    let err = NckService::builder()
+        .knowledge_graph(g())
+        .backend(Backend::Store)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ApiError::InvalidConfig(_)), "{err}");
+    // knowledge_graph() + backend(Csr): consistent, allowed.
+    assert!(NckService::builder()
+        .knowledge_graph(g())
+        .backend(Backend::Csr)
+        .build()
+        .is_ok());
+    // erased() fixes the backend; any explicit choice is rejected.
+    let err = NckService::builder()
+        .erased(ErasedGraph::new(g()))
+        .backend(Backend::Csr)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ApiError::InvalidConfig(_)), "{err}");
+    assert!(NckService::builder()
+        .erased(ErasedGraph::new(g()))
+        .build()
+        .is_ok());
+}
+
+/// Regression: compare mode with the RandomWalk selector and the default
+/// `ppr.parallel = true` must not report a spurious divergence on
+/// multi-seed queries — the engine sums per-seed PPR vectors in seed
+/// order, so the sequential baseline must too.
+#[test]
+fn randomwalk_compare_mode_does_not_spuriously_diverge() {
+    let mut config = toy_config();
+    config.selector = SelectorMode::RandomWalk;
+    config.randomwalk.type_filter = TypeFilter::None;
+    config.randomwalk.ppr = PprConfig {
+        damping: 0.2,
+        iterations: 10,
+        parallel: true, // the default; the service must neutralize it
+    };
+    let service = toy_service(config);
+
+    // Many seeds so chunked summation would associate the f64 additions
+    // differently from the engine's strict seed-order accumulation.
+    let entities: Vec<String> = std::iter::once("Merkel".to_owned())
+        .chain(std::iter::once("Obama".to_owned()))
+        .chain((0..6).map(|i| format!("leader{i}")))
+        .collect();
+    let report = service
+        .workload(&WorkloadRequest {
+            queries: vec![QueryRequest::entities(entities)],
+            repeat: 2,
+            mode: WorkloadMode::Compare,
+            chunk: 0,
+        })
+        .expect("compare must agree bit for bit, not Diverged");
+    assert!(report.speedup.is_some());
+}

@@ -198,15 +198,22 @@ impl FindNc {
                 distributions: dists,
             });
         }
+        // `total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: mapping
+        // NaN to "equal" breaks the strict weak ordering `sort_by`
+        // requires, so one NaN score could scramble (or panic) the whole
+        // ranking. IEEE total order keeps the sort lawful; the explicit
+        // is_nan key pins NaN scores to the *bottom* of the ranking
+        // (descending total order alone would put positive NaN above
+        // +inf, i.e. a broken score would top the list).
         characteristics.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            a.score
+                .is_nan()
+                .cmp(&b.score.is_nan())
+                .then(b.score.total_cmp(&a.score))
                 .then(
                     a.significance
                         .unwrap_or(1.0)
-                        .partial_cmp(&b.significance.unwrap_or(1.0))
-                        .unwrap_or(std::cmp::Ordering::Equal),
+                        .total_cmp(&b.significance.unwrap_or(1.0)),
                 )
                 .then(a.label.cmp(&b.label))
         });
@@ -337,6 +344,63 @@ mod tests {
         let r = FindNc::new(cfg).discover(&g, &q).unwrap();
         assert!(!r.context.is_empty());
         assert!(!r.characteristics.is_empty());
+    }
+
+    #[test]
+    fn nan_scores_rank_deterministically() {
+        use crate::discrimination::{Discrimination, DiscriminationScore, Trigger};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        /// Poisons every other label with a NaN δ.
+        struct NanEveryOther(AtomicUsize);
+        impl Discrimination for NanEveryOther {
+            fn score(
+                &self,
+                _dists: &crate::distributions::LabelDistributions,
+            ) -> Result<DiscriminationScore, CoreError> {
+                let i = self.0.fetch_add(1, Ordering::Relaxed);
+                let score = if i.is_multiple_of(2) { f64::NAN } else { 0.5 };
+                Ok(DiscriminationScore {
+                    score,
+                    inst_score: score,
+                    card_score: 0.0,
+                    trigger: Trigger::Instance,
+                    inst_significance: None,
+                    card_significance: None,
+                })
+            }
+            fn name(&self) -> &'static str {
+                "nan-every-other"
+            }
+        }
+
+        let (g, q, c) = leaders();
+        let run = || {
+            FindNc::default()
+                .discover_with_discrimination(&g, &q, &c, &NanEveryOther(AtomicUsize::new(0)))
+                .unwrap()
+                .characteristics
+                .iter()
+                .map(|ch| (ch.label, ch.score.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        let first = run();
+        // The sort is total: repeated runs agree bit for bit, and no
+        // panic from a broken comparator.
+        assert_eq!(first, run());
+        assert!(first.iter().any(|(_, bits)| f64::from_bits(*bits).is_nan()));
+        // NaN scores sink to the bottom — a broken score must never
+        // outrank a real δ.
+        let first_nan = first
+            .iter()
+            .position(|(_, bits)| f64::from_bits(*bits).is_nan())
+            .unwrap();
+        assert!(
+            first[first_nan..]
+                .iter()
+                .all(|(_, bits)| f64::from_bits(*bits).is_nan()),
+            "all NaN-scored labels must rank after every real score"
+        );
     }
 
     #[test]

@@ -22,8 +22,13 @@ use nck_graph::{GraphAccess, NodeId};
 
 /// Power-iteration Personalized PageRank over the weighted graph,
 /// generic over the [`GraphAccess`] backend.
-pub struct PersonalizedPageRank<'g, G> {
-    graph: &'g G,
+///
+/// Owns its backend handle: pass `&graph` to borrow (references are
+/// backends too), or an owned cheap handle such as
+/// [`ErasedGraph`](nck_graph::ErasedGraph) when the ranker must be
+/// self-contained.
+pub struct PersonalizedPageRank<G> {
+    graph: G,
     config: PprConfig,
     /// Per-label Eq. 1 weight `1 − |E_l|/|E|`.
     label_weight: Vec<f64>,
@@ -31,9 +36,9 @@ pub struct PersonalizedPageRank<'g, G> {
     out_weight: Vec<f64>,
 }
 
-impl<'g, G: GraphAccess> PersonalizedPageRank<'g, G> {
+impl<G: GraphAccess> PersonalizedPageRank<G> {
     /// Precomputes weights for `graph`.
-    pub fn new(graph: &'g G, config: PprConfig) -> Result<Self, CoreError> {
+    pub fn new(graph: G, config: PprConfig) -> Result<Self, CoreError> {
         if !(0.0..=1.0).contains(&config.damping) || !config.damping.is_finite() {
             return Err(CoreError::InvalidConfig {
                 field: "damping",

@@ -9,7 +9,7 @@
 
 use crate::queries::{self, QuerySpec};
 use crate::schema::labels;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// Expected outcome of one FindNC test case.
 ///
@@ -20,7 +20,9 @@ use serde::{Deserialize, Serialize};
 /// construction"); pinning the reference context makes the expected
 /// outcome a function of the planted distributions rather than of
 /// mining noise.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+// No `Deserialize`: the `&'static str` fields are compile-time table
+// entries, not data that ever arrives over the wire.
+#[derive(Debug, Clone, Serialize)]
 pub struct CaseExpectation {
     /// Short case name.
     pub name: &'static str,

@@ -42,7 +42,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Which context selector the engine runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum SelectorMode {
     /// The paper's metapath-constrained ContextRW (what
     /// [`FindNc::discover`] uses); contexts are cached per seed list.
@@ -133,14 +133,19 @@ pub struct PredicateStat {
 }
 
 /// The batched query engine. See the [module docs](self).
-pub struct QueryEngine<'g, G: GraphAccess + Sync> {
-    graph: &'g G,
+///
+/// Owns its backend handle: borrowing callers pass `&graph` (references
+/// are backends too), while owning callers — the `nck-api` service — pass
+/// a cheap owned handle such as [`nck_graph::ErasedGraph`], making the
+/// engine self-contained.
+pub struct QueryEngine<G: GraphAccess + Sync> {
+    graph: G,
     config: EngineConfig,
     findnc: FindNc,
     context_rw: ContextRw,
     /// Built once per engine in RandomWalk mode (weight precomputation is
     /// `O(|E|)` and identical for every query).
-    ppr: Option<PersonalizedPageRank<'g, G>>,
+    ppr: Option<PersonalizedPageRank<G>>,
     ppr_cache: Mutex<LruCache<Vec<NodeId>, Arc<Vec<f64>>>>,
     context_cache: Mutex<LruCache<Vec<NodeId>, Context>>,
     result_cache: Mutex<LruCache<Vec<NodeId>, Arc<SearchResult>>>,
@@ -150,13 +155,20 @@ pub struct QueryEngine<'g, G: GraphAccess + Sync> {
     deduplicated: AtomicU64,
 }
 
-impl<'g, G: GraphAccess + Sync> QueryEngine<'g, G> {
+impl<G: GraphAccess + Sync> QueryEngine<G> {
     /// Creates an engine over `graph`. Fails if the RandomWalk PageRank
     /// configuration is invalid (damping out of range, zero iterations).
-    pub fn new(graph: &'g G, config: EngineConfig) -> Result<Self, CoreError> {
+    ///
+    /// `G: Clone` because the RandomWalk ranker keeps its own backend
+    /// handle — a no-op copy for `&G` and an `Arc` bump for
+    /// [`nck_graph::ErasedGraph`].
+    pub fn new(graph: G, config: EngineConfig) -> Result<Self, CoreError>
+    where
+        G: Clone,
+    {
         let ppr = match config.selector {
             SelectorMode::RandomWalk => Some(PersonalizedPageRank::new(
-                graph,
+                graph.clone(),
                 config.randomwalk.ppr.clone(),
             )?),
             SelectorMode::ContextRw => None,
@@ -181,13 +193,16 @@ impl<'g, G: GraphAccess + Sync> QueryEngine<'g, G> {
     }
 
     /// Creates an engine with the default configuration.
-    pub fn with_defaults(graph: &'g G) -> Self {
+    pub fn with_defaults(graph: G) -> Self
+    where
+        G: Clone,
+    {
         Self::new(graph, EngineConfig::default()).expect("default configuration is valid")
     }
 
     /// The graph backend the engine answers from.
-    pub fn graph(&self) -> &'g G {
-        self.graph
+    pub fn graph(&self) -> &G {
+        &self.graph
     }
 
     /// Read access to the configuration.
@@ -216,7 +231,7 @@ impl<'g, G: GraphAccess + Sync> QueryEngine<'g, G> {
         let context = self.context_for(query, &key)?;
         let result = Arc::new(
             self.findnc
-                .discover_with_context(self.graph, query, &context)?,
+                .discover_with_context(&self.graph, query, &context)?,
         );
         self.result_cache
             .lock()
@@ -238,7 +253,7 @@ impl<'g, G: GraphAccess + Sync> QueryEngine<'g, G> {
         let context = match self.config.selector {
             SelectorMode::ContextRw => {
                 self.context_rw
-                    .select(self.graph, query, self.config.findnc.context_size)?
+                    .select(&self.graph, query, self.config.findnc.context_size)?
             }
             SelectorMode::RandomWalk => self.randomwalk_context(query)?,
         };
@@ -261,13 +276,13 @@ impl<'g, G: GraphAccess + Sync> QueryEngine<'g, G> {
                 *a += b;
             }
         }
-        let filter = CandidateFilter::new(self.graph, query, self.config.randomwalk.type_filter);
+        let filter = CandidateFilter::new(&self.graph, query, self.config.randomwalk.type_filter);
         let pairs = acc
             .into_iter()
             .enumerate()
             .map(|(i, s)| (NodeId::from_index(i), s));
         top_k_context(
-            self.graph,
+            &self.graph,
             query,
             pairs,
             &filter,
@@ -276,7 +291,7 @@ impl<'g, G: GraphAccess + Sync> QueryEngine<'g, G> {
     }
 
     /// The PageRank vector personalized on `seed`, via the PPR cache.
-    fn ppr_vector(&self, seed: NodeId, ppr: &PersonalizedPageRank<'g, G>) -> Arc<Vec<f64>> {
+    fn ppr_vector(&self, seed: NodeId, ppr: &PersonalizedPageRank<G>) -> Arc<Vec<f64>> {
         let key = vec![seed];
         if let Some(hit) = self.ppr_cache.lock().expect("cache lock").get(&key) {
             return Arc::clone(hit);

@@ -4,20 +4,19 @@
 //! The paper measures per-query latency (Figures 5 and 6); this
 //! experiment measures *throughput* under the traffic shape the ROADMAP
 //! targets — many queries, few distinct seed sets. The workload replays
-//! the actors-domain query sets four times each; the engine answers it
-//! once through `run_batch` (dedup + scheduling + shared caches) and the
-//! baseline loops `FindNc::discover`. Rankings are verified identical
-//! before the table is printed.
+//! the actors-domain query sets four times each through the `nck-api`
+//! service façade in compare mode: the engine answers it through
+//! `run_batch` (dedup + scheduling + shared caches), the baseline loops
+//! sequential `FindNc` runs, and the service verifies the rankings are
+//! id-for-id identical before reporting.
 
 use crate::env::EvalEnv;
 use crate::report::{f3, Report};
+use nck_api::{NckService, QueryRequest, WorkloadMode, WorkloadRequest};
 use nck_core::config::{ContextRwConfig, FindNcConfig, PathMiningConfig};
 use nck_core::context::TypeFilter;
-use nck_core::findnc::FindNc;
-use nck_core::query::Query;
 use nck_datagen::DomainId;
-use nck_engine::{EngineConfig, QueryEngine};
-use std::time::Instant;
+use nck_engine::EngineConfig;
 
 /// Pipeline settings matching the harness's ContextRW experiments.
 fn pipeline_config(env: &EvalEnv) -> FindNcConfig {
@@ -45,49 +44,36 @@ pub fn engine(env: &EvalEnv) -> Report {
         "engine",
         "batched engine vs one-at-a-time FindNC, repeated actors workload, YAGO-like",
     );
-    let graph = &env.yago.graph;
     let specs = env.yago.queries_for(DomainId::Actors);
-    let distinct: Vec<Query> = specs.iter().map(|s| env.query(&env.yago, s)).collect();
-    let mut workload: Vec<Query> = Vec::with_capacity(distinct.len() * REPEATS);
-    for _ in 0..REPEATS {
-        workload.extend(distinct.iter().cloned());
-    }
-
-    let config = pipeline_config(env);
-    let findnc = FindNc::new(config.clone());
-    let started = Instant::now();
-    let sequential: Vec<_> = workload
+    let queries: Vec<QueryRequest> = specs
         .iter()
-        .map(|q| findnc.discover(graph, q).expect("sequential run"))
+        .map(|s| QueryRequest::entities(s.names.iter().cloned()))
         .collect();
-    let seq_secs = started.elapsed().as_secs_f64();
 
-    let engine = QueryEngine::new(
-        graph,
-        EngineConfig {
-            findnc: config,
+    let service = NckService::builder()
+        .knowledge_graph(env.yago.graph.clone())
+        .engine(EngineConfig {
+            findnc: pipeline_config(env),
             ..EngineConfig::default()
-        },
-    )
-    .expect("engine config is valid");
-    let started = Instant::now();
-    let batched = engine.run_batch(&workload).expect("batched run");
-    let eng_secs = started.elapsed().as_secs_f64();
+        })
+        .build()
+        .expect("service builds over the eval dataset");
 
-    for (a, b) in batched.iter().zip(&sequential) {
-        assert_eq!(
-            a.characteristics.len(),
-            b.characteristics.len(),
-            "engine and sequential rankings must agree"
-        );
-        for (x, y) in a.characteristics.iter().zip(&b.characteristics) {
-            assert_eq!(x.label, y.label);
-            assert_eq!(x.score, y.score);
-        }
-    }
+    // Compare mode runs both phases and errors out if any ranking
+    // diverges, so reaching the report *is* the parity check.
+    let report = service
+        .workload(&WorkloadRequest {
+            queries,
+            repeat: REPEATS,
+            mode: WorkloadMode::Compare,
+            chunk: 0,
+        })
+        .expect("compare workload verifies identical rankings");
 
-    let stats = engine.stats();
-    let n = workload.len();
+    let seq_secs = report.sequential_secs.expect("compare mode timed both");
+    let eng_secs = report.engine_secs.expect("compare mode timed both");
+    let stats = report.engine_stats.expect("engine phase snapshots stats");
+    let n = report.queries;
     r.table(
         &["mode", "queries", "total (s)", "queries/s"],
         &[
@@ -108,9 +94,9 @@ pub fn engine(env: &EvalEnv) -> Report {
     r.line("");
     r.line(format!(
         "speedup {:.2}x; {} of {} executions deduplicated; rankings verified identical",
-        seq_secs / eng_secs.max(1e-12),
+        report.speedup.unwrap_or(0.0),
         stats.deduplicated,
-        stats.queries,
+        stats.submitted,
     ));
     r
 }

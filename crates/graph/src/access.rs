@@ -191,6 +191,76 @@ pub trait GraphAccess {
     }
 }
 
+/// References to backends are backends: this lets owning consumers
+/// (`QueryEngine`, `PersonalizedPageRank`, the `nck-api` service) take
+/// their graph by value while borrowing callers simply pass `&graph`.
+impl<G: GraphAccess> GraphAccess for &G {
+    type Edges<'a>
+        = G::Edges<'a>
+    where
+        Self: 'a;
+    type Labels<'a>
+        = G::Labels<'a>
+    where
+        Self: 'a;
+
+    fn num_nodes(&self) -> usize {
+        G::num_nodes(self)
+    }
+
+    fn num_stored_edges(&self) -> usize {
+        G::num_stored_edges(self)
+    }
+
+    fn node_name(&self, node: NodeId) -> &str {
+        G::node_name(self, node)
+    }
+
+    fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        G::node_by_name(self, name)
+    }
+
+    fn node_type(&self, node: NodeId) -> Option<NodeTypeId> {
+        G::node_type(self, node)
+    }
+
+    fn taxonomy(&self) -> &Taxonomy {
+        G::taxonomy(self)
+    }
+
+    fn degree(&self, node: NodeId) -> usize {
+        G::degree(self, node)
+    }
+
+    fn edges(&self, node: NodeId) -> Self::Edges<'_> {
+        G::edges(self, node)
+    }
+
+    fn edge_at(&self, node: NodeId, i: usize) -> (EdgeLabelId, NodeId) {
+        G::edge_at(self, node, i)
+    }
+
+    fn neighbors_with_label(&self, node: NodeId, label: EdgeLabelId) -> Cow<'_, [NodeId]> {
+        G::neighbors_with_label(self, node, label)
+    }
+
+    fn labels_of(&self, node: NodeId) -> Self::Labels<'_> {
+        G::labels_of(self, node)
+    }
+
+    fn labels(&self) -> &EdgeLabelRegistry {
+        G::labels(self)
+    }
+
+    fn label_count(&self, label: EdgeLabelId) -> u64 {
+        G::label_count(self, label)
+    }
+
+    fn warm_predicate(&self, label: EdgeLabelId) {
+        G::warm_predicate(self, label)
+    }
+}
+
 impl GraphAccess for KnowledgeGraph {
     type Edges<'a> = EdgeIter<'a>;
     type Labels<'a> = DistinctLabels<'a>;

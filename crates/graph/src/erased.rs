@@ -1,0 +1,361 @@
+//! Runtime-erased graph backends: [`DynGraphAccess`] and [`ErasedGraph`].
+//!
+//! [`GraphAccess`] uses generic associated types for its iterators, so it
+//! is not object safe — `dyn GraphAccess` does not exist, and every layer
+//! that wanted runtime backend selection had to hand-roll its own
+//! dispatch shim (the `nck` CLI once carried a private `DynGraph` trait
+//! for exactly this). This module promotes that capability into the
+//! library:
+//!
+//! - [`DynGraphAccess`] is the **object-safe** mirror of [`GraphAccess`]
+//!   (boxed iterators instead of GATs), blanket-implemented for every
+//!   backend, so `Arc<dyn DynGraphAccess>` works for any of them;
+//! - [`ErasedGraph`] wraps that trait object back up as a [`GraphAccess`]
+//!   implementation, so the whole generic pipeline — `FindNc`, the
+//!   selectors, `QueryEngine` — runs unchanged over a backend chosen at
+//!   runtime.
+//!
+//! Erasure is exact: every method forwards to the underlying backend, so
+//! results are id-for-id identical to running the concrete type (the
+//! workspace's `engine_parity` suite asserts this for both backends).
+//! The cost is one heap allocation per `edges`/`labels_of` iterator and a
+//! virtual call per method — fine for a service façade front door, wrong
+//! for a hot inner loop you could monomorphize instead.
+
+use crate::access::GraphAccess;
+use crate::ids::{EdgeLabelId, NodeId, NodeTypeId};
+use crate::schema::EdgeLabelRegistry;
+use crate::taxonomy::Taxonomy;
+use std::borrow::Cow;
+use std::fmt;
+use std::sync::Arc;
+
+/// Boxed edge iterator returned by erased backends.
+pub type BoxedEdges<'a> = Box<dyn Iterator<Item = (EdgeLabelId, NodeId)> + 'a>;
+
+/// Boxed distinct-label iterator returned by erased backends.
+pub type BoxedLabels<'a> = Box<dyn Iterator<Item = EdgeLabelId> + 'a>;
+
+/// Object-safe mirror of [`GraphAccess`].
+///
+/// # Object safety contract
+///
+/// This trait exists to be used as `dyn DynGraphAccess`, so it must stay
+/// object safe: every method takes `&self`, has no generic parameters,
+/// never mentions `Self` outside the receiver, and the GAT-based
+/// iterators of [`GraphAccess`] are replaced by boxed trait objects
+/// ([`edges_boxed`](Self::edges_boxed),
+/// [`labels_of_boxed`](Self::labels_of_boxed)). `Send + Sync` are
+/// supertraits because erased backends are shared across the engine's
+/// worker threads behind an `Arc`.
+///
+/// Do not implement this trait by hand: the blanket impl covers **every**
+/// [`GraphAccess`] backend (that is what keeps erased and generic
+/// execution identical), and a manual implementation risks diverging
+/// from the [`GraphAccess` contract](crate::access) — Def.-1 closure,
+/// sorted per-label runs, dense stable ids, consistent statistics — which
+/// erased callers rely on exactly as generic callers do.
+pub trait DynGraphAccess: Send + Sync {
+    /// Number of nodes `|V|` (see [`GraphAccess::num_nodes`]).
+    fn num_nodes(&self) -> usize;
+
+    /// Number of stored directed edges (see
+    /// [`GraphAccess::num_stored_edges`]).
+    fn num_stored_edges(&self) -> usize;
+
+    /// The name of `node` (see [`GraphAccess::node_name`]).
+    fn node_name(&self, node: NodeId) -> &str;
+
+    /// Looks a node up by name (see [`GraphAccess::node_by_name`]).
+    fn node_by_name(&self, name: &str) -> Option<NodeId>;
+
+    /// The node's type (see [`GraphAccess::node_type`]).
+    fn node_type(&self, node: NodeId) -> Option<NodeTypeId>;
+
+    /// The node-type taxonomy (see [`GraphAccess::taxonomy`]).
+    fn taxonomy(&self) -> &Taxonomy;
+
+    /// Out-degree over stored edges (see [`GraphAccess::degree`]).
+    fn degree(&self, node: NodeId) -> usize;
+
+    /// Boxed form of [`GraphAccess::edges`]: `(label, target)` pairs,
+    /// grouped by ascending label.
+    fn edges_boxed(&self, node: NodeId) -> BoxedEdges<'_>;
+
+    /// The `i`-th stored out-edge (see [`GraphAccess::edge_at`]).
+    fn edge_at(&self, node: NodeId, i: usize) -> (EdgeLabelId, NodeId);
+
+    /// Targets of `node`'s out-edges labeled `label` (see
+    /// [`GraphAccess::neighbors_with_label`]).
+    fn neighbors_with_label(&self, node: NodeId, label: EdgeLabelId) -> Cow<'_, [NodeId]>;
+
+    /// Boxed form of [`GraphAccess::labels_of`]: distinct labels,
+    /// ascending.
+    fn labels_of_boxed(&self, node: NodeId) -> BoxedLabels<'_>;
+
+    /// The edge-label registry (see [`GraphAccess::labels`]).
+    fn labels(&self) -> &EdgeLabelRegistry;
+
+    /// Stored-edge count of `label` (see [`GraphAccess::label_count`]).
+    fn label_count(&self, label: EdgeLabelId) -> u64;
+
+    /// Forwards [`GraphAccess::warm_predicate`] — erasure must not turn a
+    /// lazily materializing backend's warm hook into a no-op.
+    fn warm_predicate(&self, label: EdgeLabelId);
+}
+
+impl<G: GraphAccess + Send + Sync> DynGraphAccess for G {
+    fn num_nodes(&self) -> usize {
+        GraphAccess::num_nodes(self)
+    }
+
+    fn num_stored_edges(&self) -> usize {
+        GraphAccess::num_stored_edges(self)
+    }
+
+    fn node_name(&self, node: NodeId) -> &str {
+        GraphAccess::node_name(self, node)
+    }
+
+    fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        GraphAccess::node_by_name(self, name)
+    }
+
+    fn node_type(&self, node: NodeId) -> Option<NodeTypeId> {
+        GraphAccess::node_type(self, node)
+    }
+
+    fn taxonomy(&self) -> &Taxonomy {
+        GraphAccess::taxonomy(self)
+    }
+
+    fn degree(&self, node: NodeId) -> usize {
+        GraphAccess::degree(self, node)
+    }
+
+    fn edges_boxed(&self, node: NodeId) -> BoxedEdges<'_> {
+        Box::new(GraphAccess::edges(self, node))
+    }
+
+    fn edge_at(&self, node: NodeId, i: usize) -> (EdgeLabelId, NodeId) {
+        GraphAccess::edge_at(self, node, i)
+    }
+
+    fn neighbors_with_label(&self, node: NodeId, label: EdgeLabelId) -> Cow<'_, [NodeId]> {
+        GraphAccess::neighbors_with_label(self, node, label)
+    }
+
+    fn labels_of_boxed(&self, node: NodeId) -> BoxedLabels<'_> {
+        Box::new(GraphAccess::labels_of(self, node))
+    }
+
+    fn labels(&self) -> &EdgeLabelRegistry {
+        GraphAccess::labels(self)
+    }
+
+    fn label_count(&self, label: EdgeLabelId) -> u64 {
+        GraphAccess::label_count(self, label)
+    }
+
+    fn warm_predicate(&self, label: EdgeLabelId) {
+        GraphAccess::warm_predicate(self, label)
+    }
+}
+
+/// A reference-counted, runtime-chosen graph backend that itself
+/// implements [`GraphAccess`].
+///
+/// `ErasedGraph` is `Clone` (an `Arc` bump), `Send + Sync`, and exact:
+/// the generic pipeline produces bit-identical results through it. Build
+/// one with [`ErasedGraph::new`] from any owned backend, or
+/// [`ErasedGraph::from_arc`] to share an already-`Arc`ed one.
+#[derive(Clone)]
+pub struct ErasedGraph {
+    inner: Arc<dyn DynGraphAccess>,
+}
+
+impl ErasedGraph {
+    /// Erases an owned backend.
+    pub fn new<G>(backend: G) -> Self
+    where
+        G: GraphAccess + Send + Sync + 'static,
+    {
+        Self {
+            inner: Arc::new(backend),
+        }
+    }
+
+    /// Erases a shared backend without another allocation.
+    pub fn from_arc<G>(backend: Arc<G>) -> Self
+    where
+        G: GraphAccess + Send + Sync + 'static,
+    {
+        Self { inner: backend }
+    }
+
+    /// The underlying trait object (for callers that want dynamic access
+    /// without the [`GraphAccess`] adapter).
+    pub fn backend(&self) -> &dyn DynGraphAccess {
+        &*self.inner
+    }
+}
+
+impl fmt::Debug for ErasedGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ErasedGraph")
+            .field("num_nodes", &self.inner.num_nodes())
+            .field("num_stored_edges", &self.inner.num_stored_edges())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GraphAccess for ErasedGraph {
+    type Edges<'a> = BoxedEdges<'a>;
+    type Labels<'a> = BoxedLabels<'a>;
+
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+
+    fn num_stored_edges(&self) -> usize {
+        self.inner.num_stored_edges()
+    }
+
+    fn node_name(&self, node: NodeId) -> &str {
+        self.inner.node_name(node)
+    }
+
+    fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.inner.node_by_name(name)
+    }
+
+    fn node_type(&self, node: NodeId) -> Option<NodeTypeId> {
+        self.inner.node_type(node)
+    }
+
+    fn taxonomy(&self) -> &Taxonomy {
+        self.inner.taxonomy()
+    }
+
+    fn degree(&self, node: NodeId) -> usize {
+        self.inner.degree(node)
+    }
+
+    fn edges(&self, node: NodeId) -> BoxedEdges<'_> {
+        self.inner.edges_boxed(node)
+    }
+
+    fn edge_at(&self, node: NodeId, i: usize) -> (EdgeLabelId, NodeId) {
+        self.inner.edge_at(node, i)
+    }
+
+    fn neighbors_with_label(&self, node: NodeId, label: EdgeLabelId) -> Cow<'_, [NodeId]> {
+        self.inner.neighbors_with_label(node, label)
+    }
+
+    fn labels_of(&self, node: NodeId) -> BoxedLabels<'_> {
+        self.inner.labels_of_boxed(node)
+    }
+
+    fn labels(&self) -> &EdgeLabelRegistry {
+        self.inner.labels()
+    }
+
+    fn label_count(&self, label: EdgeLabelId) -> u64 {
+        self.inner.label_count(label)
+    }
+
+    fn warm_predicate(&self, label: EdgeLabelId) {
+        self.inner.warm_predicate(label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::graph::KnowledgeGraph;
+
+    fn sample() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        b.add_triple("a", "knows", "b");
+        b.add_triple("a", "likes", "c");
+        b.add_triple("b", "knows", "c");
+        b.typed_node("a", "person");
+        b.build()
+    }
+
+    #[test]
+    fn erased_graph_matches_concrete_backend() {
+        let g = sample();
+        let erased = ErasedGraph::new(g.clone());
+        assert_eq!(GraphAccess::num_nodes(&g), GraphAccess::num_nodes(&erased));
+        assert_eq!(
+            GraphAccess::num_stored_edges(&g),
+            GraphAccess::num_stored_edges(&erased)
+        );
+        for v in GraphAccess::nodes(&g) {
+            assert_eq!(GraphAccess::degree(&g, v), GraphAccess::degree(&erased, v));
+            assert_eq!(
+                GraphAccess::node_name(&g, v),
+                GraphAccess::node_name(&erased, v)
+            );
+            let concrete: Vec<_> = GraphAccess::edges(&g, v).collect();
+            let boxed: Vec<_> = GraphAccess::edges(&erased, v).collect();
+            assert_eq!(concrete, boxed);
+            let lc: Vec<_> = GraphAccess::labels_of(&g, v).collect();
+            let le: Vec<_> = GraphAccess::labels_of(&erased, v).collect();
+            assert_eq!(lc, le);
+            for i in 0..GraphAccess::degree(&g, v) {
+                assert_eq!(
+                    GraphAccess::edge_at(&g, v, i),
+                    GraphAccess::edge_at(&erased, v, i)
+                );
+            }
+        }
+        let knows = GraphAccess::labels(&erased).get("knows").unwrap();
+        let a = GraphAccess::require_node(&erased, "a").unwrap();
+        assert_eq!(
+            GraphAccess::neighbors_with_label(&g, a, knows),
+            GraphAccess::neighbors_with_label(&erased, a, knows)
+        );
+        assert_eq!(
+            GraphAccess::label_count(&g, knows),
+            GraphAccess::label_count(&erased, knows)
+        );
+    }
+
+    #[test]
+    fn erased_graph_is_cheaply_cloneable_and_shareable() {
+        let n = sample().num_nodes();
+        let erased = ErasedGraph::new(sample());
+        let clone = erased.clone();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert_eq!(GraphAccess::num_nodes(&clone), n);
+            });
+        });
+        assert_eq!(GraphAccess::num_nodes(&erased), n);
+    }
+
+    #[test]
+    fn from_arc_shares_without_rewrapping() {
+        let shared = Arc::new(sample());
+        let erased = ErasedGraph::from_arc(Arc::clone(&shared));
+        assert_eq!(GraphAccess::num_nodes(&erased), shared.num_nodes());
+    }
+
+    /// Generic code runs over `ErasedGraph` unchanged — the whole point.
+    fn total_degree<G: GraphAccess>(g: &G) -> usize {
+        g.nodes().map(|v| g.degree(v)).sum()
+    }
+
+    #[test]
+    fn generic_functions_accept_erased_graphs() {
+        let erased = ErasedGraph::new(sample());
+        assert_eq!(
+            total_degree(&erased),
+            GraphAccess::num_stored_edges(&erased)
+        );
+    }
+}

@@ -9,6 +9,9 @@
 //! - [`access`] — the backend-generic [`GraphAccess`] trait every
 //!   algorithm crate programs against (the CSR graph here and the
 //!   triple-store-backed `StoreGraph` in `nck-store` both implement it);
+//! - [`erased`] — runtime backend dispatch: the object-safe
+//!   [`DynGraphAccess`] mirror and the [`ErasedGraph`] adapter that turns
+//!   `Arc<dyn DynGraphAccess>` back into a [`GraphAccess`] backend;
 //! - [`ids`] — compact `u32` identifiers for nodes, node types and edge
 //!   labels (the graph is fully dictionary-encoded);
 //! - [`interner`] — the string dictionary;
@@ -27,6 +30,7 @@
 pub mod access;
 pub mod builder;
 pub mod csr;
+pub mod erased;
 pub mod error;
 pub mod graph;
 pub mod ids;
@@ -38,6 +42,7 @@ pub mod taxonomy;
 
 pub use access::GraphAccess;
 pub use builder::GraphBuilder;
+pub use erased::{DynGraphAccess, ErasedGraph};
 pub use error::GraphError;
 pub use graph::KnowledgeGraph;
 pub use ids::{EdgeLabelId, NodeId, NodeTypeId};

@@ -44,7 +44,7 @@ use nck_graph::schema::EdgeLabelRegistry;
 use nck_graph::{EdgeLabelId, GraphAccess, NodeId, NodeTypeId, Taxonomy};
 use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// How a predicate term contributes edges to one label.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,8 +73,8 @@ impl LabelRun {
 /// A triple-store-backed [`GraphAccess`] implementation. See the
 /// [module docs](self).
 #[derive(Debug)]
-pub struct StoreGraph<'s> {
-    store: &'s TripleStore,
+pub struct StoreGraph {
+    store: Arc<TripleStore>,
     names: Interner,
     /// Up to two dictionary terms (IRI / literal) collapsing onto a node.
     node_terms: Vec<Vec<TermId>>,
@@ -98,14 +98,20 @@ pub struct StoreGraph<'s> {
     degrees: OnceLock<Vec<u32>>,
 }
 
-impl<'s> StoreGraph<'s> {
+impl StoreGraph {
     /// Builds the graph-level state from one pass over `store`.
+    ///
+    /// Takes the store by value or shared handle (`TripleStore` or
+    /// `Arc<TripleStore>`): the graph co-owns it, so a service can hold a
+    /// `StoreGraph` without keeping a separate borrow alive. Callers that
+    /// also need the store afterwards pass `Arc::clone(&store)`.
     ///
     /// `(s, rdf:type, o)` sets node `s`'s type, `(s, rdfs:subClassOf, o)`
     /// adds a taxonomy axiom, and every other statement becomes a logical
     /// edge with an automatic inverse — the same interpretation as
     /// [`crate::graph_view::to_knowledge_graph`].
-    pub fn new(store: &'s TripleStore) -> Self {
+    pub fn new(store: impl Into<Arc<TripleStore>>) -> Self {
+        let store: Arc<TripleStore> = store.into();
         let mut names = Interner::new();
         let mut node_terms: Vec<Vec<TermId>> = Vec::new();
         let mut term_node: HashMap<TermId, NodeId> = HashMap::new();
@@ -230,8 +236,13 @@ impl<'s> StoreGraph<'s> {
     }
 
     /// The underlying store.
-    pub fn store(&self) -> &'s TripleStore {
-        self.store
+    pub fn store(&self) -> &TripleStore {
+        &self.store
+    }
+
+    /// A shared handle to the underlying store.
+    pub fn store_arc(&self) -> Arc<TripleStore> {
+        Arc::clone(&self.store)
     }
 
     /// Number of per-label runs currently cached (for tests/metrics).
@@ -340,7 +351,7 @@ impl Iterator for StoreEdges<'_> {
     }
 }
 
-impl<'s> GraphAccess for StoreGraph<'s> {
+impl GraphAccess for StoreGraph {
     type Edges<'a>
         = StoreEdges<'a>
     where
@@ -468,7 +479,7 @@ mod tests {
     }
 
     /// Both backends must agree on every trait observation, id for id.
-    fn assert_backends_agree(sg: &StoreGraph<'_>, kg: &KnowledgeGraph) {
+    fn assert_backends_agree(sg: &StoreGraph, kg: &KnowledgeGraph) {
         assert_eq!(GraphAccess::num_nodes(sg), GraphAccess::num_nodes(kg));
         assert_eq!(
             GraphAccess::num_stored_edges(sg),
@@ -514,8 +525,8 @@ mod tests {
     #[test]
     fn matches_materialized_graph_id_for_id() {
         let store = sample_store();
-        let sg = StoreGraph::new(&store);
         let kg = to_knowledge_graph(&store);
+        let sg = StoreGraph::new(store);
         assert_backends_agree(&sg, &kg);
     }
 
@@ -525,8 +536,8 @@ mod tests {
         store.insert_iris("x", "knows", "y");
         store.insert_iris("y", "knows", "x");
         store.insert_iris("a", "knows", "b");
-        let sg = StoreGraph::new(&store);
         let kg = to_knowledge_graph(&store);
+        let sg = StoreGraph::new(store);
         assert_backends_agree(&sg, &kg);
     }
 
@@ -536,8 +547,8 @@ mod tests {
         store.insert(&Term::iri("a"), &Term::iri("p"), &Term::iri("v"));
         store.insert(&Term::iri("a"), &Term::iri("p"), &Term::literal("v"));
         store.insert(&Term::iri("b"), &Term::iri("p"), &Term::literal("v"));
-        let sg = StoreGraph::new(&store);
         let kg = to_knowledge_graph(&store);
+        let sg = StoreGraph::new(store);
         // The two "v" terms collapse onto one node; a→v is one edge.
         assert_eq!(sg.num_logical_edges(), 2);
         assert_backends_agree(&sg, &kg);
@@ -546,7 +557,7 @@ mod tests {
     #[test]
     fn per_label_queries_only_build_touched_runs() {
         let store = sample_store();
-        let sg = StoreGraph::new(&store);
+        let sg = StoreGraph::new(store);
         assert_eq!(sg.cached_runs(), 0);
         let merkel = GraphAccess::require_node(&sg, "Merkel").unwrap();
         let studied = sg.labels().get("studied").unwrap();
@@ -570,7 +581,7 @@ mod tests {
     #[test]
     fn inverse_navigation_from_value_nodes() {
         let store = sample_store();
-        let sg = StoreGraph::new(&store);
+        let sg = StoreGraph::new(store);
         let date = GraphAccess::require_node(&sg, "1954-07-17").unwrap();
         let birth = sg.labels().get("birthDate").unwrap();
         let inv = sg.labels().inverse(birth);
@@ -585,7 +596,7 @@ mod tests {
     #[test]
     fn types_and_taxonomy_answered_without_materialization() {
         let store = sample_store();
-        let sg = StoreGraph::new(&store);
+        let sg = StoreGraph::new(store);
         let merkel = GraphAccess::require_node(&sg, "Merkel").unwrap();
         let ty = GraphAccess::node_type(&sg, merkel).unwrap();
         assert_eq!(sg.taxonomy().name(ty), "politician");
@@ -597,7 +608,7 @@ mod tests {
     #[test]
     fn empty_store_is_an_empty_graph() {
         let store = TripleStore::new();
-        let sg = StoreGraph::new(&store);
+        let sg = StoreGraph::new(store);
         assert_eq!(GraphAccess::num_nodes(&sg), 0);
         assert_eq!(GraphAccess::num_stored_edges(&sg), 0);
         assert_eq!(sg.num_logical_edges(), 0);

@@ -1,10 +1,14 @@
-//! Quickstart: the paper's Figure-1 scenario on a hand-built graph.
+//! Quickstart: the paper's Figure-1 scenario through the `nck-api`
+//! service façade.
 //!
-//! Builds the knowledge graph of Figure 1 (country leaders, their studies
-//! and children), asks for the notable characteristics of
-//! {Angela Merkel, Barack Obama} against the other leaders, and prints the
-//! ranked explanation — including the headline finding that Angela Merkel
-//! has no children while the context leaders do.
+//! Builds the knowledge graph of Figure 1 (G20 leaders, their studies and
+//! children), stands up an [`NckService`] over it, and asks for the
+//! notable characteristics of {Angela Merkel, Barack Obama}. The full
+//! pipeline runs: metapath-constrained random walks retrieve the other
+//! leaders as the context, and the discrimination test surfaces the
+//! headline finding that Angela Merkel has no children while the context
+//! leaders do. The same response is printed once as a table and once in
+//! the service's JSON wire format.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -38,7 +42,16 @@ fn main() {
     ] {
         b.add_triple(parent, "hasChild", child);
     }
-    // A few more leaders so the context distribution has some mass.
+    // A few more leaders so the context distribution has some mass, and
+    // the shared G20 membership the mined metapaths traverse to reach
+    // them from the query.
+    let mut leaders = vec![
+        "Angela Merkel".to_owned(),
+        "Barack Obama".to_owned(),
+        "Vladimir Putin".to_owned(),
+        "Matteo Renzi".to_owned(),
+        "François Hollande".to_owned(),
+    ];
     for i in 0..20 {
         let name = format!("Leader {i}");
         b.add_triple(&name, "studied", "Law");
@@ -46,6 +59,10 @@ fn main() {
         if i % 2 == 0 {
             b.add_triple(&name, "hasChild", &format!("Second Child {i}"));
         }
+        leaders.push(name);
+    }
+    for leader in &leaders {
+        b.add_triple(leader, "memberOf", "G20");
     }
     let graph = b.build();
     println!(
@@ -54,34 +71,49 @@ fn main() {
         graph.num_logical_edges()
     );
 
-    // ---- the query and its context ------------------------------------
-    let query =
-        Query::by_names(&graph, ["Angela Merkel", "Barack Obama"]).expect("query entities exist");
-    let mut context_names: Vec<String> = vec![
-        "Vladimir Putin".into(),
-        "Matteo Renzi".into(),
-        "François Hollande".into(),
-    ];
-    context_names.extend((0..20).map(|i| format!("Leader {i}")));
-    let context = Context::from_names(&graph, &context_names).expect("context entities exist");
+    // ---- the service façade -------------------------------------------
+    let mut config = EngineConfig::default();
+    config.findnc.context.mining = PathMiningConfig {
+        walks: 6_000,
+        ..PathMiningConfig::default()
+    };
+    config.findnc.context.type_filter = TypeFilter::None; // untyped toy graph
+    config.findnc.context_size = 23; // every leader except the query pair
 
-    // ---- notable characteristics --------------------------------------
-    let findnc = FindNc::new(FindNcConfig::default());
-    let result = findnc
-        .discover_with_context(&graph, &query, &context)
-        .expect("discovery succeeds");
+    let service = NckService::builder()
+        .knowledge_graph(graph)
+        .engine(config)
+        .build()
+        .expect("service builds");
 
+    // ---- one query through the one front door -------------------------
+    let mut request = QueryRequest::entities(["Angela Merkel", "Barack Obama"]);
+    request.top = Some(10);
+    let response = service.query(&request).expect("query succeeds");
+
+    println!("query: {}", response.query);
     println!(
-        "{}",
-        notable_characteristics::core::explain::report(&graph, &result, query.len())
+        "context ({} nodes): {}, …",
+        response.context_size,
+        response.context[..5.min(response.context.len())].join(", ")
     );
+    println!("{:<16} {:>8}  notable", "label", "score");
+    for c in &response.characteristics {
+        println!("{:<16} {:>8.3}  {}", c.label, c.score, c.notable);
+    }
 
-    let has_child = result
-        .characteristic("hasChild", &graph)
+    let has_child = response
+        .characteristic("hasChild")
         .expect("hasChild scored");
     assert!(
-        has_child.notable(),
+        has_child.notable,
         "the Figure-1 headline: Merkel's missing children must be notable"
     );
-    println!("✓ `hasChild` flagged notable — the paper's Figure-1 example reproduced.");
+    println!("\n✓ `hasChild` flagged notable — the paper's Figure-1 example reproduced.");
+
+    // ---- the same answer, in the service's wire format ----------------
+    println!(
+        "\nas JSON: {}",
+        notable_characteristics::api::json::to_string(&response)
+    );
 }

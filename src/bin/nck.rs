@@ -1,6 +1,9 @@
 //! `nck` — command-line front end for notable-characteristics search.
 //!
-//! Three subcommands cover the workload lifecycle:
+//! A thin shell over [`nck_api`]: every query answer flows through
+//! [`NckService`] and its serde request/response types, so `--json`
+//! output *is* the service wire format. Three subcommands cover the
+//! workload lifecycle:
 //!
 //! - `nck gen`   — generate a synthetic dataset (YAGO-like / LinkedMDB-like
 //!   / tiny) and persist it as N-Triples, optionally with a ready-to-run
@@ -13,17 +16,16 @@
 //!
 //! Output is human-readable tables by default, or JSON with `--json`.
 
+use notable_characteristics::api::{
+    json, Backend, NckService, QueryRequest, QueryResponse, WorkloadMode, WorkloadReport,
+    WorkloadRequest,
+};
 use notable_characteristics::core::config::{PathMiningConfig, PprConfig};
 use notable_characteristics::core::context::TypeFilter;
-use notable_characteristics::core::findnc::{FindNc, SearchResult};
-use notable_characteristics::core::ppr::RandomWalkSelector;
-use notable_characteristics::core::query::Query;
 use notable_characteristics::datagen::{generate, GeneratorConfig};
-use notable_characteristics::engine::{EngineConfig, QueryEngine, SelectorMode};
-use notable_characteristics::graph::GraphAccess;
-use notable_characteristics::store::graph_view::{to_knowledge_graph, to_triple_store};
-use notable_characteristics::store::ntriples::{read_ntriples, write_ntriples};
-use notable_characteristics::store::{StoreGraph, TripleStore};
+use notable_characteristics::engine::{EngineConfig, SelectorMode};
+use notable_characteristics::store::graph_view::to_triple_store;
+use notable_characteristics::store::ntriples::write_ntriples;
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -57,7 +59,7 @@ through the engine in batches of N.";
 /// Parsed command-line options shared by `query` and `batch`.
 struct RunOpts {
     graph: String,
-    backend: String,
+    backend: Backend,
     selector: SelectorMode,
     type_filter: TypeFilter,
     context_size: usize,
@@ -71,7 +73,7 @@ impl Default for RunOpts {
     fn default() -> Self {
         Self {
             graph: String::new(),
-            backend: "csr".into(),
+            backend: Backend::Csr,
             selector: SelectorMode::ContextRw,
             type_filter: TypeFilter::CommonAncestor,
             context_size: 100,
@@ -103,8 +105,10 @@ fn main() -> ExitCode {
     }
 }
 
-/// Pulls `--flag value` pairs out of `args`; returns leftovers it does
-/// not recognize so each subcommand can reject them.
+/// Pulls a `--flag value` pair out of `args`; returns leftovers it does
+/// not recognize so each subcommand can reject them. Passing the same
+/// flag twice is an error — the old behavior silently left the second
+/// occurrence behind, where it was later misparsed as a positional.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
     if let Some(i) = args.iter().position(|a| a == flag) {
         if i + 1 >= args.len() {
@@ -112,6 +116,9 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, Strin
         }
         let v = args.remove(i + 1);
         args.remove(i);
+        if args.iter().any(|a| a == flag) {
+            return Err(format!("{flag} given more than once"));
+        }
         Ok(Some(v))
     } else {
         Ok(None)
@@ -137,10 +144,11 @@ fn parse_run_opts(args: &mut Vec<String>) -> Result<RunOpts, String> {
         o.graph = v;
     }
     if let Some(v) = take_flag(args, "--backend")? {
-        if v != "csr" && v != "store" {
-            return Err(format!("--backend must be csr or store, got {v:?}"));
-        }
-        o.backend = v;
+        o.backend = match v.as_str() {
+            "csr" => Backend::Csr,
+            "store" => Backend::Store,
+            _ => return Err(format!("--backend must be csr or store, got {v:?}")),
+        };
     }
     if let Some(v) = take_flag(args, "--selector")? {
         o.selector = match v.as_str() {
@@ -200,9 +208,37 @@ fn engine_config(o: &RunOpts) -> EngineConfig {
     cfg
 }
 
-fn load_store(path: &str) -> Result<TripleStore, String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
-    read_ntriples(std::io::BufReader::new(file)).map_err(|e| format!("cannot parse {path}: {e}"))
+/// Builds the service and echoes the load line the CLI has always
+/// printed.
+fn load_service(opts: &RunOpts) -> Result<NckService, String> {
+    let service = NckService::builder()
+        .ntriples(&opts.graph)
+        .backend(opts.backend)
+        .engine(engine_config(opts))
+        .build()
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "loaded {} backend: {} nodes, {} stored edges ({:.1}s)",
+        service.backend_name(),
+        service.num_nodes(),
+        service.num_stored_edges(),
+        service.load_secs()
+    );
+    Ok(service)
+}
+
+/// Turns one comma-separated query line into a request tagged with the
+/// raw line (so responses echo exactly what was submitted).
+fn request_for_line(line: &str, top: usize) -> QueryRequest {
+    let mut req = QueryRequest::entities(
+        line.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned),
+    );
+    req.label = Some(line.to_owned());
+    req.top = Some(top);
+    req
 }
 
 // ---------------------------------------------------------------------------
@@ -292,10 +328,19 @@ fn cmd_query(args: &[String]) -> ExitCode {
         if let Some(junk) = args.first() {
             return Err(format!("unexpected argument {junk:?}"));
         }
-        let store = load_store(&opts.graph)?;
-        with_backend(&store, &opts, |graph, opts| {
-            run_single(graph, opts, &query_spec)
-        })
+        let service = load_service(&opts)?;
+        let request = request_for_line(&query_spec, opts.top);
+        let mut response = service.query(&request).map_err(|e| e.to_string())?;
+        let secs = response.secs.take();
+        if opts.json {
+            // `secs` stays off the single-query wire format (the legacy
+            // schema had no timing field).
+            println!("{}", json::to_string(&response));
+        } else {
+            print_response(&response);
+            println!("({:.3}s)", secs.unwrap_or(0.0));
+        }
+        Ok(())
     })();
     match run {
         Ok(()) => ExitCode::SUCCESS,
@@ -314,12 +359,16 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             Some(v) => parse_num(&v, "--repeat")?,
             None => 1,
         };
-        let mode = take_flag(&mut args, "--mode")?.unwrap_or_else(|| "engine".into());
-        if !["engine", "sequential", "compare"].contains(&mode.as_str()) {
-            return Err(format!(
-                "--mode must be engine, sequential or compare, got {mode:?}"
-            ));
-        }
+        let mode = match take_flag(&mut args, "--mode")?.as_deref() {
+            None | Some("engine") => WorkloadMode::Engine,
+            Some("sequential") => WorkloadMode::Sequential,
+            Some("compare") => WorkloadMode::Compare,
+            Some(other) => {
+                return Err(format!(
+                    "--mode must be engine, sequential or compare, got {other:?}"
+                ))
+            }
+        };
         let chunk: usize = match take_flag(&mut args, "--chunk")? {
             Some(v) => parse_num(&v, "--chunk")?,
             None => 0,
@@ -333,19 +382,29 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         }
         let text = std::fs::read_to_string(&queries_path)
             .map_err(|e| format!("cannot read {queries_path:?}: {e}"))?;
-        let lines: Vec<String> = text
+        let queries: Vec<QueryRequest> = text
             .lines()
             .map(str::trim)
             .filter(|l| !l.is_empty() && !l.starts_with('#'))
-            .map(str::to_owned)
+            .map(|l| request_for_line(l, opts.top))
             .collect();
-        if lines.is_empty() {
+        if queries.is_empty() {
             return Err(format!("{queries_path}: no queries"));
         }
-        let store = load_store(&opts.graph)?;
-        with_backend(&store, &opts, |graph, opts| {
-            run_workload(graph, opts, &lines, repeat.max(1), &mode, chunk)
-        })
+        let service = load_service(&opts)?;
+        let request = WorkloadRequest {
+            queries,
+            repeat: repeat.max(1),
+            mode,
+            chunk,
+        };
+        let report = service.workload(&request).map_err(|e| e.to_string())?;
+        if opts.json {
+            println!("{}", json::to_string(&report));
+        } else {
+            print_workload(&report);
+        }
+        Ok(())
     })();
     match run {
         Ok(()) => ExitCode::SUCCESS,
@@ -356,240 +415,20 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     }
 }
 
-/// Dispatches on `--backend`, keeping the workload code generic over
-/// [`GraphAccess`].
-fn with_backend<F>(store: &TripleStore, opts: &RunOpts, f: F) -> Result<(), String>
-where
-    F: for<'a> Fn(&'a (dyn DynGraph + 'a), &RunOpts) -> Result<(), String>,
-{
-    let started = Instant::now();
-    if opts.backend == "csr" {
-        let graph = to_knowledge_graph(store);
-        eprintln!(
-            "loaded csr backend: {} nodes, {} stored edges ({:.1}s)",
-            graph.num_nodes(),
-            GraphAccess::num_stored_edges(&graph),
-            started.elapsed().as_secs_f64()
-        );
-        f(&graph, opts)
-    } else {
-        let graph = StoreGraph::new(store);
-        eprintln!(
-            "loaded store backend: {} nodes, {} stored edges ({:.1}s)",
-            GraphAccess::num_nodes(&graph),
-            GraphAccess::num_stored_edges(&graph),
-            started.elapsed().as_secs_f64()
-        );
-        f(&graph, opts)
-    }
-}
-
-/// Object-safe subset shim: the CLI only needs `GraphAccess` through
-/// generic helpers, so re-dispatch through a small enum-free trait.
-trait DynGraph: Sync {
-    fn run_single(&self, opts: &RunOpts, query_spec: &str) -> Result<(), String>;
-    fn run_workload(
-        &self,
-        opts: &RunOpts,
-        lines: &[String],
-        repeat: usize,
-        mode: &str,
-        chunk: usize,
-    ) -> Result<(), String>;
-}
-
-impl<G: GraphAccess + Sync> DynGraph for G {
-    fn run_single(&self, opts: &RunOpts, query_spec: &str) -> Result<(), String> {
-        run_single_impl(self, opts, query_spec)
-    }
-    fn run_workload(
-        &self,
-        opts: &RunOpts,
-        lines: &[String],
-        repeat: usize,
-        mode: &str,
-        chunk: usize,
-    ) -> Result<(), String> {
-        run_workload_impl(self, opts, lines, repeat, mode, chunk)
-    }
-}
-
-fn run_single(graph: &(dyn DynGraph + '_), opts: &RunOpts, spec: &str) -> Result<(), String> {
-    graph.run_single(opts, spec)
-}
-
-fn run_workload(
-    graph: &(dyn DynGraph + '_),
-    opts: &RunOpts,
-    lines: &[String],
-    repeat: usize,
-    mode: &str,
-    chunk: usize,
-) -> Result<(), String> {
-    graph.run_workload(opts, lines, repeat, mode, chunk)
-}
-
-fn parse_query<G: GraphAccess>(graph: &G, line: &str) -> Result<Query, String> {
-    let names: Vec<&str> = line
-        .split(',')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .collect();
-    Query::by_names(graph, &names).map_err(|e| format!("query {line:?}: {e}"))
-}
-
-fn run_single_impl<G: GraphAccess + Sync>(
-    graph: &G,
-    opts: &RunOpts,
-    spec: &str,
-) -> Result<(), String> {
-    let query = parse_query(graph, spec)?;
-    let engine = QueryEngine::new(graph, engine_config(opts)).map_err(|e| e.to_string())?;
-    let started = Instant::now();
-    let result = engine.run(&query).map_err(|e| e.to_string())?;
-    let elapsed = started.elapsed();
-    if opts.json {
-        println!("{}", result_json(graph, spec, &result, opts.top));
-    } else {
-        print_result(graph, spec, &result, opts.top);
-        println!("({:.3}s)", elapsed.as_secs_f64());
-    }
-    Ok(())
-}
-
-fn run_workload_impl<G: GraphAccess + Sync>(
-    graph: &G,
-    opts: &RunOpts,
-    lines: &[String],
-    repeat: usize,
-    mode: &str,
-    chunk: usize,
-) -> Result<(), String> {
-    let base: Vec<Query> = lines
-        .iter()
-        .map(|l| parse_query(graph, l))
-        .collect::<Result<_, _>>()?;
-    let mut workload: Vec<Query> = Vec::with_capacity(base.len() * repeat);
-    for _ in 0..repeat {
-        workload.extend(base.iter().cloned());
-    }
-    let cfg = engine_config(opts);
-
-    if mode == "compare" {
-        // Level the substrate between the two timed phases: fault every
-        // per-predicate run into the store backend's shared cache now
-        // (a no-op on the CSR backend). Otherwise whichever phase runs
-        // first would absorb the one-time POS scans and skew the
-        // printed speedup.
-        for label in graph.labels().iter() {
-            graph.warm_predicate(label);
-        }
-    }
-
-    let mut engine_secs = None;
-    let mut seq_secs = None;
-    let mut engine_results = None;
-    let mut stats = None;
-
-    if mode == "engine" || mode == "compare" {
-        let engine = QueryEngine::new(graph, cfg.clone()).map_err(|e| e.to_string())?;
-        let started = Instant::now();
-        let results = if chunk > 0 {
-            engine
-                .run_stream(workload.iter().cloned(), chunk)
-                .map_err(|e| e.to_string())?
-        } else {
-            engine.run_batch(&workload).map_err(|e| e.to_string())?
-        };
-        engine_secs = Some(started.elapsed().as_secs_f64());
-        stats = Some(engine.stats());
-        engine_results = Some(results);
-    }
-    if mode == "sequential" || mode == "compare" {
-        let findnc = FindNc::new(cfg.findnc.clone());
-        let started = Instant::now();
-        let mut results = Vec::with_capacity(workload.len());
-        for q in &workload {
-            let r = match cfg.selector {
-                SelectorMode::ContextRw => findnc.discover(graph, q),
-                SelectorMode::RandomWalk => {
-                    let selector = RandomWalkSelector::new(cfg.randomwalk.clone());
-                    findnc.discover_with_selector(graph, q, &selector)
-                }
-            }
-            .map_err(|e| e.to_string())?;
-            results.push(r);
-        }
-        seq_secs = Some(started.elapsed().as_secs_f64());
-        if let Some(engine_results) = &engine_results {
-            let identical = engine_results
-                .iter()
-                .zip(&results)
-                .all(|(a, b)| rankings_equal(a, b));
-            if !identical {
-                return Err("engine and sequential rankings diverged".into());
-            }
-        }
-        if engine_results.is_none() {
-            engine_results = Some(results.into_iter().map(std::sync::Arc::new).collect());
-        }
-    }
-
-    let results = engine_results.expect("at least one mode ran");
-    if opts.json {
-        println!(
-            "{}",
-            workload_json(
-                graph,
-                lines,
-                repeat,
-                &results,
-                opts,
-                engine_secs,
-                seq_secs,
-                &stats
-            )
-        );
-    } else {
-        print_workload(
-            graph,
-            lines,
-            repeat,
-            &results,
-            opts,
-            engine_secs,
-            seq_secs,
-            &stats,
-        );
-    }
-    Ok(())
-}
-
-fn rankings_equal(a: &SearchResult, b: &SearchResult) -> bool {
-    a.context.ranked() == b.context.ranked()
-        && a.characteristics.len() == b.characteristics.len()
-        && a.characteristics
-            .iter()
-            .zip(&b.characteristics)
-            .all(|(x, y)| {
-                x.label == y.label && x.score == y.score && x.significance == y.significance
-            })
-}
-
 // ---------------------------------------------------------------------------
 // output
 // ---------------------------------------------------------------------------
 
-fn print_result<G: GraphAccess>(graph: &G, spec: &str, result: &SearchResult, top: usize) {
-    println!("query: {spec}");
+fn print_response(response: &QueryResponse) {
+    println!("query: {}", response.query);
     println!(
         "context: {} nodes (top: {})",
-        result.context.len(),
-        result
+        response.context_size,
+        response
             .context
-            .nodes()
+            .iter()
             .take(5)
-            .map(|n| graph.node_name(n).to_owned())
+            .map(String::as_str)
             .collect::<Vec<_>>()
             .join(", ")
     );
@@ -597,13 +436,13 @@ fn print_result<G: GraphAccess>(graph: &G, spec: &str, result: &SearchResult, to
         "{:<28} {:>8} {:>12} {:>12}",
         "label", "score", "inst-p", "card-p"
     );
-    for c in result.characteristics.iter().take(top) {
+    for c in &response.characteristics {
         println!(
             "{:<28} {:>8.3} {:>12} {:>12}",
-            graph.label_name(c.label),
+            c.label,
             c.score,
-            fmt_p(c.inst_significance),
-            fmt_p(c.card_significance),
+            fmt_p(c.inst_p),
+            fmt_p(c.card_p),
         );
     }
 }
@@ -615,158 +454,82 @@ fn fmt_p(p: Option<f64>) -> String {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn print_workload<G: GraphAccess>(
-    graph: &G,
-    lines: &[String],
-    repeat: usize,
-    results: &[std::sync::Arc<SearchResult>],
-    opts: &RunOpts,
-    engine_secs: Option<f64>,
-    seq_secs: Option<f64>,
-    stats: &Option<notable_characteristics::engine::EngineStats>,
-) {
+fn print_workload(report: &WorkloadReport) {
     println!(
-        "workload: {} queries ({} distinct lines × {repeat})",
-        results.len(),
-        lines.len()
+        "workload: {} queries ({} distinct lines × {})",
+        report.queries, report.distinct_lines, report.repeat
     );
-    if let Some(s) = engine_secs {
+    if let Some(s) = report.engine_secs {
         println!(
             "engine:     {s:.3}s total, {:.1} queries/s",
-            results.len() as f64 / s.max(1e-12)
+            report.queries as f64 / s.max(1e-12)
         );
     }
-    if let Some(s) = seq_secs {
+    if let Some(s) = report.sequential_secs {
         println!(
             "sequential: {s:.3}s total, {:.1} queries/s",
-            results.len() as f64 / s.max(1e-12)
+            report.queries as f64 / s.max(1e-12)
         );
     }
-    if let (Some(e), Some(s)) = (engine_secs, seq_secs) {
-        println!(
-            "speedup:    {:.2}× (identical rankings verified)",
-            s / e.max(1e-12)
-        );
+    if let Some(speedup) = report.speedup {
+        println!("speedup:    {speedup:.2}× (identical rankings verified)");
     }
-    if let Some(st) = stats {
+    if let Some(st) = &report.engine_stats {
         println!(
             "engine stats: {} executed of {} submitted ({} deduplicated); \
              result cache {}/{} hits, context cache {}/{}, ppr cache {}/{}",
-            st.executed_groups,
-            st.queries,
+            st.executed,
+            st.submitted,
             st.deduplicated,
-            st.result.hits,
-            st.result.hits + st.result.misses,
-            st.context.hits,
-            st.context.hits + st.context.misses,
-            st.ppr.hits,
-            st.ppr.hits + st.ppr.misses,
+            st.result_hits,
+            st.result_hits + st.result_misses,
+            st.context_hits,
+            st.context_hits + st.context_misses,
+            st.ppr_hits,
+            st.ppr_hits + st.ppr_misses,
         );
     }
     // Per distinct query line, the top characteristics of its first run.
-    for (i, line) in lines.iter().enumerate() {
+    for response in &report.results {
         println!();
-        print_result(graph, line, &results[i], opts.top);
+        print_response(response);
     }
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-fn json_num(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else {
-        "null".into()
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
     }
-}
 
-fn result_json<G: GraphAccess>(graph: &G, spec: &str, result: &SearchResult, top: usize) -> String {
-    let chars: Vec<String> = result
-        .characteristics
-        .iter()
-        .take(top)
-        .map(|c| {
-            format!(
-                "{{\"label\":\"{}\",\"score\":{},\"notable\":{},\"inst_p\":{},\"card_p\":{}}}",
-                json_escape(graph.label_name(c.label)),
-                json_num(c.score),
-                c.notable(),
-                c.inst_significance.map_or("null".into(), json_num),
-                c.card_significance.map_or("null".into(), json_num),
-            )
-        })
-        .collect();
-    let context: Vec<String> = result
-        .context
-        .nodes()
-        .map(|n| format!("\"{}\"", json_escape(graph.node_name(n))))
-        .collect();
-    format!(
-        "{{\"query\":\"{}\",\"context_size\":{},\"context\":[{}],\"characteristics\":[{}]}}",
-        json_escape(spec),
-        result.context.len(),
-        context.join(","),
-        chars.join(",")
-    )
-}
+    #[test]
+    fn take_flag_extracts_pair_and_leaves_rest() {
+        let mut a = args(&["--graph", "g.nt", "--top", "5"]);
+        assert_eq!(take_flag(&mut a, "--top").unwrap(), Some("5".into()));
+        assert_eq!(a, args(&["--graph", "g.nt"]));
+        assert_eq!(take_flag(&mut a, "--walks").unwrap(), None);
+    }
 
-#[allow(clippy::too_many_arguments)]
-fn workload_json<G: GraphAccess>(
-    graph: &G,
-    lines: &[String],
-    repeat: usize,
-    results: &[std::sync::Arc<SearchResult>],
-    opts: &RunOpts,
-    engine_secs: Option<f64>,
-    seq_secs: Option<f64>,
-    stats: &Option<notable_characteristics::engine::EngineStats>,
-) -> String {
-    let per_query: Vec<String> = lines
-        .iter()
-        .enumerate()
-        .map(|(i, line)| result_json(graph, line, &results[i], opts.top))
-        .collect();
-    let mut fields = vec![
-        format!("\"queries\":{}", results.len()),
-        format!("\"distinct_lines\":{}", lines.len()),
-        format!("\"repeat\":{repeat}"),
-    ];
-    if let Some(s) = engine_secs {
-        fields.push(format!("\"engine_secs\":{}", json_num(s)));
+    #[test]
+    fn take_flag_rejects_missing_value() {
+        let mut a = args(&["--top"]);
+        assert!(take_flag(&mut a, "--top").is_err());
     }
-    if let Some(s) = seq_secs {
-        fields.push(format!("\"sequential_secs\":{}", json_num(s)));
+
+    #[test]
+    fn take_flag_rejects_duplicate_flag() {
+        // Regression: the second occurrence used to be silently left in
+        // `args`, where it was later misparsed as a positional argument.
+        let mut a = args(&["--top", "5", "--top", "9"]);
+        let err = take_flag(&mut a, "--top").unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
     }
-    if let (Some(e), Some(s)) = (engine_secs, seq_secs) {
-        fields.push(format!("\"speedup\":{}", json_num(s / e.max(1e-12))));
+
+    #[test]
+    fn run_opts_reject_duplicate_flags_end_to_end() {
+        let mut a = args(&["--graph", "a.nt", "--graph", "b.nt"]);
+        assert!(parse_run_opts(&mut a).is_err());
     }
-    if let Some(st) = stats {
-        fields.push(format!(
-            "\"engine_stats\":{{\"submitted\":{},\"executed\":{},\"deduplicated\":{},\
-             \"result_hits\":{},\"context_hits\":{},\"ppr_hits\":{}}}",
-            st.queries,
-            st.executed_groups,
-            st.deduplicated,
-            st.result.hits,
-            st.context.hits,
-            st.ppr.hits
-        ));
-    }
-    fields.push(format!("\"results\":[{}]", per_query.join(",")));
-    format!("{{{}}}", fields.join(","))
 }

@@ -16,10 +16,16 @@
 //!
 //! This crate is the façade over the workspace:
 //!
+//! - [`api`] — the serde-first service layer: build an
+//!   [`NckService`](api::NckService) over a dataset once, then answer
+//!   [`QueryRequest`](api::QueryRequest)s, batches, streams and
+//!   benchmark workloads through one stable request/response schema,
+//!   with the backend chosen at runtime;
 //! - [`graph`] — knowledge-graph substrate: the dictionary-encoded CSR
-//!   [`KnowledgeGraph`](graph::KnowledgeGraph) and the backend-generic
+//!   [`KnowledgeGraph`](graph::KnowledgeGraph), the backend-generic
 //!   [`GraphAccess`](graph::GraphAccess) trait the algorithms run
-//!   against;
+//!   against, and the [`ErasedGraph`](graph::ErasedGraph) runtime-erasure
+//!   adapter the service layer builds on;
 //! - [`store`] — triple-store substrate (SPO/POS/OSP indexes), including
 //!   [`StoreGraph`](store::StoreGraph), the `GraphAccess` backend that
 //!   answers traversals straight from the indexes without materializing
@@ -66,6 +72,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use nck_api as api;
 pub use nck_core as core;
 pub use nck_datagen as datagen;
 pub use nck_engine as engine;
@@ -83,6 +90,9 @@ pub struct ReadmeDoctests;
 
 /// Commonly used items, re-exported for `use notable_characteristics::prelude::*`.
 pub mod prelude {
+    pub use nck_api::{
+        ApiError, Backend, NckService, QueryRequest, QueryResponse, WorkloadReport, WorkloadRequest,
+    };
     pub use nck_core::config::{ContextRwConfig, FindNcConfig, PathMiningConfig, PprConfig};
     pub use nck_core::context::{Context, ContextSelector, TypeFilter};
     pub use nck_core::context_rw::ContextRw;
@@ -90,7 +100,9 @@ pub mod prelude {
     pub use nck_core::ppr::RandomWalkSelector;
     pub use nck_core::query::Query;
     pub use nck_engine::{EngineConfig, QueryEngine, SelectorMode};
-    pub use nck_graph::{EdgeLabelId, GraphAccess, GraphBuilder, KnowledgeGraph, NodeId};
+    pub use nck_graph::{
+        DynGraphAccess, EdgeLabelId, ErasedGraph, GraphAccess, GraphBuilder, KnowledgeGraph, NodeId,
+    };
     pub use nck_stats::MultinomialTest;
     pub use nck_store::StoreGraph;
 }

@@ -268,7 +268,7 @@ fn backends_rank_identically_on_figure1() {
     store.insert_iris("politician", SUBTYPE_PREDICATE, "person");
 
     let kg = to_knowledge_graph(&store);
-    let sg = StoreGraph::new(&store);
+    let sg = StoreGraph::new(store);
 
     // Fixed-context discrimination (no sampling in context selection).
     let query_names = ["Merkel".to_owned(), "Obama".to_owned()];
@@ -338,7 +338,7 @@ fn backends_rank_identically_on_generated_dataset() {
 
     let store = to_triple_store(&dataset.graph);
     let kg = to_knowledge_graph(&store);
-    let sg = StoreGraph::new(&store);
+    let sg = StoreGraph::new(store);
     assert_eq!(
         GraphAccess::num_nodes(&sg),
         KnowledgeGraph::num_nodes(&kg),

@@ -66,7 +66,7 @@ fn check_backend<'g, G: GraphAccess + Sync>(
     graph: &'g G,
     names: &[Vec<String>],
     config: EngineConfig,
-) -> QueryEngine<'g, G> {
+) -> QueryEngine<&'g G> {
     let queries = workload(graph, names);
     let engine = QueryEngine::new(graph, config).expect("engine builds");
     let batched = engine.run_batch(&queries).expect("batched run");
@@ -99,7 +99,7 @@ fn engine_matches_sequential_on_both_backends() {
     let names = seed_pairs(&dataset);
     let store = to_triple_store(&dataset.graph);
     let kg = to_knowledge_graph(&store);
-    let sg = StoreGraph::new(&store);
+    let sg = StoreGraph::new(store);
 
     let config = EngineConfig {
         findnc: pipeline_config(),
@@ -128,13 +128,66 @@ fn engine_matches_sequential_on_both_backends() {
     }
 }
 
+/// The runtime-erasure layer is exact: `ErasedGraph(csr)` and
+/// `ErasedGraph(store)` answer id-for-id identically to their generic
+/// counterparts — through the engine, against the sequential baseline,
+/// and across each other.
+#[test]
+fn erased_backends_match_generic_backends() {
+    use notable_characteristics::graph::ErasedGraph;
+    use std::sync::Arc;
+
+    let dataset = generate(&GeneratorConfig::tiny(13));
+    let names = seed_pairs(&dataset);
+    let store = Arc::new(to_triple_store(&dataset.graph));
+    let kg = to_knowledge_graph(&store);
+    let sg = Arc::new(StoreGraph::new(Arc::clone(&store)));
+    let erased_kg = ErasedGraph::new(kg.clone());
+    let erased_sg = ErasedGraph::from_arc(Arc::clone(&sg));
+
+    let config = EngineConfig {
+        findnc: pipeline_config(),
+        ..EngineConfig::default()
+    };
+
+    // Erased engines vs sequential runs *over the erased graphs*.
+    let ekg_engine = check_backend("erased/csr", &erased_kg, &names, config.clone());
+    let esg_engine = check_backend("erased/store", &erased_sg, &names, config.clone());
+
+    // Erasure forwards warm_predicate: batch warming must still fault the
+    // store's shared per-predicate run cache.
+    assert!(
+        sg.cached_runs() > 0,
+        "erased warm_predicate must reach the store's run cache"
+    );
+
+    // Erased vs generic, id for id, on both backends.
+    let kg_engine = check_backend("csr", &kg, &names, config.clone());
+    let sg_engine = check_backend("store", &*sg, &names, config);
+    let queries_kg = workload(&kg, &names);
+    let generic_kg = kg_engine.run_batch(&queries_kg).unwrap();
+    let erased_kg_results = ekg_engine.run_batch(&workload(&erased_kg, &names)).unwrap();
+    for (a, b) in generic_kg.iter().zip(&erased_kg_results) {
+        assert_identical("erased-vs-generic/csr", a, b);
+    }
+    let generic_sg = sg_engine.run_batch(&workload(&*sg, &names)).unwrap();
+    let erased_sg_results = esg_engine.run_batch(&workload(&erased_sg, &names)).unwrap();
+    for (a, b) in generic_sg.iter().zip(&erased_sg_results) {
+        assert_identical("erased-vs-generic/store", a, b);
+    }
+    // And the two erased backends agree with each other.
+    for (a, b) in erased_kg_results.iter().zip(&erased_sg_results) {
+        assert_identical("erased-cross-backend", a, b);
+    }
+}
+
 #[test]
 fn eviction_under_pressure_keeps_results_exact() {
     let dataset = generate(&GeneratorConfig::tiny(13));
     let names = seed_pairs(&dataset);
     let store = to_triple_store(&dataset.graph);
     let kg = to_knowledge_graph(&store);
-    let sg = StoreGraph::new(&store);
+    let sg = StoreGraph::new(store);
 
     // Caches one entry deep: every distinct query evicts its
     // predecessor, so the second replay recomputes everything.

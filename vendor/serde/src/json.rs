@@ -1,0 +1,536 @@
+//! JSON text encoding/decoding over [`Value`] trees.
+//!
+//! The encoder reproduces the exact conventions of the CLI's original
+//! hand-rolled emitter, so serde-emitted output is byte-compatible with
+//! it: compact (no whitespace), declaration-ordered object keys, floats
+//! rendered with Rust's shortest-round-trip `Display` (`2`, not `2.0`),
+//! non-finite floats as `null`, and control characters escaped as
+//! `\u00XX`.
+//!
+//! Like `serde_json`, the non-finite-float mapping is one-way: NaN/±∞
+//! encode as `null`, but `null` does not decode into a plain `f64`
+//! (missing-field errors would otherwise degrade into silent NaNs).
+//! Finite floats round-trip exactly via `Display`'s shortest
+//! representation.
+
+use crate::{Deserialize, Error, Serialize, Value};
+use std::fmt::Write as _;
+
+/// Encodes any [`Serialize`] value as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value());
+    out
+}
+
+/// Decodes a [`Deserialize`] value from JSON text.
+pub fn from_str<T>(text: &str) -> Result<T, Error>
+where
+    T: for<'de> Deserialize<'de>,
+{
+    T::from_value(&parse(text)?)
+}
+
+/// Encodes a [`Value`] tree as compact JSON.
+pub fn value_to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value);
+    out
+}
+
+fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => {
+            if f.is_finite() {
+                let _ = write!(out, "{f}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses JSON text into a [`Value`] tree.
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        text,
+        bytes: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(value)
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected {:?} at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(Error::custom(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        if self.depth >= MAX_DEPTH {
+            return Err(Error::custom("recursion limit exceeded"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                self.depth += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                } else {
+                    loop {
+                        items.push(self.value()?);
+                        self.skip_ws();
+                        match self.peek() {
+                            Some(b',') => {
+                                self.pos += 1;
+                                self.skip_ws();
+                            }
+                            Some(b']') => {
+                                self.pos += 1;
+                                break;
+                            }
+                            _ => {
+                                return Err(Error::custom(format!(
+                                    "expected ',' or ']' at byte {}",
+                                    self.pos
+                                )))
+                            }
+                        }
+                    }
+                }
+                self.depth -= 1;
+                Ok(Value::Seq(items))
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                self.depth += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                } else {
+                    loop {
+                        let key = self.string()?;
+                        // Reject duplicates like serde_json's struct
+                        // deserializer does — first-wins laxness here
+                        // would change which payloads parse after the
+                        // documented swap to the real crates.
+                        if entries.iter().any(|(k, _)| *k == key) {
+                            return Err(Error::custom(format!("duplicate object key {key:?}")));
+                        }
+                        self.skip_ws();
+                        self.expect(b':')?;
+                        self.skip_ws();
+                        let value = self.value()?;
+                        entries.push((key, value));
+                        self.skip_ws();
+                        match self.peek() {
+                            Some(b',') => {
+                                self.pos += 1;
+                                self.skip_ws();
+                            }
+                            Some(b'}') => {
+                                self.pos += 1;
+                                break;
+                            }
+                            _ => {
+                                return Err(Error::custom(format!(
+                                    "expected ',' or '}}' at byte {}",
+                                    self.pos
+                                )))
+                            }
+                        }
+                    }
+                }
+                self.depth -= 1;
+                Ok(Value::Map(entries))
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(Error::custom(format!(
+                "unexpected character at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error::custom("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::custom("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(Error::custom("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::custom("invalid surrogate pair"));
+                                }
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp)
+                                    .ok_or_else(|| Error::custom("invalid code point"))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| Error::custom("invalid code point"))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "invalid escape \\{}",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                b if b < 0x20 => {
+                    // RFC 8259 (and serde_json) require control
+                    // characters inside strings to be escaped; accepting
+                    // them raw would make payloads parse here but fail
+                    // after the documented swap to the real crates.
+                    return Err(Error::custom(format!(
+                        "unescaped control character at byte {}",
+                        self.pos
+                    )));
+                }
+                _ => {
+                    // Copy the whole plain run up to the next quote,
+                    // escape or control character in one go. The input is
+                    // a &str, so the bytes are valid UTF-8, and all the
+                    // stop bytes are < 0x80 so they never occur inside a
+                    // multi-byte sequence (continuation bytes are all
+                    // >= 0x80) — slicing here is both safe and O(run)
+                    // instead of per-character re-validation.
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\' && b >= 0x20) {
+                        self.pos += 1;
+                    }
+                    out.push_str(&self.text[start..self.pos]);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::custom("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::custom("invalid \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| Error::custom("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    /// Consumes a run of ASCII digits, returning how many there were.
+    fn digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+
+    /// RFC 8259 number grammar, same strictness as `serde_json`: no
+    /// leading zeros (`01`), no bare fraction dot (`1.`), no empty
+    /// exponent (`1e`) — laxness here would make payloads parse under
+    /// this vendored substitute but fail after the documented swap to
+    /// the real crates.
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_start = self.pos;
+        let int_digits = self.digits();
+        let bad = |pos: usize| Error::custom(format!("invalid number at byte {pos}"));
+        if int_digits == 0 {
+            return Err(bad(start));
+        }
+        if int_digits > 1 && self.bytes[int_start] == b'0' {
+            return Err(bad(start));
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if self.digits() == 0 {
+                return Err(bad(start));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.digits() == 0 {
+                return Err(bad(start));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            // Integer literal beyond u64/i64: fall back to a lossy f64,
+            // exactly as serde_json does. Rejecting here would make the
+            // codec unable to re-parse its own output — the encoder
+            // renders e.g. 1e20 as "100000000000000000000" (Rust Display
+            // never uses scientific notation for f64 of this magnitude).
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::custom(format!("invalid number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_containers() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::UInt(3)),
+            ("b".into(), Value::Float(0.5)),
+            ("c".into(), Value::Seq(vec![Value::Null, Value::Bool(true)])),
+            ("d".into(), Value::Str("x\"\n\u{1}".into())),
+            ("e".into(), Value::Int(-7)),
+        ]);
+        let text = value_to_string(&v);
+        assert_eq!(
+            text,
+            r#"{"a":3,"b":0.5,"c":[null,true],"d":"x\"\n\u0001","e":-7}"#
+        );
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn float_display_matches_legacy_emitter() {
+        // The old CLI used format!("{x}") — 2.0 renders as "2".
+        assert_eq!(value_to_string(&Value::Float(2.0)), "2");
+        assert_eq!(value_to_string(&Value::Float(f64::NAN)), "null");
+        // And "2" re-parses as an integer, which f64 happily accepts.
+        assert_eq!(parse("2").unwrap(), Value::UInt(2));
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        assert_eq!(parse(r#""é😀\t/""#).unwrap(), Value::Str("é😀\t/".into()));
+        assert!(parse(r#""\ud83d""#).is_err(), "unpaired surrogate");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_syntax() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_and_overflowing_integers_are_rejected() {
+        assert!(parse(r#"{"a":1,"a":2}"#).is_err(), "duplicate key");
+        assert!(parse(r#"{"a":1,"b":2}"#).is_ok());
+        // u64::MAX parses exactly; past the integer range the literal
+        // degrades to a lossy f64 (serde_json behavior) so the codec can
+        // always re-parse its own output.
+        assert_eq!(
+            parse("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+        assert_eq!(
+            parse("18446744073709551616").unwrap(),
+            Value::Float(18446744073709551616.0)
+        );
+        assert_eq!(
+            parse("-9223372036854775809").unwrap(),
+            Value::Float(-9223372036854775809.0)
+        );
+        // Self-emitted huge floats round-trip (Display renders 1e20 as
+        // a plain 21-digit integer literal).
+        let text = value_to_string(&Value::Float(1e20));
+        assert_eq!(text, "100000000000000000000");
+        assert_eq!(parse(&text).unwrap(), Value::Float(1e20));
+    }
+
+    #[test]
+    fn raw_control_characters_in_strings_are_rejected() {
+        // serde_json rejects unescaped control characters; so must we,
+        // or payloads would stop parsing after the swap to real serde.
+        assert!(parse("\"a\nb\"").is_err(), "raw newline");
+        assert!(parse("\"a\u{1}b\"").is_err(), "raw 0x01");
+        // The escaped forms remain fine.
+        assert_eq!(
+            parse(r#""a\nb\u0001""#).unwrap(),
+            Value::Str("a\nb\u{1}".into())
+        );
+    }
+
+    #[test]
+    fn number_grammar_matches_rfc_8259() {
+        // Accepted forms.
+        for ok in ["0", "-0", "10", "0.5", "-0.5", "1.25e-3", "2E+8", "7e2"] {
+            assert!(parse(ok).is_ok(), "{ok} must parse");
+        }
+        // Forms serde_json rejects must be rejected here too, or the
+        // documented swap to the real crates would change what parses.
+        for bad in ["01", "-01", "1.", ".5", "1e", "1e+", "-", "00"] {
+            assert!(parse(bad).is_err(), "{bad} must not parse");
+        }
+    }
+
+    #[test]
+    fn long_strings_parse_in_plain_runs() {
+        // Regression: the string scanner once re-validated the entire
+        // remaining document per character (quadratic). This exercises a
+        // long mixed ASCII/multibyte payload with escapes landing late.
+        let body: String = "héllo wörld 😀 ".repeat(20_000);
+        let text = format!("{{\"k\":\"{body}\\n\"}}");
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.get("k"), Some(&Value::Str(format!("{body}\n"))));
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let text = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&text).is_err());
+    }
+}

@@ -1,18 +1,419 @@
-//! Offline substitute for `serde`.
+//! Offline substitute for `serde` — a small, real serialization layer.
 //!
-//! The workspace tags types with `#[derive(Serialize, Deserialize)]` but
-//! performs no serialization (reports are rendered by hand), so the traits
-//! are markers and the derives are no-ops. Swap this for the real crate by
-//! changing one line in the workspace manifest when a registry is
-//! available.
+//! Earlier revisions of this workspace only *tagged* types with
+//! `#[derive(Serialize, Deserialize)]`; the derives were no-ops and the
+//! traits were markers. The `nck-api` service façade made serialization
+//! load-bearing (requests and responses travel as JSON), so this vendor
+//! crate now implements a compact but functional subset of the serde
+//! model:
+//!
+//! - [`Value`] — a self-describing data tree (the analogue of
+//!   `serde_json::Value`, with an **order-preserving** map so emitted
+//!   field order follows declaration order);
+//! - [`Serialize`] / [`Deserialize`] — conversions between typed data and
+//!   [`Value`] trees, implemented for the std types the workspace uses
+//!   and derived for its own types by `serde_derive`;
+//! - [`json`] — a JSON encoder/decoder over [`Value`]
+//!   (`json::to_string` / `json::from_str` mirror the `serde_json` entry
+//!   points).
+//!
+//! The derive supports the attribute subset the workspace uses:
+//! `#[serde(transparent)]`, `#[serde(skip)]` and
+//! `#[serde(skip_serializing_if = "path")]`. Swapping to the real
+//! `serde` + `serde_json` when a registry is available keeps every
+//! derive site unchanged; only the handful of `json::` call sites in
+//! `nck-api` would move to `serde_json::`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker stand-in for `serde::Serialize`.
-pub trait Serialize {}
+pub mod json;
 
-/// Marker stand-in for `serde::Deserialize`.
-pub trait Deserialize<'de>: Sized {}
+use std::fmt;
+
+/// A self-describing data tree — the intermediate representation between
+/// typed values and encoded text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absence of a value (`null`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A negative integer (non-negative integers parse as [`Value::UInt`]).
+    Int(i64),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map (field order is preserved, so encoded objects
+    /// follow struct declaration order).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// The map entries, or a type error mentioning `what`.
+    pub fn expect_map(&self, what: &str) -> Result<&[(String, Value)], Error> {
+        match self {
+            Value::Map(m) => Ok(m),
+            other => Err(Error::invalid_type(what, "map", other.kind())),
+        }
+    }
+
+    /// The sequence elements, or a type error mentioning `what`.
+    pub fn expect_seq(&self, what: &str) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(s) => Ok(s),
+            other => Err(Error::invalid_type(what, "sequence", other.kind())),
+        }
+    }
+
+    /// Looks up a map key (first match; maps are small ordered vectors).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization or deserialization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error with a free-form message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// "expected X, found Y" while decoding `what`.
+    pub fn invalid_type(what: &str, expected: &str, found: &str) -> Self {
+        Self::custom(format!("{what}: expected {expected}, found {found}"))
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(strct: &str, field: &str) -> Self {
+        Self::custom(format!("{strct}: missing field `{field}`"))
+    }
+
+    /// An enum string named no known variant.
+    pub fn unknown_variant(variant: &str, enum_name: &str) -> Self {
+        Self::custom(format!("{enum_name}: unknown variant `{variant}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion of a typed value into a [`Value`] tree.
+pub trait Serialize {
+    /// Builds the self-describing tree for this value.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion of a [`Value`] tree back into a typed value.
+///
+/// The `'de` lifetime mirrors the real serde signature (zero-copy
+/// deserialization); this substitute always produces owned data.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds the typed value from its tree form.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Decodes one named field out of a struct's map entries.
+///
+/// Missing fields decode from [`Value::Null`], so `Option` fields default
+/// to `None` (matching serde's implicit-optional behavior) while
+/// non-optional fields produce a "missing field" error.
+pub fn field_from_map<T>(entries: &[(String, Value)], strct: &str, field: &str) -> Result<T, Error>
+where
+    T: for<'de> Deserialize<'de>,
+{
+    match entries.iter().find(|(k, _)| k == field) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| Error::custom(format!("{strct}.{field}: {e}")))
+        }
+        None => T::from_value(&Value::Null).map_err(|_| Error::missing_field(strct, field)),
+    }
+}
+
+/// Decodes element `index` of a tuple struct's sequence form.
+pub fn seq_element<T>(elements: &[Value], strct: &str, index: usize) -> Result<T, Error>
+where
+    T: for<'de> Deserialize<'de>,
+{
+    match elements.get(index) {
+        Some(v) => T::from_value(v).map_err(|e| Error::custom(format!("{strct}[{index}]: {e}"))),
+        None => Err(Error::custom(format!(
+            "{strct}: expected at least {} elements, found {}",
+            index + 1,
+            elements.len()
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// std implementations
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::invalid_type("bool", "bool", other.kind())),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw: u64 = match value {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) if *i >= 0 => *i as u64,
+                    other => {
+                        return Err(Error::invalid_type(
+                            stringify!($t),
+                            "non-negative integer",
+                            other.kind(),
+                        ))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!(
+                        concat!("value {} out of range for ", stringify!($t)),
+                        raw
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::UInt(v as u64)
+                } else {
+                    Value::Int(v)
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw: i64 = match value {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u).map_err(|_| {
+                        Error::custom(format!("value {u} out of range for i64"))
+                    })?,
+                    other => {
+                        return Err(Error::invalid_type(
+                            stringify!($t),
+                            "integer",
+                            other.kind(),
+                        ))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!(
+                        concat!("value {} out of range for ", stringify!($t)),
+                        raw
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(Error::invalid_type("f64", "number", other.kind())),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::invalid_type("String", "string", other.kind())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T> Deserialize<'de> for Option<T>
+where
+    T: for<'a> Deserialize<'a>,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T> Deserialize<'de> for Vec<T>
+where
+    T: for<'a> Deserialize<'a>,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.expect_seq("Vec")?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T> Deserialize<'de> for Box<T>
+where
+    T: for<'a> Deserialize<'a>,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_missing_field_decodes_to_none() {
+        let entries: Vec<(String, Value)> = vec![];
+        let got: Option<f64> = field_from_map(&entries, "T", "x").unwrap();
+        assert_eq!(got, None);
+        let err = field_from_map::<u32>(&entries, "T", "x").unwrap_err();
+        assert!(err.to_string().contains("missing field"));
+    }
+
+    #[test]
+    fn integer_range_checks() {
+        assert_eq!(u8::from_value(&Value::UInt(255)).unwrap(), 255);
+        assert!(u8::from_value(&Value::UInt(256)).is_err());
+        assert_eq!(i32::from_value(&Value::Int(-5)).unwrap(), -5);
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+        assert_eq!(f64::from_value(&Value::UInt(2)).unwrap(), 2.0);
+    }
+}

@@ -1,20 +1,664 @@
-//! Offline substitute for `serde_derive`.
+//! Offline substitute for `serde_derive` — real, minimal derives.
 //!
-//! The workspace derives `Serialize` / `Deserialize` on its config and id
-//! types for downstream ergonomics but never performs serialization, so
-//! these derives accept the input (including `#[serde(...)]` helper
-//! attributes) and expand to nothing.
+//! Expands `#[derive(Serialize)]` / `#[derive(Deserialize)]` into
+//! implementations of the vendored `serde::Serialize` /
+//! `serde::Deserialize` traits (a [`Value`]-tree data model; see
+//! `vendor/serde`). The parser is written directly against
+//! `proc_macro::TokenStream` — no `syn`/`quote` — and supports the shape
+//! subset this workspace uses:
+//!
+//! - named-field structs, tuple structs (newtypes serialize as their
+//!   inner value, wider tuples as sequences) and unit structs;
+//! - enums with unit, tuple and struct variants (externally tagged:
+//!   `"Variant"` for unit, `{"Variant": …}` otherwise);
+//! - `#[serde(transparent)]` on single-field structs;
+//! - `#[serde(skip)]` on fields (omitted when serializing, rebuilt with
+//!   `Default::default()` when deserializing);
+//! - `#[serde(skip_serializing_if = "path")]` on fields.
+//!
+//! Generic types and other serde attributes are rejected with a
+//! `compile_error!` naming the limitation, so unsupported shapes fail
+//! loudly instead of serializing wrongly.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
 
-/// No-op `Serialize` derive; accepts `#[serde(...)]` attributes.
+/// Derives `serde::Serialize`.
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
 }
 
-/// No-op `Deserialize` derive; accepts `#[serde(...)]` attributes.
+/// Derives `serde::Deserialize`.
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let code = match parse_input(input) {
+        Ok(item) => match which {
+            Trait::Serialize => gen_serialize(&item),
+            Trait::Deserialize => gen_deserialize(&item),
+        },
+        Err(message) => format!("compile_error!({message:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// input model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct.
+    Struct(Vec<Field>),
+    /// Tuple struct; per-field attributes in declaration order.
+    Tuple(Vec<FieldAttrs>),
+    /// Unit struct.
+    Unit,
+    /// Enum.
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Default)]
+struct FieldAttrs {
+    skip: bool,
+    skip_serializing_if: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_input(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+    let container_attrs = collect_attrs(&mut toks)?;
+    let mut transparent = false;
+    for attr in &container_attrs {
+        match attr.as_str() {
+            "transparent" => transparent = true,
+            other => {
+                return Err(format!(
+                    "serde_derive: unsupported container attribute `{other}` \
+                     (this offline substitute supports only `transparent`)"
+                ))
+            }
+        }
+    }
+    skip_visibility(&mut toks);
+    let keyword = next_ident(&mut toks)
+        .ok_or_else(|| "serde_derive: expected `struct` or `enum`".to_owned())?;
+    let name =
+        next_ident(&mut toks).ok_or_else(|| "serde_derive: expected a type name".to_owned())?;
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive: `{name}` is generic; this offline substitute \
+             only derives for non-generic types"
+        ));
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(parse_tuple_fields(g.stream())?)
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            _ => return Err(format!("serde_derive: malformed struct `{name}`")),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err(format!("serde_derive: malformed enum `{name}`")),
+        },
+        other => {
+            return Err(format!(
+                "serde_derive: cannot derive for `{other}` items (union?)"
+            ))
+        }
+    };
+    if transparent {
+        let ok = match &kind {
+            Kind::Struct(fields) => fields.iter().filter(|f| !f.attrs.skip).count() == 1,
+            Kind::Tuple(attrs) => attrs.iter().filter(|a| !a.skip).count() == 1,
+            _ => false,
+        };
+        if !ok {
+            return Err(format!(
+                "serde_derive: #[serde(transparent)] on `{name}` requires \
+                 exactly one non-skipped field"
+            ));
+        }
+    }
+    Ok(Item {
+        name,
+        transparent,
+        kind,
+    })
+}
+
+/// Consumes leading `#[...]` attributes, returning the comma-split
+/// contents of every `#[serde(...)]` among them (normalized: spaces
+/// stripped, string-literal quotes kept).
+fn collect_attrs(toks: &mut Tokens) -> Result<Vec<String>, String> {
+    let mut serde_parts = Vec::new();
+    while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        toks.next();
+        let Some(TokenTree::Group(g)) = toks.next() else {
+            return Err("serde_derive: malformed attribute".into());
+        };
+        let mut inner = g.stream().into_iter();
+        let is_serde =
+            matches!(inner.next(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let Some(TokenTree::Group(args)) = inner.next() else {
+            return Err("serde_derive: malformed #[serde] attribute".into());
+        };
+        // Split the argument tokens on top-level commas.
+        let mut current = String::new();
+        for tok in args.stream() {
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    if !current.is_empty() {
+                        serde_parts.push(std::mem::take(&mut current));
+                    }
+                }
+                other => {
+                    current.push_str(&other.to_string());
+                }
+            }
+        }
+        if !current.is_empty() {
+            serde_parts.push(current);
+        }
+    }
+    Ok(serde_parts)
+}
+
+fn parse_field_attrs(raw: Vec<String>) -> Result<FieldAttrs, String> {
+    let mut attrs = FieldAttrs::default();
+    for part in raw {
+        if part == "skip" {
+            attrs.skip = true;
+        } else if let Some(rest) = part.strip_prefix("skip_serializing_if=") {
+            let path = rest.trim_matches('"').to_owned();
+            if path.is_empty() {
+                return Err("serde_derive: empty skip_serializing_if path".into());
+            }
+            attrs.skip_serializing_if = Some(path);
+        } else {
+            return Err(format!(
+                "serde_derive: unsupported field attribute `{part}` \
+                 (supported: skip, skip_serializing_if)"
+            ));
+        }
+    }
+    Ok(attrs)
+}
+
+fn skip_visibility(toks: &mut Tokens) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        toks.next();
+        if matches!(
+            toks.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            toks.next();
+        }
+    }
+}
+
+fn next_ident(toks: &mut Tokens) -> Option<String> {
+    match toks.next() {
+        Some(TokenTree::Ident(i)) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Skips a type (or any token run) until a top-level `,`, tracking both
+/// group nesting (automatic: groups are single tokens) and `<…>` depth so
+/// commas inside `HashMap<K, V>` don't split fields.
+fn skip_until_comma(toks: &mut Tokens) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = toks.peek() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    toks.next();
+                    return;
+                }
+                _ => {}
+            }
+        }
+        toks.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while toks.peek().is_some() {
+        let attrs = parse_field_attrs(collect_attrs(&mut toks)?)?;
+        skip_visibility(&mut toks);
+        let Some(name) = next_ident(&mut toks) else {
+            return Err("serde_derive: expected a field name".into());
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("serde_derive: expected `:` after field `{name}`")),
+        }
+        skip_until_comma(&mut toks);
+        fields.push(Field { name, attrs });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Result<Vec<FieldAttrs>, String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while toks.peek().is_some() {
+        let attrs = parse_field_attrs(collect_attrs(&mut toks)?)?;
+        skip_visibility(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        skip_until_comma(&mut toks);
+        fields.push(attrs);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while toks.peek().is_some() {
+        let serde_attrs = collect_attrs(&mut toks)?;
+        if !serde_attrs.is_empty() {
+            return Err(format!(
+                "serde_derive: unsupported variant attribute `{}`",
+                serde_attrs[0]
+            ));
+        }
+        let Some(name) = next_ident(&mut toks) else {
+            return Err("serde_derive: expected a variant name".into());
+        };
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g.stream())?;
+                toks.next();
+                // Fail loudly instead of silently ignoring the attribute
+                // (the wire format would otherwise diverge from real
+                // serde's on the documented swap).
+                if fields
+                    .iter()
+                    .any(|a| a.skip || a.skip_serializing_if.is_some())
+                {
+                    return Err(format!(
+                        "serde_derive: field attributes on tuple enum variant \
+                         `{name}` are not supported by this offline substitute"
+                    ));
+                }
+                VariantShape::Tuple(fields.len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                toks.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip a `= discriminant` and/or the trailing comma.
+        skip_until_comma(&mut toks);
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            if item.transparent {
+                let f = fields
+                    .iter()
+                    .find(|f| !f.attrs.skip)
+                    .expect("validated: one non-skipped field");
+                format!("::serde::Serialize::to_value(&self.{})", f.name)
+            } else {
+                ser_named_fields(fields, "self.")
+            }
+        }
+        Kind::Tuple(attrs) => {
+            // Newtypes (and transparent tuples) serialize as the inner
+            // value, real serde style; wider tuples as sequences.
+            let live: Vec<usize> = attrs
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| !a.skip)
+                .map(|(i, _)| i)
+                .collect();
+            if live.len() == 1 {
+                format!("::serde::Serialize::to_value(&self.{})", live[0])
+            } else {
+                let mut code = String::from(
+                    "{ let mut seq: ::std::vec::Vec<::serde::Value> = \
+                     ::std::vec::Vec::new();",
+                );
+                for i in live {
+                    let _ = write!(code, "seq.push(::serde::Serialize::to_value(&self.{i}));");
+                }
+                code.push_str("::serde::Value::Seq(seq) }");
+                code
+            }
+        }
+        Kind::Unit => "::serde::Value::Null".to_owned(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} => \
+                             ::serde::Value::Str({vname:?}.to_owned()),"
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let pattern = binds.join(", ");
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_owned()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}({pattern}) => \
+                             ::serde::Value::Map(::std::vec![({vname:?}.to_owned(), {inner})]),"
+                        );
+                    }
+                    VariantShape::Struct(fields) => {
+                        // Skipped fields bind as `name: _` so the match
+                        // arm stays exhaustive without tripping
+                        // unused_variables under -D warnings.
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.attrs.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect();
+                        let pattern = binds.join(", ");
+                        let inner = ser_named_fields(fields, "");
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} {{ {pattern} }} => \
+                             ::serde::Value::Map(::std::vec![({vname:?}.to_owned(), {inner})]),"
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Serialization of named fields into a `Value::Map`; `access` prefixes
+/// each field name (`"self."` for structs, `""` for match bindings).
+fn ser_named_fields(fields: &[Field], access: &str) -> String {
+    let mut code = String::from(
+        "{ let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();",
+    );
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        let fname = &f.name;
+        let push = format!(
+            "entries.push(({fname:?}.to_owned(), \
+             ::serde::Serialize::to_value(&{access}{fname})));"
+        );
+        match &f.attrs.skip_serializing_if {
+            Some(path) => {
+                let _ = write!(code, "if !{path}(&{access}{fname}) {{ {push} }}");
+            }
+            None => code.push_str(&push),
+        }
+    }
+    code.push_str("::serde::Value::Map(entries) }");
+    code
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            if item.transparent {
+                let mut init = String::new();
+                for f in fields {
+                    let fname = &f.name;
+                    if f.attrs.skip {
+                        let _ = write!(init, "{fname}: ::std::default::Default::default(),");
+                    } else {
+                        let _ = write!(init, "{fname}: ::serde::Deserialize::from_value(value)?,");
+                    }
+                }
+                format!("::std::result::Result::Ok({name} {{ {init} }})")
+            } else {
+                let mut init = String::new();
+                for f in fields {
+                    let fname = &f.name;
+                    if f.attrs.skip {
+                        let _ = write!(init, "{fname}: ::std::default::Default::default(),");
+                    } else {
+                        let _ = write!(
+                            init,
+                            "{fname}: ::serde::field_from_map(entries, {name:?}, {fname:?})?,"
+                        );
+                    }
+                }
+                format!(
+                    "let entries = value.expect_map({name:?})?;\n\
+                     ::std::result::Result::Ok({name} {{ {init} }})"
+                )
+            }
+        }
+        Kind::Tuple(attrs) => de_tuple(name, name, attrs, "value"),
+        Kind::Unit => format!(
+            "match value {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 other => ::std::result::Result::Err(::serde::Error::invalid_type(\n\
+                     {name:?}, \"null\", other.kind())),\n\
+             }}"
+        ),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),"
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let attrs: Vec<FieldAttrs> =
+                            (0..*n).map(|_| FieldAttrs::default()).collect();
+                        let build = de_tuple(
+                            &format!("{name}::{vname}"),
+                            &format!("{name}::{vname}"),
+                            &attrs,
+                            "inner",
+                        );
+                        let _ = write!(data_arms, "{vname:?} => {{ {build} }}");
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut init = String::new();
+                        for f in fields {
+                            let fname = &f.name;
+                            if f.attrs.skip {
+                                let _ =
+                                    write!(init, "{fname}: ::std::default::Default::default(),");
+                            } else {
+                                let _ = write!(
+                                    init,
+                                    "{fname}: ::serde::field_from_map(\
+                                     entries, \"{name}::{vname}\", {fname:?})?,"
+                                );
+                            }
+                        }
+                        let _ = write!(
+                            data_arms,
+                            "{vname:?} => {{\n\
+                                 let entries = inner.expect_map(\"{name}::{vname}\")?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {init} }})\n\
+                             }}"
+                        );
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(\n\
+                             ::serde::Error::unknown_variant(other, {name:?})),\n\
+                     }},\n\
+                     ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                         let (key, inner) = &m[0];\n\
+                         match key.as_str() {{\n\
+                             {data_arms}\n\
+                             other => ::std::result::Result::Err(\n\
+                                 ::serde::Error::unknown_variant(other, {name:?})),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::Error::invalid_type(\n\
+                         {name:?}, \"variant string or single-entry map\", other.kind())),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Deserialization of a tuple shape from `source` (a `&Value` expr):
+/// newtypes read the value directly, wider tuples read a sequence.
+/// `ctor` is the constructor path, `label` the name used in errors.
+fn de_tuple(ctor: &str, label: &str, attrs: &[FieldAttrs], source: &str) -> String {
+    let live: Vec<usize> = attrs
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| !a.skip)
+        .map(|(i, _)| i)
+        .collect();
+    let args: Vec<String> = if live.len() == 1 {
+        attrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                if a.skip {
+                    "::std::default::Default::default()".to_owned()
+                } else {
+                    let _ = i;
+                    format!("::serde::Deserialize::from_value({source})?")
+                }
+            })
+            .collect()
+    } else {
+        let mut next = 0usize;
+        attrs
+            .iter()
+            .map(|a| {
+                if a.skip {
+                    "::std::default::Default::default()".to_owned()
+                } else {
+                    let idx = next;
+                    next += 1;
+                    format!("::serde::seq_element(elements, {label:?}, {idx})?")
+                }
+            })
+            .collect()
+    };
+    let construct = format!("::std::result::Result::Ok({ctor}({}))", args.join(", "));
+    if live.len() == 1 {
+        construct
+    } else {
+        format!(
+            "let elements = {source}.expect_seq({label:?})?;\n\
+             if elements.len() != {} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(format!(\n\
+                     \"{{}}: expected {{}} elements, found {{}}\", {label:?}, {}, elements.len())));\n\
+             }}\n\
+             {construct}",
+            live.len(),
+            live.len()
+        )
+    }
 }
