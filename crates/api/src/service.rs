@@ -526,6 +526,11 @@ impl NckService {
     /// Without it (pure sequential mode), the configured pipeline runs
     /// untouched, so `sequential_secs` measures what the caller asked
     /// to measure.
+    ///
+    /// The selector shares the engine's Eq.-1 weight table: the
+    /// sequential loop used to re-derive the `O(|E|)` weights inside
+    /// every `select` call, charging the baseline one full edge scan per
+    /// query.
     fn sequential_pipeline(&self, bit_exact: bool) -> (FindNc, Option<RandomWalkSelector>) {
         let findnc = FindNc::new(self.config.findnc.clone());
         let selector = match self.config.selector {
@@ -535,7 +540,10 @@ impl NckService {
                 if bit_exact {
                     config.ppr.parallel = false;
                 }
-                Some(RandomWalkSelector::new(config))
+                Some(match self.engine.edge_weights() {
+                    Some(weights) => RandomWalkSelector::with_weights(config, weights),
+                    None => RandomWalkSelector::new(config),
+                })
             }
         };
         (findnc, selector)
@@ -562,11 +570,23 @@ impl NckService {
             config.findnc.context.type_filter = filter;
             config.randomwalk.type_filter = filter;
         }
+        if let Some(epsilon) = overrides.epsilon {
+            config.randomwalk.ppr.epsilon = epsilon;
+        }
         let findnc = FindNc::new(config.findnc.clone());
         let result = match config.selector {
             SelectorMode::ContextRw => findnc.discover(&self.graph, query),
             SelectorMode::RandomWalk => {
-                let selector = RandomWalkSelector::new(config.randomwalk.clone());
+                // Reuse the engine's Eq.-1 weight table when it has one
+                // (weights depend only on the graph, not on overridable
+                // settings); overrides switching a ContextRw engine to
+                // RandomWalk derive it per request.
+                let selector = match self.engine.edge_weights() {
+                    Some(weights) => {
+                        RandomWalkSelector::with_weights(config.randomwalk.clone(), weights)
+                    }
+                    None => RandomWalkSelector::new(config.randomwalk.clone()),
+                };
                 findnc.discover_with_selector(&self.graph, query, &selector)
             }
         }?;

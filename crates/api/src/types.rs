@@ -70,7 +70,7 @@ impl QueryRequest {
 
 /// Per-request configuration overrides (see
 /// [`QueryRequest::overrides`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct QueryOverrides {
     /// Context size `|C|`.
     #[serde(skip_serializing_if = "Option::is_none")]
@@ -84,6 +84,13 @@ pub struct QueryOverrides {
     /// Candidate type filter.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub type_filter: Option<TypeFilter>,
+    /// Sparse-execution pruning threshold of the RandomWalk selector's
+    /// PageRank (see `PprConfig::epsilon` in `nck-core`): `0.0` runs the
+    /// exact frontier iteration, positive values trade a bounded L1
+    /// error for neighborhood-local cost. Only meaningful together with
+    /// the RandomWalk selector.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub epsilon: Option<f64>,
 }
 
 impl QueryOverrides {
@@ -202,6 +209,12 @@ pub struct EngineStatsReport {
     pub context_hits: u64,
     /// PPR-vector-cache hits.
     pub ppr_hits: u64,
+    /// Times the engine derived the Eq.-1 weight table — 1 for a whole
+    /// RandomWalk workload (shared across the batch), 0 under ContextRw.
+    /// Optional on the wire so payloads from the pre-sparse schema
+    /// (which had no such key) still deserialize.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub weight_builds: Option<u64>,
     /// Result-cache misses (not serialized; legacy schema).
     #[serde(skip)]
     pub result_misses: u64,
@@ -222,6 +235,7 @@ impl From<EngineStats> for EngineStatsReport {
             result_hits: s.result.hits,
             context_hits: s.context.hits,
             ppr_hits: s.ppr.hits,
+            weight_builds: Some(s.weight_builds),
             result_misses: s.result.misses,
             context_misses: s.context.misses,
             ppr_misses: s.ppr.misses,
@@ -284,6 +298,7 @@ mod tests {
             result_hits: 2,
             context_hits: 1,
             ppr_hits: 0,
+            weight_builds: Some(1),
             result_misses: 9,
             context_misses: 9,
             ppr_misses: 9,
@@ -291,10 +306,19 @@ mod tests {
         let text = serde::json::to_string(&report);
         assert_eq!(
             text,
-            r#"{"submitted":8,"executed":4,"deduplicated":4,"result_hits":2,"context_hits":1,"ppr_hits":0}"#
+            r#"{"submitted":8,"executed":4,"deduplicated":4,"result_hits":2,"context_hits":1,"ppr_hits":0,"weight_builds":1}"#
         );
         let back: EngineStatsReport = serde::json::from_str(&text).unwrap();
         assert_eq!(back.result_misses, 0, "skipped fields rebuild as default");
+        assert_eq!(back.submitted, 8);
+    }
+
+    #[test]
+    fn legacy_engine_stats_without_weight_builds_still_parse() {
+        // Payload from the pre-sparse schema: no "weight_builds" key.
+        let legacy = r#"{"submitted":8,"executed":4,"deduplicated":4,"result_hits":2,"context_hits":1,"ppr_hits":0}"#;
+        let back: EngineStatsReport = serde::json::from_str(legacy).unwrap();
+        assert_eq!(back.weight_builds, None);
         assert_eq!(back.submitted, 8);
     }
 }

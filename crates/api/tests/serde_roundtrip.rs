@@ -38,9 +38,18 @@ fn query_request_round_trips() {
             walks: Some(1_000),
             selector: Some(SelectorMode::RandomWalk),
             type_filter: Some(TypeFilter::None),
+            epsilon: Some(1e-5),
         }),
     };
     assert_eq!(roundtrip(&full), full);
+    // ε rides the wire as a plain JSON number and is preserved exactly.
+    let text = json::to_string(&full);
+    assert!(text.contains(r#""epsilon":"#), "{text}");
+    assert_eq!(
+        roundtrip(&full).overrides.unwrap().epsilon,
+        Some(1e-5),
+        "epsilon must survive the round-trip bit-exactly"
+    );
 }
 
 #[test]

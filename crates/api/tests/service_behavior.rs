@@ -181,6 +181,7 @@ fn randomwalk_compare_mode_does_not_spuriously_diverge() {
         damping: 0.2,
         iterations: 10,
         parallel: true, // the default; the service must neutralize it
+        epsilon: 0.0,
     };
     let service = toy_service(config);
 
@@ -199,4 +200,60 @@ fn randomwalk_compare_mode_does_not_spuriously_diverge() {
         })
         .expect("compare must agree bit for bit, not Diverged");
     assert!(report.speedup.is_some());
+    // The Eq.-1 weight table was built once for the whole workload (the
+    // sequential baseline shares the engine's table instead of
+    // re-deriving O(|E|) weights inside every select call).
+    assert_eq!(report.engine_stats.unwrap().weight_builds, Some(1));
+}
+
+/// Compare mode stays bit-exact under sparse (ε > 0) execution too: both
+/// phases run the same ε-pruned frontier iteration, so the approximation
+/// is shared, not diverging.
+#[test]
+fn randomwalk_compare_mode_agrees_under_epsilon_pruning() {
+    let mut config = toy_config();
+    config.selector = SelectorMode::RandomWalk;
+    config.randomwalk.type_filter = TypeFilter::None;
+    config.randomwalk.ppr = PprConfig {
+        damping: 0.2,
+        iterations: 10,
+        parallel: false,
+        epsilon: 1e-3,
+    };
+    let service = toy_service(config);
+    let report = service
+        .workload(&WorkloadRequest {
+            queries: vec![QueryRequest::entities(["Merkel", "Obama"])],
+            repeat: 2,
+            mode: WorkloadMode::Compare,
+            chunk: 0,
+        })
+        .expect("sparse compare must agree bit for bit");
+    assert!(report.speedup.is_some());
+}
+
+/// A per-request ε override runs a one-off sparse pipeline without
+/// touching the shared engine caches.
+#[test]
+fn epsilon_override_runs_outside_shared_caches() {
+    use nck_api::QueryOverrides;
+
+    let mut config = toy_config();
+    config.selector = SelectorMode::RandomWalk;
+    config.randomwalk.type_filter = TypeFilter::None;
+    config.randomwalk.ppr.parallel = false;
+    let service = toy_service(config);
+    let mut request = QueryRequest::entities(["Merkel", "Obama"]);
+    request.overrides = Some(QueryOverrides {
+        epsilon: Some(1e-3),
+        ..QueryOverrides::default()
+    });
+    let overridden = service.query(&request).unwrap();
+    assert!(!overridden.context.is_empty());
+    let stats = service.stats();
+    assert_eq!(
+        (stats.submitted, stats.executed),
+        (0, 0),
+        "override path must bypass the engine"
+    );
 }

@@ -26,6 +26,7 @@ fn selectors() -> (ContextRw, RandomWalkSelector) {
             damping: 0.2,
             iterations: 10,
             parallel: true,
+            epsilon: 0.0,
         },
         type_filter: TypeFilter::CommonAncestor,
     });

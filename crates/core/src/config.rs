@@ -18,6 +18,14 @@ pub struct PprConfig {
     pub iterations: usize,
     /// Run the per-query-node PageRanks on parallel threads.
     pub parallel: bool,
+    /// Sparse-execution pruning threshold: frontier entries holding less
+    /// than this much probability mass are dropped before propagating.
+    /// `0.0` (the default) disables pruning — the frontier iteration is
+    /// then bit-for-bit identical to the dense power iteration. Positive
+    /// values keep per-query cost proportional to the touched
+    /// neighborhood at a bounded L1 approximation error (see
+    /// [`crate::ppr`]).
+    pub epsilon: f64,
 }
 
 impl Default for PprConfig {
@@ -26,6 +34,7 @@ impl Default for PprConfig {
             damping: 0.8,
             iterations: 10,
             parallel: true,
+            epsilon: 0.0,
         }
     }
 }
@@ -150,6 +159,7 @@ mod tests {
         let ppr = PprConfig::default();
         assert_eq!(ppr.damping, 0.8);
         assert_eq!(ppr.iterations, 10);
+        assert_eq!(ppr.epsilon, 0.0, "exact execution by default");
         let mining = PathMiningConfig::default();
         assert_eq!(mining.max_length, 5);
         let crw = ContextRwConfig::default();

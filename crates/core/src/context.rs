@@ -199,13 +199,20 @@ impl CandidateFilter {
     }
 }
 
-/// Shared top-k finalization: filter, drop query nodes, sort by score
-/// (descending, ties by id for determinism), truncate to `k`.
+/// Shared top-k finalization: filter, drop query nodes, select the `k`
+/// best by score (descending, ties by id for determinism).
 ///
 /// Exposed so external selectors — e.g. the caching RandomWalk path in
 /// `nck-engine` — finalize their score maps exactly the way the built-in
 /// selectors do. Scores that are zero or negative are dropped before the
 /// cut, and `k == 0` is rejected with [`CoreError::EmptyContext`].
+///
+/// Selection is `O(n + k log k)`, not a full `O(n log n)` sort: the
+/// candidates are partitioned around the `k`-th best with
+/// `select_nth_unstable_by` and only the retained prefix is sorted. The
+/// comparator (score descending, then node id ascending) is a total
+/// order over distinct nodes, so the result is identical to the full
+/// sort it replaces, ties included.
 pub fn top_k_context<G: GraphAccess>(
     graph: &G,
     query: &Query,
@@ -220,12 +227,16 @@ pub fn top_k_context<G: GraphAccess>(
         .into_iter()
         .filter(|&(n, s)| s > 0.0 && !query.contains(n) && filter.allows(graph, n))
         .collect();
-    ranked.sort_by(|a, b| {
+    let cmp = |a: &(NodeId, f64), b: &(NodeId, f64)| {
         b.1.partial_cmp(&a.1)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.0.cmp(&b.0))
-    });
-    ranked.truncate(k);
+    };
+    if ranked.len() > k {
+        ranked.select_nth_unstable_by(k - 1, cmp);
+        ranked.truncate(k);
+    }
+    ranked.sort_by(cmp);
     Ok(Context::from_ranked(ranked))
 }
 

@@ -57,6 +57,7 @@ pub mod metapath;
 pub mod parallel;
 pub mod ppr;
 pub mod query;
+pub mod score;
 
 /// Commonly used items.
 pub mod prelude {
@@ -68,8 +69,9 @@ pub mod prelude {
     };
     pub use crate::error::CoreError;
     pub use crate::findnc::{FindNc, NotableCharacteristic, SearchResult};
-    pub use crate::ppr::RandomWalkSelector;
+    pub use crate::ppr::{EdgeWeights, PersonalizedPageRank, RandomWalkSelector};
     pub use crate::query::Query;
+    pub use crate::score::{ScoreVec, SparseWorkspace};
     pub use nck_graph::GraphAccess;
 }
 

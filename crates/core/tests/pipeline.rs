@@ -41,6 +41,7 @@ fn random_walk() -> RandomWalkSelector {
             damping: 0.2,
             iterations: 10,
             parallel: true,
+            epsilon: 0.0,
         },
         type_filter: TypeFilter::CommonAncestor,
     })

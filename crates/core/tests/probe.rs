@@ -62,6 +62,7 @@ fn probe_contexts() {
                 damping: 0.2,
                 iterations: 10,
                 parallel: true,
+                epsilon: 0.0,
             },
             type_filter: TypeFilter::CommonAncestor,
         });

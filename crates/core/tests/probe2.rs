@@ -35,6 +35,7 @@ fn probe_f1_by_domain() {
             damping: 0.2,
             iterations: 10,
             parallel: true,
+            epsilon: 0.0,
         },
         type_filter: TypeFilter::CommonAncestor,
     });

@@ -34,8 +34,9 @@ use nck_core::context_rw::ContextRw;
 use nck_core::error::CoreError;
 use nck_core::findnc::{FindNc, SearchResult};
 use nck_core::parallel;
-use nck_core::ppr::PersonalizedPageRank;
+use nck_core::ppr::{EdgeWeights, PersonalizedPageRank, PprWorkspace};
 use nck_core::query::Query;
+use nck_core::score::ScoreVec;
 use nck_graph::{EdgeLabelId, GraphAccess, NodeId};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -68,8 +69,12 @@ pub struct EngineConfig {
     pub randomwalk: RandomWalkConfig,
     /// Entry bound of the PPR vector cache.
     pub ppr_cache_entries: usize,
-    /// Approximate byte bound of the PPR vector cache (each vector costs
-    /// `8 · |V|` bytes; both bounds apply, whichever trips first).
+    /// Approximate byte bound of the PPR vector cache. Entries are
+    /// charged their *actual* representation cost
+    /// ([`ScoreVec::approx_bytes`]): a sparse vector touching `m` nodes
+    /// costs `16·m` bytes, a dense one `8·|V|` — so sparse (`epsilon >
+    /// 0`) workloads fit many more vectors under the same budget. Both
+    /// bounds apply, whichever trips first.
     pub ppr_cache_bytes: usize,
     /// Entry bound of the context cache.
     pub context_cache_entries: usize,
@@ -111,6 +116,11 @@ pub struct EngineStats {
     pub executed_groups: u64,
     /// Queries answered by batch-level deduplication alone.
     pub deduplicated: u64,
+    /// Times the Eq.-1 weight table (`O(|E|)`) was derived. Stays at 1
+    /// (RandomWalk mode) or 0 (ContextRw mode) for the engine's whole
+    /// lifetime — the table is built at construction and shared across
+    /// every query and batch, never per query.
+    pub weight_builds: u64,
     /// PPR vector cache counters.
     pub ppr: CacheStats,
     /// Context cache counters.
@@ -146,13 +156,14 @@ pub struct QueryEngine<G: GraphAccess + Sync> {
     /// Built once per engine in RandomWalk mode (weight precomputation is
     /// `O(|E|)` and identical for every query).
     ppr: Option<PersonalizedPageRank<G>>,
-    ppr_cache: Mutex<LruCache<Vec<NodeId>, Arc<Vec<f64>>>>,
+    ppr_cache: Mutex<LruCache<Vec<NodeId>, Arc<ScoreVec>>>,
     context_cache: Mutex<LruCache<Vec<NodeId>, Context>>,
     result_cache: Mutex<LruCache<Vec<NodeId>, Arc<SearchResult>>>,
     batches: AtomicU64,
     queries: AtomicU64,
     executed_groups: AtomicU64,
     deduplicated: AtomicU64,
+    weight_builds: AtomicU64,
 }
 
 impl<G: GraphAccess + Sync> QueryEngine<G> {
@@ -166,6 +177,10 @@ impl<G: GraphAccess + Sync> QueryEngine<G> {
     where
         G: Clone,
     {
+        // The Eq.-1 weight table is derived here, exactly once per
+        // engine; every query (cached or not) shares it through the
+        // ranker. `weight_builds` exposes the count so workload reports
+        // can prove it stays at one.
         let ppr = match config.selector {
             SelectorMode::RandomWalk => Some(PersonalizedPageRank::new(
                 graph.clone(),
@@ -173,6 +188,7 @@ impl<G: GraphAccess + Sync> QueryEngine<G> {
             )?),
             SelectorMode::ContextRw => None,
         };
+        let weight_builds = AtomicU64::new(u64::from(ppr.is_some()));
         Ok(Self {
             graph,
             findnc: FindNc::new(config.findnc.clone()),
@@ -188,6 +204,7 @@ impl<G: GraphAccess + Sync> QueryEngine<G> {
             queries: AtomicU64::new(0),
             executed_groups: AtomicU64::new(0),
             deduplicated: AtomicU64::new(0),
+            weight_builds,
             config,
         })
     }
@@ -266,45 +283,63 @@ impl<G: GraphAccess + Sync> QueryEngine<G> {
 
     /// RandomWalk-baseline selection through the PPR cache: one cached
     /// PageRank per seed node, summed in seed order (the same
-    /// element-wise accumulation the sequential selector performs).
+    /// element-wise accumulation the sequential selector performs —
+    /// [`ScoreVec::add_assign`] adds each touched slot in ascending node
+    /// order, exactly one addition per slot, so sparse accumulation is
+    /// bit-identical to the dense loop it replaced).
     fn randomwalk_context(&self, query: &Query) -> Result<Context, CoreError> {
         let ppr = self.ppr.as_ref().expect("built in RandomWalk mode");
-        let mut acc = vec![0.0f64; self.graph.num_nodes()];
+        let mut acc = ScoreVec::zeros(self.graph.num_nodes());
+        // One workspace per query, shared by every cache miss below —
+        // with ε > 0, all seeds after the first compute allocation-free
+        // (at ε = 0 the dense executor runs and allocates per seed,
+        // exactly as the pre-sparse engine did).
+        let mut ws = PprWorkspace::new();
         for &seed in query.nodes() {
-            let v = self.ppr_vector(seed, ppr);
-            for (a, b) in acc.iter_mut().zip(v.iter()) {
-                *a += b;
-            }
+            let v = self.ppr_vector(seed, ppr, &mut ws);
+            acc.add_assign(&v);
         }
         let filter = CandidateFilter::new(&self.graph, query, self.config.randomwalk.type_filter);
-        let pairs = acc
-            .into_iter()
-            .enumerate()
-            .map(|(i, s)| (NodeId::from_index(i), s));
         top_k_context(
             &self.graph,
             query,
-            pairs,
+            acc.iter(),
             &filter,
             self.config.findnc.context_size,
         )
     }
 
     /// The PageRank vector personalized on `seed`, via the PPR cache.
-    fn ppr_vector(&self, seed: NodeId, ppr: &PersonalizedPageRank<G>) -> Arc<Vec<f64>> {
+    /// Cached entries are charged their actual representation cost
+    /// ([`ScoreVec::approx_bytes`]), so sparse vectors no longer pay the
+    /// dense `8·|V|` estimate and the byte budget holds many more of
+    /// them.
+    fn ppr_vector(
+        &self,
+        seed: NodeId,
+        ppr: &PersonalizedPageRank<G>,
+        ws: &mut PprWorkspace,
+    ) -> Arc<ScoreVec> {
         let key = vec![seed];
         if let Some(hit) = self.ppr_cache.lock().expect("cache lock").get(&key) {
             return Arc::clone(hit);
         }
         // Computed outside the lock; concurrent computations of the same
         // seed produce identical vectors, so last-write-wins is exact.
-        let v = Arc::new(ppr.run(&[seed]));
-        let cost = v.len() * std::mem::size_of::<f64>() + 64;
+        let v = Arc::new(ppr.run_with(&[seed], ws));
+        let cost = v.approx_bytes();
         self.ppr_cache
             .lock()
             .expect("cache lock")
             .insert_with_cost(key, Arc::clone(&v), cost);
         v
+    }
+
+    /// The engine's shared Eq.-1 weight table (`Some` in RandomWalk
+    /// mode). Callers running a sequential baseline against the same
+    /// graph reuse it instead of re-deriving `O(|E|)` weights per query.
+    pub fn edge_weights(&self) -> Option<Arc<EdgeWeights>> {
+        self.ppr.as_ref().map(|p| Arc::clone(p.weights()))
     }
 
     /// Executes a batch: plans it (dedup + seed clustering), warms the
@@ -421,6 +456,7 @@ impl<G: GraphAccess + Sync> QueryEngine<G> {
             queries: self.queries.load(Ordering::Relaxed),
             executed_groups: self.executed_groups.load(Ordering::Relaxed),
             deduplicated: self.deduplicated.load(Ordering::Relaxed),
+            weight_builds: self.weight_builds.load(Ordering::Relaxed),
             ppr: self.ppr_cache.lock().expect("cache lock").stats(),
             context: self.context_cache.lock().expect("cache lock").stats(),
             result: self.result_cache.lock().expect("cache lock").stats(),
@@ -554,6 +590,7 @@ mod tests {
                 damping: 0.2,
                 iterations: 10,
                 parallel: false,
+                epsilon: 0.0,
             },
             type_filter: TypeFilter::None,
         };
@@ -584,6 +621,56 @@ mod tests {
         let q2 = Query::by_names(&g, ["Merkel", "leader0"]).unwrap();
         engine.run(&q2).unwrap();
         assert_eq!(engine.stats().ppr.hits, 1, "shared seed must hit");
+        // The Eq.-1 weight table was derived exactly once for both
+        // queries (ContextRw mode never builds it at all).
+        assert_eq!(engine.stats().weight_builds, 1);
+        let crw = QueryEngine::new(&g, fast_config()).unwrap();
+        assert_eq!(crw.stats().weight_builds, 0);
+        assert!(crw.edge_weights().is_none());
+        assert!(engine.edge_weights().is_some());
+    }
+
+    #[test]
+    fn sparse_ppr_vectors_cost_less_than_dense_estimates() {
+        use nck_core::config::PprConfig;
+        // The query pair's neighborhood is a tiny fraction of the graph:
+        // hundreds of unrelated pairs inflate |V| without widening the
+        // frontier, so the cached vectors stay sparse.
+        let mut b = GraphBuilder::new();
+        b.add_triple("Merkel", "memberOf", "G8");
+        b.add_triple("Obama", "memberOf", "G8");
+        b.add_triple("Merkel", "knows", "Obama");
+        for i in 0..400 {
+            b.add_triple(&format!("u{i}"), "knows", &format!("w{i}"));
+        }
+        let g = b.build();
+        let q = Query::by_names(&g, ["Merkel", "Obama"]).unwrap();
+        let cfg = EngineConfig {
+            selector: SelectorMode::RandomWalk,
+            randomwalk: RandomWalkConfig {
+                ppr: PprConfig {
+                    damping: 0.2,
+                    iterations: 10,
+                    parallel: false,
+                    epsilon: 1e-4,
+                },
+                type_filter: TypeFilter::None,
+            },
+            ..fast_config()
+        };
+        let engine = QueryEngine::new(&g, cfg).unwrap();
+        engine.run(&q).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.ppr.len, 2, "one cached vector per seed");
+        // With ε-pruned sparse vectors the cache charge must undercut the
+        // old hardcoded dense estimate (8·|V| + header per vector).
+        let dense_estimate = 2 * (g.num_nodes() * std::mem::size_of::<f64>() + 64);
+        assert!(
+            stats.ppr.bytes < dense_estimate,
+            "sparse entries charged {} bytes, dense estimate {}",
+            stats.ppr.bytes,
+            dense_estimate
+        );
     }
 
     #[test]

@@ -68,6 +68,7 @@ impl EvalEnv {
                 damping: 0.2,
                 iterations: 10,
                 parallel: true,
+                epsilon: 0.0,
             },
             type_filter: TypeFilter::CommonAncestor,
         })

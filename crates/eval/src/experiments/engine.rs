@@ -13,10 +13,12 @@
 use crate::env::EvalEnv;
 use crate::report::{f3, Report};
 use nck_api::{NckService, QueryRequest, WorkloadMode, WorkloadRequest};
-use nck_core::config::{ContextRwConfig, FindNcConfig, PathMiningConfig};
+use nck_core::config::{
+    ContextRwConfig, FindNcConfig, PathMiningConfig, PprConfig, RandomWalkConfig,
+};
 use nck_core::context::TypeFilter;
 use nck_datagen::DomainId;
-use nck_engine::EngineConfig;
+use nck_engine::{EngineConfig, SelectorMode};
 
 /// Pipeline settings matching the harness's ContextRW experiments.
 fn pipeline_config(env: &EvalEnv) -> FindNcConfig {
@@ -98,6 +100,83 @@ pub fn engine(env: &EvalEnv) -> Report {
         stats.deduplicated,
         stats.submitted,
     ));
+
+    // -- RandomWalk selector: exact (ε = 0) vs ε-pruned frontier PPR ----
+    //
+    // Both rows execute the sparse frontier core (the dense-vs-sparse
+    // representation comparison lives in `benches/ppr.rs` /
+    // `BENCH_ppr.json`); the ratio isolates the effect of ε pruning.
+    // ε = 0 is verified id-for-id against the sequential baseline
+    // (compare mode), ε > 0 trades a bounded L1 error for locality. The
+    // weight-builds counter proves the Eq.-1 table is derived once per
+    // workload, not once per query.
+    let rw_queries: Vec<QueryRequest> = specs
+        .iter()
+        .map(|s| QueryRequest::entities(s.names.iter().cloned()))
+        .collect();
+    let rw_workload = |epsilon: f64, mode: WorkloadMode| {
+        let service = NckService::builder()
+            .knowledge_graph(env.yago.graph.clone())
+            .engine(EngineConfig {
+                findnc: pipeline_config(env),
+                selector: SelectorMode::RandomWalk,
+                randomwalk: RandomWalkConfig {
+                    ppr: PprConfig {
+                        damping: 0.2,
+                        iterations: 10,
+                        parallel: false,
+                        epsilon,
+                    },
+                    type_filter: TypeFilter::CommonAncestor,
+                },
+                ..EngineConfig::default()
+            })
+            .build()
+            .expect("randomwalk service builds");
+        service
+            .workload(&WorkloadRequest {
+                queries: rw_queries.clone(),
+                repeat: REPEATS,
+                mode,
+                chunk: 0,
+            })
+            .expect("randomwalk workload runs")
+    };
+    let exact = rw_workload(0.0, WorkloadMode::Compare);
+    let sparse = rw_workload(1e-4, WorkloadMode::Engine);
+    let exact_secs = exact.engine_secs.expect("engine phase timed");
+    let sparse_secs = sparse.engine_secs.expect("engine phase timed");
+    r.line("");
+    r.table(
+        &["randomwalk ppr", "queries", "engine (s)", "weight builds"],
+        &[
+            vec![
+                "exact (eps 0)".into(),
+                exact.queries.to_string(),
+                f3(exact_secs),
+                exact
+                    .engine_stats
+                    .and_then(|s| s.weight_builds)
+                    .map(|w| w.to_string())
+                    .unwrap_or_default(),
+            ],
+            vec![
+                "pruned (eps 1e-4)".into(),
+                sparse.queries.to_string(),
+                f3(sparse_secs),
+                sparse
+                    .engine_stats
+                    .and_then(|s| s.weight_builds)
+                    .map(|w| w.to_string())
+                    .unwrap_or_default(),
+            ],
+        ],
+    );
+    r.line(format!(
+        "exact/pruned engine-phase ratio {:.2}x (>1 = pruning faster); \
+         eps-0 rankings verified identical to the sequential baseline",
+        exact_secs / sparse_secs.max(1e-12),
+    ));
     r
 }
 
@@ -119,5 +198,9 @@ mod tests {
         assert!(r.body.contains("batched"));
         assert!(r.body.contains("speedup"));
         assert!(r.body.contains("deduplicated"));
+        // Exact-vs-pruned RandomWalk section: parity at ε = 0 was
+        // verified (compare mode) and the weight table was built once.
+        assert!(r.body.contains("pruned (eps 1e-4)"));
+        assert!(r.body.contains("weight builds"));
     }
 }

@@ -46,6 +46,8 @@ query/batch options:
   --type-filter common|query|none   candidate type filter (default: common)
   --context-size N          context size |C| (default: 100)
   --walks N                 PathMining walk budget (default: 30000)
+  --epsilon F               randomwalk sparse-PPR pruning threshold
+                            (default: 0 = exact frontier execution)
   --top N                   characteristics to print per query (default: 10)
   --json                    emit JSON instead of tables
   --no-parallel             single-threaded execution
@@ -64,6 +66,7 @@ struct RunOpts {
     type_filter: TypeFilter,
     context_size: usize,
     walks: usize,
+    epsilon: f64,
     top: usize,
     json: bool,
     parallel: bool,
@@ -78,6 +81,7 @@ impl Default for RunOpts {
             type_filter: TypeFilter::CommonAncestor,
             context_size: 100,
             walks: 30_000,
+            epsilon: 0.0,
             top: 10,
             json: false,
             parallel: true,
@@ -179,6 +183,14 @@ fn parse_run_opts(args: &mut Vec<String>) -> Result<RunOpts, String> {
     if let Some(v) = take_flag(args, "--walks")? {
         o.walks = parse_num(&v, "--walks")?;
     }
+    if let Some(v) = take_flag(args, "--epsilon")? {
+        o.epsilon = parse_num(&v, "--epsilon")?;
+        if !(o.epsilon >= 0.0 && o.epsilon.is_finite()) {
+            return Err(format!(
+                "--epsilon must be finite and non-negative, got {v:?}"
+            ));
+        }
+    }
     if let Some(v) = take_flag(args, "--top")? {
         o.top = parse_num(&v, "--top")?;
     }
@@ -202,6 +214,7 @@ fn engine_config(o: &RunOpts) -> EngineConfig {
     // sequential baseline the compare mode measures against.
     cfg.randomwalk.ppr = PprConfig {
         parallel: false,
+        epsilon: o.epsilon,
         ..PprConfig::default()
     };
     cfg.parallel = o.parallel;
@@ -477,7 +490,8 @@ fn print_workload(report: &WorkloadReport) {
     if let Some(st) = &report.engine_stats {
         println!(
             "engine stats: {} executed of {} submitted ({} deduplicated); \
-             result cache {}/{} hits, context cache {}/{}, ppr cache {}/{}",
+             result cache {}/{} hits, context cache {}/{}, ppr cache {}/{}; \
+             {} weight build(s)",
             st.executed,
             st.submitted,
             st.deduplicated,
@@ -487,6 +501,7 @@ fn print_workload(report: &WorkloadReport) {
             st.context_hits + st.context_misses,
             st.ppr_hits,
             st.ppr_hits + st.ppr_misses,
+            st.weight_builds.unwrap_or(0),
         );
     }
     // Per distinct query line, the top characteristics of its first run.

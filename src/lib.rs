@@ -97,8 +97,9 @@ pub mod prelude {
     pub use nck_core::context::{Context, ContextSelector, TypeFilter};
     pub use nck_core::context_rw::ContextRw;
     pub use nck_core::findnc::{FindNc, NotableCharacteristic, SearchResult};
-    pub use nck_core::ppr::RandomWalkSelector;
+    pub use nck_core::ppr::{EdgeWeights, PersonalizedPageRank, RandomWalkSelector};
     pub use nck_core::query::Query;
+    pub use nck_core::score::{ScoreVec, SparseWorkspace};
     pub use nck_engine::{EngineConfig, QueryEngine, SelectorMode};
     pub use nck_graph::{
         DynGraphAccess, EdgeLabelId, ErasedGraph, GraphAccess, GraphBuilder, KnowledgeGraph, NodeId,

@@ -147,11 +147,36 @@ impl Default for Criterion {
     }
 }
 
-fn default_sample_size() -> usize {
+/// The externally imposed sample-count cap, when any: `--samples N` on
+/// the bench binary's command line (e.g. `cargo bench -p nck-bench
+/// --bench ppr -- --samples 1` for CI smoke runs) wins over the
+/// `NCK_BENCH_SAMPLES` environment variable. Programmatic
+/// `sample_size(..)` calls are clamped to the cap, so a smoke run stays
+/// a smoke run no matter what the bench requests.
+fn sample_cap() -> Option<usize> {
+    // A present-but-malformed `--samples` aborts instead of silently
+    // running the full sample counts — a smoke run must stay a smoke
+    // run.
+    let parse = |v: Option<String>| -> usize {
+        v.and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("--samples needs a positive integer value"))
+    };
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--samples" {
+            return Some(parse(args.next()));
+        }
+        if let Some(rest) = a.strip_prefix("--samples=") {
+            return Some(parse(Some(rest.to_owned())));
+        }
+    }
     std::env::var("NCK_BENCH_SAMPLES")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(10)
+}
+
+fn default_sample_size() -> usize {
+    sample_cap().unwrap_or(10)
 }
 
 impl Criterion {
@@ -221,11 +246,8 @@ pub struct BenchmarkGroup<'c> {
 impl BenchmarkGroup<'_> {
     /// Sets the number of measured samples per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        // The environment cap keeps baseline generation fast when set.
-        let cap = std::env::var("NCK_BENCH_SAMPLES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(usize::MAX);
+        // The external cap (CLI/env) keeps smoke runs fast when set.
+        let cap = sample_cap().unwrap_or(usize::MAX);
         self.sample_size = n.max(1).min(cap);
         self
     }
