@@ -32,8 +32,8 @@ pub mod types;
 pub use error::{ApiError, ErrorBody};
 pub use service::{rankings_equal, Backend, NckService, NckServiceBuilder};
 pub use types::{
-    Characteristic, EngineStatsReport, QueryOverrides, QueryRequest, QueryResponse, WorkloadMode,
-    WorkloadReport, WorkloadRequest,
+    Characteristic, ConcurrentReport, EngineStatsReport, QueryOverrides, QueryRequest,
+    QueryResponse, WorkloadMode, WorkloadReport, WorkloadRequest,
 };
 
 /// JSON encode/decode entry points (`json::to_string` / `json::from_str`),

@@ -2,9 +2,10 @@
 
 use crate::error::ApiError;
 use crate::types::{
-    Characteristic, EngineStatsReport, QueryOverrides, QueryRequest, QueryResponse, WorkloadMode,
-    WorkloadReport, WorkloadRequest,
+    Characteristic, ConcurrentReport, EngineStatsReport, QueryOverrides, QueryRequest,
+    QueryResponse, WorkloadMode, WorkloadReport, WorkloadRequest,
 };
+use nck_core::error::CoreError;
 use nck_core::findnc::{FindNc, SearchResult};
 use nck_core::ppr::RandomWalkSelector;
 use nck_core::query::Query;
@@ -248,6 +249,17 @@ pub struct NckService {
     load_secs: f64,
 }
 
+// The service is the unit of sharing in a concurrent deployment: one
+// instance behind an `Arc` (or a plain reference from scoped threads)
+// serves every client thread, which is what makes the engine's sharded
+// caches and single-flight coalescing pay off. This assertion makes
+// that contract explicit — a field change that silently dropped
+// `Send + Sync` would fail to compile here, not in a downstream server.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<NckService>()
+};
+
 impl std::fmt::Debug for NckService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NckService")
@@ -309,6 +321,7 @@ impl NckService {
     /// [`QueryResponse::secs`].
     pub fn query(&self, request: &QueryRequest) -> Result<QueryResponse, ApiError> {
         let query = self.resolve(request)?;
+        let _cap = ScopedThreadCap::apply(requested_threads(request), self.config.threads);
         let started = Instant::now();
         let result = match effective_overrides(request) {
             Some(overrides) => self.run_with_overrides(&query, overrides)?,
@@ -324,6 +337,10 @@ impl NckService {
     /// requests with overrides run one-off pipelines. Responses come back
     /// in input order.
     pub fn batch(&self, requests: &[QueryRequest]) -> Result<Vec<QueryResponse>, ApiError> {
+        let _cap = ScopedThreadCap::apply(
+            requests.iter().find_map(requested_threads),
+            self.config.threads,
+        );
         let mut engine_queries: Vec<Query> = Vec::new();
         let mut engine_positions: Vec<usize> = Vec::new();
         let mut out: Vec<Option<QueryResponse>> = vec![None; requests.len()];
@@ -361,6 +378,10 @@ impl NckService {
         I: IntoIterator<Item = QueryRequest>,
     {
         let requests: Vec<QueryRequest> = requests.into_iter().collect();
+        let _cap = ScopedThreadCap::apply(
+            requests.iter().find_map(requested_threads),
+            self.config.threads,
+        );
         let mut queries = Vec::with_capacity(requests.len());
         for request in &requests {
             if effective_overrides(request).is_some() {
@@ -415,6 +436,17 @@ impl NckService {
         for _ in 0..repeat {
             workload.extend(base.iter().cloned());
         }
+        // Every phase of this workload runs under the requested thread
+        // cap, restored when the workload ends (falling back to the
+        // service engine configuration's cap, then the machine). The
+        // cap is purely a performance knob — chunking, which randomized
+        // results depend on, never moves — so every phase still answers
+        // bit-identically.
+        let _cap = ScopedThreadCap::apply(request.threads, self.config.threads);
+        let mut phase_config = self.config.clone();
+        if request.threads.is_some() {
+            phase_config.threads = request.threads;
+        }
 
         if request.mode == WorkloadMode::Compare {
             // Level the substrate between the two timed phases: fault
@@ -442,7 +474,7 @@ impl NckService {
             // per-workload by construction. Backend-level state (the
             // store's per-predicate runs) is shared by design and leveled
             // above for compare mode.
-            let engine = QueryEngine::new(self.graph.clone(), self.config.clone())?;
+            let engine = QueryEngine::new(self.graph.clone(), phase_config.clone())?;
             let started = Instant::now();
             let results = if request.chunk > 0 {
                 engine.run_stream(workload.iter().cloned(), request.chunk)?
@@ -485,6 +517,18 @@ impl NckService {
         }
 
         let results = engine_results.expect("at least one mode ran");
+
+        // Concurrent serving phase: N client threads replay the whole
+        // workload over one shared engine. The single-client results
+        // above are the exactness reference — every concurrent response
+        // must match them id for id, or the phase fails the workload.
+        let concurrent = match request.clients {
+            Some(clients) => {
+                Some(self.concurrent_phase(clients.max(1), &workload, &results, &phase_config)?)
+            }
+            None => None,
+        };
+
         let responses: Vec<QueryResponse> = request
             .queries
             .iter()
@@ -503,7 +547,71 @@ impl NckService {
             sequential_secs,
             speedup,
             engine_stats: stats,
+            concurrent,
             results: responses,
+        })
+    }
+
+    /// Fans `workload` across `clients` OS threads over one fresh
+    /// shared engine, verifies every response id-for-id against
+    /// `reference` (the single-client results), and reports aggregate
+    /// throughput plus per-request latency percentiles.
+    fn concurrent_phase(
+        &self,
+        clients: usize,
+        workload: &[Query],
+        reference: &[Arc<SearchResult>],
+        config: &EngineConfig,
+    ) -> Result<ConcurrentReport, ApiError> {
+        let engine = QueryEngine::new(self.graph.clone(), config.clone())?;
+        let started = Instant::now();
+        type ClientRun = Result<(Vec<Arc<SearchResult>>, Vec<f64>), CoreError>;
+        let per_client: Vec<ClientRun> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let engine = &engine;
+                    s.spawn(move || -> ClientRun {
+                        let mut results = Vec::with_capacity(workload.len());
+                        let mut latencies = Vec::with_capacity(workload.len());
+                        for query in workload {
+                            let t = Instant::now();
+                            let result = engine.run(query)?;
+                            latencies.push(t.elapsed().as_secs_f64());
+                            results.push(result);
+                        }
+                        Ok((results, latencies))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread panicked"))
+                .collect()
+        });
+        let secs = started.elapsed().as_secs_f64();
+        let mut latencies: Vec<f64> = Vec::with_capacity(clients * workload.len());
+        for run in per_client {
+            let (results, client_latencies) = run?;
+            for (index, (got, want)) in results.iter().zip(reference).enumerate() {
+                if !rankings_equal(got, want) {
+                    return Err(ApiError::Diverged { index });
+                }
+            }
+            latencies.extend(client_latencies);
+        }
+        let queries = latencies.len();
+        latencies.sort_by(f64::total_cmp);
+        let ms = |p: f64| percentile(&latencies, p) * 1e3;
+        Ok(ConcurrentReport {
+            clients,
+            queries,
+            secs,
+            throughput: queries as f64 / secs.max(1e-12),
+            p50_ms: ms(50.0),
+            p90_ms: ms(90.0),
+            p99_ms: ms(99.0),
+            max_ms: latencies.last().copied().unwrap_or(0.0) * 1e3,
+            stats: EngineStatsReport::from(engine.stats()),
         })
     }
 
@@ -573,6 +681,9 @@ impl NckService {
         if let Some(epsilon) = overrides.epsilon {
             config.randomwalk.ppr.epsilon = epsilon;
         }
+        // `overrides.threads` is applied by the calling entry point
+        // (query/batch/stream) as a call-scoped cap, not here: it is a
+        // performance knob, not a pipeline setting.
         let findnc = FindNc::new(config.findnc.clone());
         let result = match config.selector {
             SelectorMode::ContextRw => findnc.discover(&self.graph, query),
@@ -620,9 +731,59 @@ impl NckService {
     }
 }
 
-/// `Some(overrides)` only when the request actually overrides something.
+/// `Some(overrides)` only when the request overrides the *pipeline*.
+/// A request whose only override is the pure-performance `threads` cap
+/// runs on the shared engine and its caches like an unoverridden one
+/// (the cap is applied separately, scoped to the call).
 fn effective_overrides(request: &QueryRequest) -> Option<&QueryOverrides> {
-    request.overrides.as_ref().filter(|o| !o.is_noop())
+    request.overrides.as_ref().filter(|o| !o.pipeline_noop())
+}
+
+/// The `threads` cap a request carries, if any (pipeline override or
+/// not).
+fn requested_threads(request: &QueryRequest) -> Option<usize> {
+    request.overrides.as_ref().and_then(|o| o.threads)
+}
+
+/// Applies a worker-thread cap for the duration of a service call,
+/// restoring the **service's configured base cap** (the engine
+/// configuration's `threads`, `None` = machine-derived) when dropped.
+/// `nck_core::parallel`'s cap is a process-wide primitive; this guard
+/// is what keeps per-request and per-workload caps from permanently
+/// throttling the service. Restoring the fixed base — rather than
+/// whatever value was sampled at entry — means interleaved guard drops
+/// from concurrent capped calls always converge back to the base
+/// instead of resurrecting another call's transient cap. Concurrent
+/// capped calls can still briefly see each other's caps mid-flight;
+/// the cap is purely a performance knob, so that can only affect
+/// timing, never results.
+struct ScopedThreadCap {
+    base: Option<usize>,
+}
+
+impl ScopedThreadCap {
+    fn apply(cap: Option<usize>, base: Option<usize>) -> Option<Self> {
+        cap.map(|cap| {
+            nck_core::parallel::set_thread_cap(Some(cap));
+            ScopedThreadCap { base }
+        })
+    }
+}
+
+impl Drop for ScopedThreadCap {
+    fn drop(&mut self) {
+        nck_core::parallel::set_thread_cap(self.base);
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted latency sample
+/// (0 for an empty sample).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Exact ranking equality: same context order, same labels, same scores

@@ -17,7 +17,7 @@
 //! significances are unaffected (`null` ↔ `None`).
 
 use nck_core::context::TypeFilter;
-use nck_engine::{EngineStats, SelectorMode};
+use nck_engine::{CacheStats, EngineStats, SelectorMode};
 use serde::{Deserialize, Serialize};
 
 /// One notable-characteristics query: which entities, plus presentation
@@ -91,13 +91,36 @@ pub struct QueryOverrides {
     /// the RandomWalk selector.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub epsilon: Option<f64>,
+    /// Worker-thread cap for answering this request, applied for the
+    /// duration of the service call and then restored (in a batch or
+    /// stream, the first request carrying one governs the whole call).
+    /// Unlike every other override this is purely a performance knob —
+    /// chunking, which randomized results depend on, never moves — so
+    /// a request whose only override is `threads` still runs on the
+    /// shared engine and its caches.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub threads: Option<usize>,
 }
 
 impl QueryOverrides {
-    /// Whether every override is unset (the request runs on the shared
-    /// engine).
+    /// Whether every override — pipeline settings *and* performance
+    /// knobs — is unset. For deciding whether a request can run on the
+    /// shared engine, use [`pipeline_noop`](Self::pipeline_noop): a
+    /// `threads`-only override is not a no-op but still serves from the
+    /// shared caches.
     pub fn is_noop(&self) -> bool {
         *self == Self::default()
+    }
+
+    /// Whether the overrides leave the *pipeline* untouched — only pure
+    /// performance knobs (`threads`) set, or nothing at all. Such
+    /// requests run on the shared engine and its caches; only pipeline
+    /// overrides fork a one-off uncached run.
+    pub fn pipeline_noop(&self) -> bool {
+        Self {
+            threads: None,
+            ..*self
+        } == Self::default()
     }
 }
 
@@ -176,25 +199,49 @@ pub struct WorkloadRequest {
     /// When positive, streams the workload through the engine in batches
     /// of this size instead of one big batch.
     pub chunk: usize,
+    /// When set, additionally runs a **concurrent serving phase**: the
+    /// whole workload is replayed by this many client OS threads (at
+    /// least 1) over one shared engine, measuring aggregate throughput
+    /// and per-request latency percentiles. Every concurrent response is
+    /// verified id-for-id against the single-client phase's results —
+    /// the shared caches and single-flight coalescing are exact, so
+    /// concurrency must never change an answer. Reported in
+    /// [`WorkloadReport::concurrent`]. `None` (and absent on the wire)
+    /// skips the phase.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub clients: Option<usize>,
+    /// Worker-thread cap for this workload's execution (engine,
+    /// sequential and concurrent phases alike), applied for the
+    /// workload's duration and then restored; when unset, the service
+    /// engine configuration's `threads` (or the machine) governs.
+    /// Purely a performance knob — results are identical under any cap.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub threads: Option<usize>,
 }
 
 impl WorkloadRequest {
-    /// An engine-mode workload over `queries`, run once, unchunked.
+    /// An engine-mode workload over `queries`, run once, unchunked,
+    /// without a concurrent phase.
     pub fn new(queries: Vec<QueryRequest>) -> Self {
         Self {
             queries,
             repeat: 1,
             mode: WorkloadMode::Engine,
             chunk: 0,
+            clients: None,
+            threads: None,
         }
     }
 }
 
 /// Engine cache/dedup counters in wire form.
 ///
-/// The serialized fields reproduce the legacy CLI schema (hit counts
-/// only); the `*_misses` fields ride along unserialized for consumers —
-/// like the CLI's table renderer — that want hit *rates*.
+/// The leading serialized fields reproduce the legacy CLI schema (hit
+/// counts only); the optional `*_coalesced` / `cache_shards` fields are
+/// omitted when `None`, so payloads from older schemas still
+/// deserialize (as `None`). The full per-cache counter structs ride
+/// along unserialized for consumers — like the CLI's table renderer —
+/// that want misses, evictions, resident bytes and hit *rates*.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct EngineStatsReport {
     /// Queries submitted (batch members plus single runs).
@@ -215,15 +262,31 @@ pub struct EngineStatsReport {
     /// (which had no such key) still deserialize.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub weight_builds: Option<u64>,
-    /// Result-cache misses (not serialized; legacy schema).
+    /// Queries answered with a concurrent caller's in-flight result
+    /// (single-flight coalescing on the result layer).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub result_coalesced: Option<u64>,
+    /// Context computations coalesced onto a concurrent caller's.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub context_coalesced: Option<u64>,
+    /// Per-seed PageRank computations coalesced onto a concurrent
+    /// caller's.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub ppr_coalesced: Option<u64>,
+    /// Lock stripes per engine cache (the result cache's count; caches
+    /// with tiny entry budgets clamp lower so their bounds stay strict).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub cache_shards: Option<u64>,
+    /// Full result-cache counters (not serialized; legacy schema keeps
+    /// hit counts only on the wire).
     #[serde(skip)]
-    pub result_misses: u64,
-    /// Context-cache misses (not serialized; legacy schema).
+    pub result_cache: CacheStats,
+    /// Full context-cache counters (not serialized).
     #[serde(skip)]
-    pub context_misses: u64,
-    /// PPR-vector-cache misses (not serialized; legacy schema).
+    pub context_cache: CacheStats,
+    /// Full PPR-vector-cache counters (not serialized).
     #[serde(skip)]
-    pub ppr_misses: u64,
+    pub ppr_cache: CacheStats,
 }
 
 impl From<EngineStats> for EngineStatsReport {
@@ -236,11 +299,47 @@ impl From<EngineStats> for EngineStatsReport {
             context_hits: s.context.hits,
             ppr_hits: s.ppr.hits,
             weight_builds: Some(s.weight_builds),
-            result_misses: s.result.misses,
-            context_misses: s.context.misses,
-            ppr_misses: s.ppr.misses,
+            result_coalesced: Some(s.result_coalesced),
+            context_coalesced: Some(s.context_coalesced),
+            ppr_coalesced: Some(s.ppr_coalesced),
+            cache_shards: Some(s.result.shards as u64),
+            result_cache: s.result,
+            context_cache: s.context,
+            ppr_cache: s.ppr,
         }
     }
+}
+
+/// The concurrent serving phase's measurements (see
+/// [`WorkloadRequest::clients`]).
+///
+/// Latency percentiles are nearest-rank over every request issued by
+/// every client; throughput is aggregate (total requests over the
+/// phase's wall time). Parity with the single-client phase is verified
+/// before the report is produced, so these numbers always describe
+/// id-for-id identical answers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConcurrentReport {
+    /// Client threads that replayed the workload.
+    pub clients: usize,
+    /// Total requests answered (clients × workload length).
+    pub queries: usize,
+    /// Wall time of the whole phase.
+    pub secs: f64,
+    /// Aggregate requests per second.
+    pub throughput: f64,
+    /// Median per-request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 90th-percentile per-request latency, milliseconds.
+    pub p90_ms: f64,
+    /// 99th-percentile per-request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Worst per-request latency, milliseconds.
+    pub max_ms: f64,
+    /// Counters of the engine shared by the concurrent clients (the
+    /// coalesced counts show how much duplicate work single-flight
+    /// absorbed).
+    pub stats: EngineStatsReport,
 }
 
 /// The answer to a [`WorkloadRequest`].
@@ -264,6 +363,10 @@ pub struct WorkloadReport {
     /// Engine counters (engine/compare modes).
     #[serde(skip_serializing_if = "Option::is_none")]
     pub engine_stats: Option<EngineStatsReport>,
+    /// Concurrent serving phase measurements (only when the request set
+    /// [`WorkloadRequest::clients`]).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub concurrent: Option<ConcurrentReport>,
     /// One response per distinct query (its first execution).
     pub results: Vec<QueryResponse>,
 }
@@ -290,7 +393,7 @@ mod tests {
     }
 
     #[test]
-    fn engine_stats_misses_stay_off_the_wire() {
+    fn engine_stats_cache_details_stay_off_the_wire() {
         let report = EngineStatsReport {
             submitted: 8,
             executed: 4,
@@ -299,9 +402,16 @@ mod tests {
             context_hits: 1,
             ppr_hits: 0,
             weight_builds: Some(1),
-            result_misses: 9,
-            context_misses: 9,
-            ppr_misses: 9,
+            result_coalesced: None,
+            context_coalesced: None,
+            ppr_coalesced: None,
+            cache_shards: None,
+            result_cache: CacheStats {
+                misses: 9,
+                ..CacheStats::default()
+            },
+            context_cache: CacheStats::default(),
+            ppr_cache: CacheStats::default(),
         };
         let text = serde::json::to_string(&report);
         assert_eq!(
@@ -309,16 +419,57 @@ mod tests {
             r#"{"submitted":8,"executed":4,"deduplicated":4,"result_hits":2,"context_hits":1,"ppr_hits":0,"weight_builds":1}"#
         );
         let back: EngineStatsReport = serde::json::from_str(&text).unwrap();
-        assert_eq!(back.result_misses, 0, "skipped fields rebuild as default");
+        assert_eq!(
+            back.result_cache,
+            CacheStats::default(),
+            "skipped fields rebuild as default"
+        );
         assert_eq!(back.submitted, 8);
     }
 
     #[test]
-    fn legacy_engine_stats_without_weight_builds_still_parse() {
-        // Payload from the pre-sparse schema: no "weight_builds" key.
+    fn coalesced_and_shard_counters_round_trip() {
+        let report = EngineStatsReport {
+            submitted: 16,
+            executed: 4,
+            deduplicated: 8,
+            result_hits: 4,
+            context_hits: 2,
+            ppr_hits: 1,
+            weight_builds: Some(1),
+            result_coalesced: Some(3),
+            context_coalesced: Some(2),
+            ppr_coalesced: Some(5),
+            cache_shards: Some(8),
+            result_cache: CacheStats::default(),
+            context_cache: CacheStats::default(),
+            ppr_cache: CacheStats::default(),
+        };
+        let text = serde::json::to_string(&report);
+        assert!(text.contains(r#""result_coalesced":3"#), "{text}");
+        assert!(text.contains(r#""cache_shards":8"#), "{text}");
+        let back: EngineStatsReport = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, report, "coalesced/shard counters round-trip");
+    }
+
+    #[test]
+    fn legacy_engine_stats_without_new_counters_still_parse() {
+        // Payload from the pre-sparse schema: no "weight_builds", no
+        // coalesced/shard keys.
         let legacy = r#"{"submitted":8,"executed":4,"deduplicated":4,"result_hits":2,"context_hits":1,"ppr_hits":0}"#;
         let back: EngineStatsReport = serde::json::from_str(legacy).unwrap();
         assert_eq!(back.weight_builds, None);
+        assert_eq!(back.result_coalesced, None);
+        assert_eq!(back.cache_shards, None);
         assert_eq!(back.submitted, 8);
+    }
+
+    #[test]
+    fn legacy_workload_request_without_clients_still_parses() {
+        let legacy = r#"{"queries":[{"entities":["A"]}],"repeat":2,"mode":"Engine","chunk":0}"#;
+        let back: WorkloadRequest = serde::json::from_str(legacy).unwrap();
+        assert_eq!(back.clients, None);
+        assert_eq!(back.threads, None);
+        assert_eq!(back.repeat, 2);
     }
 }

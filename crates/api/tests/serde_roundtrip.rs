@@ -39,6 +39,7 @@ fn query_request_round_trips() {
             selector: Some(SelectorMode::RandomWalk),
             type_filter: Some(TypeFilter::None),
             epsilon: Some(1e-5),
+            threads: Some(4),
         }),
     };
     assert_eq!(roundtrip(&full), full);
@@ -94,8 +95,23 @@ fn workload_request_and_report_round_trip() {
         repeat: 3,
         mode: WorkloadMode::Compare,
         chunk: 4,
+        clients: None,
+        threads: None,
     };
     assert_eq!(roundtrip(&request), request);
+    // The concurrency fields stay off the wire until set…
+    let text = json::to_string(&request);
+    assert!(!text.contains("clients"), "{text}");
+    assert!(!text.contains("threads"), "{text}");
+    // …and ride it once they are.
+    let concurrent = WorkloadRequest {
+        clients: Some(8),
+        threads: Some(2),
+        ..request
+    };
+    assert_eq!(roundtrip(&concurrent), concurrent);
+    let text = json::to_string(&concurrent);
+    assert!(text.contains(r#""clients":8"#), "{text}");
 }
 
 /// End to end: a response produced by a real service run survives the
@@ -133,20 +149,37 @@ fn service_emitted_payloads_round_trip() {
             repeat: 2,
             mode: WorkloadMode::Compare,
             chunk: 0,
+            clients: Some(2),
+            threads: None,
         })
         .unwrap();
     let back: WorkloadReport = roundtrip(&report);
-    // Cache-miss counters are #[serde(skip)] (legacy schema carries hit
-    // counts only), so they come back as zero; everything else is
-    // lossless.
+    // Per-cache counter structs are #[serde(skip)] (the legacy schema
+    // carries hit counts only), so they come back as defaults;
+    // everything else — including the coalesced/shard counters and the
+    // concurrent phase — is lossless.
     let mut wire_view = report.clone();
     if let Some(stats) = &mut wire_view.engine_stats {
-        stats.result_misses = 0;
-        stats.context_misses = 0;
-        stats.ppr_misses = 0;
+        stats.result_cache = Default::default();
+        stats.context_cache = Default::default();
+        stats.ppr_cache = Default::default();
+    }
+    if let Some(concurrent) = &mut wire_view.concurrent {
+        concurrent.stats.result_cache = Default::default();
+        concurrent.stats.context_cache = Default::default();
+        concurrent.stats.ppr_cache = Default::default();
     }
     assert_eq!(back, wire_view);
     assert_eq!(back.queries, 2);
     assert_eq!(back.results.len(), 1);
     assert!(back.speedup.is_some());
+    let stats = back.engine_stats.expect("engine phase ran");
+    assert_eq!(stats.cache_shards, Some(8), "default stripe count");
+    assert_eq!(stats.weight_builds, Some(0), "ContextRw builds no weights");
+    let concurrent = back.concurrent.expect("clients were requested");
+    assert_eq!(concurrent.clients, 2);
+    assert_eq!(concurrent.queries, 4, "2 clients × 2 workload queries");
+    assert!(concurrent.throughput > 0.0);
+    assert!(concurrent.p50_ms <= concurrent.p99_ms);
+    assert!(concurrent.p99_ms <= concurrent.max_ms);
 }

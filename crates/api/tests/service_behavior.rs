@@ -51,6 +51,8 @@ fn workload_stats_are_per_workload_not_cumulative() {
         repeat: 3,
         mode: WorkloadMode::Engine,
         chunk: 0,
+        clients: None,
+        threads: None,
     };
     let first = service.workload(&request).unwrap();
     let second = service.workload(&request).unwrap();
@@ -197,6 +199,8 @@ fn randomwalk_compare_mode_does_not_spuriously_diverge() {
             repeat: 2,
             mode: WorkloadMode::Compare,
             chunk: 0,
+            clients: None,
+            threads: None,
         })
         .expect("compare must agree bit for bit, not Diverged");
     assert!(report.speedup.is_some());
@@ -227,6 +231,8 @@ fn randomwalk_compare_mode_agrees_under_epsilon_pruning() {
             repeat: 2,
             mode: WorkloadMode::Compare,
             chunk: 0,
+            clients: None,
+            threads: None,
         })
         .expect("sparse compare must agree bit for bit");
     assert!(report.speedup.is_some());
@@ -255,5 +261,130 @@ fn epsilon_override_runs_outside_shared_caches() {
         (stats.submitted, stats.executed),
         (0, 0),
         "override path must bypass the engine"
+    );
+}
+
+/// The concurrent serving phase fans the workload across client
+/// threads over one shared engine, verifies every response id-for-id
+/// against the single-client phase, and still derives the Eq.-1 weight
+/// table exactly once for the whole concurrent engine.
+#[test]
+fn concurrent_workload_phase_verifies_parity_and_builds_weights_once() {
+    let mut config = toy_config();
+    config.selector = SelectorMode::RandomWalk;
+    config.randomwalk.type_filter = TypeFilter::None;
+    config.randomwalk.ppr = PprConfig {
+        damping: 0.2,
+        iterations: 10,
+        parallel: false,
+        epsilon: 0.0,
+    };
+    let service = toy_service(config);
+    let queries = vec![
+        QueryRequest::entities(["Merkel", "Obama"]),
+        QueryRequest::entities(["Merkel", "leader0"]),
+        QueryRequest::entities(["leader1", "leader2"]),
+    ];
+    let report = service
+        .workload(&WorkloadRequest {
+            queries,
+            repeat: 2,
+            mode: WorkloadMode::Compare,
+            chunk: 0,
+            clients: Some(4),
+            threads: None,
+        })
+        .expect("concurrent responses must match sequential id for id");
+    let concurrent = report.concurrent.expect("clients were requested");
+    assert_eq!(concurrent.clients, 4);
+    assert_eq!(concurrent.queries, 4 * 6, "4 clients × (3 distinct × 2)");
+    assert!(concurrent.secs > 0.0);
+    assert!(concurrent.throughput > 0.0);
+    assert!(concurrent.p50_ms <= concurrent.p90_ms);
+    assert!(concurrent.p90_ms <= concurrent.p99_ms);
+    assert!(concurrent.p99_ms <= concurrent.max_ms);
+    // One engine, shared by all 4 clients: the O(|E|) weight table was
+    // derived exactly once, not once per client.
+    assert_eq!(concurrent.stats.weight_builds, Some(1));
+    assert_eq!(concurrent.stats.submitted, 4 * 6);
+    // Between batch-style cache hits and single-flight coalescing, the
+    // 24 submissions collapse to exactly the 3 distinct computations.
+    assert_eq!(concurrent.stats.executed, 3);
+}
+
+/// `clients: Some(1)` exercises the phase without concurrency: one
+/// client, same verification, sane percentiles.
+#[test]
+fn single_client_concurrent_phase_works() {
+    let service = toy_service(toy_config());
+    let report = service
+        .workload(&WorkloadRequest {
+            queries: vec![QueryRequest::entities(["Merkel", "Obama"])],
+            repeat: 1,
+            mode: WorkloadMode::Engine,
+            chunk: 0,
+            clients: Some(1),
+            threads: None,
+        })
+        .unwrap();
+    let concurrent = report.concurrent.expect("clients were requested");
+    assert_eq!((concurrent.clients, concurrent.queries), (1, 1));
+    assert_eq!(concurrent.stats.result_coalesced, Some(0));
+}
+
+/// A request whose only override is the pure-performance `threads` cap
+/// must still run on the shared engine and its caches (only *pipeline*
+/// overrides fork an uncached one-off run), and the cap must be
+/// restored after the call instead of throttling the service forever.
+#[test]
+fn threads_only_override_stays_on_shared_engine_and_cap_is_restored() {
+    use nck_api::QueryOverrides;
+    use nck_core::parallel;
+
+    let service = toy_service(toy_config());
+    let mut request = QueryRequest::entities(["Merkel", "Obama"]);
+    request.overrides = Some(QueryOverrides {
+        threads: Some(2),
+        ..QueryOverrides::default()
+    });
+    let before = parallel::thread_cap();
+    let first = service.query(&request).unwrap();
+    assert_eq!(
+        parallel::thread_cap(),
+        before,
+        "per-request cap must be restored after the call"
+    );
+    let stats = service.stats();
+    assert_eq!(
+        (stats.submitted, stats.executed),
+        (1, 1),
+        "threads-only override must run on the shared engine"
+    );
+    // A repeat (without any override) is served by the shared result
+    // cache the first call populated.
+    let mut second = service
+        .query(&QueryRequest::entities(["Merkel", "Obama"]))
+        .unwrap();
+    let mut first = first;
+    (first.secs, second.secs) = (None, None);
+    assert_eq!(first, second, "cached repeat answers identically");
+    assert_eq!(service.stats().executed, 1, "no recomputation");
+
+    // A workload-level cap is likewise scoped to the workload.
+    let report = service
+        .workload(&WorkloadRequest {
+            queries: vec![QueryRequest::entities(["Merkel", "Obama"])],
+            repeat: 1,
+            mode: WorkloadMode::Engine,
+            chunk: 0,
+            clients: None,
+            threads: Some(1),
+        })
+        .unwrap();
+    assert!(report.engine_secs.is_some());
+    assert_eq!(
+        parallel::thread_cap(),
+        before,
+        "workload cap must be restored after the workload"
     );
 }

@@ -1,0 +1,162 @@
+//! Concurrent serving throughput: 1/2/4/8 client threads hammering one
+//! shared engine (`BENCH_serve.json`) — the workload shape the sharded
+//! caches and single-flight layer exist for.
+//!
+//! Each `clients_N_qM` bench spawns N OS threads over a **fresh shared
+//! engine** and has every client replay the full 32-query repeated-seed
+//! workload through `QueryEngine::run` (the serving path, one query at
+//! a time — no batch planner). M = N × 32 is the total query count, so
+//! aggregate throughput is `M / median_time`: because concurrent misses
+//! on the same key coalesce to one computation and the caches are
+//! genuinely shared (one `Arc<QueryEngine>`, not per-client copies),
+//! total work stays roughly constant as N grows and multi-client
+//! throughput exceeds the 1-client baseline.
+//!
+//! Before timing anything, the bench asserts that an 8-client concurrent
+//! run is **id-for-id identical** to sequential `FindNc::discover` for
+//! every client and every query — a CI smoke run (`--samples 1`) fails
+//! loudly if concurrency ever changes an answer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nck_bench::small_dataset;
+use nck_core::config::{ContextRwConfig, FindNcConfig, PathMiningConfig};
+use nck_core::context::TypeFilter;
+use nck_core::findnc::FindNc;
+use nck_core::query::Query;
+use nck_datagen::DomainId;
+use nck_engine::{EngineConfig, QueryEngine};
+use nck_graph::KnowledgeGraph;
+
+/// The engine bench's repeated-seed workload: 32 queries over 8 distinct
+/// seed pairs, all anchored on the domain's most prominent entity.
+fn workload(graph: &KnowledgeGraph) -> Vec<Query> {
+    let d = small_dataset();
+    let members = &d
+        .domain(DomainId::Actors)
+        .expect("actors domain exists")
+        .members;
+    let mut queries = Vec::with_capacity(32);
+    for _rep in 0..4 {
+        for i in 0..8 {
+            queries.push(
+                Query::new(graph, vec![members[0], members[1 + i]]).expect("valid seed pair"),
+            );
+        }
+    }
+    queries
+}
+
+fn pipeline_config() -> FindNcConfig {
+    FindNcConfig {
+        context: ContextRwConfig {
+            mining: PathMiningConfig {
+                walks: 4_000,
+                max_length: 5,
+                seed: 2,
+                parallel: true,
+            },
+            num_metapaths: 5,
+            type_filter: TypeFilter::CommonAncestor,
+            max_endpoint_fraction: 0.25,
+        },
+        context_size: 50,
+        ..FindNcConfig::default()
+    }
+}
+
+/// Every client replays the whole workload over the one shared engine;
+/// per-client result vectors come back in client order.
+fn serve_concurrently(
+    engine: &QueryEngine<&KnowledgeGraph>,
+    queries: &[Query],
+    clients: usize,
+) -> Vec<Vec<std::sync::Arc<nck_core::findnc::SearchResult>>> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                s.spawn(move || {
+                    queries
+                        .iter()
+                        .map(|q| engine.run(q).expect("query serves"))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    })
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let d = small_dataset();
+    let graph = &d.graph;
+    let queries = workload(graph);
+    let engine_config = EngineConfig {
+        findnc: pipeline_config(),
+        ..EngineConfig::default()
+    };
+
+    // Parity guard, run before any timing: 8 concurrent clients over a
+    // fresh shared engine must answer every query id-for-id identically
+    // to a one-at-a-time sequential FindNc loop.
+    {
+        let engine = QueryEngine::new(graph, engine_config.clone()).unwrap();
+        let concurrent = serve_concurrently(&engine, &queries, 8);
+        let findnc = FindNc::new(pipeline_config());
+        let sequential: Vec<_> = queries
+            .iter()
+            .map(|q| findnc.discover(graph, q).expect("sequential run"))
+            .collect();
+        for (client, results) in concurrent.iter().enumerate() {
+            for (qi, (got, want)) in results.iter().zip(&sequential).enumerate() {
+                assert_eq!(
+                    got.context.ranked(),
+                    want.context.ranked(),
+                    "client {client} query {qi}: concurrent context diverged"
+                );
+                assert_eq!(
+                    got.characteristics.len(),
+                    want.characteristics.len(),
+                    "client {client} query {qi}"
+                );
+                for (x, y) in got.characteristics.iter().zip(&want.characteristics) {
+                    assert_eq!(x.label, y.label, "client {client} query {qi}: order");
+                    assert_eq!(
+                        x.score.to_bits(),
+                        y.score.to_bits(),
+                        "client {client} query {qi}: scores must be bit-identical"
+                    );
+                }
+            }
+        }
+        // The caches were genuinely shared: only the 8 distinct seed
+        // pairs were ever computed, across 8 clients × 32 queries.
+        let stats = engine.stats();
+        assert_eq!(stats.executed_groups, 8, "one computation per distinct");
+        assert_eq!(stats.queries, 8 * 32);
+    }
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    for clients in [1usize, 2, 4, 8] {
+        // Total queries in the bench name so the JSON lines carry
+        // everything needed to compute aggregate throughput
+        // (total_queries / median_ns).
+        let name = format!("clients_{clients}_q{}", clients * queries.len());
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                // A fresh engine per iteration: cold caches, so the
+                // measurement captures coalescing + sharing under
+                // concurrent misses, not steady-state cache hits.
+                let engine = QueryEngine::new(graph, engine_config.clone()).unwrap();
+                serve_concurrently(&engine, &queries, clients)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -2,15 +2,85 @@
 //!
 //! PathMining (hundreds of thousands of independent walks) and the
 //! per-query-node PageRanks are embarrassingly parallel; this helper
-//! splits an index range into one chunk per thread, runs a worker per
-//! chunk, and folds the partial results in chunk order — so parallel runs
-//! produce byte-identical output to sequential ones as long as each chunk
+//! splits an index range into chunks, runs workers over them, and folds
+//! the partial results in chunk order — so parallel runs produce
+//! byte-identical output across repetitions as long as each chunk
 //! derives its randomness from its chunk index.
+//!
+//! ## Chunk count vs worker count
+//!
+//! Two knobs are deliberately decoupled:
+//!
+//! - **Chunk count** ([`chunk_count`]) is part of the deterministic
+//!   execution recipe: randomized workloads seed one RNG per chunk
+//!   index, and chunked `f64` folds associate additions per chunk, so
+//!   changing the chunk count can change results in the last ulp.
+//!   It is derived from the hardware exactly as before and is **not**
+//!   affected by the worker-thread cap.
+//! - **Worker count** ([`thread_count`]) only decides how many OS
+//!   threads execute those chunks. Workers pick up contiguous chunk
+//!   runs and results are folded in chunk order regardless, so capping
+//!   workers (fewer threads each executing more chunks) is
+//!   observationally invisible — a pure performance/footprint knob.
+//!
+//! The worker cap is process-wide ([`set_thread_cap`]): the CLI's
+//! `--threads`, `EngineConfig::threads` and the service's wire fields
+//! all funnel into it, so one setting governs every fork-join site
+//! (mining walks, per-seed PageRanks, engine batch groups) end to end.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide worker-thread cap; 0 means "derive from the machine".
+static THREAD_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps the number of worker threads any fork-join site spawns.
+///
+/// `None` (the default) derives the count from
+/// [`std::thread::available_parallelism`]; `Some(n)` clamps it to at
+/// most `n` (at least 1). The cap is **process-wide** and sticky — it
+/// governs every subsequent [`map_chunks`] call on every thread until
+/// changed — and it never changes results: chunking (the part of the
+/// recipe randomized workloads depend on) is unaffected, only how many
+/// OS threads execute the chunks.
+pub fn set_thread_cap(cap: Option<usize>) {
+    THREAD_CAP.store(
+        cap.unwrap_or(0).max(usize::from(cap.is_some())),
+        Ordering::Relaxed,
+    );
+}
+
+/// The current process-wide worker cap (`None` = machine-derived).
+pub fn thread_cap() -> Option<usize> {
+    match THREAD_CAP.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Number of chunks to split `n` work items into: the hardware
+/// parallelism, clamped to `[1, min(n, 16)]` so tiny workloads never
+/// produce empty chunks and huge machines never over-fragment.
+///
+/// Deliberately ignores [`set_thread_cap`]: chunk boundaries feed
+/// per-chunk RNG seeding and `f64` fold association, so they must not
+/// move when the operator tunes thread usage.
+///
+/// ```
+/// use nck_core::parallel::chunk_count;
+/// assert_eq!(chunk_count(0), 1);          // no work still gets one chunk
+/// assert!(chunk_count(4) <= 4);           // never more chunks than items
+/// assert!(chunk_count(usize::MAX) <= 16); // hard ceiling
+/// ```
+pub fn chunk_count(n: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(n.max(1)).min(16)
+}
 
 /// Number of worker threads to use for `n` work items: the hardware
-/// parallelism, clamped to `[1, min(n, 16)]` so tiny workloads never
-/// spawn idle threads and huge machines never oversubscribe the fork-join
-/// helper.
+/// parallelism, clamped to `[1, min(n, 16)]` — and further capped by
+/// [`set_thread_cap`] when one is set.
 ///
 /// ```
 /// use nck_core::parallel::thread_count;
@@ -19,10 +89,11 @@
 /// assert!(thread_count(usize::MAX) <= 16); // hard ceiling
 /// ```
 pub fn thread_count(n: usize) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    hw.min(n.max(1)).min(16)
+    let base = chunk_count(n);
+    match thread_cap() {
+        Some(cap) => base.min(cap),
+        None => base,
+    }
 }
 
 /// Splits `0..n` into `chunks` half-open ranges of near-equal size (the
@@ -53,27 +124,46 @@ pub fn split_range(n: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
 /// Runs `worker` over each chunk of `0..n` (possibly on threads) and folds
 /// the partial results in chunk order.
 ///
-/// `worker(chunk_index, range)` must be pure up to its arguments for the
-/// parallel and sequential paths to agree.
+/// `worker(chunk_index, range)` must be pure up to its arguments for
+/// repeated runs to agree. The chunking is fixed by [`chunk_count`];
+/// the number of OS threads executing the chunks is [`thread_count`]
+/// (i.e. capped by [`set_thread_cap`]), each thread running a
+/// contiguous run of chunks — so the fold sees the identical chunk
+/// sequence whatever the cap.
 pub fn map_chunks<T, W, F, A>(n: usize, parallel: bool, worker: W, init: A, fold: F) -> A
 where
     T: Send,
     W: Fn(usize, std::ops::Range<usize>) -> T + Sync,
     F: FnMut(A, T) -> A,
 {
-    let chunks = split_range(n, if parallel { thread_count(n) } else { 1 });
+    let chunks = split_range(n, if parallel { chunk_count(n) } else { 1 });
+    let workers = if parallel {
+        thread_count(chunks.len())
+    } else {
+        1
+    };
     let mut fold = fold;
-    if chunks.len() == 1 {
-        let r = worker(0, chunks.into_iter().next().expect("single chunk"));
-        return fold(init, r);
-    }
-    let results: Vec<T> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = chunks
+    if chunks.len() == 1 || workers == 1 {
+        // One worker executes every chunk inline, in chunk order.
+        return chunks
             .into_iter()
             .enumerate()
-            .map(|(i, range)| {
+            .fold(init, |acc, (i, range)| fold(acc, worker(i, range)));
+    }
+    // Assign each worker thread a contiguous run of chunks; gathering
+    // per-worker vectors in spawn order yields the chunks in index
+    // order, so the fold is identical to the inline path's.
+    let runs = split_range(chunks.len(), workers);
+    let results: Vec<Vec<T>> = crossbeam::thread::scope(|s| {
+        let chunks = &chunks;
+        let handles: Vec<_> = runs
+            .into_iter()
+            .map(|run| {
                 let worker = &worker;
-                s.spawn(move |_| worker(i, range))
+                s.spawn(move |_| {
+                    run.map(|i| worker(i, chunks[i].clone()))
+                        .collect::<Vec<T>>()
+                })
             })
             .collect();
         handles
@@ -82,7 +172,7 @@ where
             .collect()
     })
     .expect("crossbeam scope failed");
-    results.into_iter().fold(init, fold)
+    results.into_iter().flatten().fold(init, fold)
 }
 
 #[cfg(test)]
@@ -132,6 +222,51 @@ mod tests {
         assert!(thread_count(1_000_000) <= 16);
         assert!(thread_count(2) <= 2);
         assert!(thread_count(1) == 1);
+    }
+
+    /// The worker cap must not move chunk boundaries — chunk-indexed
+    /// RNG seeding depends on them — and capped execution must fold the
+    /// same chunk sequence in the same order.
+    ///
+    /// Runs every capped call inside one test so the process-wide cap
+    /// never races the other tests in this binary (the cap cannot
+    /// change *results* by design, but this test also asserts worker
+    /// counts, which the cap does change).
+    #[test]
+    fn worker_cap_is_observationally_invisible() {
+        let n = 4_096usize;
+        let worker = |i: usize, r: std::ops::Range<usize>| -> (usize, u64) {
+            // Chunk-seeded pseudo-randomness: sensitive to chunk count
+            // and order, exactly like PathMining's per-chunk RNG.
+            let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (i as u64);
+            for x in r {
+                h = h.wrapping_mul(0x100_0000_01b3).wrapping_add(x as u64);
+            }
+            (i, h)
+        };
+        let fold = |mut acc: Vec<(usize, u64)>, part| {
+            acc.push(part);
+            acc
+        };
+        assert_eq!(thread_cap(), None, "cap starts unset");
+        let uncapped = map_chunks(n, true, worker, Vec::new(), fold);
+        for cap in [1usize, 2, 3] {
+            set_thread_cap(Some(cap));
+            assert_eq!(thread_cap(), Some(cap));
+            assert!(thread_count(n) <= cap, "cap must bound workers");
+            assert_eq!(
+                chunk_count(n),
+                uncapped.len(),
+                "cap must not change chunking"
+            );
+            let capped = map_chunks(n, true, worker, Vec::new(), fold);
+            assert_eq!(capped, uncapped, "cap={cap} must be invisible");
+        }
+        set_thread_cap(Some(0)); // 0 is clamped to 1, not "unset"
+        assert_eq!(thread_cap(), Some(1));
+        set_thread_cap(None);
+        assert_eq!(thread_cap(), None);
+        assert_eq!(map_chunks(n, true, worker, Vec::new(), fold), uncapped);
     }
 
     #[test]

@@ -1,19 +1,50 @@
-//! A small deterministic LRU cache with bounded memory.
+//! Deterministic, memory-bounded LRU caching — single-shard
+//! ([`LruCache`]) and lock-striped ([`ShardedLru`]).
 //!
-//! The engine keeps three of these (PPR vectors, contexts, full results);
-//! all are exact caches — a hit returns precisely the value a fresh
-//! computation would produce — so cache state never changes *what* the
-//! engine answers, only how fast. Eviction is least-recently-used with
-//! a monotonic use counter, which makes single-threaded traces fully
-//! deterministic (concurrent traces may interleave uses differently, but
-//! since entries are exact that can only affect hit rates, not results).
+//! The engine keeps three sharded caches (PPR vectors, contexts, full
+//! results); all are exact caches — a hit returns precisely the value a
+//! fresh computation would produce — so cache state never changes *what*
+//! the engine answers, only how fast. Eviction is least-recently-used
+//! with a monotonic use counter, which makes single-threaded traces
+//! fully deterministic (concurrent traces may interleave uses
+//! differently, but since entries are exact that can only affect hit
+//! rates, not results).
 //!
 //! Memory is bounded two ways: an entry budget (`capacity`) and an
-//! approximate byte budget (`max_bytes`) fed by a per-value cost function.
-//! Whichever bound is exceeded first triggers eviction.
+//! approximate byte budget (`max_bytes`) fed by a per-value cost
+//! function. Whichever bound is exceeded first triggers eviction.
+//!
+//! ## Eviction is O(1) amortized
+//!
+//! Recency is tracked by an ordered queue of `(tick, key)` generations
+//! with lazy invalidation: every touch appends the key's newest tick,
+//! and eviction pops from the front, discarding entries whose tick no
+//! longer matches the key's current `last_used` (the key was touched
+//! again since). Each queue entry is pushed once and popped once, so
+//! eviction is O(1) amortized — replacing the old O(len) min-scan.
+//! Stale entries are compacted away whenever the queue grows past twice
+//! the resident count, which keeps the queue O(len) without changing
+//! eviction order. Keys are stored behind an [`Arc`] shared between the
+//! map and the queue, so neither queue maintenance nor eviction ever
+//! deep-clones a key: the eviction path removes the map entry and drops
+//! it, taking ownership instead of cloning.
+//!
+//! ## Sharding
+//!
+//! [`ShardedLru`] stripes one logical cache across N independently
+//! locked [`LruCache`] shards selected by key hash, so concurrent
+//! lookups on different keys proceed without contending on one global
+//! lock. Budgets are split evenly: each shard gets `capacity / N`
+//! entries (rounded up) and `max_bytes / N` bytes — while the
+//! single-entry refusal threshold stays the *total* byte budget, so
+//! sharding never shrinks the largest cacheable value. Shard
+//! assignment uses the std `DefaultHasher` with its fixed keys, so a
+//! given key always lands in the same shard across runs.
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 
 /// Counters describing a cache's lifetime behavior.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -29,6 +60,9 @@ pub struct CacheStats {
     /// Approximate bytes currently resident (as reported by the cost
     /// function passed to [`LruCache::insert_with_cost`]).
     pub bytes: usize,
+    /// Number of lock-striped shards the counters are aggregated over
+    /// (1 for a plain [`LruCache`]).
+    pub shards: usize,
 }
 
 impl CacheStats {
@@ -41,10 +75,22 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.len += other.len;
+        self.bytes += other.bytes;
+        self.shards += other.shards;
+    }
 }
 
 #[derive(Debug)]
-struct Entry<V> {
+struct Entry<K, V> {
+    /// The map's own key, shared with the recency queue (an `Arc` bump,
+    /// never a deep clone).
+    key: Arc<K>,
     value: V,
     cost: usize,
     last_used: u64,
@@ -53,9 +99,18 @@ struct Entry<V> {
 /// Deterministic least-recently-used cache. See the [module docs](self).
 #[derive(Debug)]
 pub struct LruCache<K, V> {
-    map: HashMap<K, Entry<V>>,
+    map: HashMap<Arc<K>, Entry<K, V>>,
+    /// Recency generations, oldest first; entries whose tick no longer
+    /// matches the key's `last_used` are stale and skipped lazily.
+    order: VecDeque<(u64, Arc<K>)>,
     capacity: usize,
     max_bytes: usize,
+    /// Refusal threshold for a single entry's cost. Equal to
+    /// `max_bytes` for a standalone cache; a [`ShardedLru`] shard keeps
+    /// the *total* budget here so an entry bigger than the shard's
+    /// share (but within the whole cache's budget) is still cacheable —
+    /// the shard then temporarily holds just that entry.
+    max_entry_bytes: usize,
     bytes: usize,
     tick: u64,
     hits: u64,
@@ -63,7 +118,7 @@ pub struct LruCache<K, V> {
     evictions: u64,
 }
 
-impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+impl<K: Eq + Hash, V> LruCache<K, V> {
     /// Creates a cache bounded by `capacity` entries (byte budget
     /// unlimited). A zero capacity disables caching entirely.
     pub fn new(capacity: usize) -> Self {
@@ -73,10 +128,20 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// Creates a cache bounded by `capacity` entries *and* `max_bytes`
     /// approximate resident bytes.
     pub fn with_max_bytes(capacity: usize, max_bytes: usize) -> Self {
+        Self::with_budgets(capacity, max_bytes, max_bytes)
+    }
+
+    /// [`with_max_bytes`](Self::with_max_bytes) with a separate
+    /// single-entry refusal threshold (see the `max_entry_bytes` field
+    /// doc; used by [`ShardedLru`] so splitting the byte budget across
+    /// shards does not shrink the largest cacheable entry).
+    fn with_budgets(capacity: usize, max_bytes: usize, max_entry_bytes: usize) -> Self {
         Self {
             map: HashMap::new(),
+            order: VecDeque::new(),
             capacity,
             max_bytes,
+            max_entry_bytes,
             bytes: 0,
             tick: 0,
             hits: 0,
@@ -88,10 +153,14 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// Looks `key` up, marking it most recently used on a hit.
     pub fn get(&mut self, key: &K) -> Option<&V> {
         self.tick += 1;
+        let tick = self.tick;
         match self.map.get_mut(key) {
             Some(e) => {
-                e.last_used = self.tick;
+                e.last_used = tick;
                 self.hits += 1;
+                self.order.push_back((tick, Arc::clone(&e.key)));
+                self.compact_order();
+                let e = self.map.get(key).expect("entry just touched");
                 Some(&e.value)
             }
             None => {
@@ -99,6 +168,15 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                 None
             }
         }
+    }
+
+    /// Looks `key` up without touching the hit/miss counters or the
+    /// recency order. Used for single-flight double-checks: a present
+    /// entry was inserted moments ago by the previous leader, and the
+    /// caller's original lookup already counted the miss — counting it
+    /// again would double-book every cold computation.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|e| &e.value)
     }
 
     /// Inserts with a unit cost (entry-count bounding only).
@@ -111,43 +189,77 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     ///
     /// Re-inserting an existing key replaces the value (callers that
     /// computed a value concurrently store equal values, so replacement
-    /// is observationally a no-op). A value whose cost alone exceeds the
-    /// byte budget, or a zero-capacity cache, stores nothing.
+    /// is observationally a no-op). A value whose cost alone exceeds
+    /// the single-entry threshold (the byte budget, for a standalone
+    /// cache), or a zero-capacity cache, stores nothing. An entry over
+    /// the eviction budget but within the entry threshold — possible
+    /// only inside a [`ShardedLru`] — evicts everything else in the
+    /// cache and stays resident alone.
     pub fn insert_with_cost(&mut self, key: K, value: V, cost: usize) {
-        if self.capacity == 0 || cost > self.max_bytes {
+        if self.capacity == 0 || cost > self.max_entry_bytes {
             return;
         }
         self.tick += 1;
-        if let Some(old) = self.map.insert(
-            key,
-            Entry {
-                value,
-                cost,
-                last_used: self.tick,
-            },
-        ) {
-            self.bytes -= old.cost;
+        let tick = self.tick;
+        if let Some(e) = self.map.get_mut(&key) {
+            self.bytes -= e.cost;
+            e.value = value;
+            e.cost = cost;
+            e.last_used = tick;
+            self.order.push_back((tick, Arc::clone(&e.key)));
+        } else {
+            let key = Arc::new(key);
+            self.order.push_back((tick, Arc::clone(&key)));
+            self.map.insert(
+                Arc::clone(&key),
+                Entry {
+                    key,
+                    value,
+                    cost,
+                    last_used: tick,
+                },
+            );
         }
         self.bytes += cost;
-        while self.map.len() > self.capacity || self.bytes > self.max_bytes {
+        self.compact_order();
+        // The `len > 1` guard lets one entry over the eviction budget
+        // (admitted above because it fits `max_entry_bytes`) stay
+        // resident alone instead of evicting itself; with a standalone
+        // cache the two thresholds coincide, so any single stored entry
+        // already fits the budget and the guard never bites.
+        while (self.map.len() > self.capacity || self.bytes > self.max_bytes) && self.map.len() > 1
+        {
             self.evict_lru();
         }
     }
 
+    /// Evicts the least-recently-used entry: pops recency generations
+    /// (skipping stale ones) until a live entry surfaces, then removes
+    /// it from the map — taking ownership of the stored key and value,
+    /// no clone. Use counters are unique, so the oldest live generation
+    /// is unambiguous and eviction order is deterministic.
     fn evict_lru(&mut self) {
-        // Use counters are unique, so the minimum is unambiguous and the
-        // scan is deterministic. Caches are small (tens to hundreds of
-        // entries); the O(len) scan is not a hot path.
-        let victim = self
-            .map
-            .iter()
-            .min_by_key(|(_, e)| e.last_used)
-            .map(|(k, _)| k.clone());
-        if let Some(k) = victim {
-            if let Some(e) = self.map.remove(&k) {
-                self.bytes -= e.cost;
-                self.evictions += 1;
+        while let Some((tick, key)) = self.order.pop_front() {
+            let live = self.map.get(&*key).is_some_and(|e| e.last_used == tick);
+            if !live {
+                continue;
             }
+            let e = self.map.remove(&*key).expect("live entry just observed");
+            self.bytes -= e.cost;
+            self.evictions += 1;
+            return;
+        }
+    }
+
+    /// Drops stale recency generations once they outnumber the live
+    /// ones, bounding the queue at O(len). Each queue entry is pushed
+    /// once and dropped once, so maintenance stays O(1) amortized; the
+    /// relative order of live generations is preserved.
+    fn compact_order(&mut self) {
+        if self.order.len() > 2 * self.map.len() + 8 {
+            let map = &self.map;
+            self.order
+                .retain(|(tick, key)| map.get(&**key).is_some_and(|e| e.last_used == *tick));
         }
     }
 
@@ -161,6 +273,18 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.map.is_empty()
     }
 
+    /// Drops every entry and restarts the hit/miss/eviction counters,
+    /// keeping the configured bounds.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+        self.bytes = 0;
+        self.tick = 0;
+        self.hits = 0;
+        self.misses = 0;
+        self.evictions = 0;
+    }
+
     /// Snapshot of the hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -169,7 +293,147 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             evictions: self.evictions,
             len: self.map.len(),
             bytes: self.bytes,
+            shards: 1,
         }
+    }
+}
+
+/// A lock-striped LRU: one logical cache split across N independently
+/// locked [`LruCache`] shards selected by key hash. See the
+/// [module docs](self).
+///
+/// Shard count is clamped to the entry budget so a deliberately tiny
+/// cache (e.g. `capacity = 1` in eviction-pressure tests) keeps its
+/// strict bound instead of silently holding one entry per shard; the
+/// per-shard budgets are `capacity / shards` entries (rounded up) and
+/// `max_bytes / shards` bytes.
+///
+/// `get` returns an owned clone of the value — the engine stores `Arc`s
+/// and cheaply clonable contexts — so no lock is held while the caller
+/// uses the hit.
+#[derive(Debug)]
+pub struct ShardedLru<K, V> {
+    shards: Box<[Mutex<LruCache<K, V>>]>,
+}
+
+impl<K: Eq + Hash, V: Clone> ShardedLru<K, V> {
+    /// Creates a cache striped over `shards` locks, bounded by
+    /// `capacity` entries in total (byte budget unlimited).
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        Self::with_max_bytes(shards, capacity, usize::MAX)
+    }
+
+    /// Creates a cache striped over `shards` locks, bounded by
+    /// `capacity` entries *and* `max_bytes` approximate resident bytes
+    /// in total. A zero capacity disables caching entirely.
+    ///
+    /// Each shard's *eviction* budget is its even share of `max_bytes`,
+    /// but the single-entry *refusal* threshold stays the full
+    /// `max_bytes`: an entry bigger than one shard's share (yet within
+    /// the whole cache's budget) is still cached — its shard then
+    /// temporarily holds just that entry — so sharding never shrinks
+    /// the largest cacheable value. The aggregate bound is therefore
+    /// approximate within one such oversized entry's excess.
+    pub fn with_max_bytes(shards: usize, capacity: usize, max_bytes: usize) -> Self {
+        let shards = shards.clamp(1, capacity.max(1));
+        let per_shard_capacity = capacity.div_ceil(shards);
+        let per_shard_bytes = if max_bytes == usize::MAX {
+            usize::MAX
+        } else {
+            (max_bytes / shards).max(1)
+        };
+        let shards: Vec<Mutex<LruCache<K, V>>> = (0..shards)
+            .map(|_| {
+                Mutex::new(LruCache::with_budgets(
+                    per_shard_capacity,
+                    per_shard_bytes,
+                    max_bytes,
+                ))
+            })
+            .collect();
+        Self {
+            shards: shards.into_boxed_slice(),
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `key` hashes into. `DefaultHasher::new()` uses fixed
+    /// keys, so the assignment is stable across runs and processes.
+    fn shard(&self, key: &K) -> &Mutex<LruCache<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks `key` up in its shard, marking it most recently used and
+    /// returning an owned clone on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key)
+            .lock()
+            .expect("cache shard lock")
+            .get(key)
+            .cloned()
+    }
+
+    /// Looks `key` up without touching counters or recency (the
+    /// single-flight double-check; see [`LruCache::peek`]).
+    pub fn peek(&self, key: &K) -> Option<V> {
+        self.shard(key)
+            .lock()
+            .expect("cache shard lock")
+            .peek(key)
+            .cloned()
+    }
+
+    /// Inserts with a unit cost (entry-count bounding only).
+    pub fn insert(&self, key: K, value: V) {
+        self.insert_with_cost(key, value, 1);
+    }
+
+    /// Inserts `value` under `key` with an approximate byte `cost`; the
+    /// owning shard evicts its least-recently-used entries until its
+    /// share of both bounds holds.
+    pub fn insert_with_cost(&self, key: K, value: V, cost: usize) {
+        self.shard(&key)
+            .lock()
+            .expect("cache shard lock")
+            .insert_with_cost(key, value, cost);
+    }
+
+    /// Total resident entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").len())
+            .sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry in every shard and restarts the counters,
+    /// keeping the configured bounds.
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().expect("cache shard lock").clear();
+        }
+    }
+
+    /// Counters aggregated across shards ([`CacheStats::shards`] carries
+    /// the stripe count). Shards are locked one at a time, so the
+    /// snapshot is per-shard consistent, not globally atomic.
+    pub fn stats(&self) -> CacheStats {
+        let mut out = CacheStats::default();
+        for shard in self.shards.iter() {
+            out.merge(&shard.lock().expect("cache shard lock").stats());
+        }
+        out
     }
 }
 
@@ -234,5 +498,179 @@ mod tests {
         assert_eq!(c.get(&1), Some(&2));
         assert_eq!(c.stats().bytes, 70);
         assert_eq!(c.len(), 1);
+    }
+
+    /// Pins eviction-count and byte accounting under sustained
+    /// byte-budget pressure: every insert past the budget evicts exactly
+    /// the LRU entries needed, and `bytes` tracks the survivors.
+    #[test]
+    fn eviction_accounting_under_byte_pressure() {
+        let mut c: LruCache<u32, Vec<u8>> = LruCache::with_max_bytes(usize::MAX, 100);
+        for k in 0..50u32 {
+            c.insert_with_cost(k, vec![0; 40], 40);
+            assert!(c.stats().bytes <= 100, "budget must hold after insert {k}");
+        }
+        // 40-byte entries under a 100-byte budget: exactly 2 fit, so the
+        // 50 inserts evicted all but the last two, one eviction each.
+        let s = c.stats();
+        assert_eq!(s.len, 2);
+        assert_eq!(s.bytes, 80);
+        assert_eq!(s.evictions, 48);
+        assert!(c.get(&48).is_some());
+        assert!(c.get(&49).is_some());
+        assert!(c.get(&47).is_none());
+        // Interleave touches to force stale recency generations, then
+        // keep evicting: the accounting must stay exact.
+        for k in 0..10u32 {
+            c.get(&48);
+            c.insert_with_cost(100 + k, vec![0; 40], 40);
+        }
+        let s = c.stats();
+        assert_eq!(s.bytes, 80, "two 40-byte survivors");
+        assert_eq!(s.evictions, 48 + 10, "one eviction per over-budget insert");
+    }
+
+    /// The recency queue's lazy invalidation must not let repeated
+    /// touches of one hot key grow the queue without bound.
+    #[test]
+    fn hot_key_does_not_grow_the_recency_queue_unboundedly() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        for k in 0..4 {
+            c.insert(k, k);
+        }
+        for _ in 0..10_000 {
+            c.get(&0);
+        }
+        assert!(
+            c.order.len() <= 2 * c.map.len() + 9,
+            "queue length {} must stay O(len)",
+            c.order.len()
+        );
+        // Recency is still exact: 0 is hottest, 1 is the LRU victim.
+        c.insert(5, 5);
+        assert!(c.get(&1).is_none());
+        assert!(c.get(&0).is_some());
+    }
+
+    #[test]
+    fn sharded_get_insert_and_aggregate_stats() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(4, 64);
+        assert_eq!(c.shard_count(), 4);
+        for k in 0..32u32 {
+            c.insert(k, k * 10);
+        }
+        for k in 0..32u32 {
+            assert_eq!(c.get(&k), Some(k * 10));
+        }
+        assert!(c.get(&99).is_none());
+        let s = c.stats();
+        assert_eq!(s.hits, 32);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.len, 32);
+        assert_eq!(s.shards, 4);
+    }
+
+    #[test]
+    fn shard_count_clamps_to_capacity() {
+        // A 1-entry cache must stay 1-entry even when 8 stripes are
+        // requested — otherwise tight-cache eviction tests would
+        // silently hold 8 entries.
+        let c: ShardedLru<u32, u32> = ShardedLru::new(8, 1);
+        assert_eq!(c.shard_count(), 1);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        assert_eq!(c.len(), 1);
+        assert!(c.stats().evictions > 0);
+        // Zero capacity still disables caching.
+        let off: ShardedLru<u32, u32> = ShardedLru::new(8, 0);
+        assert_eq!(off.shard_count(), 1);
+        off.insert(1, 1);
+        assert!(off.is_empty());
+    }
+
+    #[test]
+    fn sharded_byte_budget_splits_across_shards() {
+        let c: ShardedLru<u32, Vec<u8>> = ShardedLru::with_max_bytes(2, 100, 80);
+        // Each shard holds at most 40 bytes; two 30-byte entries in one
+        // shard evict down to one.
+        for k in 0..64u32 {
+            c.insert_with_cost(k, vec![0; 30], 30);
+        }
+        let s = c.stats();
+        assert!(
+            s.bytes <= 80,
+            "total bytes {} must hold the budget",
+            s.bytes
+        );
+        assert!(s.evictions > 0);
+    }
+
+    /// Splitting the byte budget across shards must not shrink the
+    /// largest cacheable entry: a value bigger than one shard's share
+    /// but within the total budget still gets cached (alone in its
+    /// shard), exactly as the pre-sharding single cache held it.
+    #[test]
+    fn sharded_cache_admits_entries_larger_than_one_shards_share() {
+        let c: ShardedLru<u32, Vec<u8>> = ShardedLru::with_max_bytes(8, 100, 80);
+        // 8 shards → 10-byte eviction budget each; a 50-byte entry
+        // exceeds its shard's share but fits the 80-byte total.
+        c.insert_with_cost(1, vec![0; 50], 50);
+        assert!(c.get(&1).is_some(), "entry within total budget is kept");
+        // A second large entry in the same shard evicts the first
+        // (the shard holds at most one oversized entry at a time).
+        // Whichever shard key 2 hashes to, the cache stays bounded.
+        c.insert_with_cost(2, vec![0; 50], 50);
+        assert!(c.stats().bytes <= 100, "aggregate stays near the budget");
+        // Costs over the *total* budget are still refused outright.
+        c.insert_with_cost(3, vec![0; 99], 99);
+        assert!(c.get(&3).is_none());
+    }
+
+    #[test]
+    fn sharded_one_entry_per_shard() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(4, 4);
+        assert_eq!(c.shard_count(), 4);
+        for k in 0..100u32 {
+            c.insert(k, k);
+        }
+        assert!(c.len() <= 4);
+        for shard in c.shards.iter() {
+            assert!(shard.lock().unwrap().len() <= 1, "one entry per shard");
+        }
+    }
+
+    #[test]
+    fn sharded_concurrent_hammer_keeps_accounting_consistent() {
+        let c: ShardedLru<u64, u64> = ShardedLru::new(8, 64);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..1_000u64 {
+                        let k = (t * 37 + i) % 96;
+                        if let Some(v) = c.get(&k) {
+                            assert_eq!(v, k * 3, "values are exact");
+                        } else {
+                            c.insert(k, k * 3);
+                        }
+                    }
+                });
+            }
+        });
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 8_000);
+        assert!(s.len <= 64);
+        assert_eq!(s.shards, 8);
+    }
+
+    #[test]
+    fn clear_resets_entries_and_counters() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(2, 8);
+        c.insert(1, 1);
+        c.get(&1);
+        c.clear();
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.len, s.bytes), (0, 0, 0, 0));
+        assert!(c.get(&1).is_none(), "entries are gone");
     }
 }

@@ -3,7 +3,7 @@
 //! One engine owns one graph backend and one pipeline configuration, and
 //! answers any number of queries through three exact caches:
 //!
-//! - a **PPR cache** keyed by personalization seed set (the RandomWalk
+//! - a **PPR cache** keyed by personalization seed node (the RandomWalk
 //!   selector runs one Personalized PageRank per seed node; distinct
 //!   queries sharing a seed share the vector), bounded by entries *and*
 //!   approximate bytes;
@@ -19,6 +19,16 @@
 //! cache pressure, or thread count (the workspace's parity tests assert
 //! this on both backends, including under forced eviction).
 //!
+//! The engine is built for **concurrent serving**: each cache is a
+//! lock-striped [`crate::cache::ShardedLru`], so clients
+//! touching different keys never contend on one global lock, and every
+//! miss runs under **single-flight** ([`crate::flight`]) — concurrent
+//! misses on the same key coalesce onto one computation and all callers
+//! share the resulting `Arc`. Because cached values are exact, both
+//! mechanisms are observationally invisible; `EngineStats` exposes
+//! `*_coalesced` counters so workload reports can show how much
+//! duplicate work concurrency avoided.
+//!
 //! Batches are planned by [`crate::schedule`]: exact repeats are executed
 //! once and fanned back out, distinct queries are clustered around their
 //! hottest shared seed so cache hits land before evictions, and the
@@ -26,7 +36,8 @@
 //! faulted in up front. Groups then execute across worker threads via the
 //! same fork-join helper the pipeline itself uses.
 
-use crate::cache::{CacheStats, LruCache};
+use crate::cache::{CacheStats, ShardedLru};
+use crate::flight::SingleFlight;
 use crate::schedule;
 use nck_core::config::{FindNcConfig, RandomWalkConfig};
 use nck_core::context::{top_k_context, CandidateFilter, Context, ContextSelector};
@@ -40,7 +51,7 @@ use nck_core::score::ScoreVec;
 use nck_graph::{EdgeLabelId, GraphAccess, NodeId};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Which context selector the engine runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
@@ -80,6 +91,22 @@ pub struct EngineConfig {
     pub context_cache_entries: usize,
     /// Entry bound of the result cache.
     pub result_cache_entries: usize,
+    /// Lock stripes per cache: each cache is split into this many
+    /// independently locked shards selected by key hash, with the entry
+    /// and byte budgets divided evenly across them. Clamped per cache
+    /// to its entry budget (a 1-entry cache stays strictly 1-entry).
+    pub cache_shards: usize,
+    /// Worker-thread cap applied to [`nck_core::parallel`] when the
+    /// engine is built (`None` = leave the current process-wide cap
+    /// untouched). The cap is **process-wide**: the most recently
+    /// constructed engine with `Some` wins for the whole process and
+    /// stays in effect after that engine is dropped — it is the
+    /// operator's deployment knob, not a per-engine property (the
+    /// service layer scopes per-request/per-workload caps around it).
+    /// Purely a performance/footprint knob: chunking — the part of the
+    /// recipe randomized workloads depend on — is not affected, so
+    /// results are identical under any cap.
+    pub threads: Option<usize>,
     /// Execute batch groups across worker threads (results are identical
     /// either way; see the [module docs](self)).
     pub parallel: bool,
@@ -99,6 +126,8 @@ impl Default for EngineConfig {
             ppr_cache_bytes: 64 << 20,
             context_cache_entries: 512,
             result_cache_entries: 512,
+            cache_shards: 8,
+            threads: None,
             parallel: true,
             warm_predicates: true,
         }
@@ -121,6 +150,16 @@ pub struct EngineStats {
     /// lifetime — the table is built at construction and shared across
     /// every query and batch, never per query.
     pub weight_builds: u64,
+    /// Queries answered with another caller's in-flight result: the
+    /// caller missed the result cache while a concurrent caller was
+    /// already computing the same key, blocked on that computation, and
+    /// received the same `Arc` (see [`crate::flight`]).
+    pub result_coalesced: u64,
+    /// Context computations coalesced onto a concurrent caller's.
+    pub context_coalesced: u64,
+    /// Per-seed PageRank computations coalesced onto a concurrent
+    /// caller's.
+    pub ppr_coalesced: u64,
     /// PPR vector cache counters.
     pub ppr: CacheStats,
     /// Context cache counters.
@@ -156,9 +195,12 @@ pub struct QueryEngine<G: GraphAccess + Sync> {
     /// Built once per engine in RandomWalk mode (weight precomputation is
     /// `O(|E|)` and identical for every query).
     ppr: Option<PersonalizedPageRank<G>>,
-    ppr_cache: Mutex<LruCache<Vec<NodeId>, Arc<ScoreVec>>>,
-    context_cache: Mutex<LruCache<Vec<NodeId>, Context>>,
-    result_cache: Mutex<LruCache<Vec<NodeId>, Arc<SearchResult>>>,
+    ppr_cache: ShardedLru<NodeId, Arc<ScoreVec>>,
+    context_cache: ShardedLru<Vec<NodeId>, Context>,
+    result_cache: ShardedLru<Vec<NodeId>, Arc<SearchResult>>,
+    ppr_flight: SingleFlight<NodeId, Arc<ScoreVec>>,
+    context_flight: SingleFlight<Vec<NodeId>, Context>,
+    result_flight: SingleFlight<Vec<NodeId>, Arc<SearchResult>>,
     batches: AtomicU64,
     queries: AtomicU64,
     executed_groups: AtomicU64,
@@ -189,17 +231,24 @@ impl<G: GraphAccess + Sync> QueryEngine<G> {
             SelectorMode::ContextRw => None,
         };
         let weight_builds = AtomicU64::new(u64::from(ppr.is_some()));
+        if config.threads.is_some() {
+            parallel::set_thread_cap(config.threads);
+        }
         Ok(Self {
             graph,
             findnc: FindNc::new(config.findnc.clone()),
             context_rw: ContextRw::new(config.findnc.context.clone()),
             ppr,
-            ppr_cache: Mutex::new(LruCache::with_max_bytes(
+            ppr_cache: ShardedLru::with_max_bytes(
+                config.cache_shards,
                 config.ppr_cache_entries,
                 config.ppr_cache_bytes,
-            )),
-            context_cache: Mutex::new(LruCache::new(config.context_cache_entries)),
-            result_cache: Mutex::new(LruCache::new(config.result_cache_entries)),
+            ),
+            context_cache: ShardedLru::new(config.cache_shards, config.context_cache_entries),
+            result_cache: ShardedLru::new(config.cache_shards, config.result_cache_entries),
+            ppr_flight: SingleFlight::new(),
+            context_flight: SingleFlight::new(),
+            result_flight: SingleFlight::new(),
             batches: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             executed_groups: AtomicU64::new(0),
@@ -239,46 +288,56 @@ impl<G: GraphAccess + Sync> QueryEngine<G> {
 
     /// `run` minus the submitted-query accounting (batch members are
     /// counted once by [`run_batch`](Self::run_batch)).
+    ///
+    /// Cache misses run under single-flight: concurrent misses on the
+    /// same seed-list key coalesce onto one computation and every
+    /// caller receives the same `Arc`. All cached values are exact, so
+    /// coalescing never changes what a caller gets back.
     fn run_planned(&self, query: &Query) -> Result<Arc<SearchResult>, CoreError> {
         let key = schedule::canonical_key(query);
-        if let Some(hit) = self.result_cache.lock().expect("cache lock").get(&key) {
-            return Ok(Arc::clone(hit));
+        if let Some(hit) = self.result_cache.get(&key) {
+            return Ok(hit);
         }
-        self.executed_groups.fetch_add(1, Ordering::Relaxed);
-        let context = self.context_for(query, &key)?;
-        let result = Arc::new(
-            self.findnc
-                .discover_with_context(&self.graph, query, &context)?,
-        );
-        self.result_cache
-            .lock()
-            .expect("cache lock")
-            .insert(key, Arc::clone(&result));
-        Ok(result)
+        self.result_flight.execute(key.clone(), || {
+            // A previous leader may have finished between our miss and
+            // this flight's start; its insert serves us without a
+            // recomputation (peek: the miss was already counted above).
+            if let Some(hit) = self.result_cache.peek(&key) {
+                return Ok(hit);
+            }
+            self.executed_groups.fetch_add(1, Ordering::Relaxed);
+            let context = self.context_for(query, &key)?;
+            let result = Arc::new(self.findnc.discover_with_context(
+                &self.graph,
+                query,
+                &context,
+            )?);
+            self.result_cache.insert(key.clone(), Arc::clone(&result));
+            Ok(result)
+        })
     }
 
-    /// The query's context, via the context cache.
+    /// The query's context, via the context cache; misses coalesce
+    /// under single-flight like [`run_planned`](Self::run_planned)'s.
     fn context_for(&self, query: &Query, key: &[NodeId]) -> Result<Context, CoreError> {
-        if let Some(hit) = self
-            .context_cache
-            .lock()
-            .expect("cache lock")
-            .get(&key.to_vec())
-        {
-            return Ok(hit.clone());
+        let key = key.to_vec();
+        if let Some(hit) = self.context_cache.get(&key) {
+            return Ok(hit);
         }
-        let context = match self.config.selector {
-            SelectorMode::ContextRw => {
-                self.context_rw
-                    .select(&self.graph, query, self.config.findnc.context_size)?
+        self.context_flight.execute(key.clone(), || {
+            if let Some(hit) = self.context_cache.peek(&key) {
+                return Ok(hit);
             }
-            SelectorMode::RandomWalk => self.randomwalk_context(query)?,
-        };
-        self.context_cache
-            .lock()
-            .expect("cache lock")
-            .insert(key.to_vec(), context.clone());
-        Ok(context)
+            let context = match self.config.selector {
+                SelectorMode::ContextRw => {
+                    self.context_rw
+                        .select(&self.graph, query, self.config.findnc.context_size)?
+                }
+                SelectorMode::RandomWalk => self.randomwalk_context(query)?,
+            };
+            self.context_cache.insert(key.clone(), context.clone());
+            Ok(context)
+        })
     }
 
     /// RandomWalk-baseline selection through the PPR cache: one cached
@@ -313,26 +372,32 @@ impl<G: GraphAccess + Sync> QueryEngine<G> {
     /// Cached entries are charged their actual representation cost
     /// ([`ScoreVec::approx_bytes`]), so sparse vectors no longer pay the
     /// dense `8·|V|` estimate and the byte budget holds many more of
-    /// them.
+    /// them. Concurrent misses on the same seed coalesce: one caller
+    /// computes, the rest receive the same `Arc` (identical vectors
+    /// either way — coalescing only saves the duplicate work).
     fn ppr_vector(
         &self,
         seed: NodeId,
         ppr: &PersonalizedPageRank<G>,
         ws: &mut PprWorkspace,
     ) -> Arc<ScoreVec> {
-        let key = vec![seed];
-        if let Some(hit) = self.ppr_cache.lock().expect("cache lock").get(&key) {
-            return Arc::clone(hit);
+        if let Some(hit) = self.ppr_cache.get(&seed) {
+            return hit;
         }
-        // Computed outside the lock; concurrent computations of the same
-        // seed produce identical vectors, so last-write-wins is exact.
-        let v = Arc::new(ppr.run_with(&[seed], ws));
-        let cost = v.approx_bytes();
-        self.ppr_cache
-            .lock()
-            .expect("cache lock")
-            .insert_with_cost(key, Arc::clone(&v), cost);
-        v
+        let flown: Result<Arc<ScoreVec>, std::convert::Infallible> =
+            self.ppr_flight.execute(seed, || {
+                if let Some(hit) = self.ppr_cache.peek(&seed) {
+                    return Ok(hit);
+                }
+                let v = Arc::new(ppr.run_with(&[seed], ws));
+                self.ppr_cache
+                    .insert_with_cost(seed, Arc::clone(&v), v.approx_bytes());
+                Ok(v)
+            });
+        match flown {
+            Ok(v) => v,
+            Err(never) => match never {},
+        }
     }
 
     /// The engine's shared Eq.-1 weight table (`Some` in RandomWalk
@@ -457,22 +522,23 @@ impl<G: GraphAccess + Sync> QueryEngine<G> {
             executed_groups: self.executed_groups.load(Ordering::Relaxed),
             deduplicated: self.deduplicated.load(Ordering::Relaxed),
             weight_builds: self.weight_builds.load(Ordering::Relaxed),
-            ppr: self.ppr_cache.lock().expect("cache lock").stats(),
-            context: self.context_cache.lock().expect("cache lock").stats(),
-            result: self.result_cache.lock().expect("cache lock").stats(),
+            result_coalesced: self.result_flight.coalesced(),
+            context_coalesced: self.context_flight.coalesced(),
+            ppr_coalesced: self.ppr_flight.coalesced(),
+            ppr: self.ppr_cache.stats(),
+            context: self.context_cache.stats(),
+            result: self.result_cache.stats(),
         }
     }
 
     /// Drops every cached PPR vector, context and result. Engine-level
-    /// counters (batches, queries, executed groups) keep accumulating;
-    /// the per-cache hit/miss counters restart with the fresh caches.
-    /// Useful for cold-cache measurements.
+    /// counters (batches, queries, executed groups, coalesced) keep
+    /// accumulating; the per-cache hit/miss counters restart with the
+    /// fresh caches. Useful for cold-cache measurements.
     pub fn clear_caches(&self) {
-        let cfg = &self.config;
-        *self.ppr_cache.lock().expect("cache lock") =
-            LruCache::with_max_bytes(cfg.ppr_cache_entries, cfg.ppr_cache_bytes);
-        *self.context_cache.lock().expect("cache lock") = LruCache::new(cfg.context_cache_entries);
-        *self.result_cache.lock().expect("cache lock") = LruCache::new(cfg.result_cache_entries);
+        self.ppr_cache.clear();
+        self.context_cache.clear();
+        self.result_cache.clear();
     }
 }
 
@@ -719,6 +785,53 @@ mod tests {
         }
         assert!(tight.stats().result.evictions > 0, "pressure must evict");
         assert!(roomy.stats().result.hits >= 6, "second pass must hit");
+    }
+
+    /// Concurrent clients issuing the same cold query coalesce onto one
+    /// computation: exactly one group executes, every client gets the
+    /// same `Arc`, and the flight counters account for the waiters.
+    #[test]
+    fn concurrent_identical_queries_coalesce() {
+        use std::sync::Barrier;
+        let g = leaders();
+        let q = Query::by_names(&g, ["Merkel", "Obama"]).unwrap();
+        let engine = QueryEngine::new(&g, fast_config()).unwrap();
+        const CLIENTS: usize = 8;
+        let barrier = Barrier::new(CLIENTS);
+        let results: Vec<Arc<SearchResult>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|_| {
+                    let (engine, q, barrier) = (&engine, &q, &barrier);
+                    s.spawn(move || {
+                        barrier.wait();
+                        engine.run(q).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in &results[1..] {
+            assert!(
+                Arc::ptr_eq(&results[0], r),
+                "all clients share the one computed Arc"
+            );
+        }
+        let s = engine.stats();
+        assert_eq!(s.queries, CLIENTS as u64);
+        assert_eq!(s.executed_groups, 1, "one computation for 8 clients");
+        // Every client that did not lead was answered without
+        // recomputation: a cache hit, a coalesced flight, or (in a
+        // narrow race window) an uncounted post-flight peek.
+        assert!(
+            s.result.hits + s.result_coalesced <= (CLIENTS - 1) as u64,
+            "at most {} waiters, saw {} hits + {} coalesced",
+            CLIENTS - 1,
+            s.result.hits,
+            s.result_coalesced
+        );
+        // A repeat run is a plain cache hit, not a flight.
+        let again = engine.run(&q).unwrap();
+        assert!(Arc::ptr_eq(&results[0], &again));
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Single-flight computation: concurrent misses on the same key
+//! coalesce into one execution.
+//!
+//! Under concurrent serving, two clients missing the cache on the same
+//! key would both pay the full computation — the second one pure waste,
+//! since every cached value in the engine is exact. [`SingleFlight`]
+//! closes that window: the first caller to register a key becomes the
+//! **leader** and computes; callers arriving while the leader is in
+//! flight become **waiters**, block on the leader's slot, and receive a
+//! clone of the same value. Because values are exact (a recomputation
+//! would produce a bit-identical result), coalescing is observationally
+//! invisible — it changes how often work runs, never what a caller gets
+//! back.
+//!
+//! Failure does not spread: if the leader's computation errors (or its
+//! thread panics), the slot is marked failed and removed, waiters wake
+//! and retry from scratch, and the first retrier becomes the new leader.
+//! Only the leader observes its own error.
+//!
+//! The slot map is keyed like the cache in front of it; the engine runs
+//! one flight group per cache layer (results, contexts, PPR vectors).
+//! Layers only ever wait downward (results → contexts → PPR), so
+//! cross-layer waits cannot cycle.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// State of one in-flight computation.
+enum SlotState<V> {
+    /// The leader is still computing.
+    Pending,
+    /// The leader published its value; waiters clone it.
+    Done(V),
+    /// The leader failed or panicked; waiters retry from scratch.
+    Failed,
+}
+
+/// One registered key's rendezvous point.
+struct Slot<V> {
+    state: Mutex<SlotState<V>>,
+    ready: Condvar,
+}
+
+impl<V> Slot<V> {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(SlotState::Pending),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+/// Coalesces concurrent computations of the same key. See the
+/// [module docs](self).
+pub struct SingleFlight<K, V> {
+    slots: Mutex<HashMap<K, Arc<Slot<V>>>>,
+    coalesced: AtomicU64,
+}
+
+impl<K, V> Default for SingleFlight<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> SingleFlight<K, V> {
+    /// An empty flight group.
+    pub fn new() -> Self {
+        Self {
+            slots: Mutex::new(HashMap::new()),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of calls answered with another caller's in-flight value
+    /// instead of computing their own.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+}
+
+impl<K: Clone + Eq + Hash, V: Clone> SingleFlight<K, V> {
+    /// Runs `compute` under single-flight semantics: at most one
+    /// execution per key is in flight at a time, and every concurrent
+    /// caller of that key receives a clone of the one computed value.
+    ///
+    /// `compute` typically re-checks the cache first (a previous leader
+    /// may have just populated it) and inserts its value before
+    /// returning, so post-flight callers hit the cache directly.
+    pub fn execute<E, F>(&self, key: K, mut compute: F) -> Result<V, E>
+    where
+        F: FnMut() -> Result<V, E>,
+    {
+        loop {
+            let (slot, is_leader) = {
+                let mut slots = self.slots.lock().expect("flight map lock");
+                match slots.get(&key) {
+                    Some(slot) => (Arc::clone(slot), false),
+                    None => {
+                        let slot = Arc::new(Slot::new());
+                        slots.insert(key.clone(), Arc::clone(&slot));
+                        (slot, true)
+                    }
+                }
+            };
+            if is_leader {
+                // The guard publishes `Failed` and unregisters the slot
+                // if `compute` panics, so waiters never hang on a dead
+                // leader.
+                let guard = LeaderGuard {
+                    flight: self,
+                    key: &key,
+                    slot: &slot,
+                    published: false,
+                };
+                let result = compute();
+                guard.publish(match &result {
+                    Ok(value) => SlotState::Done(value.clone()),
+                    Err(_) => SlotState::Failed,
+                });
+                return result;
+            }
+            let mut state = slot.state.lock().expect("flight slot lock");
+            while matches!(*state, SlotState::Pending) {
+                state = slot.ready.wait(state).expect("flight slot lock");
+            }
+            match &*state {
+                SlotState::Done(value) => {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    return Ok(value.clone());
+                }
+                SlotState::Failed => continue, // retry; maybe as leader
+                SlotState::Pending => unreachable!("condvar loop exited"),
+            }
+        }
+    }
+}
+
+/// Publishes a terminal slot state and unregisters the slot exactly
+/// once, even if the leader's computation panics.
+struct LeaderGuard<'a, K: Eq + Hash, V> {
+    flight: &'a SingleFlight<K, V>,
+    key: &'a K,
+    slot: &'a Arc<Slot<V>>,
+    published: bool,
+}
+
+impl<K: Eq + Hash, V> LeaderGuard<'_, K, V> {
+    fn publish(mut self, terminal: SlotState<V>) {
+        self.finish(terminal);
+        self.published = true;
+    }
+
+    fn finish(&self, terminal: SlotState<V>) {
+        // Unregister before notifying: a caller that misses the slot
+        // map afterwards re-checks the cache (populated by the leader
+        // before returning) or becomes the next leader.
+        self.flight
+            .slots
+            .lock()
+            .expect("flight map lock")
+            .remove(self.key);
+        *self.slot.state.lock().expect("flight slot lock") = terminal;
+        self.slot.ready.notify_all();
+    }
+}
+
+impl<K: Eq + Hash, V> Drop for LeaderGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.finish(SlotState::Failed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    #[test]
+    fn sequential_calls_each_compute() {
+        let flight: SingleFlight<u32, u32> = SingleFlight::new();
+        let computed = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let v: Result<u32, ()> = flight.execute(7, || {
+                computed.fetch_add(1, Ordering::Relaxed);
+                Ok(42)
+            });
+            assert_eq!(v, Ok(42));
+        }
+        // No concurrency → no coalescing; each call leads its own slot.
+        assert_eq!(computed.load(Ordering::Relaxed), 3);
+        assert_eq!(flight.coalesced(), 0);
+    }
+
+    #[test]
+    fn concurrent_same_key_coalesces_to_one_computation() {
+        const THREADS: usize = 8;
+        let flight: SingleFlight<u32, u64> = SingleFlight::new();
+        let computed = AtomicUsize::new(0);
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    barrier.wait();
+                    let v: Result<u64, ()> = flight.execute(1, || {
+                        computed.fetch_add(1, Ordering::Relaxed);
+                        // Hold the flight open long enough for the other
+                        // threads to pile up as waiters.
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        Ok(99)
+                    });
+                    assert_eq!(v, Ok(99));
+                });
+            }
+        });
+        let runs = computed.load(Ordering::Relaxed);
+        assert!(runs < THREADS, "some callers must coalesce, ran {runs}×");
+        assert_eq!(flight.coalesced(), (THREADS - runs) as u64);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let flight: SingleFlight<u32, u32> = SingleFlight::new();
+        std::thread::scope(|s| {
+            for k in 0..4u32 {
+                let flight = &flight;
+                s.spawn(move || {
+                    let v: Result<u32, ()> = flight.execute(k, || Ok(k * 2));
+                    assert_eq!(v, Ok(k * 2));
+                });
+            }
+        });
+        assert_eq!(flight.coalesced(), 0);
+    }
+
+    #[test]
+    fn leader_error_stays_local_and_waiters_retry() {
+        const THREADS: usize = 4;
+        let flight: SingleFlight<u32, u32> = SingleFlight::new();
+        let calls = AtomicUsize::new(0);
+        let errors = AtomicUsize::new(0);
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    barrier.wait();
+                    let v: Result<u32, &str> = flight.execute(5, || {
+                        let call = calls.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        // The very first execution fails; retries succeed.
+                        if call == 0 {
+                            Err("boom")
+                        } else {
+                            Ok(11)
+                        }
+                    });
+                    if v.is_err() {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        assert_eq!(v, Ok(11));
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            errors.load(Ordering::Relaxed),
+            1,
+            "only the failing leader sees its error"
+        );
+    }
+
+    #[test]
+    fn panicking_leader_does_not_hang_waiters() {
+        let flight: Arc<SingleFlight<u32, u32>> = Arc::new(SingleFlight::new());
+        let barrier = Arc::new(Barrier::new(2));
+        let panicker = {
+            let flight = Arc::clone(&flight);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let _: Result<u32, ()> = flight.execute(3, || {
+                    barrier.wait();
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    panic!("leader dies");
+                });
+            })
+        };
+        barrier.wait(); // the panicker is the leader now
+        let v: Result<u32, ()> = flight.execute(3, || Ok(8));
+        assert_eq!(v, Ok(8), "waiter must recover by retrying");
+        assert!(panicker.join().is_err(), "leader panicked as arranged");
+    }
+}

@@ -6,9 +6,15 @@
 //! of [`Query`](nck_core::query::Query) values — deduplicating and
 //! amortizing the work that public-KB traffic repeats constantly:
 //!
-//! - **[`cache`]** — a deterministic, memory-bounded LRU used for PPR
-//!   vectors (keyed by personalization seed set), selected contexts and
-//!   full search results;
+//! - **[`cache`]** — deterministic, memory-bounded LRU caching with
+//!   O(1)-amortized eviction, used for PPR vectors (keyed by
+//!   personalization seed node), selected contexts and full search
+//!   results; under the engine each cache is a lock-striped
+//!   [`ShardedLru`] so concurrent clients touching different keys never
+//!   serialize on one global lock;
+//! - **[`flight`]** — single-flight computation: concurrent misses on
+//!   the same key coalesce onto one execution and every caller receives
+//!   the same `Arc` (exact values make this observationally invisible);
 //! - **[`schedule`]** — the deterministic batch planner: exact repeats
 //!   collapse to one execution, distinct queries cluster around their
 //!   hottest shared seed so cache hits land before evictions;
@@ -63,8 +69,10 @@
 
 pub mod cache;
 pub mod engine;
+pub mod flight;
 pub mod schedule;
 
-pub use cache::{CacheStats, LruCache};
+pub use cache::{CacheStats, LruCache, ShardedLru};
 pub use engine::{EngineConfig, EngineStats, PredicateStat, QueryEngine, SelectorMode};
+pub use flight::SingleFlight;
 pub use schedule::{canonical_key, plan, BatchPlan, QueryGroup};

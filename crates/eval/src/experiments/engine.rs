@@ -69,6 +69,8 @@ pub fn engine(env: &EvalEnv) -> Report {
             repeat: REPEATS,
             mode: WorkloadMode::Compare,
             chunk: 0,
+            clients: None,
+            threads: None,
         })
         .expect("compare workload verifies identical rankings");
 
@@ -139,6 +141,8 @@ pub fn engine(env: &EvalEnv) -> Report {
                 repeat: REPEATS,
                 mode,
                 chunk: 0,
+                clients: None,
+                threads: None,
             })
             .expect("randomwalk workload runs")
     };
@@ -177,6 +181,72 @@ pub fn engine(env: &EvalEnv) -> Report {
          eps-0 rankings verified identical to the sequential baseline",
         exact_secs / sparse_secs.max(1e-12),
     ));
+
+    // -- Concurrent serving: N client threads over one shared engine ----
+    //
+    // The sections above measure one submitter; this one measures the
+    // traffic shape the ROADMAP actually targets — many simultaneous
+    // clients with heavily overlapping queries. Each client replays the
+    // whole workload through `QueryEngine::run` on a shared engine;
+    // sharded caches plus single-flight coalescing mean total work stays
+    // roughly constant while served queries scale with the client count.
+    // Every concurrent response is verified id-for-id against the
+    // single-client phase before the numbers are reported.
+    let concurrent_queries: Vec<QueryRequest> = specs
+        .iter()
+        .map(|s| QueryRequest::entities(s.names.iter().cloned()))
+        .collect();
+    let mut rows = Vec::new();
+    for clients in [1usize, 4] {
+        let service = NckService::builder()
+            .knowledge_graph(env.yago.graph.clone())
+            .engine(EngineConfig {
+                findnc: pipeline_config(env),
+                ..EngineConfig::default()
+            })
+            .build()
+            .expect("service builds over the eval dataset");
+        let report = service
+            .workload(&WorkloadRequest {
+                queries: concurrent_queries.clone(),
+                repeat: REPEATS,
+                mode: WorkloadMode::Engine,
+                chunk: 0,
+                clients: Some(clients),
+                threads: None,
+            })
+            .expect("concurrent workload verifies identical rankings");
+        let c = report.concurrent.expect("clients were requested");
+        rows.push(vec![
+            clients.to_string(),
+            c.queries.to_string(),
+            f3(c.secs),
+            f3(c.throughput),
+            f3(c.p50_ms),
+            f3(c.p99_ms),
+            (c.stats.result_coalesced.unwrap_or(0)
+                + c.stats.context_coalesced.unwrap_or(0)
+                + c.stats.ppr_coalesced.unwrap_or(0))
+            .to_string(),
+        ]);
+    }
+    r.line("");
+    r.table(
+        &[
+            "clients",
+            "queries",
+            "total (s)",
+            "queries/s",
+            "p50 (ms)",
+            "p99 (ms)",
+            "coalesced",
+        ],
+        &rows,
+    );
+    r.line(
+        "concurrent rankings verified identical to single-client execution \
+         (shared sharded caches + single-flight coalescing are exact)",
+    );
     r
 }
 
@@ -202,5 +272,9 @@ mod tests {
         // verified (compare mode) and the weight table was built once.
         assert!(r.body.contains("pruned (eps 1e-4)"));
         assert!(r.body.contains("weight builds"));
+        // Concurrent serving section: clients column and verified parity.
+        assert!(r.body.contains("clients"));
+        assert!(r.body.contains("coalesced"));
+        assert!(r.body.contains("verified identical to single-client"));
     }
 }

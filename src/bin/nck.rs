@@ -38,7 +38,8 @@ USAGE:
             [--queries-out FILE]
   nck query --graph FILE.nt --query \"A,B,…\" [options]
   nck batch --graph FILE.nt --queries FILE [--repeat N]
-            [--mode engine|sequential|compare] [--chunk N] [options]
+            [--mode engine|sequential|compare] [--chunk N] [--clients N]
+            [options]
 
 query/batch options:
   --backend csr|store       graph backend (default: csr)
@@ -49,6 +50,8 @@ query/batch options:
   --epsilon F               randomwalk sparse-PPR pruning threshold
                             (default: 0 = exact frontier execution)
   --top N                   characteristics to print per query (default: 10)
+  --threads N               cap worker threads (default: derive from the
+                            machine; results are identical under any cap)
   --json                    emit JSON instead of tables
   --no-parallel             single-threaded execution
 
@@ -56,7 +59,10 @@ The batch query file holds one query per line: comma-separated entity
 names (names containing a comma cannot be expressed); blank lines and
 lines starting with '#' are skipped. --repeat N replays the whole file
 N times (a repeated-seed workload); --chunk N streams the workload
-through the engine in batches of N.";
+through the engine in batches of N; --clients N additionally replays
+the workload from N concurrent client threads over one shared engine,
+reporting aggregate throughput and latency percentiles (responses are
+verified id-for-id against the single-client run).";
 
 /// Parsed command-line options shared by `query` and `batch`.
 struct RunOpts {
@@ -68,6 +74,7 @@ struct RunOpts {
     walks: usize,
     epsilon: f64,
     top: usize,
+    threads: Option<usize>,
     json: bool,
     parallel: bool,
 }
@@ -83,6 +90,7 @@ impl Default for RunOpts {
             walks: 30_000,
             epsilon: 0.0,
             top: 10,
+            threads: None,
             json: false,
             parallel: true,
         }
@@ -194,6 +202,13 @@ fn parse_run_opts(args: &mut Vec<String>) -> Result<RunOpts, String> {
     if let Some(v) = take_flag(args, "--top")? {
         o.top = parse_num(&v, "--top")?;
     }
+    if let Some(v) = take_flag(args, "--threads")? {
+        let threads: usize = parse_num(&v, "--threads")?;
+        if threads == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        o.threads = Some(threads);
+    }
     o.json = take_switch(args, "--json");
     o.parallel = !take_switch(args, "--no-parallel");
     Ok(o)
@@ -218,6 +233,7 @@ fn engine_config(o: &RunOpts) -> EngineConfig {
         ..PprConfig::default()
     };
     cfg.parallel = o.parallel;
+    cfg.threads = o.threads;
     cfg
 }
 
@@ -386,6 +402,16 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             Some(v) => parse_num(&v, "--chunk")?,
             None => 0,
         };
+        let clients: Option<usize> = match take_flag(&mut args, "--clients")? {
+            Some(v) => {
+                let n: usize = parse_num(&v, "--clients")?;
+                if n == 0 {
+                    return Err("--clients must be at least 1".into());
+                }
+                Some(n)
+            }
+            None => None,
+        };
         let opts = parse_run_opts(&mut args)?;
         if opts.graph.is_empty() {
             return Err("--graph is required".into());
@@ -410,6 +436,8 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             repeat: repeat.max(1),
             mode,
             chunk,
+            clients,
+            threads: opts.threads,
         };
         let report = service.workload(&request).map_err(|e| e.to_string())?;
         if opts.json {
@@ -460,6 +488,33 @@ fn print_response(response: &QueryResponse) {
     }
 }
 
+/// Per-cache counter table: one row per engine cache, with the shard
+/// count, hit/miss/eviction counters, resident footprint and hit rate
+/// that previously rode only the JSON wire report.
+fn print_cache_stats(st: &notable_characteristics::api::EngineStatsReport) {
+    println!(
+        "{:<10} {:>7} {:>9} {:>9} {:>10} {:>9} {:>12} {:>9}",
+        "cache", "shards", "hits", "misses", "evictions", "entries", "bytes", "hit rate"
+    );
+    for (name, s) in [
+        ("result", &st.result_cache),
+        ("context", &st.context_cache),
+        ("ppr", &st.ppr_cache),
+    ] {
+        println!(
+            "{:<10} {:>7} {:>9} {:>9} {:>10} {:>9} {:>12} {:>8.1}%",
+            name,
+            s.shards,
+            s.hits,
+            s.misses,
+            s.evictions,
+            s.len,
+            s.bytes,
+            s.hit_rate() * 100.0,
+        );
+    }
+}
+
 fn fmt_p(p: Option<f64>) -> String {
     match p {
         Some(p) => format!("{p:.4}"),
@@ -490,19 +545,32 @@ fn print_workload(report: &WorkloadReport) {
     if let Some(st) = &report.engine_stats {
         println!(
             "engine stats: {} executed of {} submitted ({} deduplicated); \
-             result cache {}/{} hits, context cache {}/{}, ppr cache {}/{}; \
              {} weight build(s)",
             st.executed,
             st.submitted,
             st.deduplicated,
-            st.result_hits,
-            st.result_hits + st.result_misses,
-            st.context_hits,
-            st.context_hits + st.context_misses,
-            st.ppr_hits,
-            st.ppr_hits + st.ppr_misses,
             st.weight_builds.unwrap_or(0),
         );
+        print_cache_stats(st);
+    }
+    if let Some(c) = &report.concurrent {
+        println!(
+            "concurrent: {} clients, {} queries in {:.3}s — {:.1} queries/s \
+             (rankings verified identical to the single-client run)",
+            c.clients, c.queries, c.secs, c.throughput
+        );
+        println!(
+            "latency:    p50 {:.2}ms, p90 {:.2}ms, p99 {:.2}ms, max {:.2}ms",
+            c.p50_ms, c.p90_ms, c.p99_ms, c.max_ms
+        );
+        println!(
+            "coalesced:  {} results, {} contexts, {} ppr vectors \
+             (duplicate in-flight work absorbed by single-flight)",
+            c.stats.result_coalesced.unwrap_or(0),
+            c.stats.context_coalesced.unwrap_or(0),
+            c.stats.ppr_coalesced.unwrap_or(0),
+        );
+        print_cache_stats(&c.stats);
     }
     // Per distinct query line, the top characteristics of its first run.
     for response in &report.results {
