@@ -10,7 +10,8 @@ use nck_core::findnc::{FindNc, SearchResult};
 use nck_core::ppr::RandomWalkSelector;
 use nck_core::query::Query;
 use nck_engine::{EngineConfig, EngineStats, QueryEngine, SelectorMode};
-use nck_graph::{ErasedGraph, GraphAccess, KnowledgeGraph};
+use nck_graph::io::load_compact;
+use nck_graph::{CompactGraph, ErasedGraph, GraphAccess, GraphError, KnowledgeGraph};
 use nck_store::graph_view::to_knowledge_graph;
 use nck_store::ntriples::read_ntriples;
 use nck_store::{StoreGraph, TripleStore};
@@ -30,15 +31,21 @@ pub enum Backend {
     /// [`StoreGraph`]: answers straight from the SPO/POS/OSP triple
     /// indexes with a lazy per-predicate run cache.
     Store,
+    /// [`CompactGraph`]: delta/varint-encoded adjacency over
+    /// degree-relabeled `u32` ids — roughly half the CSR backend's
+    /// resident bytes, and loadable zero-copy from a compact binary file
+    /// ([`NckServiceBuilder::compact_file`]).
+    Compact,
 }
 
 impl Backend {
-    /// The backend's short name (`"csr"` / `"store"`), as printed by the
-    /// CLI.
+    /// The backend's short name (`"csr"` / `"store"` / `"compact"`), as
+    /// printed by the CLI.
     pub fn name(self) -> &'static str {
         match self {
             Backend::Csr => "csr",
             Backend::Store => "store",
+            Backend::Compact => "compact",
         }
     }
 }
@@ -48,6 +55,7 @@ impl Backend {
 /// and would bloat every `Source` otherwise (clippy: large_enum_variant).
 enum Source {
     Ntriples(PathBuf),
+    CompactFile(PathBuf),
     Store(Box<TripleStore>),
     Csr(Box<KnowledgeGraph>),
     Erased {
@@ -78,6 +86,15 @@ impl NckServiceBuilder {
     /// Loads the dataset from an N-Triples file.
     pub fn ntriples(mut self, path: impl Into<PathBuf>) -> Self {
         self.source = Some(Source::Ntriples(path.into()));
+        self
+    }
+
+    /// Opens a compact binary graph file (written by `nck build-graph` or
+    /// [`nck_graph::io::save_compact`]). The backend choice is then fixed
+    /// to [`Backend::Compact`] — the file *is* the backend, loaded
+    /// zero-copy (memory-mapped where the platform supports it).
+    pub fn compact_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.source = Some(Source::CompactFile(path.into()));
         self
     }
 
@@ -148,16 +165,59 @@ impl NckServiceBuilder {
                 Some(store)
             }
             Source::Store(store) => Some(*store),
-            Source::Csr(graph) => {
+            Source::CompactFile(path) => {
                 if let Some(requested) = self.backend {
-                    if requested != Backend::Csr {
+                    if requested != Backend::Compact {
                         return Err(ApiError::InvalidConfig(format!(
-                            "backend({requested:?}) conflicts with knowledge_graph(): \
-                             a pre-built CSR graph cannot serve the {} backend — \
-                             load triples (ntriples()/triple_store()) instead",
+                            "backend({requested:?}) conflicts with compact_file(): \
+                             a compact binary graph file can only serve the compact \
+                             backend — load triples (ntriples()/triple_store()) for {}",
                             requested.name()
                         )));
                     }
+                }
+                let started = Instant::now();
+                let graph = load_compact(&path).map_err(|e| match e {
+                    GraphError::Io(source) => ApiError::Io {
+                        path: path.clone(),
+                        source,
+                    },
+                    other => ApiError::Parse {
+                        path: path.clone(),
+                        message: other.to_string(),
+                    },
+                })?;
+                let load_secs = started.elapsed().as_secs_f64();
+                let mut service = Self::finish(
+                    ErasedGraph::new(graph),
+                    Backend::Compact.name(),
+                    self.engine,
+                )?;
+                service.load_secs = load_secs;
+                return Ok(service);
+            }
+            Source::Csr(graph) => {
+                match self.backend {
+                    Some(Backend::Store) => {
+                        return Err(ApiError::InvalidConfig(format!(
+                            "backend({:?}) conflicts with knowledge_graph(): \
+                             a pre-built CSR graph cannot serve the {} backend — \
+                             load triples (ntriples()/triple_store()) instead",
+                            Backend::Store,
+                            Backend::Store.name()
+                        )));
+                    }
+                    Some(Backend::Compact) => {
+                        // A pre-built CSR graph *can* serve compact: the
+                        // encoder is a pure function of the graph.
+                        let compact = CompactGraph::from_graph(&graph);
+                        return Self::finish(
+                            ErasedGraph::new(compact),
+                            Backend::Compact.name(),
+                            self.engine,
+                        );
+                    }
+                    Some(Backend::Csr) | None => {}
                 }
                 return Self::finish(ErasedGraph::new(*graph), Backend::Csr.name(), self.engine);
             }
@@ -181,6 +241,10 @@ impl NckServiceBuilder {
             Backend::Store => (
                 ErasedGraph::new(StoreGraph::new(store)),
                 Backend::Store.name(),
+            ),
+            Backend::Compact => (
+                ErasedGraph::new(CompactGraph::from_graph(&to_knowledge_graph(&store))),
+                Backend::Compact.name(),
             ),
         };
         let load_secs = started.elapsed().as_secs_f64();
@@ -307,9 +371,18 @@ impl NckService {
         self.graph.num_stored_edges()
     }
 
-    /// Engine cache/dedup counters in wire form.
+    /// Engine cache/dedup counters in wire form, plus the loaded
+    /// backend's approximate resident bytes (the service knows its graph;
+    /// a bare [`EngineStats`] conversion does not).
     pub fn stats(&self) -> EngineStatsReport {
-        EngineStatsReport::from(self.raw_stats())
+        let mut report = EngineStatsReport::from(self.raw_stats());
+        report.graph_bytes = Some(self.graph.approx_bytes() as u64);
+        report
+    }
+
+    /// Approximate resident bytes of the loaded graph backend.
+    pub fn graph_bytes(&self) -> usize {
+        self.graph.approx_bytes()
     }
 
     /// Engine counters in the engine's own form.
@@ -482,7 +555,9 @@ impl NckService {
                 engine.run_batch(&workload)?
             };
             engine_secs = Some(started.elapsed().as_secs_f64());
-            stats = Some(EngineStatsReport::from(engine.stats()));
+            let mut report = EngineStatsReport::from(engine.stats());
+            report.graph_bytes = Some(self.graph.approx_bytes() as u64);
+            stats = Some(report);
             engine_results = Some(results);
         }
         if matches!(
@@ -611,7 +686,11 @@ impl NckService {
             p90_ms: ms(90.0),
             p99_ms: ms(99.0),
             max_ms: latencies.last().copied().unwrap_or(0.0) * 1e3,
-            stats: EngineStatsReport::from(engine.stats()),
+            stats: {
+                let mut stats = EngineStatsReport::from(engine.stats());
+                stats.graph_bytes = Some(self.graph.approx_bytes() as u64);
+                stats
+            },
         })
     }
 

@@ -277,6 +277,12 @@ pub struct EngineStatsReport {
     /// with tiny entry budgets clamp lower so their bounds stay strict).
     #[serde(skip_serializing_if = "Option::is_none")]
     pub cache_shards: Option<u64>,
+    /// Approximate resident bytes of the loaded graph backend. Filled by
+    /// [`NckService::stats`](crate::NckService::stats) — a bare
+    /// [`EngineStats`] conversion leaves it `None` (the engine does not
+    /// know its backend's footprint), and `None` stays off the wire.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub graph_bytes: Option<u64>,
     /// Full result-cache counters (not serialized; legacy schema keeps
     /// hit counts only on the wire).
     #[serde(skip)]
@@ -303,6 +309,7 @@ impl From<EngineStats> for EngineStatsReport {
             context_coalesced: Some(s.context_coalesced),
             ppr_coalesced: Some(s.ppr_coalesced),
             cache_shards: Some(s.result.shards as u64),
+            graph_bytes: None,
             result_cache: s.result,
             context_cache: s.context,
             ppr_cache: s.ppr,
@@ -406,6 +413,7 @@ mod tests {
             context_coalesced: None,
             ppr_coalesced: None,
             cache_shards: None,
+            graph_bytes: None,
             result_cache: CacheStats {
                 misses: 9,
                 ..CacheStats::default()
@@ -441,6 +449,7 @@ mod tests {
             context_coalesced: Some(2),
             ppr_coalesced: Some(5),
             cache_shards: Some(8),
+            graph_bytes: Some(123_456),
             result_cache: CacheStats::default(),
             context_cache: CacheStats::default(),
             ppr_cache: CacheStats::default(),

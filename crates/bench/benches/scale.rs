@@ -1,0 +1,271 @@
+//! Compact-graph scaling: build time, resident bytes, cold-load time,
+//! and query throughput for 10k → 100k → 1M node graphs
+//! (`BENCH_scale.json`).
+//!
+//! For every size the bench generates a deterministic scale-free graph
+//! (`nck_datagen::generate_scale`), then measures the compact backend
+//! against the CSR baseline on the axes the format exists for:
+//!
+//! - **resident bytes** — `CompactGraph::approx_bytes()` vs the CSR
+//!   `KnowledgeGraph`; the compact image must stay ≤ 50% of CSR.
+//! - **cold load** — `load_compact` (zero-copy mmap where available) vs
+//!   re-parsing the same graph from N-Triples through the triple store,
+//!   the path a text-format server restart takes; the binary load must
+//!   be ≥ 10× faster.
+//! - **queries/sec** — hub-anchored engine queries over the compact
+//!   backend, so the number tracks end-to-end serving, not just decode.
+//!
+//! Before any timing the bench asserts the compact backend answers
+//! **id-for-id identically** to the CSR graph it was encoded from —
+//! every node name, degree, and edge run — so a CI smoke run
+//! (`--samples 1`, smallest size only) fails loudly if the format ever
+//! drifts.
+//!
+//! This bench does not use the criterion harness: each metric is a
+//! one-shot wall-clock phase over a multi-second build, so it writes
+//! its own JSON lines (one object per size) to `$NCK_BENCH_JSON`.
+
+use nck_core::config::{ContextRwConfig, FindNcConfig, PathMiningConfig};
+use nck_core::context::TypeFilter;
+use nck_core::query::Query;
+use nck_datagen::{generate_scale, ScaleConfig};
+use nck_engine::{EngineConfig, QueryEngine};
+use nck_graph::io::{load_compact, save_compact};
+use nck_graph::{CompactGraph, GraphAccess, KnowledgeGraph, NodeId};
+use nck_store::graph_view::{to_knowledge_graph, to_triple_store};
+use nck_store::ntriples::{read_ntriples, write_ntriples};
+use std::time::Instant;
+
+/// `--samples N` / `NCK_BENCH_SAMPLES`, with the criterion-harness
+/// semantics: `--samples 1` is the CI smoke mode (smallest size only).
+fn sample_cap() -> Option<usize> {
+    let parse = |v: Option<String>| -> usize {
+        v.and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("--samples needs a positive integer value"))
+    };
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--samples" {
+            return Some(parse(args.next()));
+        }
+        if let Some(rest) = a.strip_prefix("--samples=") {
+            return Some(parse(Some(rest.to_owned())));
+        }
+    }
+    std::env::var("NCK_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
+/// The compact backend must be indistinguishable from the CSR graph it
+/// encodes: same names, same degrees, same edge runs, for every node.
+fn assert_parity(kg: &KnowledgeGraph, compact: &CompactGraph) {
+    assert_eq!(compact.num_nodes(), kg.num_nodes(), "node count");
+    assert_eq!(
+        compact.num_stored_edges(),
+        kg.num_stored_edges(),
+        "stored edges"
+    );
+    for v in kg.nodes() {
+        assert_eq!(compact.node_name(v), kg.node_name(v), "name of {v}");
+        assert_eq!(compact.degree(v), kg.degree(v), "degree of {v}");
+        assert!(compact.edges(v).eq(kg.edges(v)), "edge run of {v} diverged");
+    }
+}
+
+/// A modest mining budget: the bench tracks serving throughput across
+/// graph sizes, so the per-query budget stays fixed while |V| grows.
+fn pipeline_config() -> FindNcConfig {
+    FindNcConfig {
+        context: ContextRwConfig {
+            mining: PathMiningConfig {
+                walks: 1_000,
+                max_length: 3,
+                seed: 7,
+                parallel: true,
+            },
+            num_metapaths: 4,
+            // The scale generator only types every 10th node, so
+            // type-based candidate filtering would empty the context.
+            type_filter: TypeFilter::None,
+            max_endpoint_fraction: 0.25,
+        },
+        context_size: 20,
+        ..FindNcConfig::default()
+    }
+}
+
+struct SizeReport {
+    name: &'static str,
+    nodes: usize,
+    stored_edges: usize,
+    build_secs: f64,
+    csr_bytes: usize,
+    compact_bytes: usize,
+    encode_secs: f64,
+    image_bytes: usize,
+    cold_load_secs: f64,
+    reparse_secs: f64,
+    queries: usize,
+    queries_per_sec: f64,
+}
+
+impl SizeReport {
+    fn json_line(&self) -> String {
+        format!(
+            concat!(
+                "{{\"group\":\"scale\",\"bench\":\"{}\",\"nodes\":{},",
+                "\"stored_edges\":{},\"build_secs\":{:.3},\"csr_bytes\":{},",
+                "\"compact_bytes\":{},\"compact_over_csr\":{:.3},",
+                "\"encode_secs\":{:.3},\"image_bytes\":{},",
+                "\"cold_load_secs\":{:.4},\"reparse_secs\":{:.3},",
+                "\"load_speedup\":{:.1},\"queries\":{},",
+                "\"queries_per_sec\":{:.2}}}"
+            ),
+            self.name,
+            self.nodes,
+            self.stored_edges,
+            self.build_secs,
+            self.csr_bytes,
+            self.compact_bytes,
+            self.compact_bytes as f64 / self.csr_bytes as f64,
+            self.encode_secs,
+            self.image_bytes,
+            self.cold_load_secs,
+            self.reparse_secs,
+            self.reparse_secs / self.cold_load_secs,
+            self.queries,
+            self.queries_per_sec,
+        )
+    }
+}
+
+fn run_size(name: &'static str, cfg: &ScaleConfig) -> SizeReport {
+    let dir = std::env::temp_dir().join("nck_scale_bench");
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+
+    let t = Instant::now();
+    let kg = generate_scale(cfg);
+    let build_secs = t.elapsed().as_secs_f64();
+    let csr_bytes = kg.approx_bytes();
+
+    let t = Instant::now();
+    let compact = CompactGraph::from_graph(&kg);
+    let encode_secs = t.elapsed().as_secs_f64();
+    let compact_bytes = compact.approx_bytes();
+
+    // Exactness before any timing: a fast bench on a wrong backend is
+    // worthless.
+    assert_parity(&kg, &compact);
+    assert!(
+        compact_bytes * 2 <= csr_bytes,
+        "{name}: compact resident bytes ({compact_bytes}) exceed 50% of CSR ({csr_bytes})"
+    );
+
+    // Cold load: binary image from disk vs the text-format restart path
+    // (N-Triples → triple store → CSR graph).
+    let bin_path = dir.join(format!("{name}.nckg"));
+    save_compact(&kg, &bin_path).expect("save compact image");
+    let t = Instant::now();
+    let loaded = load_compact(&bin_path).expect("load compact image");
+    let cold_load_secs = t.elapsed().as_secs_f64();
+    assert_eq!(loaded.num_stored_edges(), kg.num_stored_edges());
+
+    let nt_path = dir.join(format!("{name}.nt"));
+    let store = to_triple_store(&kg);
+    let file = std::fs::File::create(&nt_path).expect("create nt file");
+    write_ntriples(&store, std::io::BufWriter::new(file)).expect("write ntriples");
+    drop(store);
+    let t = Instant::now();
+    let file = std::fs::File::open(&nt_path).expect("open nt file");
+    let reparsed =
+        to_knowledge_graph(&read_ntriples(std::io::BufReader::new(file)).expect("reparse"));
+    let reparse_secs = t.elapsed().as_secs_f64();
+    assert_eq!(reparsed.num_stored_edges(), kg.num_stored_edges());
+    drop(reparsed);
+    assert!(
+        reparse_secs >= 10.0 * cold_load_secs,
+        "{name}: cold load ({cold_load_secs:.4}s) is not ≥10× faster than \
+         N-Triples reparse ({reparse_secs:.3}s)"
+    );
+
+    // Serving throughput over the *loaded* backend: hub-anchored seed
+    // pairs (the scale generator makes low external ids the hubs).
+    let queries: Vec<Query> = (0..4)
+        .map(|i| {
+            Query::new(&loaded, vec![NodeId::new(0), NodeId::new(1 + i)]).expect("hub seed pair")
+        })
+        .collect();
+    let config = EngineConfig {
+        findnc: pipeline_config(),
+        ..EngineConfig::default()
+    };
+    let engine = QueryEngine::new(&loaded, config).expect("engine builds");
+    let t = Instant::now();
+    let results = engine.run_batch(&queries).expect("scale queries");
+    let query_secs = t.elapsed().as_secs_f64();
+    assert_eq!(results.len(), queries.len());
+
+    let report = SizeReport {
+        name,
+        nodes: kg.num_nodes(),
+        stored_edges: kg.num_stored_edges(),
+        build_secs,
+        csr_bytes,
+        compact_bytes,
+        encode_secs,
+        image_bytes: compact.image_bytes(),
+        cold_load_secs,
+        reparse_secs,
+        queries: queries.len(),
+        queries_per_sec: queries.len() as f64 / query_secs,
+    };
+
+    std::fs::remove_file(&bin_path).ok();
+    std::fs::remove_file(&nt_path).ok();
+    report
+}
+
+fn main() {
+    // `--samples 1` (or NCK_BENCH_SAMPLES=1) is the CI smoke mode:
+    // smallest size only, so the parity + size + speedup assertions all
+    // still run on every push without the multi-minute large build.
+    let smoke = sample_cap() == Some(1);
+    let sizes: &[(&str, ScaleConfig)] = &[
+        ("nodes_10k", ScaleConfig::small(42)),
+        ("nodes_100k", ScaleConfig::medium(42)),
+        ("nodes_1m", ScaleConfig::large(42)),
+    ];
+    let take = if smoke { 1 } else { sizes.len() };
+
+    let mut lines = Vec::new();
+    for (name, cfg) in &sizes[..take] {
+        let r = run_size(name, cfg);
+        println!(
+            "bench scale/{:<12} build {:>7.2}s  csr {:>12}B  compact {:>12}B ({:.0}%)  \
+             load {:>8.4}s  reparse {:>7.2}s ({:.0}x)  {:.2} q/s",
+            r.name,
+            r.build_secs,
+            r.csr_bytes,
+            r.compact_bytes,
+            100.0 * r.compact_bytes as f64 / r.csr_bytes as f64,
+            r.cold_load_secs,
+            r.reparse_secs,
+            r.reparse_secs / r.cold_load_secs,
+            r.queries_per_sec,
+        );
+        lines.push(r.json_line());
+    }
+
+    if let Ok(path) = std::env::var("NCK_BENCH_JSON") {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
+        for line in &lines {
+            writeln!(file, "{line}").expect("bench JSON write");
+        }
+    }
+}

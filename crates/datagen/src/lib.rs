@@ -21,7 +21,10 @@
 //!   of every test case, plus the expert ranking for the metric
 //!   comparison;
 //! - [`queries`] — the Table-1 query sets (politicians / actors / movie
-//!   contributors, sizes 2–6).
+//!   contributors, sizes 2–6);
+//! - [`scale`] — a streaming shape-only generator for million-node /
+//!   ten-million-edge graphs (heavy-tailed degrees, Zipf label mix),
+//!   used by the memory/cold-load benchmarks.
 //!
 //! Everything is a pure function of [`config::GeneratorConfig`] (including
 //! its seed); two runs with the same config produce identical graphs.
@@ -36,6 +39,7 @@ pub mod ground_truth;
 pub mod names;
 pub mod planted;
 pub mod queries;
+pub mod scale;
 pub mod schema;
 pub mod zipf;
 
@@ -44,3 +48,4 @@ pub use dataset::{Dataset, Domain, DomainId};
 pub use generator::generate;
 pub use ground_truth::{simulate_crowd, CrowdConfig};
 pub use queries::QuerySpec;
+pub use scale::{generate_scale, ScaleConfig};

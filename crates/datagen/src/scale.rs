@@ -1,0 +1,225 @@
+//! Million-node scale graphs for memory/throughput benchmarking.
+//!
+//! The domain-rich generator in [`crate::generator`] models the *content*
+//! of a YAGO-like graph (communities, shared pools, planted
+//! characteristics) and tops out around the bench dataset's tens of
+//! thousands of nodes. The scale generator models only its *shape* —
+//! heavy-tailed degrees, a small label vocabulary, a shallow type
+//! taxonomy — but streams: node `v`'s out-edges are generated in one
+//! local batch (sorted, deduplicated, then pushed through
+//! [`GraphBuilder::add_edge_unchecked`]), so no `HashSet` over tens of
+//! millions of edges ever exists. Because every source is visited exactly
+//! once, local dedup *is* global dedup and the builder's logical-edge
+//! count stays exact.
+//!
+//! Everything is a pure function of [`ScaleConfig`] (including the seed):
+//! two runs with the same config produce bit-identical graphs, which is
+//! what lets the binary graph format pin a golden checksum.
+
+use crate::zipf::Zipf;
+use nck_graph::{GraphBuilder, KnowledgeGraph};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+/// Configuration for the scale generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Mean logical out-edges per node (total logical edges ≈ `nodes ×
+    /// avg_degree`).
+    pub avg_degree: usize,
+    /// Number of distinct (non-symmetric) edge labels; edge volume per
+    /// label is Zipf-skewed like a real predicate vocabulary.
+    pub num_labels: usize,
+    /// Number of node types arranged in a shallow chain taxonomy; roughly
+    /// one node in ten is typed.
+    pub num_types: usize,
+    /// Zipf exponent for target popularity (hubs appear because low node
+    /// ids soak up in-edges; `0.0` would be uniform).
+    pub target_skew: f64,
+    /// RNG seed — the whole graph is a pure function of this config.
+    pub seed: u64,
+}
+
+impl ScaleConfig {
+    /// 10k nodes / ~100k logical edges: unit-test and smoke-bench size.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            nodes: 10_000,
+            avg_degree: 10,
+            num_labels: 12,
+            num_types: 6,
+            target_skew: 0.8,
+            seed,
+        }
+    }
+
+    /// 100k nodes / ~1M logical edges.
+    pub fn medium(seed: u64) -> Self {
+        Self {
+            nodes: 100_000,
+            ..Self::small(seed)
+        }
+    }
+
+    /// 1M nodes / ~10M logical edges — the YAGO-order working set the
+    /// compact backend is sized against.
+    pub fn large(seed: u64) -> Self {
+        Self {
+            nodes: 1_000_000,
+            ..Self::small(seed)
+        }
+    }
+}
+
+/// Generates a graph of [`ScaleConfig`] shape, streaming one source node
+/// at a time. Deterministic per config.
+pub fn generate_scale(cfg: &ScaleConfig) -> KnowledgeGraph {
+    assert!(cfg.nodes >= 2, "scale graph needs at least two nodes");
+    assert!(cfg.num_labels >= 1, "scale graph needs at least one label");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = GraphBuilder::with_capacity(cfg.nodes, cfg.nodes * cfg.avg_degree);
+
+    // Non-symmetric labels only: close_under_inversion then skips its
+    // logical-edge dedup set entirely on the bulk path.
+    let labels: Vec<_> = (0..cfg.num_labels)
+        .map(|l| b.edge_label(&format!("rel{l}")))
+        .collect();
+    let types: Vec<String> = (0..cfg.num_types).map(|t| format!("type{t}")).collect();
+    for pair in types.windows(2) {
+        b.subtype(&pair[0], &pair[1]);
+    }
+
+    let nodes: Vec<_> = (0..cfg.nodes).map(|v| b.node(&format!("e{v}"))).collect();
+    for (v, &node) in nodes.iter().enumerate() {
+        if !types.is_empty() && v % 10 == 0 {
+            b.set_type(node, &types[v % types.len()]);
+        }
+    }
+
+    let label_zipf = Zipf::new(cfg.num_labels, 1.0);
+    let target_zipf = Zipf::new(cfg.nodes, cfg.target_skew);
+    let mut batch = Vec::with_capacity(cfg.avg_degree * 2);
+    for (v, &src) in nodes.iter().enumerate() {
+        // Degree varies uniformly in [avg/2, 3·avg/2] around the mean.
+        let lo = cfg.avg_degree / 2;
+        let degree = lo + rng.random_range(0..=cfg.avg_degree);
+        batch.clear();
+        for _ in 0..degree {
+            let label = labels[label_zipf.sample(&mut rng)];
+            // Rank i maps straight to node i: low ids become hubs.
+            let mut t = target_zipf.sample(&mut rng);
+            if t == v {
+                t = (t + 1) % cfg.nodes; // no self-loops
+            }
+            batch.push((label, nodes[t]));
+        }
+        // Local sort+dedup per source: since each source is visited once,
+        // this is exactly global (s, l, t) dedup, and the builder can
+        // skip its hash set.
+        batch.sort_unstable();
+        batch.dedup();
+        for &(label, dst) in &batch {
+            b.add_edge_unchecked(src, label, dst);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScaleConfig {
+        ScaleConfig {
+            nodes: 500,
+            avg_degree: 6,
+            num_labels: 5,
+            num_types: 3,
+            target_skew: 0.8,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_scale(&tiny());
+        let b = generate_scale(&tiny());
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_stored_edges(), b.num_stored_edges());
+        for v in a.nodes() {
+            let ea: Vec<_> = a.edges(v).collect();
+            let eb: Vec<_> = b.edges(v).collect();
+            assert_eq!(ea, eb);
+        }
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let a = generate_scale(&tiny());
+        let mut cfg = tiny();
+        cfg.seed = 8;
+        let b = generate_scale(&cfg);
+        assert!(
+            a.num_logical_edges() != b.num_logical_edges()
+                || a.nodes()
+                    .any(|v| { a.edges(v).collect::<Vec<_>>() != b.edges(v).collect::<Vec<_>>() }),
+            "independent seeds should not collide"
+        );
+    }
+
+    #[test]
+    fn edge_volume_tracks_config() {
+        let cfg = tiny();
+        let g = generate_scale(&cfg);
+        assert_eq!(g.num_nodes(), cfg.nodes);
+        let expected = cfg.nodes * cfg.avg_degree;
+        let logical = g.num_logical_edges();
+        // Dedup and self-loop rewrites trim a little; stay within 25%.
+        assert!(
+            logical > expected * 3 / 4 && logical < expected * 5 / 4,
+            "logical edges {logical} vs expected ≈{expected}"
+        );
+        // Non-symmetric labels: every logical edge stores its mirror.
+        assert_eq!(g.num_stored_edges(), 2 * logical);
+    }
+
+    #[test]
+    fn hubs_have_higher_degree() {
+        let g = generate_scale(&tiny());
+        let hub = g.node_by_name("e0").unwrap();
+        let tail = g.node_by_name("e400").unwrap();
+        assert!(
+            g.degree(hub) > g.degree(tail),
+            "Zipf targets should make low ids hubs: {} vs {}",
+            g.degree(hub),
+            g.degree(tail)
+        );
+    }
+
+    #[test]
+    fn streamed_edges_are_exactly_deduplicated() {
+        // The unchecked bulk path must produce the same logical-edge set
+        // as the checked builder fed the same stream.
+        let g = generate_scale(&tiny());
+        let total: u64 = g.labels().iter().map(|l| g.label_count(l)).sum();
+        assert_eq!(total, g.num_stored_edges() as u64);
+        for v in g.nodes() {
+            let run: Vec<_> = g.edges(v).collect();
+            let mut dedup = run.clone();
+            dedup.dedup();
+            assert_eq!(run, dedup, "duplicate stored edge at node {v}");
+        }
+    }
+
+    #[test]
+    fn types_and_taxonomy_present() {
+        let g = generate_scale(&tiny());
+        let typed = g.nodes().filter(|&v| g.node_type(v).is_some()).count();
+        assert!(typed > 0, "some nodes must be typed");
+        let t0 = g.taxonomy().get("type0").unwrap();
+        let t1 = g.taxonomy().get("type1").unwrap();
+        assert!(g.taxonomy().is_subtype(t0, t1));
+    }
+}

@@ -127,6 +127,15 @@ pub trait GraphAccess {
     /// Number of stored edges carrying `label` — `|E_l|` of Eq. 1.
     fn label_count(&self, label: EdgeLabelId) -> u64;
 
+    // ---- memory ----
+
+    /// Approximate resident heap/mapped bytes this backend holds for the
+    /// graph (adjacency, dictionaries, registries; excludes transient
+    /// per-query allocations). An estimate, not an allocator census —
+    /// used by the service stats surface and the scale benchmarks to
+    /// compare backend memory footprints.
+    fn approx_bytes(&self) -> usize;
+
     // ---- provided ----
 
     /// Iterates over all node ids.
@@ -259,6 +268,10 @@ impl<G: GraphAccess> GraphAccess for &G {
     fn warm_predicate(&self, label: EdgeLabelId) {
         G::warm_predicate(self, label)
     }
+
+    fn approx_bytes(&self) -> usize {
+        G::approx_bytes(self)
+    }
 }
 
 impl GraphAccess for KnowledgeGraph {
@@ -315,6 +328,10 @@ impl GraphAccess for KnowledgeGraph {
 
     fn label_count(&self, label: EdgeLabelId) -> u64 {
         KnowledgeGraph::label_count(self, label)
+    }
+
+    fn approx_bytes(&self) -> usize {
+        KnowledgeGraph::approx_bytes(self)
     }
 }
 

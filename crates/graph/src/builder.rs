@@ -97,6 +97,28 @@ impl GraphBuilder {
         true
     }
 
+    /// Adds a logical edge **without** consulting the duplicate set —
+    /// the streaming path for bulk loads (`nck-datagen`'s scale
+    /// generator), where a `HashSet` over tens of millions of edges would
+    /// dwarf the graph itself.
+    ///
+    /// The caller must guarantee the edge is not an exact duplicate of
+    /// one already added (e.g. by generating each source's out-edges once
+    /// and deduplicating locally); [`build`](Self::build) trusts
+    /// [`num_edges`](Self::num_edges) as the logical-edge count. Endpoint
+    /// and label validity are still asserted.
+    pub fn add_edge_unchecked(&mut self, src: NodeId, label: EdgeLabelId, dst: NodeId) {
+        assert!(
+            src.index() < self.types.len() && dst.index() < self.types.len(),
+            "edge endpoint not created through this builder"
+        );
+        assert!(
+            label.index() < self.labels.len(),
+            "edge label not registered through this builder"
+        );
+        self.edges.push((src, label, dst));
+    }
+
     /// Convenience: intern endpoints and label by name, then add the edge.
     pub fn add_triple(&mut self, subject: &str, predicate: &str, object: &str) -> bool {
         let s = self.node(subject);
@@ -162,7 +184,16 @@ pub fn close_under_inversion(
     labels: &EdgeLabelRegistry,
     logical: &[(NodeId, EdgeLabelId, NodeId)],
 ) -> (Vec<(NodeId, EdgeLabelId, NodeId)>, Vec<u64>) {
-    let seen: HashSet<(NodeId, EdgeLabelId, NodeId)> = logical.iter().copied().collect();
+    // The logical-edge dedup set is only consulted for symmetric labels
+    // (their mirror can coincide with an explicit logical edge). Skipping
+    // it otherwise keeps the bulk path — million-edge datagen graphs with
+    // ordinary paired labels — free of an O(|E|) hash set.
+    let has_symmetric = labels.iter().any(|l| labels.inverse(l) == l);
+    let seen: HashSet<(NodeId, EdgeLabelId, NodeId)> = if has_symmetric {
+        logical.iter().copied().collect()
+    } else {
+        HashSet::new()
+    };
     let mut stored = Vec::with_capacity(logical.len() * 2);
     for &(s, l, t) in logical {
         stored.push((s, l, t));
@@ -170,7 +201,7 @@ pub fn close_under_inversion(
         let mirror = (t, inv, s);
         // A symmetric label's mirror may coincide with an explicitly
         // added logical edge; the dedup set keeps the store duplicate-free.
-        if !seen.contains(&mirror) || inv != l {
+        if inv != l || !seen.contains(&mirror) {
             stored.push(mirror);
         }
     }

@@ -1,0 +1,1111 @@
+//! Compact graph backend: delta-encoded adjacency over one byte image.
+//!
+//! [`CompactGraph`] answers the full [`GraphAccess`] surface from a single
+//! contiguous byte buffer — either built in memory from a
+//! [`KnowledgeGraph`] or mapped/read zero-copy from the on-disk format
+//! written by [`crate::io::save_compact`]. The layout trades the CSR's two
+//! parallel `u32` arrays (8 bytes per stored edge) and the interner's
+//! doubled string storage for:
+//!
+//! - **varint/delta adjacency** ([`crate::varint`]): each node's
+//!   label-sorted run compresses to ~2–3 bytes per edge on realistic
+//!   graphs;
+//! - **degree-ordered run placement**: runs are laid out in descending
+//!   external-degree order, so the hub nodes random walks touch most
+//!   cluster in the first pages of the stream. Only the *placement* is
+//!   permuted — every id crossing the [`GraphAccess`] boundary is the
+//!   original external id, which keeps rankings id-for-id identical to
+//!   [`KnowledgeGraph`] (`tests/compact_parity.rs` pins this);
+//! - **flat name storage**: one UTF-8 pool plus offsets, with a
+//!   name-sorted id array for binary-search lookup, replacing the hash
+//!   map + doubled strings of the interner.
+//!
+//! The same byte image is also the file format (see the format
+//! description below), so building, saving and loading all funnel through
+//! one encoder and one parser — which is what makes the format's
+//! golden-file test meaningful.
+//!
+//! # Byte image layout (format version 1)
+//!
+//! ```text
+//! [0..8)    magic  "NCKGRPH1"
+//! [8..12)   version (u32 LE)
+//! [12..16)  section count (u32 LE)
+//! [16..24)  checksum (u64 LE) over every byte from offset 24 to EOF
+//! [24..)    section table: count × { kind u32, pad u32, offset u64, len u64 }
+//! then the sections, each 8-byte aligned, in kind order:
+//!   META                num_nodes, num_labels, num_types (u32) +
+//!                       num_stored_edges, num_logical_edges (u64)
+//!   ADJ_OFFSETS         (n+1) × u32 byte offsets into ADJ, internal order
+//!   ADJ                 concatenated varint runs (external ids)
+//!   DEGREES             n × u32, external order
+//!   PERM / INV_PERM     n × u32 external↔internal permutation
+//!   NAME_OFFSETS/BYTES  (n+1) × u32 into a UTF-8 pool, external order
+//!   NAME_SORT           n × u32 external ids sorted by name
+//!   TYPES               n × u32 (u32::MAX = untyped)
+//!   LABEL_*             registry: name pool, inverse ids, direction flags,
+//!                       per-label stored-edge counts (u64)
+//!   TYPE_*              taxonomy: name pool, flattened parent lists
+//! ```
+//!
+//! All multi-byte values are little-endian and read via `from_le_bytes`,
+//! so the loader never reinterprets raw memory and stays within
+//! `#![deny(unsafe_code)]` (the one exception is the tiny `mmap` shim in
+//! [`crate::io::mmap`]).
+
+use crate::access::GraphAccess;
+use crate::error::GraphError;
+use crate::graph::KnowledgeGraph;
+use crate::ids::{EdgeLabelId, NodeId, NodeTypeId};
+use crate::schema::EdgeLabelRegistry;
+use crate::taxonomy::Taxonomy;
+use crate::varint::{encode_run, RunDecoder};
+use std::borrow::Cow;
+use std::fmt;
+use std::ops::Range;
+
+/// File magic: "NCKGRPH1".
+pub const MAGIC: [u8; 8] = *b"NCKGRPH1";
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Section identifiers; every section is required.
+const SEC_META: u32 = 1;
+const SEC_ADJ_OFFSETS: u32 = 2;
+const SEC_ADJ: u32 = 3;
+const SEC_DEGREES: u32 = 4;
+const SEC_PERM: u32 = 5;
+const SEC_INV_PERM: u32 = 6;
+const SEC_NAME_OFFSETS: u32 = 7;
+const SEC_NAME_BYTES: u32 = 8;
+const SEC_NAME_SORT: u32 = 9;
+const SEC_TYPES: u32 = 10;
+const SEC_LABEL_NAME_OFFSETS: u32 = 11;
+const SEC_LABEL_NAME_BYTES: u32 = 12;
+const SEC_LABEL_INVERSE: u32 = 13;
+const SEC_LABEL_FLAGS: u32 = 14;
+const SEC_LABEL_COUNTS: u32 = 15;
+const SEC_TYPE_NAME_OFFSETS: u32 = 16;
+const SEC_TYPE_NAME_BYTES: u32 = 17;
+const SEC_TYPE_PARENT_OFFSETS: u32 = 18;
+const SEC_TYPE_PARENTS: u32 = 19;
+const SECTION_KINDS: [u32; 19] = [
+    SEC_META,
+    SEC_ADJ_OFFSETS,
+    SEC_ADJ,
+    SEC_DEGREES,
+    SEC_PERM,
+    SEC_INV_PERM,
+    SEC_NAME_OFFSETS,
+    SEC_NAME_BYTES,
+    SEC_NAME_SORT,
+    SEC_TYPES,
+    SEC_LABEL_NAME_OFFSETS,
+    SEC_LABEL_NAME_BYTES,
+    SEC_LABEL_INVERSE,
+    SEC_LABEL_FLAGS,
+    SEC_LABEL_COUNTS,
+    SEC_TYPE_NAME_OFFSETS,
+    SEC_TYPE_NAME_BYTES,
+    SEC_TYPE_PARENT_OFFSETS,
+    SEC_TYPE_PARENTS,
+];
+
+/// Byte offset where the section table starts.
+const TABLE_START: usize = 24;
+/// Bytes per section-table entry.
+const TABLE_ENTRY: usize = 24;
+/// Untyped-node sentinel in the TYPES section.
+const NO_TYPE: u32 = u32::MAX;
+
+/// Backing storage of a [`CompactGraph`]: an owned buffer or a read-only
+/// file mapping.
+pub(crate) enum GraphBytes {
+    /// Heap-allocated image (in-memory build, or the read fallback).
+    Owned(Vec<u8>),
+    /// Memory-mapped file (the zero-copy load path).
+    #[cfg(unix)]
+    Mapped(crate::io::mmap::Mmap),
+}
+
+impl GraphBytes {
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            GraphBytes::Owned(v) => v,
+            #[cfg(unix)]
+            GraphBytes::Mapped(m) => m.as_slice(),
+        }
+    }
+
+    fn is_mapped(&self) -> bool {
+        match self {
+            GraphBytes::Owned(_) => false,
+            #[cfg(unix)]
+            GraphBytes::Mapped(_) => true,
+        }
+    }
+}
+
+/// Content-seeded checksum over the section table and payload: 8-byte
+/// chunks mixed FNV-style, with the tail and total length folded in.
+/// Word-chunked so verifying a 100 MB image costs milliseconds, not a
+/// per-byte loop.
+pub(crate) fn checksum(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h ^= u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes"));
+        h = h.wrapping_mul(PRIME).rotate_left(23);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h ^= u64::from_le_bytes(tail) ^ ((rem.len() as u64) << 56);
+        h = h.wrapping_mul(PRIME).rotate_left(23);
+    }
+    h ^ bytes.len() as u64
+}
+
+fn format_err(msg: impl Into<String>) -> GraphError {
+    GraphError::Format(msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Accumulates sections and lays them out with headers, table, alignment
+/// padding and the checksum.
+struct ImageWriter {
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl ImageWriter {
+    fn new() -> Self {
+        Self {
+            sections: Vec::with_capacity(SECTION_KINDS.len()),
+        }
+    }
+
+    fn section(&mut self, kind: u32, payload: Vec<u8>) {
+        self.sections.push((kind, payload));
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        self.sections.sort_by_key(|&(kind, _)| kind);
+        let count = self.sections.len();
+        let table_end = TABLE_START + count * TABLE_ENTRY;
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(count as u32).to_le_bytes());
+        out.extend_from_slice(&0u64.to_le_bytes()); // checksum backpatched below
+        let mut cursor = table_end;
+        for (kind, payload) in &self.sections {
+            let aligned = cursor.next_multiple_of(8);
+            out.extend_from_slice(&kind.to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes());
+            out.extend_from_slice(&(aligned as u64).to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            cursor = aligned + payload.len();
+        }
+        debug_assert_eq!(out.len(), table_end);
+        for (_, payload) in &self.sections {
+            while out.len() % 8 != 0 {
+                out.push(0);
+            }
+            out.extend_from_slice(payload);
+        }
+        let sum = checksum(&out[TABLE_START..]);
+        out[16..24].copy_from_slice(&sum.to_le_bytes());
+        out
+    }
+}
+
+fn u32s_to_bytes(values: impl IntoIterator<Item = u32>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Offset that must fit the format's `u32` offset tables.
+fn offset_u32(len: usize, what: &str) -> u32 {
+    u32::try_from(len).unwrap_or_else(|_| panic!("{what} exceeds the format's u32 offset range"))
+}
+
+/// Serializes `graph` into the compact byte image (also the on-disk file
+/// content — [`crate::io::save_compact`] writes exactly these bytes).
+///
+/// The encoding is fully deterministic: the same graph always produces
+/// the same bytes, which the golden-file test relies on.
+pub fn encode_compact(graph: &KnowledgeGraph) -> Vec<u8> {
+    let n = graph.num_nodes();
+    let num_labels = graph.labels().len();
+    let num_types = graph.taxonomy().len();
+
+    // Degree-ordered relabeling: internal slot order is descending
+    // external degree, ties broken by ascending external id so the
+    // layout is deterministic.
+    let degrees: Vec<u32> = (0..n)
+        .map(|v| graph.degree(NodeId::from_index(v)) as u32)
+        .collect();
+    let mut int_to_ext: Vec<u32> = (0..n as u32).collect();
+    int_to_ext.sort_unstable_by_key(|&v| (std::cmp::Reverse(degrees[v as usize]), v));
+    let mut ext_to_int = vec![0u32; n];
+    for (int, &ext) in int_to_ext.iter().enumerate() {
+        ext_to_int[ext as usize] = int as u32;
+    }
+
+    // Adjacency: one varint run per internal slot, external ids inside.
+    let mut adj = Vec::new();
+    let mut adj_offsets = Vec::with_capacity(n + 1);
+    let mut run = Vec::new();
+    for &ext in &int_to_ext {
+        adj_offsets.push(offset_u32(adj.len(), "adjacency stream"));
+        run.clear();
+        run.extend(
+            graph
+                .edges(NodeId::new(ext))
+                .map(|(l, t)| (l.raw(), t.raw())),
+        );
+        encode_run(&mut adj, &run);
+    }
+    adj_offsets.push(offset_u32(adj.len(), "adjacency stream"));
+
+    // Node names: UTF-8 pool in external order + sorted lookup ids.
+    let mut name_bytes = Vec::new();
+    let mut name_offsets = Vec::with_capacity(n + 1);
+    for v in 0..n {
+        name_offsets.push(offset_u32(name_bytes.len(), "name pool"));
+        name_bytes.extend_from_slice(graph.node_name(NodeId::from_index(v)).as_bytes());
+    }
+    name_offsets.push(offset_u32(name_bytes.len(), "name pool"));
+    let mut name_sort: Vec<u32> = (0..n as u32).collect();
+    name_sort.sort_unstable_by(|&a, &b| {
+        graph
+            .node_name(NodeId::new(a))
+            .cmp(graph.node_name(NodeId::new(b)))
+            .then(a.cmp(&b))
+    });
+
+    let types = (0..n).map(|v| {
+        graph
+            .node_type(NodeId::from_index(v))
+            .map_or(NO_TYPE, NodeTypeId::raw)
+    });
+
+    // Edge-label registry.
+    let mut label_name_bytes = Vec::new();
+    let mut label_name_offsets = Vec::with_capacity(num_labels + 1);
+    let mut label_flags = Vec::with_capacity(num_labels);
+    let mut label_counts = Vec::new();
+    for l in graph.labels().iter() {
+        label_name_offsets.push(offset_u32(label_name_bytes.len(), "label name pool"));
+        label_name_bytes.extend_from_slice(graph.labels().name(l).as_bytes());
+        label_flags.push(u8::from(graph.labels().is_inverse(l)));
+        label_counts.extend_from_slice(&graph.label_count(l).to_le_bytes());
+    }
+    label_name_offsets.push(offset_u32(label_name_bytes.len(), "label name pool"));
+
+    // Taxonomy: names plus flattened parent lists.
+    let mut type_name_bytes = Vec::new();
+    let mut type_name_offsets = Vec::with_capacity(num_types + 1);
+    let mut parent_offsets = Vec::with_capacity(num_types + 1);
+    let mut parents = Vec::new();
+    for t in 0..num_types {
+        let ty = NodeTypeId::from_index(t);
+        type_name_offsets.push(offset_u32(type_name_bytes.len(), "type name pool"));
+        type_name_bytes.extend_from_slice(graph.taxonomy().name(ty).as_bytes());
+        parent_offsets.push(offset_u32(parents.len(), "parent table"));
+        parents.extend(graph.taxonomy().parents(ty).iter().map(|p| p.raw()));
+    }
+    type_name_offsets.push(offset_u32(type_name_bytes.len(), "type name pool"));
+    parent_offsets.push(offset_u32(parents.len(), "parent table"));
+
+    let mut meta = Vec::with_capacity(32);
+    meta.extend_from_slice(&(n as u32).to_le_bytes());
+    meta.extend_from_slice(&(num_labels as u32).to_le_bytes());
+    meta.extend_from_slice(&(num_types as u32).to_le_bytes());
+    meta.extend_from_slice(&(graph.num_stored_edges() as u64).to_le_bytes());
+    meta.extend_from_slice(&(graph.num_logical_edges() as u64).to_le_bytes());
+
+    let mut w = ImageWriter::new();
+    w.section(SEC_META, meta);
+    w.section(SEC_ADJ_OFFSETS, u32s_to_bytes(adj_offsets));
+    w.section(SEC_ADJ, adj);
+    w.section(SEC_DEGREES, u32s_to_bytes(degrees));
+    w.section(SEC_PERM, u32s_to_bytes(ext_to_int));
+    w.section(SEC_INV_PERM, u32s_to_bytes(int_to_ext));
+    w.section(SEC_NAME_OFFSETS, u32s_to_bytes(name_offsets));
+    w.section(SEC_NAME_BYTES, name_bytes);
+    w.section(SEC_NAME_SORT, u32s_to_bytes(name_sort));
+    w.section(SEC_TYPES, u32s_to_bytes(types));
+    w.section(SEC_LABEL_NAME_OFFSETS, u32s_to_bytes(label_name_offsets));
+    w.section(SEC_LABEL_NAME_BYTES, label_name_bytes);
+    w.section(
+        SEC_LABEL_INVERSE,
+        u32s_to_bytes(
+            graph
+                .labels()
+                .iter()
+                .map(|l| graph.labels().inverse(l).raw()),
+        ),
+    );
+    w.section(SEC_LABEL_FLAGS, label_flags);
+    w.section(SEC_LABEL_COUNTS, label_counts);
+    w.section(SEC_TYPE_NAME_OFFSETS, u32s_to_bytes(type_name_offsets));
+    w.section(SEC_TYPE_NAME_BYTES, type_name_bytes);
+    w.section(SEC_TYPE_PARENT_OFFSETS, u32s_to_bytes(parent_offsets));
+    w.section(SEC_TYPE_PARENTS, u32s_to_bytes(parents));
+    w.finish()
+}
+
+// ---------------------------------------------------------------------------
+// The backend
+// ---------------------------------------------------------------------------
+
+/// A compact, immutable graph backend decoding straight from one byte
+/// image (owned or memory-mapped). See the [module docs](self).
+pub struct CompactGraph {
+    data: GraphBytes,
+    num_nodes: usize,
+    num_stored_edges: usize,
+    num_logical_edges: usize,
+    adj_offsets: Range<usize>,
+    adj: Range<usize>,
+    degrees: Range<usize>,
+    perm: Range<usize>,
+    name_offsets: Range<usize>,
+    name_bytes: Range<usize>,
+    name_sort: Range<usize>,
+    types: Range<usize>,
+    // Small owned structures rebuilt at load; everything node-sized stays
+    // in the byte image.
+    labels: EdgeLabelRegistry,
+    taxonomy: Taxonomy,
+    label_counts: Vec<u64>,
+}
+
+/// Reads the `i`-th little-endian `u32` of a byte slice.
+#[inline]
+fn u32_at(bytes: &[u8], i: usize) -> u32 {
+    let p = i * 4;
+    u32::from_le_bytes(bytes[p..p + 4].try_into().expect("u32 slice"))
+}
+
+/// Splits a `(offsets, pool)` pair of sections into `&str` entries.
+fn pooled_str<'a>(
+    offsets: &[u8],
+    pool: &'a [u8],
+    i: usize,
+    what: &str,
+) -> Result<&'a str, GraphError> {
+    let lo = u32_at(offsets, i) as usize;
+    let hi = u32_at(offsets, i + 1) as usize;
+    let bytes = pool
+        .get(lo..hi)
+        .ok_or_else(|| format_err(format!("{what} offsets out of bounds")))?;
+    std::str::from_utf8(bytes).map_err(|_| format_err(format!("{what} is not valid UTF-8")))
+}
+
+impl CompactGraph {
+    /// Builds a compact backend from a fully materialized graph by
+    /// encoding and re-parsing the byte image — the identical code path a
+    /// file load takes, so in-memory and on-disk backends cannot diverge.
+    pub fn from_graph(graph: &KnowledgeGraph) -> Self {
+        Self::from_bytes(encode_compact(graph)).expect("self-encoded image must parse")
+    }
+
+    /// Parses an owned byte image (e.g. the single-read load fallback).
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, GraphError> {
+        Self::parse(GraphBytes::Owned(bytes))
+    }
+
+    /// Whether the backing bytes are a file mapping (zero-copy load) as
+    /// opposed to an owned heap buffer.
+    pub fn is_memory_mapped(&self) -> bool {
+        self.data.is_mapped()
+    }
+
+    /// Number of logical (user-inserted) edges recorded in the image.
+    pub fn num_logical_edges(&self) -> usize {
+        self.num_logical_edges
+    }
+
+    /// Size of the backing byte image in bytes.
+    pub fn image_bytes(&self) -> usize {
+        self.data.as_slice().len()
+    }
+
+    pub(crate) fn parse(data: GraphBytes) -> Result<Self, GraphError> {
+        // Parse against the borrowed slice first, then move the storage
+        // into the finished value (the parsed views are plain ranges, so
+        // nothing borrows `data` across the move).
+        let p = parse_image(data.as_slice())?;
+        Ok(Self {
+            data,
+            num_nodes: p.num_nodes,
+            num_stored_edges: p.num_stored_edges,
+            num_logical_edges: p.num_logical_edges,
+            adj_offsets: p.adj_offsets,
+            adj: p.adj,
+            degrees: p.degrees,
+            perm: p.perm,
+            name_offsets: p.name_offsets,
+            name_bytes: p.name_bytes,
+            name_sort: p.name_sort,
+            types: p.types,
+            labels: p.labels,
+            taxonomy: p.taxonomy,
+            label_counts: p.label_counts,
+        })
+    }
+
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        self.data.as_slice()
+    }
+
+    /// The varint run of `node`'s out-edges (located via the degree
+    /// permutation).
+    #[inline]
+    fn run_bytes(&self, node: NodeId) -> &[u8] {
+        let int = u32_at(&self.bytes()[self.perm.clone()], node.index()) as usize;
+        let offs = &self.bytes()[self.adj_offsets.clone()];
+        let lo = u32_at(offs, int) as usize;
+        let hi = u32_at(offs, int + 1) as usize;
+        &self.bytes()[self.adj.clone()][lo..hi]
+    }
+}
+
+/// Everything [`CompactGraph`] holds besides the storage itself; produced
+/// by [`parse_image`].
+struct ParsedImage {
+    num_nodes: usize,
+    num_stored_edges: usize,
+    num_logical_edges: usize,
+    adj_offsets: Range<usize>,
+    adj: Range<usize>,
+    degrees: Range<usize>,
+    perm: Range<usize>,
+    name_offsets: Range<usize>,
+    name_bytes: Range<usize>,
+    name_sort: Range<usize>,
+    types: Range<usize>,
+    labels: EdgeLabelRegistry,
+    taxonomy: Taxonomy,
+    label_counts: Vec<u64>,
+}
+
+/// Validates and indexes one byte image; every malformed input is a
+/// [`GraphError::Format`], never a panic or a mis-decode.
+fn parse_image(bytes: &[u8]) -> Result<ParsedImage, GraphError> {
+    if bytes.len() < TABLE_START {
+        return Err(format_err(format!(
+            "truncated file: {} bytes is smaller than the {TABLE_START}-byte header",
+            bytes.len()
+        )));
+    }
+    if bytes[..8] != MAGIC {
+        return Err(format_err(format!(
+            "bad magic {:?} (expected {:?} — not a compact graph file)",
+            &bytes[..8],
+            &MAGIC[..]
+        )));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("header"));
+    if version != FORMAT_VERSION {
+        return Err(format_err(format!(
+            "unsupported format version {version} (this build reads version {FORMAT_VERSION})"
+        )));
+    }
+    let count = u32::from_le_bytes(bytes[12..16].try_into().expect("header")) as usize;
+    if count != SECTION_KINDS.len() {
+        return Err(format_err(format!(
+            "expected {} sections, file declares {count}",
+            SECTION_KINDS.len()
+        )));
+    }
+    let stored_sum = u64::from_le_bytes(bytes[16..24].try_into().expect("header"));
+    let table_end = TABLE_START + count * TABLE_ENTRY;
+    if bytes.len() < table_end {
+        return Err(format_err("truncated file: section table cut short"));
+    }
+    let actual_sum = checksum(&bytes[TABLE_START..]);
+    if stored_sum != actual_sum {
+        return Err(format_err(format!(
+            "checksum mismatch: header says {stored_sum:#018x}, content hashes to \
+                 {actual_sum:#018x} (file corrupt or truncated)"
+        )));
+    }
+
+    let mut ranges: [Option<Range<usize>>; SECTION_KINDS.len()] = Default::default();
+    for i in 0..count {
+        let entry = &bytes[TABLE_START + i * TABLE_ENTRY..TABLE_START + (i + 1) * TABLE_ENTRY];
+        let kind = u32::from_le_bytes(entry[0..4].try_into().expect("entry"));
+        let offset = u64::from_le_bytes(entry[8..16].try_into().expect("entry")) as usize;
+        let len = u64::from_le_bytes(entry[16..24].try_into().expect("entry")) as usize;
+        let slot = SECTION_KINDS
+            .iter()
+            .position(|&k| k == kind)
+            .ok_or_else(|| format_err(format!("unknown section kind {kind}")))?;
+        if ranges[slot].is_some() {
+            return Err(format_err(format!("duplicate section kind {kind}")));
+        }
+        if !offset.is_multiple_of(8)
+            || offset < table_end
+            || offset.saturating_add(len) > bytes.len()
+        {
+            return Err(format_err(format!(
+                "section {kind} range {offset}..{} is misaligned or out of bounds",
+                offset + len
+            )));
+        }
+        ranges[slot] = Some(offset..offset + len);
+    }
+    let sec = |kind: u32| -> Range<usize> {
+        let slot = SECTION_KINDS.iter().position(|&k| k == kind).expect("kind");
+        ranges[slot].clone().expect("all sections verified present")
+    };
+
+    // META
+    let meta = &bytes[sec(SEC_META)];
+    if meta.len() != 28 {
+        return Err(format_err("META section has wrong size"));
+    }
+    let num_nodes = u32::from_le_bytes(meta[0..4].try_into().expect("meta")) as usize;
+    let num_labels = u32::from_le_bytes(meta[4..8].try_into().expect("meta")) as usize;
+    let num_types = u32::from_le_bytes(meta[8..12].try_into().expect("meta")) as usize;
+    let num_stored_edges = u64::from_le_bytes(meta[12..20].try_into().expect("meta")) as usize;
+    let num_logical_edges = u64::from_le_bytes(meta[20..28].try_into().expect("meta")) as usize;
+
+    let expect_len = |kind: u32, want: usize, what: &str| -> Result<Range<usize>, GraphError> {
+        let r = sec(kind);
+        if r.len() != want {
+            return Err(format_err(format!(
+                "{what} section is {} bytes, expected {want}",
+                r.len()
+            )));
+        }
+        Ok(r)
+    };
+
+    let adj_offsets = expect_len(SEC_ADJ_OFFSETS, (num_nodes + 1) * 4, "adjacency offsets")?;
+    let adj = sec(SEC_ADJ);
+    let degrees = expect_len(SEC_DEGREES, num_nodes * 4, "degrees")?;
+    let perm = expect_len(SEC_PERM, num_nodes * 4, "permutation")?;
+    let inv_perm = expect_len(SEC_INV_PERM, num_nodes * 4, "inverse permutation")?;
+    let name_offsets = expect_len(SEC_NAME_OFFSETS, (num_nodes + 1) * 4, "name offsets")?;
+    let name_bytes = sec(SEC_NAME_BYTES);
+    let name_sort = expect_len(SEC_NAME_SORT, num_nodes * 4, "name sort")?;
+    let types = expect_len(SEC_TYPES, num_nodes * 4, "types")?;
+
+    // Offset tables must be monotone and span their pools exactly.
+    let check_offsets =
+        |r: &Range<usize>, n: usize, pool_len: usize, what: &str| -> Result<(), GraphError> {
+            let table = &bytes[r.clone()];
+            let mut prev = 0u32;
+            for i in 0..=n {
+                let o = u32_at(table, i);
+                if o < prev {
+                    return Err(format_err(format!("{what} offsets are not monotone")));
+                }
+                prev = o;
+            }
+            if u32_at(table, 0) != 0 || prev as usize != pool_len {
+                return Err(format_err(format!("{what} offsets do not span the pool")));
+            }
+            Ok(())
+        };
+    check_offsets(&adj_offsets, num_nodes, adj.len(), "adjacency")?;
+    check_offsets(&name_offsets, num_nodes, name_bytes.len(), "name")?;
+
+    // Validate permutation consistency and id ranges in one pass.
+    {
+        let p = &bytes[perm.clone()];
+        let ip = &bytes[inv_perm.clone()];
+        for v in 0..num_nodes {
+            let int = u32_at(p, v) as usize;
+            if int >= num_nodes || u32_at(ip, int) as usize != v {
+                return Err(format_err("node permutation tables are inconsistent"));
+            }
+            let ty = u32_at(&bytes[types.clone()], v);
+            if ty != NO_TYPE && ty as usize >= num_types {
+                return Err(format_err(format!("node {v} has out-of-range type {ty}")));
+            }
+            let by_name = u32_at(&bytes[name_sort.clone()], v);
+            if by_name as usize >= num_nodes {
+                return Err(format_err("name-sort table references unknown node"));
+            }
+        }
+    }
+    // Validate every name slice is well-formed UTF-8 once, up front;
+    // accessors can then decode without per-call error paths.
+    for v in 0..num_nodes {
+        pooled_str(
+            &bytes[name_offsets.clone()],
+            &bytes[name_bytes.clone()],
+            v,
+            "node name",
+        )?;
+    }
+
+    // Rebuild the label registry through its public API so every
+    // invariant (consecutive forward/inverse ids, symmetric labels)
+    // is re-established — a file that violates the layout errors out.
+    let label_name_offsets = expect_len(
+        SEC_LABEL_NAME_OFFSETS,
+        (num_labels + 1) * 4,
+        "label name offsets",
+    )?;
+    let label_name_bytes = sec(SEC_LABEL_NAME_BYTES);
+    let label_inverse = expect_len(SEC_LABEL_INVERSE, num_labels * 4, "label inverses")?;
+    let label_flags = expect_len(SEC_LABEL_FLAGS, num_labels, "label flags")?;
+    let label_counts_sec = expect_len(SEC_LABEL_COUNTS, num_labels * 8, "label counts")?;
+    check_offsets(
+        &label_name_offsets,
+        num_labels,
+        label_name_bytes.len(),
+        "label name",
+    )?;
+    let mut labels = EdgeLabelRegistry::new();
+    {
+        let offs = &bytes[label_name_offsets.clone()];
+        let pool = &bytes[label_name_bytes.clone()];
+        let inv = &bytes[label_inverse.clone()];
+        let flags = &bytes[label_flags.clone()];
+        let mut i = 0usize;
+        while i < num_labels {
+            if flags[i] != 0 {
+                return Err(format_err(
+                    "label table corrupt: inverse direction before its forward label",
+                ));
+            }
+            let name = pooled_str(offs, pool, i, "label name")?;
+            let inverse_of_i = u32_at(inv, i) as usize;
+            let id = if inverse_of_i == i {
+                labels.register_with_inverse(name, name)
+            } else {
+                if inverse_of_i != i + 1 || i + 1 >= num_labels || flags[i + 1] != 1 {
+                    return Err(format_err(
+                        "label table corrupt: forward/inverse ids are not consecutive",
+                    ));
+                }
+                let inverse_name = pooled_str(offs, pool, i + 1, "label name")?;
+                labels.register_with_inverse(name, inverse_name)
+            };
+            if id.index() != i {
+                return Err(format_err("label table corrupt: duplicate label name"));
+            }
+            i = if inverse_of_i == i { i + 1 } else { i + 2 };
+        }
+    }
+    let label_counts: Vec<u64> = (0..num_labels)
+        .map(|i| {
+            let p = label_counts_sec.start + i * 8;
+            u64::from_le_bytes(bytes[p..p + 8].try_into().expect("u64 slice"))
+        })
+        .collect();
+    if label_counts.iter().sum::<u64>() != num_stored_edges as u64 {
+        return Err(format_err(
+            "label counts do not sum to the stored edge count",
+        ));
+    }
+
+    // Rebuild the taxonomy.
+    let type_name_offsets = expect_len(
+        SEC_TYPE_NAME_OFFSETS,
+        (num_types + 1) * 4,
+        "type name offsets",
+    )?;
+    let type_name_bytes = sec(SEC_TYPE_NAME_BYTES);
+    let parent_offsets = expect_len(
+        SEC_TYPE_PARENT_OFFSETS,
+        (num_types + 1) * 4,
+        "parent offsets",
+    )?;
+    let parent_sec = sec(SEC_TYPE_PARENTS);
+    check_offsets(
+        &type_name_offsets,
+        num_types,
+        type_name_bytes.len(),
+        "type name",
+    )?;
+    let mut taxonomy = Taxonomy::new();
+    for t in 0..num_types {
+        let name = pooled_str(
+            &bytes[type_name_offsets.clone()],
+            &bytes[type_name_bytes.clone()],
+            t,
+            "type name",
+        )?;
+        let id = taxonomy.register(name);
+        if id.index() != t {
+            return Err(format_err("type table corrupt: duplicate type name"));
+        }
+    }
+    {
+        let offs = &bytes[parent_offsets.clone()];
+        let table = &bytes[parent_sec.clone()];
+        if u32_at(offs, num_types) as usize * 4 != parent_sec.len() {
+            return Err(format_err("parent offsets do not span the parent table"));
+        }
+        for t in 0..num_types {
+            let lo = u32_at(offs, t) as usize;
+            let hi = u32_at(offs, t + 1) as usize;
+            if hi < lo || hi * 4 > parent_sec.len() {
+                return Err(format_err("parent offsets are not monotone"));
+            }
+            for i in lo..hi {
+                let p = u32_at(table, i) as usize;
+                if p >= num_types {
+                    return Err(format_err("taxonomy references an unknown parent type"));
+                }
+                taxonomy.add_subtype(NodeTypeId::from_index(t), NodeTypeId::from_index(p));
+            }
+        }
+    }
+
+    Ok(ParsedImage {
+        num_nodes,
+        num_stored_edges,
+        num_logical_edges,
+        adj_offsets,
+        adj,
+        degrees,
+        perm,
+        name_offsets,
+        name_bytes,
+        name_sort,
+        types,
+        labels,
+        taxonomy,
+        label_counts,
+    })
+}
+
+impl fmt::Debug for CompactGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompactGraph")
+            .field("num_nodes", &self.num_nodes)
+            .field("num_stored_edges", &self.num_stored_edges)
+            .field("image_bytes", &self.image_bytes())
+            .field("memory_mapped", &self.is_memory_mapped())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Edge iterator over a delta-encoded run; yields the same `(label,
+/// target)` sequence as [`crate::csr::Csr::edges`] on the source graph.
+pub struct CompactEdges<'a>(RunDecoder<'a>);
+
+impl Iterator for CompactEdges<'_> {
+    type Item = (EdgeLabelId, NodeId);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0
+            .next()
+            .map(|(l, t)| (EdgeLabelId::new(l), NodeId::new(t)))
+    }
+}
+
+/// Distinct-label iterator decoding group headers only.
+pub struct CompactLabels<'a>(RunDecoder<'a>);
+
+impl Iterator for CompactLabels<'_> {
+    type Item = EdgeLabelId;
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.next_distinct_label().map(EdgeLabelId::new)
+    }
+}
+
+impl GraphAccess for CompactGraph {
+    type Edges<'a> = CompactEdges<'a>;
+    type Labels<'a> = CompactLabels<'a>;
+
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn num_stored_edges(&self) -> usize {
+        self.num_stored_edges
+    }
+
+    fn node_name(&self, node: NodeId) -> &str {
+        pooled_str(
+            &self.bytes()[self.name_offsets.clone()],
+            &self.bytes()[self.name_bytes.clone()],
+            node.index(),
+            "node name",
+        )
+        .expect("name pool validated at load")
+    }
+
+    fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        let sort = &self.bytes()[self.name_sort.clone()];
+        let mut lo = 0usize;
+        let mut hi = self.num_nodes;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let candidate = NodeId::new(u32_at(sort, mid));
+            match self.node_name(candidate).cmp(name) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(candidate),
+            }
+        }
+        None
+    }
+
+    fn node_type(&self, node: NodeId) -> Option<NodeTypeId> {
+        let raw = u32_at(&self.bytes()[self.types.clone()], node.index());
+        (raw != NO_TYPE).then(|| NodeTypeId::new(raw))
+    }
+
+    fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    fn degree(&self, node: NodeId) -> usize {
+        u32_at(&self.bytes()[self.degrees.clone()], node.index()) as usize
+    }
+
+    fn edges(&self, node: NodeId) -> CompactEdges<'_> {
+        CompactEdges(RunDecoder::new(self.run_bytes(node)))
+    }
+
+    fn edge_at(&self, node: NodeId, i: usize) -> (EdgeLabelId, NodeId) {
+        // Varint runs have no random access; decode forward. Runs are
+        // short (a node's degree), so this stays cheap — but it is O(deg),
+        // not the CSR's O(1).
+        self.edges(node)
+            .nth(i)
+            .expect("edge index out of range for node")
+    }
+
+    fn neighbors_with_label(&self, node: NodeId, label: EdgeLabelId) -> Cow<'_, [NodeId]> {
+        let mut out = Vec::new();
+        for (l, t) in self.edges(node) {
+            if l == label {
+                out.push(t);
+            } else if l > label {
+                break; // runs are label-sorted
+            }
+        }
+        Cow::Owned(out)
+    }
+
+    fn labels_of(&self, node: NodeId) -> CompactLabels<'_> {
+        CompactLabels(RunDecoder::new(self.run_bytes(node)))
+    }
+
+    fn labels(&self) -> &EdgeLabelRegistry {
+        &self.labels
+    }
+
+    fn label_count(&self, label: EdgeLabelId) -> u64 {
+        self.label_counts[label.index()]
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.image_bytes()
+            + self.labels.approx_bytes()
+            + self.taxonomy.approx_bytes()
+            + self.label_counts.capacity() * 8
+            + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn sample() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        for (person, domain) in [
+            ("Merkel", "Physics"),
+            ("Putin", "Law"),
+            ("Renzi", "Law"),
+            ("Hollande", "Law"),
+        ] {
+            b.add_triple(person, "studied", domain);
+        }
+        for (parent, child) in [
+            ("Obama", "Malia"),
+            ("Putin", "Mariya"),
+            ("Renzi", "Ester"),
+            ("Hollande", "Thomas"),
+            ("Hollande", "Flora"),
+        ] {
+            b.add_triple(parent, "hasChild", child);
+        }
+        let sym = b.edge_label_with_inverse("marriedTo", "marriedTo");
+        let x = b.node("Hollande");
+        let y = b.node("Merkel");
+        b.add_edge(x, sym, y);
+        for p in ["Merkel", "Obama", "Putin", "Renzi", "Hollande"] {
+            let node = b.node(p);
+            b.set_type(node, "politician");
+        }
+        b.subtype("politician", "person");
+        b.build()
+    }
+
+    fn assert_matches(g: &KnowledgeGraph, c: &CompactGraph) {
+        assert_eq!(g.num_nodes(), GraphAccess::num_nodes(c));
+        assert_eq!(g.num_stored_edges(), GraphAccess::num_stored_edges(c));
+        assert_eq!(g.num_logical_edges(), c.num_logical_edges());
+        for v in GraphAccess::nodes(g) {
+            assert_eq!(g.node_name(v), c.node_name(v));
+            assert_eq!(g.node_type(v), c.node_type(v));
+            assert_eq!(g.degree(v), GraphAccess::degree(c, v));
+            let want: Vec<_> = g.edges(v).collect();
+            let got: Vec<_> = GraphAccess::edges(c, v).collect();
+            assert_eq!(want, got, "edge run of {}", g.node_name(v));
+            let want_l: Vec<_> = g.labels_of(v).collect();
+            let got_l: Vec<_> = GraphAccess::labels_of(c, v).collect();
+            assert_eq!(want_l, got_l);
+            for i in 0..g.degree(v) {
+                assert_eq!(g.edge_at(v, i), GraphAccess::edge_at(c, v, i));
+            }
+            assert_eq!(c.node_by_name(g.node_name(v)), Some(v));
+            for l in g.labels().iter() {
+                assert_eq!(
+                    g.neighbors_with_label(v, l),
+                    GraphAccess::neighbors_with_label(c, v, l).as_ref()
+                );
+            }
+        }
+        for l in g.labels().iter() {
+            assert_eq!(g.label_name(l), GraphAccess::label_name(c, l));
+            assert_eq!(g.labels().inverse(l), GraphAccess::labels(c).inverse(l));
+            assert_eq!(
+                g.labels().is_inverse(l),
+                GraphAccess::labels(c).is_inverse(l)
+            );
+            assert_eq!(g.label_count(l), GraphAccess::label_count(c, l));
+        }
+        assert_eq!(g.taxonomy().len(), c.taxonomy.len());
+        for t in 0..g.taxonomy().len() {
+            let ty = NodeTypeId::from_index(t);
+            assert_eq!(g.taxonomy().name(ty), c.taxonomy.name(ty));
+            assert_eq!(g.taxonomy().parents(ty), c.taxonomy.parents(ty));
+        }
+    }
+
+    #[test]
+    fn compact_graph_matches_csr_exactly() {
+        let g = sample();
+        let c = CompactGraph::from_graph(&g);
+        assert_matches(&g, &c);
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = GraphBuilder::new().build();
+        let c = CompactGraph::from_graph(&g);
+        assert_eq!(GraphAccess::num_nodes(&c), 0);
+        assert_eq!(GraphAccess::num_stored_edges(&c), 0);
+        assert_eq!(c.node_by_name("anything"), None);
+    }
+
+    #[test]
+    fn encoding_is_byte_stable() {
+        let a = encode_compact(&sample());
+        let b = encode_compact(&sample());
+        assert_eq!(a, b, "same graph must serialize to identical bytes");
+    }
+
+    #[test]
+    fn compact_is_smaller_than_csr() {
+        // The fixed header/section overhead (~1 KiB) swamps a toy graph,
+        // so size the comparison to a few thousand nodes — still fast,
+        // but representative of the regime the compact format targets.
+        let mut b = GraphBuilder::new();
+        let labels: Vec<_> = (0..4).map(|l| b.edge_label(&format!("rel{l}"))).collect();
+        let nodes: Vec<_> = (0..2_000).map(|v| b.node(&format!("e{v}"))).collect();
+        for v in 0..2_000usize {
+            for k in 1..=5usize {
+                let t = (v * 31 + k * 7) % 2_000;
+                if t != v {
+                    b.add_edge(nodes[v], labels[(v + k) % 4], nodes[t]);
+                }
+            }
+        }
+        let g = b.build();
+        let c = CompactGraph::from_graph(&g);
+        assert!(
+            c.approx_bytes() < g.approx_bytes() / 2,
+            "compact {} not under half of csr {}",
+            c.approx_bytes(),
+            g.approx_bytes()
+        );
+    }
+
+    #[test]
+    fn unknown_node_lookup_is_none() {
+        let c = CompactGraph::from_graph(&sample());
+        assert_eq!(c.node_by_name("Nixon"), None);
+        assert_eq!(c.node_by_name(""), None);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode_compact(&sample());
+        bytes[0] = b'X';
+        let err = CompactGraph::from_bytes(bytes).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut bytes = encode_compact(&sample());
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let err = CompactGraph::from_bytes(bytes).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let bytes = encode_compact(&sample());
+        for keep in [0, 10, TABLE_START, bytes.len() / 2, bytes.len() - 1] {
+            let err = CompactGraph::from_bytes(bytes[..keep].to_vec()).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains("truncated") || msg.contains("checksum") || msg.contains("bounds"),
+                "keep={keep}: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flip_fails_checksum() {
+        let mut bytes = encode_compact(&sample());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let err = CompactGraph::from_bytes(bytes).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn hubs_are_relabeled_first() {
+        let g = sample();
+        let bytes = encode_compact(&g);
+        let c = CompactGraph::from_bytes(bytes).unwrap();
+        // The internal slot of the highest-degree node is 0.
+        let hub = GraphAccess::nodes(&g)
+            .max_by_key(|&v| (g.degree(v), std::cmp::Reverse(v.raw())))
+            .unwrap();
+        let perm = &c.bytes()[c.perm.clone()];
+        assert_eq!(u32_at(perm, hub.index()), 0);
+    }
+}

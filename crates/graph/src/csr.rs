@@ -106,6 +106,11 @@ impl Csr {
         self.neighbors_with_label(v, l).len()
     }
 
+    /// Approximate resident heap bytes of the three CSR arrays.
+    pub fn approx_bytes(&self) -> usize {
+        (self.offsets.capacity() + self.labels.capacity() + self.targets.capacity()) * 4
+    }
+
     /// Iterates over the distinct labels on `v`'s out-edges.
     pub fn labels_of(&self, v: NodeId) -> DistinctLabels<'_> {
         let r = self.range(v);

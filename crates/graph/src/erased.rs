@@ -102,6 +102,11 @@ pub trait DynGraphAccess: Send + Sync {
     /// Forwards [`GraphAccess::warm_predicate`] — erasure must not turn a
     /// lazily materializing backend's warm hook into a no-op.
     fn warm_predicate(&self, label: EdgeLabelId);
+
+    /// Approximate resident bytes (see [`GraphAccess::approx_bytes`]) —
+    /// forwarded so the stats surface reports the real backend's
+    /// footprint, not the erasure shim's.
+    fn approx_bytes(&self) -> usize;
 }
 
 impl<G: GraphAccess + Send + Sync> DynGraphAccess for G {
@@ -159,6 +164,10 @@ impl<G: GraphAccess + Send + Sync> DynGraphAccess for G {
 
     fn warm_predicate(&self, label: EdgeLabelId) {
         GraphAccess::warm_predicate(self, label)
+    }
+
+    fn approx_bytes(&self) -> usize {
+        GraphAccess::approx_bytes(self)
     }
 }
 
@@ -267,6 +276,10 @@ impl GraphAccess for ErasedGraph {
 
     fn warm_predicate(&self, label: EdgeLabelId) {
         self.inner.warm_predicate(label)
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.inner.approx_bytes()
     }
 }
 

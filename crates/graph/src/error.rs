@@ -22,6 +22,10 @@ pub enum GraphError {
         /// What went wrong.
         message: String,
     },
+    /// A compact binary graph file was malformed, corrupt or unsupported
+    /// (bad magic, wrong version, truncation, checksum mismatch,
+    /// inconsistent tables).
+    Format(String),
     /// An underlying I/O failure.
     Io(std::io::Error),
 }
@@ -38,6 +42,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Format(message) => {
+                write!(f, "invalid compact graph file: {message}")
             }
             GraphError::Io(e) => write!(f, "I/O error: {e}"),
         }

@@ -165,6 +165,19 @@ impl KnowledgeGraph {
         }
     }
 
+    /// Approximate resident heap bytes of the whole graph: interner
+    /// (strings stored twice), CSR arrays, type column, label registry,
+    /// taxonomy and per-label counts. The compact backend's ≤50% memory
+    /// target in `BENCH_scale.json` is measured against this number.
+    pub fn approx_bytes(&self) -> usize {
+        self.names.approx_bytes()
+            + self.csr.approx_bytes()
+            + self.types.capacity() * std::mem::size_of::<Option<NodeTypeId>>()
+            + self.labels.approx_bytes()
+            + self.taxonomy.approx_bytes()
+            + self.label_counts.capacity() * 8
+    }
+
     // ---- taxonomy ----
 
     /// The node-type taxonomy.

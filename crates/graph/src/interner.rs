@@ -71,6 +71,14 @@ impl Interner {
         self.strings.is_empty()
     }
 
+    /// Approximate resident heap bytes: string payloads (stored twice —
+    /// once in the vector, once as the hash-map key), the `Box<str>` fat
+    /// pointers, and a conservative per-entry hash-map cost.
+    pub fn approx_bytes(&self) -> usize {
+        let payload: usize = self.strings.iter().map(|s| s.len()).sum();
+        2 * payload + self.strings.capacity() * 16 + self.index.capacity() * 32
+    }
+
     /// Iterates over `(index, string)` pairs in index order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
         self.strings

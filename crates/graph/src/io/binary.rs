@@ -1,0 +1,139 @@
+//! File I/O for the compact binary graph format.
+//!
+//! The byte layout itself lives in [`crate::compact`] (one encoder, one
+//! parser — the in-memory [`CompactGraph::from_graph`] constructor and
+//! the file loader share both). This module is the thin file layer:
+//! writing the image to disk and opening it back, preferring a read-only
+//! memory map so a server's cold start is O(header + checksum) instead
+//! of O(re-parse).
+
+use crate::compact::{encode_compact, CompactGraph, GraphBytes};
+use crate::error::GraphError;
+use crate::graph::KnowledgeGraph;
+use std::io::Write;
+use std::path::Path;
+
+/// Serializes `graph` in the compact binary format to `writer`.
+pub fn write_compact<W: Write>(graph: &KnowledgeGraph, writer: &mut W) -> Result<(), GraphError> {
+    writer.write_all(&encode_compact(graph))?;
+    Ok(())
+}
+
+/// Saves `graph` as a compact binary file at `path`.
+pub fn save_compact<P: AsRef<Path>>(graph: &KnowledgeGraph, path: P) -> Result<(), GraphError> {
+    let mut file = std::fs::File::create(path)?;
+    write_compact(graph, &mut file)?;
+    file.sync_all()?;
+    Ok(())
+}
+
+/// Parses a compact graph from an in-memory image (useful with readers
+/// that are not files; files should use [`load_compact`]).
+pub fn read_compact(bytes: Vec<u8>) -> Result<CompactGraph, GraphError> {
+    CompactGraph::from_bytes(bytes)
+}
+
+/// Opens a compact binary graph file.
+///
+/// On Unix the file is memory-mapped read-only, so adjacency and name
+/// pools are served by the page cache without a heap copy; elsewhere (or
+/// if mapping fails) the file is read into memory in a single call.
+/// Either way the image is fully validated — magic, version, checksum
+/// and table consistency — before a [`CompactGraph`] is returned.
+pub fn load_compact<P: AsRef<Path>>(path: P) -> Result<CompactGraph, GraphError> {
+    let path = path.as_ref();
+    #[cfg(unix)]
+    {
+        let file = std::fs::File::open(path)?;
+        if let Some(mapped) = super::mmap::Mmap::map(&file)? {
+            return CompactGraph::parse(GraphBytes::Mapped(mapped));
+        }
+    }
+    CompactGraph::parse(GraphBytes::Owned(std::fs::read(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::GraphAccess;
+    use crate::builder::GraphBuilder;
+
+    fn sample() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        b.add_triple("Merkel", "studied", "Physics");
+        b.add_triple("Hollande", "hasChild", "Thomas");
+        b.add_triple("Hollande", "hasChild", "Flora");
+        let n = b.node("Hollande");
+        b.set_type(n, "politician");
+        b.subtype("politician", "person");
+        b.build()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("nck_graph_binary_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn file_round_trip_is_exact() {
+        let g = sample();
+        let path = tmp("round_trip.nckg");
+        save_compact(&g, &path).unwrap();
+        let c = load_compact(&path).unwrap();
+        assert_eq!(GraphAccess::num_nodes(&c), g.num_nodes());
+        assert_eq!(GraphAccess::num_stored_edges(&c), g.num_stored_edges());
+        for v in g.nodes() {
+            let want: Vec<_> = g.edges(v).collect();
+            let got: Vec<_> = GraphAccess::edges(&c, v).collect();
+            assert_eq!(want, got);
+            assert_eq!(g.node_name(v), c.node_name(v));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn unix_load_is_memory_mapped() {
+        let path = tmp("mapped.nckg");
+        save_compact(&sample(), &path).unwrap();
+        let c = load_compact(&path).unwrap();
+        assert!(c.is_memory_mapped(), "unix load should take the mmap path");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_rejected_loudly() {
+        let g = sample();
+        let path = tmp("truncated.nckg");
+        save_compact(&g, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = load_compact(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("invalid compact graph file"),
+            "unexpected: {msg}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_graph_file_is_rejected_loudly() {
+        let path = tmp("not_a_graph.nckg");
+        std::fs::write(
+            &path,
+            b"Merkel\tstudied\tPhysics\nMore lines to pad this file out\n",
+        )
+        .unwrap();
+        let err = load_compact(&path).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_compact(tmp("does_not_exist.nckg")).unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+}

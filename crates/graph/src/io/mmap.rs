@@ -1,0 +1,154 @@
+//! Minimal read-only memory mapping for the zero-copy graph loader.
+//!
+//! This is the one module in `nck-graph` allowed to use `unsafe` (the
+//! crate is `#![deny(unsafe_code)]` everywhere else): two raw `mmap` /
+//! `munmap` syscall bindings and the slice view over the mapping. The
+//! surface is deliberately tiny — read-only, private, whole-file
+//! mappings, nothing else — and every consumer goes through
+//! [`Mmap::as_slice`], after which the compact-graph parser treats the
+//! bytes exactly like an owned buffer (all decoding is `from_le_bytes`
+//! on byte slices; the mapping is never reinterpreted as typed memory,
+//! so alignment never comes into play).
+//!
+//! Not available off Unix; [`crate::io::load_compact`] falls back to a
+//! single `std::fs::read` there.
+#![allow(unsafe_code)]
+
+#[cfg(unix)]
+pub use unix::Mmap;
+
+#[cfg(unix)]
+mod unix {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// A read-only, private, whole-file memory mapping.
+    ///
+    /// The usual mmap caveat applies: truncating the underlying file
+    /// while it is mapped turns reads into `SIGBUS`. Graph files are
+    /// written once by `nck build-graph` and then served immutably, so
+    /// the loader accepts that standard trade for the O(1) open.
+    pub struct Mmap {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is read-only (PROT_READ) and private
+    // (MAP_PRIVATE); no interior mutability, so shared access across
+    // threads is sound.
+    unsafe impl Send for Mmap {}
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        /// Maps `file` read-only. Returns `Ok(None)` when the file is
+        /// empty or the kernel refuses the mapping — callers fall back
+        /// to reading the file into memory; only metadata I/O errors
+        /// propagate.
+        pub fn map(file: &File) -> io::Result<Option<Self>> {
+            let len = file.metadata()?.len();
+            let Ok(len) = usize::try_from(len) else {
+                return Ok(None);
+            };
+            if len == 0 {
+                return Ok(None);
+            }
+            // SAFETY: requests a fresh read-only private mapping of a
+            // valid open descriptor; the kernel picks the address. The
+            // result is checked against MAP_FAILED before use.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr.is_null() || ptr as usize == usize::MAX {
+                return Ok(None);
+            }
+            Ok(Some(Self { ptr, len }))
+        }
+
+        /// The mapped bytes.
+        pub fn as_slice(&self) -> &[u8] {
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes, valid until `munmap` in Drop; `&self` cannot
+            // outlive the mapping.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+
+        /// Size of the mapping in bytes.
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// True when the mapping is empty (never constructed — kept for
+        /// API completeness).
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            // SAFETY: unmaps exactly the region obtained from mmap;
+            // called at most once.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::io::Write;
+
+        #[test]
+        fn maps_file_contents_and_unmaps() {
+            let dir = std::env::temp_dir().join("nck_graph_mmap_test");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("payload.bin");
+            let mut f = std::fs::File::create(&path).unwrap();
+            f.write_all(b"hello mapping").unwrap();
+            f.sync_all().unwrap();
+            let f = std::fs::File::open(&path).unwrap();
+            let m = Mmap::map(&f).unwrap().expect("regular file maps");
+            assert_eq!(m.as_slice(), b"hello mapping");
+            assert_eq!(m.len(), 13);
+            assert!(!m.is_empty());
+            drop(m);
+            std::fs::remove_file(&path).ok();
+        }
+
+        #[test]
+        fn empty_file_returns_none() {
+            let dir = std::env::temp_dir().join("nck_graph_mmap_test");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("empty.bin");
+            std::fs::File::create(&path).unwrap();
+            let f = std::fs::File::open(&path).unwrap();
+            assert!(Mmap::map(&f).unwrap().is_none());
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}

@@ -19,16 +19,24 @@
 //! - [`builder`] — mutable construction API deduplicating parallel edges;
 //! - [`csr`] — compressed sparse row adjacency, per-node runs sorted by
 //!   label so metapath-constrained traversals can binary-search;
+//! - [`compact`] — the memory-compact backend: delta/varint-encoded
+//!   adjacency over degree-relabeled `u32` ids, parsed zero-copy from a
+//!   checksummed binary image ([`CompactGraph`]);
+//! - [`varint`] — the LEB128 + delta run codec the compact backend uses;
 //! - [`graph`] — the immutable [`KnowledgeGraph`] query API;
 //! - [`taxonomy`] — the node-type hierarchy (YAGO's `subclassOf` DAG);
 //! - [`stats`] — label-frequency and degree statistics feeding Eq. 1;
-//! - [`io`] — a TSV triple exchange format.
+//! - [`io`] — exchange formats: TSV triples and the compact binary graph
+//!   file (with a memory-mapped zero-copy loader on Unix).
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid` so the one mmap module can locally allow
+// its two syscall bindings; everything else stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod access;
 pub mod builder;
+pub mod compact;
 pub mod csr;
 pub mod erased;
 pub mod error;
@@ -39,9 +47,11 @@ pub mod io;
 pub mod schema;
 pub mod stats;
 pub mod taxonomy;
+pub mod varint;
 
 pub use access::GraphAccess;
 pub use builder::GraphBuilder;
+pub use compact::CompactGraph;
 pub use erased::{DynGraphAccess, ErasedGraph};
 pub use error::GraphError;
 pub use graph::KnowledgeGraph;

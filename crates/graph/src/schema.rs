@@ -129,6 +129,11 @@ impl EdgeLabelRegistry {
     pub fn iter_forward(&self) -> impl Iterator<Item = EdgeLabelId> + '_ {
         self.iter().filter(|&l| !self.is_inverse(l))
     }
+
+    /// Approximate resident heap bytes of the registry.
+    pub fn approx_bytes(&self) -> usize {
+        self.names.approx_bytes() + self.inverse.capacity() * 4 + self.is_inverse.capacity()
+    }
 }
 
 #[cfg(test)]

@@ -146,6 +146,15 @@ impl Taxonomy {
         }
     }
 
+    /// Approximate resident heap bytes of the taxonomy.
+    pub fn approx_bytes(&self) -> usize {
+        let vec_of_vecs = |v: &Vec<Vec<NodeTypeId>>| -> usize {
+            v.capacity() * std::mem::size_of::<Vec<NodeTypeId>>()
+                + v.iter().map(|inner| inner.capacity() * 4).sum::<usize>()
+        };
+        self.names.approx_bytes() + vec_of_vecs(&self.parents) + vec_of_vecs(&self.children)
+    }
+
     fn closure<'a, F>(&'a self, start: NodeTypeId, next: F) -> Vec<NodeTypeId>
     where
         F: Fn(NodeTypeId) -> &'a [NodeTypeId],

@@ -1,0 +1,321 @@
+//! LEB128 variable-length integers and delta-encoded adjacency runs.
+//!
+//! The compact graph backend stores each node's label-sorted out-edge run
+//! as a byte stream instead of two parallel `u32` arrays. Because runs are
+//! sorted by `(label, target)` (the [`crate::access::GraphAccess`]
+//! contract), consecutive values are close together and their differences
+//! fit in one or two bytes most of the time:
+//!
+//! ```text
+//! run   := group*
+//! group := label count target gap*
+//! ```
+//!
+//! where `label` is the raw label id for the first group and the
+//! (positive) delta from the previous group's label after that, `count`
+//! is the number of targets in the group, `target` is the group's first
+//! target id raw, and each `gap` is the (non-negative) delta from the
+//! previous target. All values are unsigned LEB128: seven payload bits
+//! per byte, high bit set on every byte except the last.
+//!
+//! Decoding replays the exact `(label, target)` sequence that was
+//! encoded, so an encoded CSR run iterates identically to the original —
+//! the property the parity suites pin down.
+
+/// Maximum encoded size of one `u32` (⌈32 / 7⌉ bytes).
+pub const MAX_VARINT_LEN: usize = 5;
+
+/// Appends `value` to `out` as unsigned LEB128.
+#[inline]
+pub fn write_u32(out: &mut Vec<u8>, mut value: u32) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes one LEB128 `u32` starting at `bytes[pos]`, advancing `pos`.
+///
+/// Returns `None` on truncated input, on an encoding longer than
+/// [`MAX_VARINT_LEN`] bytes, or on payload bits overflowing 32 bits —
+/// malformed streams are reported, never mis-decoded.
+#[inline]
+pub fn read_u32(bytes: &[u8], pos: &mut usize) -> Option<u32> {
+    let mut value: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(*pos)?;
+        *pos += 1;
+        let payload = u32::from(byte & 0x7f);
+        // The fifth byte may only carry the top four bits of a u32.
+        if shift == 28 && payload > 0x0f {
+            return None;
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift >= 32 {
+            return None;
+        }
+    }
+}
+
+/// Delta-encodes one node's sorted `(label, target)` run onto `out`.
+///
+/// The run must be grouped by ascending label with ascending targets
+/// within each group (exact duplicates are allowed — a zero gap encodes
+/// in one byte). Panics in debug builds if the ordering contract is
+/// violated.
+pub fn encode_run(out: &mut Vec<u8>, run: &[(u32, u32)]) {
+    let mut i = 0;
+    let mut prev_label: Option<u32> = None;
+    while i < run.len() {
+        let label = run[i].0;
+        let group_end = run[i..]
+            .iter()
+            .position(|&(l, _)| l != label)
+            .map_or(run.len(), |off| i + off);
+        match prev_label {
+            None => write_u32(out, label),
+            Some(prev) => {
+                debug_assert!(label > prev, "labels must be strictly ascending");
+                write_u32(out, label - prev);
+            }
+        }
+        prev_label = Some(label);
+        write_u32(out, (group_end - i) as u32);
+        write_u32(out, run[i].1);
+        for w in run[i..group_end].windows(2) {
+            debug_assert!(w[1].1 >= w[0].1, "targets must be ascending in a group");
+            write_u32(out, w[1].1 - w[0].1);
+        }
+        i = group_end;
+    }
+}
+
+/// Streaming decoder over one delta-encoded run; yields the original
+/// `(label, target)` pairs in encoding order.
+///
+/// The iterator is total over well-formed streams; a malformed stream
+/// (truncation, varint overflow) ends iteration early rather than
+/// panicking, and [`RunDecoder::is_exhausted`] distinguishes the two.
+#[derive(Debug, Clone)]
+pub struct RunDecoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    label: u32,
+    prev_target: u32,
+    remaining_in_group: u32,
+    started: bool,
+    malformed: bool,
+}
+
+impl<'a> RunDecoder<'a> {
+    /// Decodes the run stored in `bytes` (the whole slice is one run).
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self {
+            bytes,
+            pos: 0,
+            label: 0,
+            prev_target: 0,
+            remaining_in_group: 0,
+            started: false,
+            malformed: false,
+        }
+    }
+
+    /// True when every input byte has been consumed and no group is
+    /// mid-decode — i.e. iteration ended cleanly, not on malformed input.
+    pub fn is_exhausted(&self) -> bool {
+        !self.malformed && self.pos == self.bytes.len() && self.remaining_in_group == 0
+    }
+
+    /// Advances past the remaining targets of the current group without
+    /// materializing them; positions the decoder at the next group header.
+    /// Returns `false` on malformed input.
+    fn skip_group_rest(&mut self) -> bool {
+        while self.remaining_in_group > 0 {
+            if read_u32(self.bytes, &mut self.pos).is_none() {
+                self.malformed = true;
+                return false;
+            }
+            self.remaining_in_group -= 1;
+        }
+        true
+    }
+
+    /// Reads the next group header (label, count, first target). Returns
+    /// `None` at end of input or on malformed data.
+    fn next_group(&mut self) -> Option<(u32, u32)> {
+        if self.pos >= self.bytes.len() {
+            return None;
+        }
+        let header = (|| {
+            let label_field = read_u32(self.bytes, &mut self.pos)?;
+            let label = if self.started {
+                self.label.checked_add(label_field)?
+            } else {
+                label_field
+            };
+            let count = read_u32(self.bytes, &mut self.pos)?;
+            if count == 0 {
+                return None; // empty groups are never encoded
+            }
+            let first = read_u32(self.bytes, &mut self.pos)?;
+            Some((label, count, first))
+        })();
+        let Some((label, count, first)) = header else {
+            self.malformed = true;
+            return None;
+        };
+        self.label = label;
+        self.started = true;
+        self.prev_target = first;
+        self.remaining_in_group = count - 1;
+        Some((label, first))
+    }
+
+    /// Decodes the next distinct label, skipping target payloads of the
+    /// current group. Returns `None` at end of run or on malformed input.
+    pub fn next_distinct_label(&mut self) -> Option<u32> {
+        if !self.skip_group_rest() {
+            return None;
+        }
+        self.next_group().map(|(label, _)| label)
+    }
+
+    /// Iterates the distinct labels of the run, skipping target payloads.
+    pub fn labels(mut self) -> impl Iterator<Item = u32> + 'a {
+        std::iter::from_fn(move || self.next_distinct_label())
+    }
+}
+
+impl Iterator for RunDecoder<'_> {
+    type Item = (u32, u32);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u32, u32)> {
+        if self.remaining_in_group > 0 {
+            let next = read_u32(self.bytes, &mut self.pos)
+                .and_then(|gap| self.prev_target.checked_add(gap));
+            let Some(target) = next else {
+                self.malformed = true;
+                return None;
+            };
+            self.prev_target = target;
+            self.remaining_in_group -= 1;
+            return Some((self.label, target));
+        }
+        self.next_group()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(run: &[(u32, u32)]) -> Vec<(u32, u32)> {
+        let mut buf = Vec::new();
+        encode_run(&mut buf, run);
+        let decoder = RunDecoder::new(&buf);
+        let out: Vec<_> = decoder.clone().collect();
+        assert!(RunDecoder::new(&buf).count() == run.len());
+        out
+    }
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for v in [0, 1, 127, 128, 16_383, 16_384, u32::MAX - 1, u32::MAX] {
+            let mut buf = Vec::new();
+            write_u32(&mut buf, v);
+            assert!(buf.len() <= MAX_VARINT_LEN);
+            let mut pos = 0;
+            assert_eq!(read_u32(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_varint_is_none() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 300);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(read_u32(&buf, &mut pos), None);
+        assert_eq!(read_u32(&[], &mut 0), None);
+    }
+
+    #[test]
+    fn overlong_varint_is_none() {
+        // Six continuation bytes exceed MAX_VARINT_LEN.
+        let buf = [0x80, 0x80, 0x80, 0x80, 0x80, 0x01];
+        assert_eq!(read_u32(&buf, &mut 0), None);
+        // Five bytes whose top payload overflows 32 bits.
+        let buf = [0xff, 0xff, 0xff, 0xff, 0x7f];
+        assert_eq!(read_u32(&buf, &mut 0), None);
+    }
+
+    #[test]
+    fn empty_run_encodes_to_nothing() {
+        assert!(round_trip(&[]).is_empty());
+        let mut buf = Vec::new();
+        encode_run(&mut buf, &[]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn single_group_round_trips() {
+        let run = [(3, 10), (3, 11), (3, 500)];
+        assert_eq!(round_trip(&run), run);
+    }
+
+    #[test]
+    fn multi_group_round_trips() {
+        let run = [(0, 7), (2, 0), (2, 1), (2, 1_000_000), (9, 42)];
+        assert_eq!(round_trip(&run), run);
+    }
+
+    #[test]
+    fn duplicate_targets_round_trip() {
+        let run = [(1, 5), (1, 5), (1, 5)];
+        assert_eq!(round_trip(&run), run);
+    }
+
+    #[test]
+    fn labels_iterator_yields_distinct_labels() {
+        let run = [(0, 1), (0, 2), (3, 1), (7, 9), (7, 10)];
+        let mut buf = Vec::new();
+        encode_run(&mut buf, &run);
+        let labels: Vec<u32> = RunDecoder::new(&buf).labels().collect();
+        assert_eq!(labels, vec![0, 3, 7]);
+    }
+
+    #[test]
+    fn truncated_run_ends_iteration_without_panicking() {
+        let run = [(0, 1), (0, 2), (5, 3)];
+        let mut buf = Vec::new();
+        encode_run(&mut buf, &run);
+        buf.truncate(buf.len() - 1);
+        let mut dec = RunDecoder::new(&buf);
+        let decoded: Vec<_> = dec.by_ref().collect();
+        assert!(decoded.len() < run.len());
+        assert!(!dec.is_exhausted());
+    }
+
+    #[test]
+    fn clean_decode_is_exhausted() {
+        let run = [(0, 1), (4, 2)];
+        let mut buf = Vec::new();
+        encode_run(&mut buf, &run);
+        let mut dec = RunDecoder::new(&buf);
+        let _ = dec.by_ref().count();
+        assert!(dec.is_exhausted());
+    }
+}

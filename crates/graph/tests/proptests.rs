@@ -3,8 +3,20 @@
 use nck_graph::builder::GraphBuilder;
 use nck_graph::io::{read_tsv, write_tsv};
 use nck_graph::stats::GraphStatistics;
+use nck_graph::varint::{encode_run, RunDecoder};
+use nck_graph::{CompactGraph, GraphAccess};
 use proptest::prelude::*;
 use std::collections::HashSet;
+
+/// Strategy: an arbitrary sorted `(label, target)` adjacency run over the
+/// full `u32` range (duplicates allowed), the exact input contract of
+/// [`encode_run`].
+fn sorted_run() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..=u32::MAX, 0u32..=u32::MAX), 0..80).prop_map(|mut v| {
+        v.sort_unstable();
+        v
+    })
+}
 
 /// Strategy: a list of (subject, predicate, object) index triples over
 /// small universes, to be materialized through the builder.
@@ -125,6 +137,46 @@ proptest! {
         let deg_total: u64 = s.degree_histogram.iter().sum();
         prop_assert_eq!(deg_total as usize, g.num_nodes());
         prop_assert!((0.0..=1.0).contains(&s.label_gini()));
+    }
+
+    #[test]
+    fn varint_run_round_trips(run in sorted_run()) {
+        let mut buf = Vec::new();
+        encode_run(&mut buf, &run);
+        let mut dec = RunDecoder::new(&buf);
+        let decoded: Vec<(u32, u32)> = dec.by_ref().collect();
+        prop_assert_eq!(&decoded, &run);
+        prop_assert!(dec.is_exhausted(), "clean decode must consume everything");
+        // The label view agrees with the full decode.
+        let mut distinct: Vec<u32> = run.iter().map(|&(l, _)| l).collect();
+        distinct.dedup();
+        let labels: Vec<u32> = RunDecoder::new(&buf).labels().collect();
+        prop_assert_eq!(labels, distinct);
+    }
+
+    #[test]
+    fn compact_graph_matches_csr_id_for_id(ts in triples()) {
+        let g = build(&ts);
+        let c = CompactGraph::from_graph(&g);
+        prop_assert_eq!(GraphAccess::num_nodes(&c), g.num_nodes());
+        prop_assert_eq!(GraphAccess::num_stored_edges(&c), g.num_stored_edges());
+        for v in g.nodes() {
+            prop_assert_eq!(c.node_name(v), g.node_name(v));
+            prop_assert_eq!(c.node_by_name(g.node_name(v)), Some(v));
+            prop_assert_eq!(GraphAccess::degree(&c, v), g.degree(v));
+            let ce: Vec<_> = GraphAccess::edges(&c, v).collect();
+            let ge: Vec<_> = g.edges(v).collect();
+            prop_assert_eq!(ce, ge);
+            let cl: Vec<_> = GraphAccess::labels_of(&c, v).collect();
+            let gl: Vec<_> = g.labels_of(v).collect();
+            prop_assert_eq!(cl, gl);
+            for l in g.labels().iter() {
+                prop_assert_eq!(
+                    GraphAccess::neighbors_with_label(&c, v, l).to_vec(),
+                    g.neighbors_with_label(v, l).to_vec()
+                );
+            }
+        }
     }
 
     #[test]

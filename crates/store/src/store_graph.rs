@@ -453,6 +453,50 @@ impl GraphAccess for StoreGraph {
         // of each paying the first-touch POS scan.
         self.run(label);
     }
+
+    fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        // The co-owned store dominates: three index orderings over
+        // 12-byte dictionary-encoded triples, roughly doubled for B-tree
+        // node overhead. The graph layer adds dictionaries, the contrib
+        // tables, and whatever per-label runs have been faulted in —
+        // which is why a cold StoreGraph reports far less than a warm one.
+        let store = self.store.len() * 3 * 2 * 12;
+        let node_terms = self.node_terms.capacity() * size_of::<Vec<TermId>>()
+            + self
+                .node_terms
+                .iter()
+                .map(|v| v.capacity() * size_of::<TermId>())
+                .sum::<usize>();
+        let term_node = self.term_node.capacity() * (size_of::<TermId>() + size_of::<NodeId>() + 8);
+        let pred_label =
+            self.pred_label.capacity() * (size_of::<TermId>() + size_of::<EdgeLabelId>() + 8);
+        let contribs = self.contribs.capacity() * size_of::<Vec<(TermId, Direction)>>()
+            + self
+                .contribs
+                .iter()
+                .map(|v| v.capacity() * size_of::<(TermId, Direction)>())
+                .sum::<usize>();
+        let runs: usize = self
+            .runs
+            .iter()
+            .filter_map(|r| r.get())
+            .map(|run| run.offsets.capacity() * 4 + run.targets.capacity() * 4)
+            .sum();
+        let degrees = self.degrees.get().map_or(0, |d| d.capacity() * 4);
+        store
+            + self.names.approx_bytes()
+            + node_terms
+            + term_node
+            + self.types.capacity() * size_of::<Option<NodeTypeId>>()
+            + self.labels.approx_bytes()
+            + self.taxonomy.approx_bytes()
+            + pred_label
+            + contribs
+            + self.label_counts.capacity() * 8
+            + runs
+            + degrees
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,9 @@
 //! - `nck gen`   — generate a synthetic dataset (YAGO-like / LinkedMDB-like
 //!   / tiny) and persist it as N-Triples, optionally with a ready-to-run
 //!   batch query file;
+//! - `nck build-graph` — compile N-Triples (or a generated scale graph)
+//!   into the compact binary graph format, which `--graph-format compact`
+//!   then opens zero-copy (memory-mapped) instead of re-parsing;
 //! - `nck query` — run one query through the batched engine and print the
 //!   ranked characteristics;
 //! - `nck batch` — run a batch/repeated-query workload through the engine,
@@ -22,10 +25,11 @@ use notable_characteristics::api::{
 };
 use notable_characteristics::core::config::{PathMiningConfig, PprConfig};
 use notable_characteristics::core::context::TypeFilter;
-use notable_characteristics::datagen::{generate, GeneratorConfig};
+use notable_characteristics::datagen::{generate, generate_scale, GeneratorConfig, ScaleConfig};
 use notable_characteristics::engine::{EngineConfig, SelectorMode};
-use notable_characteristics::store::graph_view::to_triple_store;
-use notable_characteristics::store::ntriples::write_ntriples;
+use notable_characteristics::graph::io::save_compact;
+use notable_characteristics::store::graph_view::{to_knowledge_graph, to_triple_store};
+use notable_characteristics::store::ntriples::{read_ntriples, write_ntriples};
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -36,13 +40,18 @@ nck — notable characteristics search through knowledge graphs
 USAGE:
   nck gen   --kind tiny|yago|lmdb --out FILE [--seed N] [--scale F]
             [--queries-out FILE]
-  nck query --graph FILE.nt --query \"A,B,…\" [options]
-  nck batch --graph FILE.nt --queries FILE [--repeat N]
+  nck build-graph (--in FILE.nt | --scale small|medium|large) --out FILE.nckg
+            [--seed N]
+  nck query --graph FILE --query \"A,B,…\" [options]
+  nck batch --graph FILE --queries FILE [--repeat N]
             [--mode engine|sequential|compare] [--chunk N] [--clients N]
             [options]
 
 query/batch options:
-  --backend csr|store       graph backend (default: csr)
+  --graph-format nt|compact graph file format (default: nt). compact files
+                            (from nck build-graph) open zero-copy and fix
+                            the backend to compact
+  --backend csr|store|compact   graph backend (default: csr)
   --selector contextrw|randomwalk   context selector (default: contextrw)
   --type-filter common|query|none   candidate type filter (default: common)
   --context-size N          context size |C| (default: 100)
@@ -64,10 +73,25 @@ the workload from N concurrent client threads over one shared engine,
 reporting aggregate throughput and latency percentiles (responses are
 verified id-for-id against the single-client run).";
 
+/// How `--graph` should be interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum GraphFormat {
+    /// N-Triples text, re-parsed on every load.
+    #[default]
+    Ntriples,
+    /// The compact binary image from `nck build-graph`, opened zero-copy.
+    Compact,
+}
+
 /// Parsed command-line options shared by `query` and `batch`.
+#[derive(Debug)]
 struct RunOpts {
     graph: String,
-    backend: Backend,
+    format: GraphFormat,
+    /// `Some` only when `--backend` was given explicitly: a compact graph
+    /// file fixes the backend, and an explicit conflicting choice must
+    /// error instead of being silently dropped.
+    backend: Option<Backend>,
     selector: SelectorMode,
     type_filter: TypeFilter,
     context_size: usize,
@@ -83,7 +107,8 @@ impl Default for RunOpts {
     fn default() -> Self {
         Self {
             graph: String::new(),
-            backend: Backend::Csr,
+            format: GraphFormat::Ntriples,
+            backend: None,
             selector: SelectorMode::ContextRw,
             type_filter: TypeFilter::CommonAncestor,
             context_size: 100,
@@ -106,6 +131,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("gen") => cmd_gen(&args[1..]),
+        Some("build-graph") => cmd_build_graph(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("--help") | Some("-h") | Some("help") => {
@@ -155,12 +181,24 @@ fn parse_run_opts(args: &mut Vec<String>) -> Result<RunOpts, String> {
     if let Some(v) = take_flag(args, "--graph")? {
         o.graph = v;
     }
+    if let Some(v) = take_flag(args, "--graph-format")? {
+        o.format = match v.as_str() {
+            "nt" => GraphFormat::Ntriples,
+            "compact" => GraphFormat::Compact,
+            _ => return Err(format!("--graph-format must be nt or compact, got {v:?}")),
+        };
+    }
     if let Some(v) = take_flag(args, "--backend")? {
-        o.backend = match v.as_str() {
+        o.backend = Some(match v.as_str() {
             "csr" => Backend::Csr,
             "store" => Backend::Store,
-            _ => return Err(format!("--backend must be csr or store, got {v:?}")),
-        };
+            "compact" => Backend::Compact,
+            _ => {
+                return Err(format!(
+                    "--backend must be csr, store or compact, got {v:?}"
+                ))
+            }
+        });
     }
     if let Some(v) = take_flag(args, "--selector")? {
         o.selector = match v.as_str() {
@@ -240,17 +278,21 @@ fn engine_config(o: &RunOpts) -> EngineConfig {
 /// Builds the service and echoes the load line the CLI has always
 /// printed.
 fn load_service(opts: &RunOpts) -> Result<NckService, String> {
-    let service = NckService::builder()
-        .ntriples(&opts.graph)
-        .backend(opts.backend)
-        .engine(engine_config(opts))
-        .build()
-        .map_err(|e| e.to_string())?;
+    let mut builder = NckService::builder().engine(engine_config(opts));
+    builder = match opts.format {
+        GraphFormat::Ntriples => builder.ntriples(&opts.graph),
+        GraphFormat::Compact => builder.compact_file(&opts.graph),
+    };
+    if let Some(backend) = opts.backend {
+        builder = builder.backend(backend);
+    }
+    let service = builder.build().map_err(|e| e.to_string())?;
     eprintln!(
-        "loaded {} backend: {} nodes, {} stored edges ({:.1}s)",
+        "loaded {} backend: {} nodes, {} stored edges, ~{} resident bytes ({:.3}s)",
         service.backend_name(),
         service.num_nodes(),
         service.num_stored_edges(),
+        service.graph_bytes(),
         service.load_secs()
     );
     Ok(service)
@@ -337,6 +379,67 @@ fn cmd_gen(args: &[String]) -> ExitCode {
         Ok(())
     })();
     match parsed {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// nck build-graph
+// ---------------------------------------------------------------------------
+
+fn cmd_build_graph(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let run = (|| -> Result<(), String> {
+        let input = take_flag(&mut args, "--in")?;
+        let scale = take_flag(&mut args, "--scale")?;
+        let out = take_flag(&mut args, "--out")?.ok_or("--out is required")?;
+        let seed: u64 = match take_flag(&mut args, "--seed")? {
+            Some(v) => parse_num(&v, "--seed")?,
+            None => 42,
+        };
+        if let Some(junk) = args.first() {
+            return Err(format!("unexpected argument {junk:?}"));
+        }
+        let started = Instant::now();
+        let graph = match (input, scale) {
+            (Some(path), None) => {
+                let file =
+                    std::fs::File::open(&path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+                let store = read_ntriples(std::io::BufReader::new(file))
+                    .map_err(|e| format!("cannot parse {path}: {e}"))?;
+                to_knowledge_graph(&store)
+            }
+            (None, Some(size)) => {
+                let config = match size.as_str() {
+                    "small" => ScaleConfig::small(seed),
+                    "medium" => ScaleConfig::medium(seed),
+                    "large" => ScaleConfig::large(seed),
+                    _ => {
+                        return Err(format!(
+                            "--scale must be small, medium or large, got {size:?}"
+                        ))
+                    }
+                };
+                generate_scale(&config)
+            }
+            (Some(_), Some(_)) => return Err("--in and --scale are mutually exclusive".into()),
+            (None, None) => return Err("one of --in or --scale is required".into()),
+        };
+        let build_secs = started.elapsed().as_secs_f64();
+        let started = Instant::now();
+        save_compact(&graph, &out).map_err(|e| format!("cannot write {out}: {e}"))?;
+        let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+        eprintln!(
+            "wrote {out}: {} nodes, {} stored edges, {bytes} bytes \
+             (build {build_secs:.1}s, encode {:.1}s)",
+            graph.num_nodes(),
+            graph.num_stored_edges(),
+            started.elapsed().as_secs_f64()
+        );
+        Ok(())
+    })();
+    match run {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => fail(&e),
     }
@@ -492,6 +595,9 @@ fn print_response(response: &QueryResponse) {
 /// count, hit/miss/eviction counters, resident footprint and hit rate
 /// that previously rode only the JSON wire report.
 fn print_cache_stats(st: &notable_characteristics::api::EngineStatsReport) {
+    if let Some(bytes) = st.graph_bytes {
+        println!("graph:     ~{bytes} resident bytes");
+    }
     println!(
         "{:<10} {:>7} {:>9} {:>9} {:>10} {:>9} {:>12} {:>9}",
         "cache", "shards", "hits", "misses", "evictions", "entries", "bytes", "hit rate"
@@ -614,5 +720,55 @@ mod tests {
     fn run_opts_reject_duplicate_flags_end_to_end() {
         let mut a = args(&["--graph", "a.nt", "--graph", "b.nt"]);
         assert!(parse_run_opts(&mut a).is_err());
+    }
+
+    #[test]
+    fn graph_format_parses_both_values() {
+        let mut a = args(&["--graph-format", "compact"]);
+        assert_eq!(parse_run_opts(&mut a).unwrap().format, GraphFormat::Compact);
+        let mut a = args(&["--graph-format", "nt"]);
+        assert_eq!(
+            parse_run_opts(&mut a).unwrap().format,
+            GraphFormat::Ntriples
+        );
+        let mut a = args(&[]);
+        assert_eq!(
+            parse_run_opts(&mut a).unwrap().format,
+            GraphFormat::Ntriples,
+            "nt is the default"
+        );
+    }
+
+    #[test]
+    fn unknown_graph_format_is_rejected_with_the_choices() {
+        let mut a = args(&["--graph-format", "parquet"]);
+        let err = parse_run_opts(&mut a).unwrap_err();
+        assert!(err.contains("must be nt or compact"), "{err}");
+        assert!(err.contains("parquet"), "{err}");
+    }
+
+    #[test]
+    fn backend_accepts_compact_and_names_the_choices_on_error() {
+        let mut a = args(&["--backend", "compact"]);
+        assert_eq!(
+            parse_run_opts(&mut a).unwrap().backend,
+            Some(Backend::Compact)
+        );
+        let mut a = args(&[]);
+        assert_eq!(
+            parse_run_opts(&mut a).unwrap().backend,
+            None,
+            "only an explicit --backend is recorded"
+        );
+        let mut a = args(&["--backend", "jena"]);
+        let err = parse_run_opts(&mut a).unwrap_err();
+        assert!(err.contains("csr, store or compact"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_graph_format_is_rejected() {
+        let mut a = args(&["--graph-format", "nt", "--graph-format", "compact"]);
+        let err = parse_run_opts(&mut a).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
     }
 }
