@@ -1,6 +1,6 @@
 //! The [`ApiError`] taxonomy — every way a service call can fail.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::PathBuf;
 
@@ -42,6 +42,25 @@ pub enum ApiError {
         /// Index of the first diverging query in the workload.
         index: usize,
     },
+    /// The server shed the request: its bounded admission queue (or
+    /// connection budget) was full, or it was draining for shutdown.
+    /// A transport maps this to 503; the client may retry elsewhere or
+    /// back off.
+    Overloaded(String),
+    /// The request's deadline expired before an answer could be
+    /// delivered — either it aged out in the admission queue or
+    /// execution finished too late to be useful.
+    DeadlineExceeded {
+        /// The deadline the request carried, in milliseconds.
+        deadline_ms: u64,
+        /// Milliseconds actually elapsed when the server gave up.
+        elapsed_ms: u64,
+    },
+    /// The bytes on the wire were not a well-formed request: a frame
+    /// exceeding the size limit, invalid JSON, a malformed envelope, or
+    /// unknown fields. The connection may be closed afterwards when the
+    /// stream cannot be resynchronized.
+    Protocol(String),
 }
 
 impl ApiError {
@@ -55,6 +74,9 @@ impl ApiError {
             ApiError::InvalidRequest(_) => "invalid_request",
             ApiError::Pipeline(_) => "pipeline",
             ApiError::Diverged { .. } => "diverged",
+            ApiError::Overloaded(_) => "overloaded",
+            ApiError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ApiError::Protocol(_) => "protocol",
         }
     }
 
@@ -85,7 +107,12 @@ impl ApiError {
 }
 
 /// The serializable wire form of an [`ApiError`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+///
+/// `Deserialize` as well as `Serialize`: a socket client decodes error
+/// frames back into this struct, so the typed `error` code — not string
+/// matching on messages — is what distinguishes an overload shed from a
+/// deadline miss from a malformed frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ErrorBody {
     /// Machine-readable class ([`ApiError::code`]).
     pub error: String,
@@ -110,6 +137,15 @@ impl fmt::Display for ApiError {
                 f,
                 "engine and sequential rankings diverged at query {index}"
             ),
+            ApiError::Overloaded(reason) => write!(f, "server overloaded: {reason}"),
+            ApiError::DeadlineExceeded {
+                deadline_ms,
+                elapsed_ms,
+            } => write!(
+                f,
+                "deadline exceeded: {deadline_ms}ms allowed, {elapsed_ms}ms elapsed"
+            ),
+            ApiError::Protocol(message) => write!(f, "protocol error: {message}"),
         }
     }
 }
@@ -152,5 +188,30 @@ mod tests {
             serde::json::to_string(&body),
             r#"{"error":"unknown_entity","message":"unknown entity \"Merkel\""}"#
         );
+    }
+
+    #[test]
+    fn serving_errors_carry_stable_codes() {
+        assert_eq!(
+            ApiError::Overloaded("queue full".into()).code(),
+            "overloaded"
+        );
+        let deadline = ApiError::DeadlineExceeded {
+            deadline_ms: 30,
+            elapsed_ms: 105,
+        };
+        assert_eq!(deadline.code(), "deadline_exceeded");
+        assert!(deadline.to_string().contains("30ms"), "{deadline}");
+        assert!(deadline.to_string().contains("105ms"), "{deadline}");
+        assert_eq!(ApiError::Protocol("bad frame".into()).code(), "protocol");
+    }
+
+    #[test]
+    fn error_body_round_trips_through_json() {
+        let body = ApiError::Overloaded("admission queue full (depth 64)".into()).body();
+        let text = serde::json::to_string(&body);
+        let back: ErrorBody = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, body, "a client decodes exactly what the server sent");
+        assert_eq!(back.error, "overloaded");
     }
 }

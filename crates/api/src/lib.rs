@@ -26,10 +26,12 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod latency;
 pub mod service;
 pub mod types;
 
 pub use error::{ApiError, ErrorBody};
+pub use latency::LatencySummary;
 pub use service::{rankings_equal, Backend, NckService, NckServiceBuilder};
 pub use types::{
     Characteristic, ConcurrentReport, EngineStatsReport, QueryOverrides, QueryRequest,
@@ -39,3 +41,6 @@ pub use types::{
 /// JSON encode/decode entry points (`json::to_string` / `json::from_str`),
 /// re-exported so façade consumers need no direct serde dependency.
 pub use serde::json;
+/// The parsed-JSON tree (`json::parse` output), re-exported for callers
+/// that inspect payloads structurally (e.g. wire-protocol tests).
+pub use serde::Value as JsonValue;

@@ -674,18 +674,20 @@ impl NckService {
             }
             latencies.extend(client_latencies);
         }
-        let queries = latencies.len();
-        latencies.sort_by(f64::total_cmp);
-        let ms = |p: f64| percentile(&latencies, p) * 1e3;
+        // One merged summary over every client's samples — per-client
+        // percentiles averaged together would hide a slow client's tail
+        // (see `crate::latency` for the pinned contract).
+        let summary = crate::latency::LatencySummary::from_secs(latencies);
+        let queries = summary.count;
         Ok(ConcurrentReport {
             clients,
             queries,
             secs,
             throughput: queries as f64 / secs.max(1e-12),
-            p50_ms: ms(50.0),
-            p90_ms: ms(90.0),
-            p99_ms: ms(99.0),
-            max_ms: latencies.last().copied().unwrap_or(0.0) * 1e3,
+            p50_ms: summary.p50_ms,
+            p90_ms: summary.p90_ms,
+            p99_ms: summary.p99_ms,
+            max_ms: summary.max_ms,
             stats: {
                 let mut stats = EngineStatsReport::from(engine.stats());
                 stats.graph_bytes = Some(self.graph.approx_bytes() as u64);
@@ -853,16 +855,6 @@ impl Drop for ScopedThreadCap {
     fn drop(&mut self) {
         nck_core::parallel::set_thread_cap(self.base);
     }
-}
-
-/// Nearest-rank percentile of an ascending-sorted latency sample
-/// (0 for an empty sample).
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Exact ranking equality: same context order, same labels, same scores

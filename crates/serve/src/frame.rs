@@ -1,0 +1,285 @@
+//! Length-prefixed framing.
+//!
+//! One frame = a 4-byte big-endian `u32` payload length followed by
+//! exactly that many payload bytes (UTF-8 JSON at the layer above; this
+//! module is payload-agnostic). The length prefix is validated against a
+//! caller-supplied maximum **before** any payload byte is read, so an
+//! adversarial prefix claiming 4 GiB costs the server 4 bytes of input,
+//! not an allocation.
+//!
+//! Reading distinguishes four outcomes ([`FrameEvent`]): a complete
+//! frame, a clean end-of-stream *between* frames, an oversize prefix
+//! (recoverable enough to send a typed error before closing), and an
+//! idle poll tick (a read timeout that struck before the first prefix
+//! byte — the server's connection loop uses it to re-check the drain
+//! flag). A timeout or EOF that strikes *mid-frame* is an error: the
+//! peer either stalled or disconnected with a half-sent request, and
+//! the stream cannot be resynchronized.
+
+use std::io::{self, Read, Write};
+
+/// Length prefix size in bytes.
+pub const PREFIX_LEN: usize = 4;
+
+/// One observed read outcome.
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// A complete payload.
+    Frame(Vec<u8>),
+    /// The peer closed the stream cleanly between frames.
+    Eof,
+    /// A read timeout struck before any prefix byte arrived — no data
+    /// was consumed; the caller may poll flags and retry.
+    Idle,
+    /// The prefix announced `.0` bytes, more than the caller's maximum.
+    /// No payload byte was consumed; the stream is no longer in sync.
+    TooLarge(u32),
+}
+
+/// Encodes `payload` as one frame.
+///
+/// Returns `None` when the payload exceeds `max_payload` (a well-behaved
+/// peer never builds an unsendable frame).
+pub fn encode(payload: &[u8], max_payload: usize) -> Option<Vec<u8>> {
+    if payload.len() > max_payload || payload.len() > u32::MAX as usize {
+        return None;
+    }
+    let mut out = Vec::with_capacity(PREFIX_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    Some(out)
+}
+
+/// Writes `payload` as one frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8], max_payload: usize) -> io::Result<()> {
+    let frame = encode(payload, max_payload).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame payload of {} bytes exceeds the {max_payload}-byte limit",
+                payload.len()
+            ),
+        )
+    })?;
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Whether an I/O error is a read-timeout tick (both kinds appear in
+/// practice, platform-dependent).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Fills `buf` completely, tolerating timeout ticks.
+///
+/// `started` tracks whether any byte of the enclosing frame was already
+/// consumed: before the first byte a timeout returns `Ok(false)` (an
+/// idle poll), after it timeouts simply retry — the transfer is
+/// mid-frame and the per-frame patience is bounded by `max_ticks`
+/// timeout ticks, after which the peer is declared stalled.
+fn read_exact_patient<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    mut started: bool,
+    max_ticks: u32,
+) -> io::Result<ReadOutcome> {
+    let mut filled = 0;
+    let mut ticks = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 && !started {
+                    ReadOutcome::CleanEof
+                } else {
+                    ReadOutcome::TruncatedEof
+                })
+            }
+            Ok(n) => {
+                filled += n;
+                started = true;
+            }
+            Err(e) if is_timeout(&e) => {
+                if !started {
+                    return Ok(ReadOutcome::Idle);
+                }
+                ticks += 1;
+                if ticks >= max_ticks {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "peer stalled mid-frame",
+                    ));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Complete)
+}
+
+enum ReadOutcome {
+    Complete,
+    CleanEof,
+    TruncatedEof,
+    Idle,
+}
+
+/// Reads exactly `len` payload bytes in chunks, resynchronizing the
+/// stream after an oversize-but-drainable frame. Returning the bytes
+/// (instead of discarding) lets the server salvage the correlation id,
+/// so even an oversize frame's typed rejection matches the request the
+/// peer sent.
+pub fn drain_exact<R: Read>(r: &mut R, len: u64, max_ticks: u32) -> io::Result<Vec<u8>> {
+    let mut drained = Vec::new();
+    let mut remaining = len;
+    let mut chunk = [0u8; 4096];
+    while remaining > 0 {
+        let want = chunk.len().min(remaining as usize);
+        match read_exact_patient(r, &mut chunk[..want], true, max_ticks)? {
+            ReadOutcome::Complete => {
+                drained.extend_from_slice(&chunk[..want]);
+                remaining -= want as u64;
+            }
+            ReadOutcome::CleanEof | ReadOutcome::TruncatedEof => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer disconnected mid-frame",
+                ))
+            }
+            ReadOutcome::Idle => unreachable!("started reads never report Idle"),
+        }
+    }
+    Ok(drained)
+}
+
+/// Reads one frame.
+///
+/// `max_payload` bounds the accepted payload size; `max_ticks` bounds
+/// how many read-timeout ticks a peer may stall mid-frame before the
+/// read fails (pass a large value for streams without a read timeout).
+pub fn read_frame<R: Read>(
+    r: &mut R,
+    max_payload: usize,
+    max_ticks: u32,
+) -> io::Result<FrameEvent> {
+    let mut prefix = [0u8; PREFIX_LEN];
+    match read_exact_patient(r, &mut prefix, false, max_ticks)? {
+        ReadOutcome::Complete => {}
+        ReadOutcome::CleanEof => return Ok(FrameEvent::Eof),
+        ReadOutcome::Idle => return Ok(FrameEvent::Idle),
+        ReadOutcome::TruncatedEof => {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "peer disconnected mid-prefix",
+            ))
+        }
+    }
+    let len = u32::from_be_bytes(prefix);
+    if len as usize > max_payload {
+        return Ok(FrameEvent::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_exact_patient(r, &mut payload, true, max_ticks)? {
+        ReadOutcome::Complete => Ok(FrameEvent::Frame(payload)),
+        ReadOutcome::CleanEof | ReadOutcome::TruncatedEof => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!(
+                "peer disconnected mid-frame ({} of {len} payload bytes received)",
+                payload.len()
+            ),
+        )),
+        ReadOutcome::Idle => unreachable!("started reads never report Idle"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip() {
+        let payload = b"{\"id\":1}".to_vec();
+        let bytes = encode(&payload, 1024).unwrap();
+        assert_eq!(bytes.len(), PREFIX_LEN + payload.len());
+        let mut cursor = Cursor::new(bytes);
+        match read_frame(&mut cursor, 1024, 1).unwrap() {
+            FrameEvent::Frame(got) => assert_eq!(got, payload),
+            other => panic!("expected frame, got {other:?}"),
+        }
+        // The stream then ends cleanly.
+        assert!(matches!(
+            read_frame(&mut cursor, 1024, 1).unwrap(),
+            FrameEvent::Eof
+        ));
+    }
+
+    #[test]
+    fn empty_payload_is_a_valid_frame() {
+        let bytes = encode(&[], 16).unwrap();
+        let mut cursor = Cursor::new(bytes);
+        match read_frame(&mut cursor, 16, 1).unwrap() {
+            FrameEvent::Frame(got) => assert!(got.is_empty()),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversize_prefix_is_reported_without_allocation() {
+        let mut bytes = u32::MAX.to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"junk");
+        let mut cursor = Cursor::new(bytes);
+        match read_frame(&mut cursor, 1024, 1).unwrap() {
+            FrameEvent::TooLarge(len) => assert_eq!(len, u32::MAX),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_payload_errors() {
+        let mut bytes = 100u32.to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"only ten b");
+        let mut cursor = Cursor::new(bytes);
+        let err = read_frame(&mut cursor, 1024, 1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn truncated_prefix_errors() {
+        let mut cursor = Cursor::new(vec![0u8, 0]);
+        let err = read_frame(&mut cursor, 1024, 1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn drain_resynchronizes_the_stream_and_returns_the_bytes() {
+        let mut bytes = encode(b"skip me", 64).unwrap();
+        bytes.extend_from_slice(&encode(b"keep", 64).unwrap());
+        let mut cursor = Cursor::new(bytes);
+        let mut prefix = [0u8; PREFIX_LEN];
+        cursor.read_exact(&mut prefix).unwrap();
+        let drained = drain_exact(&mut cursor, u32::from_be_bytes(prefix) as u64, 1).unwrap();
+        assert_eq!(drained, b"skip me");
+        match read_frame(&mut cursor, 64, 1).unwrap() {
+            FrameEvent::Frame(got) => assert_eq!(got, b"keep"),
+            other => panic!("expected the next frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_reports_truncation() {
+        let mut cursor = Cursor::new(b"short".to_vec());
+        let err = drain_exact(&mut cursor, 100, 1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn encode_refuses_oversize_payloads() {
+        assert!(encode(&[0u8; 17], 16).is_none());
+        assert!(write_frame(&mut Vec::new(), &[0u8; 17], 16).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! # nck-serve — the socket front door
+//!
+//! The paper frames FindNC as an *interactive* service; this crate puts
+//! the existing [`nck_api::NckService`] façade behind a real socket
+//! without inventing a second vocabulary: frames carry the same
+//! [`QueryRequest`](nck_api::QueryRequest) /
+//! [`QueryResponse`](nck_api::QueryResponse) /
+//! [`ErrorBody`](nck_api::ErrorBody) JSON the in-process API speaks, so
+//! a served answer is id-for-id the in-process answer.
+//!
+//! Layers, bottom up:
+//!
+//! - [`frame`] — length-prefixed framing (4-byte big-endian length +
+//!   payload), with the size limit enforced on the prefix *before* any
+//!   payload byte is read;
+//! - [`wire`] — the request/response envelopes (correlation id,
+//!   optional per-request deadline) with **strict** decoding: unknown
+//!   fields are a typed `protocol` error, not silently dropped;
+//! - [`queue`] — the bounded admission queue whose `Full` result is the
+//!   server's load-shedding point;
+//! - [`server`] — accept loop, per-connection readers, worker pool,
+//!   per-request deadlines (checked both at dequeue and after
+//!   execution), connection limits, and graceful drain (stop accepting,
+//!   finish every admitted request, flush, close);
+//! - [`client`] — a small blocking client used by the CLI example, the
+//!   socket test suites and the load generator.
+//!
+//! Everything is `std`-only: no async runtime, no registry dependencies
+//! — threads, sockets and condvars.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod queue;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientError, ServeClient, CLIENT_MAX_FRAME};
+pub use server::{serve, ServeConfig, ServeMetrics, ServerHandle};
+pub use wire::{WireRequest, WireResponse};

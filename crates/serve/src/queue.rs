@@ -1,0 +1,157 @@
+//! A bounded MPMC admission queue (mutex + condvar, std only).
+//!
+//! The queue is the server's load-shedding point: producers (connection
+//! readers) use the non-blocking [`Bounded::try_push`] and turn a
+//! `Full` result into a typed `overloaded` response, while consumers
+//! (workers) block in [`Bounded::pop`]. [`Bounded::close`] starts the
+//! drain: already-queued items are still handed out — a closed queue
+//! only stops *admitting* — and `pop` returns `None` once the backlog
+//! is empty, which is each worker's signal to exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back for shedding.
+    Full(T),
+    /// The queue is closed (server draining); the item is handed back.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue.
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    available: Condvar,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            available: Condvar::new(),
+        }
+    }
+
+    /// The capacity the queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current backlog length.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the backlog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking admission: `Err(Full)` at capacity, `Err(Closed)`
+    /// once draining.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained, returning `None` in the latter case.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Stops admission and wakes every blocked consumer. Queued items
+    /// are still popped — close never drops work.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = Bounded::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_sheds_without_blocking() {
+        let q = Bounded::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_backlog_then_releases_consumers() {
+        let q = Bounded::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed(3)), "no new admission");
+        assert_eq!(q.pop(), Some(1), "backlog still handed out");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "then consumers are released");
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_close() {
+        let q = Arc::new(Bounded::<u32>::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the consumer a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let q = Bounded::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(9).unwrap();
+        assert_eq!(q.try_push(10), Err(PushError::Full(10)));
+    }
+}

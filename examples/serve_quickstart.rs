@@ -1,0 +1,127 @@
+//! Serve quickstart: the Figure-1 scenario over a real TCP socket.
+//!
+//! Stands up the same [`NckService`] as `examples/quickstart.rs`, puts it
+//! behind `nck-serve` on an ephemeral port, and asks the notable
+//! characteristics of {Angela Merkel, Barack Obama} through a client
+//! socket — then verifies the served answer is **id-for-id the
+//! in-process answer**, shows a typed error (unknown entity) arriving
+//! over the wire, and drains the server gracefully.
+//!
+//! ```text
+//! cargo run --release --example serve_quickstart
+//! ```
+//!
+//! To talk to a standalone server instead, run `nck serve` in one shell
+//! and point [`ServeClient`] (or any 4-byte-big-endian-length + JSON
+//! client) at its address.
+
+use notable_characteristics::prelude::*;
+use notable_characteristics::serve::{serve, ClientError, ServeClient, ServeConfig};
+use std::sync::Arc;
+
+fn main() {
+    // ---- the same Figure-1 service as examples/quickstart.rs ----------
+    let mut b = GraphBuilder::new();
+    b.add_triple("Angela Merkel", "studied", "Physics");
+    for (leader, subject) in [
+        ("Vladimir Putin", "Law"),
+        ("Matteo Renzi", "Law"),
+        ("François Hollande", "Law"),
+    ] {
+        b.add_triple(leader, "studied", subject);
+    }
+    for (parent, child) in [
+        ("Barack Obama", "Malia"),
+        ("Vladimir Putin", "Mariya"),
+        ("Matteo Renzi", "Ester"),
+        ("Matteo Renzi", "Emanuele"),
+        ("François Hollande", "Thomas"),
+        ("François Hollande", "Clémence"),
+    ] {
+        b.add_triple(parent, "hasChild", child);
+    }
+    let mut leaders = vec![
+        "Angela Merkel".to_owned(),
+        "Barack Obama".to_owned(),
+        "Vladimir Putin".to_owned(),
+        "Matteo Renzi".to_owned(),
+        "François Hollande".to_owned(),
+    ];
+    for i in 0..20 {
+        let name = format!("Leader {i}");
+        b.add_triple(&name, "studied", "Law");
+        b.add_triple(&name, "hasChild", &format!("Child {i}"));
+        leaders.push(name);
+    }
+    for leader in &leaders {
+        b.add_triple(leader, "memberOf", "G20");
+    }
+
+    let mut config = EngineConfig::default();
+    config.findnc.context.mining = PathMiningConfig {
+        walks: 6_000,
+        ..PathMiningConfig::default()
+    };
+    config.findnc.context.type_filter = TypeFilter::None;
+    config.findnc.context_size = 23;
+
+    let service = Arc::new(
+        NckService::builder()
+            .knowledge_graph(b.build())
+            .engine(config)
+            .build()
+            .expect("service builds"),
+    );
+
+    // ---- behind a socket ----------------------------------------------
+    // Port 0 = ephemeral; handle.addr() reports what the OS picked.
+    let handle =
+        serve(Arc::clone(&service), "127.0.0.1:0", ServeConfig::default()).expect("server binds");
+    println!("serving on {}", handle.addr());
+
+    let mut client = ServeClient::connect(handle.addr()).expect("client connects");
+    let mut request = QueryRequest::entities(["Angela Merkel", "Barack Obama"]);
+    request.top = Some(10);
+
+    let mut served = client.call(&request).expect("served query succeeds");
+    println!("\nquery: {}", served.query);
+    println!("{:<16} {:>8}  notable", "label", "score");
+    for c in &served.characteristics {
+        println!("{:<16} {:>8.3}  {}", c.label, c.score, c.notable);
+    }
+
+    // The socket adds transport, not semantics: modulo the timing field,
+    // the served response is identical to the in-process one.
+    let mut local = service.query(&request).expect("in-process query succeeds");
+    served.secs = None;
+    local.secs = None;
+    assert_eq!(served, local, "served answer must be id-for-id in-process");
+    println!("\n✓ served answer is id-for-id the in-process answer");
+
+    // Errors arrive typed, not as prose: the `error` code distinguishes
+    // an unknown entity from an overload shed from a malformed frame.
+    let bad = QueryRequest::entities(["Angela Merkel", "Elvis"]);
+    match client.call(&bad) {
+        Err(ClientError::Api(body)) => {
+            println!(
+                "✓ typed error over the wire: [{}] {}",
+                body.error, body.message
+            );
+            assert_eq!(body.error, "unknown_entity");
+        }
+        other => panic!("expected a typed API error, got {other:?}"),
+    }
+
+    // ---- graceful drain -----------------------------------------------
+    let metrics = handle.shutdown();
+    println!(
+        "\ndrained: {} admitted, {} ok, {} errors, {} shed",
+        metrics.requests_admitted,
+        metrics.responses_ok,
+        metrics.responses_err,
+        metrics.requests_shed
+    );
+    assert_eq!(metrics.responses_ok, 1);
+    assert_eq!(metrics.responses_err, 1);
+    assert_eq!(metrics.requests_shed, 0, "nothing shed on an idle server");
+}

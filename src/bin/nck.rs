@@ -15,7 +15,11 @@
 //!   ranked characteristics;
 //! - `nck batch` — run a batch/repeated-query workload through the engine,
 //!   sequentially, or both (`--mode compare`), reporting wall times, the
-//!   speedup, and the engine's cache statistics.
+//!   speedup, and the engine's cache statistics;
+//! - `nck serve` — put the service behind a TCP socket speaking
+//!   length-prefixed framed JSON (the same request/response schema), with
+//!   bounded admission, per-request deadlines and graceful drain on
+//!   stdin EOF.
 //!
 //! Output is human-readable tables by default, or JSON with `--json`.
 
@@ -28,6 +32,7 @@ use notable_characteristics::core::context::TypeFilter;
 use notable_characteristics::datagen::{generate, generate_scale, GeneratorConfig, ScaleConfig};
 use notable_characteristics::engine::{EngineConfig, SelectorMode};
 use notable_characteristics::graph::io::save_compact;
+use notable_characteristics::serve::{serve, ServeConfig, ServeMetrics};
 use notable_characteristics::store::graph_view::{to_knowledge_graph, to_triple_store};
 use notable_characteristics::store::ntriples::{read_ntriples, write_ntriples};
 use std::io::Write as _;
@@ -46,6 +51,9 @@ USAGE:
   nck batch --graph FILE --queries FILE [--repeat N]
             [--mode engine|sequential|compare] [--chunk N] [--clients N]
             [options]
+  nck serve --graph FILE [--addr HOST:PORT] [--workers N]
+            [--queue-depth N] [--max-connections N] [--max-frame-bytes N]
+            [--default-deadline-ms N] [options]
 
 query/batch options:
   --graph-format nt|compact graph file format (default: nt). compact files
@@ -71,7 +79,13 @@ N times (a repeated-seed workload); --chunk N streams the workload
 through the engine in batches of N; --clients N additionally replays
 the workload from N concurrent client threads over one shared engine,
 reporting aggregate throughput and latency percentiles (responses are
-verified id-for-id against the single-client run).";
+verified id-for-id against the single-client run).
+
+nck serve binds --addr (default 127.0.0.1:4517; port 0 picks an
+ephemeral port, printed on startup), serves framed JSON requests until
+stdin reaches EOF, then drains gracefully: new work is shed with a typed
+overloaded error while every already-admitted request is finished and
+flushed. Final serving metrics go to stdout (JSON with --json).";
 
 /// How `--graph` should be interpreted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -134,6 +148,7 @@ fn main() -> ExitCode {
         Some("build-graph") => cmd_build_graph(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | Some("help") => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -557,6 +572,90 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// nck serve
+// ---------------------------------------------------------------------------
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let run = (|| -> Result<(), String> {
+        let addr = take_flag(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:4517".to_owned());
+        let mut config = ServeConfig::default();
+        if let Some(v) = take_flag(&mut args, "--workers")? {
+            config.workers = parse_num(&v, "--workers")?;
+            if config.workers == 0 {
+                return Err("--workers must be at least 1".into());
+            }
+        }
+        if let Some(v) = take_flag(&mut args, "--queue-depth")? {
+            config.queue_depth = parse_num(&v, "--queue-depth")?;
+        }
+        if let Some(v) = take_flag(&mut args, "--max-connections")? {
+            config.max_connections = parse_num(&v, "--max-connections")?;
+        }
+        if let Some(v) = take_flag(&mut args, "--max-frame-bytes")? {
+            config.max_frame_bytes = parse_num(&v, "--max-frame-bytes")?;
+        }
+        if let Some(v) = take_flag(&mut args, "--default-deadline-ms")? {
+            config.default_deadline_ms = Some(parse_num(&v, "--default-deadline-ms")?);
+        }
+        let opts = parse_run_opts(&mut args)?;
+        if opts.graph.is_empty() {
+            return Err("--graph is required".into());
+        }
+        if let Some(junk) = args.first() {
+            return Err(format!("unexpected argument {junk:?}"));
+        }
+        let service = load_service(&opts)?;
+        let handle = serve(std::sync::Arc::new(service), addr.as_str(), config)
+            .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        eprintln!(
+            "serving on {} — EOF on stdin drains and exits",
+            handle.addr()
+        );
+        // Scripted lifecycle: serve until stdin closes (`nck serve < /dev/null`
+        // starts, drains and exits immediately; a pipe keeps it up until the
+        // writer hangs up). No signal handling required.
+        let mut sink = String::new();
+        while std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut sink)
+            .map(|n| n > 0)
+            .unwrap_or(false)
+        {
+            sink.clear();
+        }
+        eprintln!("draining…");
+        let metrics = handle.shutdown();
+        if opts.json {
+            println!("{}", json::to_string(&metrics));
+        } else {
+            print_serve_metrics(&metrics);
+        }
+        Ok(())
+    })();
+    match run {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("nck: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_serve_metrics(m: &ServeMetrics) {
+    println!(
+        "connections: {} accepted, {} rejected at the limit",
+        m.connections_accepted, m.connections_rejected
+    );
+    println!(
+        "requests:    {} admitted, {} shed, {} deadline misses, {} malformed frames",
+        m.requests_admitted, m.requests_shed, m.deadline_misses, m.frames_malformed
+    );
+    println!(
+        "responses:   {} ok, {} errors",
+        m.responses_ok, m.responses_err
+    );
 }
 
 // ---------------------------------------------------------------------------

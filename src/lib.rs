@@ -30,6 +30,10 @@
 //!   [`StoreGraph`](store::StoreGraph), the `GraphAccess` backend that
 //!   answers traversals straight from the indexes without materializing
 //!   the graph;
+//! - [`serve`] — the socket front door: `nck serve` puts the service
+//!   behind length-prefixed framed JSON over TCP, with bounded admission,
+//!   per-request deadlines and graceful drain — answers are id-for-id
+//!   what the in-process service returns;
 //! - [`stats`] — statistics substrate (multinomial test, divergences);
 //! - [`core`] — the paper's algorithms;
 //! - [`datagen`] — seeded synthetic YAGO-like / LinkedMDB-like data;
@@ -78,6 +82,7 @@ pub use nck_datagen as datagen;
 pub use nck_engine as engine;
 pub use nck_eval as eval;
 pub use nck_graph as graph;
+pub use nck_serve as serve;
 pub use nck_stats as stats;
 pub use nck_store as store;
 
