@@ -1,6 +1,8 @@
 //! JSON round-trip guarantees of the service vocabulary: what the façade
 //! emits, it (or any peer speaking the schema) can read back, losslessly.
 
+#![forbid(unsafe_code)]
+
 use nck_api::{
     json, Characteristic, NckService, QueryOverrides, QueryRequest, QueryResponse, WorkloadMode,
     WorkloadReport, WorkloadRequest,

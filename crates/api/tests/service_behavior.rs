@@ -2,6 +2,8 @@
 //! stats describe the workload (not the engine's lifetime), and
 //! compare-mode never falsely reports divergence.
 
+#![forbid(unsafe_code)]
+
 use nck_api::{NckService, QueryRequest, WorkloadMode, WorkloadRequest};
 use nck_core::config::{PathMiningConfig, PprConfig};
 use nck_core::context::TypeFilter;

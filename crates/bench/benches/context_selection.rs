@@ -1,5 +1,7 @@
 //! Figure 5 — context-selection time vs |Q| for both algorithms.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nck_bench::{bench_dataset, BENCH_WALKS};
 use nck_core::config::{ContextRwConfig, PathMiningConfig, PprConfig, RandomWalkConfig};

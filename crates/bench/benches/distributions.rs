@@ -1,5 +1,7 @@
 //! Distribution-building micro-benches (the §3.2 Inst/Card pass).
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nck_bench::bench_dataset;
 use nck_core::context::Context;

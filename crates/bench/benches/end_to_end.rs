@@ -1,5 +1,7 @@
 //! End-to-end FindNC bench (context selection + distributions + tests).
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use nck_bench::{small_dataset, BENCH_WALKS};
 use nck_core::config::{ContextRwConfig, FindNcConfig, PathMiningConfig};

@@ -9,6 +9,8 @@
 //! already-warm engine (steady-state serving, all result-cache hits);
 //! `sequential_32` is the `FindNc::discover` loop the engine replaces.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use nck_bench::small_dataset;
 use nck_core::config::{ContextRwConfig, FindNcConfig, PathMiningConfig};

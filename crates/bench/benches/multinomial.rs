@@ -1,6 +1,8 @@
 //! Multinomial-test micro-benches: exact enumeration vs Monte-Carlo, and
 //! where the crossover sits.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nck_stats::exact::exact_significance;
 use nck_stats::monte_carlo::monte_carlo_significance;

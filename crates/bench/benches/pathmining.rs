@@ -1,5 +1,7 @@
 //! PathMining micro-benches: walk-count scaling and parallel speedup.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nck_bench::bench_dataset;
 use nck_core::config::PathMiningConfig;

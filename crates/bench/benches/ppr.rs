@@ -10,6 +10,8 @@
 //! bench asserts that parity up front, so a CI smoke run
 //! (`--samples 1`) fails loudly if the sparse path regresses.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nck_bench::bench_dataset;
 use nck_core::config::PprConfig;

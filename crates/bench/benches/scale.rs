@@ -25,6 +25,8 @@
 //! one-shot wall-clock phase over a multi-second build, so it writes
 //! its own JSON lines (one object per size) to `$NCK_BENCH_JSON`.
 
+#![forbid(unsafe_code)]
+
 use nck_core::config::{ContextRwConfig, FindNcConfig, PathMiningConfig};
 use nck_core::context::TypeFilter;
 use nck_core::query::Query;

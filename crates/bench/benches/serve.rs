@@ -40,6 +40,8 @@
 //! JSON decode, `secs` cleared) the in-process `NckService::query`
 //! answers.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use nck_api::{Backend, LatencySummary, NckService, QueryRequest};
 use nck_bench::small_dataset;

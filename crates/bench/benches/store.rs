@@ -1,5 +1,7 @@
 //! Triple-store micro-benches: bulk load and pattern scans.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nck_store::dictionary::Term;
 use nck_store::triple::TriplePattern;

@@ -1,6 +1,8 @@
 //! Cross-crate pipeline tests: the paper's qualitative claims must hold
 //! on the synthetic datasets.
 
+#![forbid(unsafe_code)]
+
 use nck_core::config::{
     ContextRwConfig, FindNcConfig, PathMiningConfig, PprConfig, RandomWalkConfig,
 };

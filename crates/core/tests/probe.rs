@@ -2,6 +2,8 @@
 //! compositions, mined metapaths and ground-truth overlap for the two
 //! selectors. Not part of the regular suite.
 
+#![forbid(unsafe_code)]
+
 use nck_core::config::{ContextRwConfig, PathMiningConfig, PprConfig, RandomWalkConfig};
 use nck_core::context::{ContextSelector, TypeFilter};
 use nck_core::context_rw::ContextRw;

@@ -1,5 +1,7 @@
 //! Second diagnostic probe: F1@100 per domain per selector.
 
+#![forbid(unsafe_code)]
+
 use nck_core::config::{ContextRwConfig, PathMiningConfig, PprConfig, RandomWalkConfig};
 use nck_core::context::{ContextSelector, TypeFilter};
 use nck_core::context_rw::ContextRw;

@@ -1,5 +1,7 @@
 //! Third diagnostic probe: the authors-case distributions.
 
+#![forbid(unsafe_code)]
+
 use nck_core::config::{ContextRwConfig, FindNcConfig, PathMiningConfig};
 use nck_core::context::TypeFilter;
 use nck_core::findnc::FindNc;

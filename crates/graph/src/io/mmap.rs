@@ -17,6 +17,26 @@
 #[cfg(unix)]
 pub use unix::Mmap;
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Failure-injection switch for the owned-read fallback path.
+static FORCE_OWNED_FALLBACK: AtomicBool = AtomicBool::new(false);
+
+/// Testing hook: while set, [`Mmap::map`] declines every mapping
+/// (reports `Ok(None)`, exactly as if the kernel refused), which drives
+/// [`crate::io::load_compact`] down its owned-read fallback. Returns
+/// the previous value so tests can restore it.
+#[doc(hidden)]
+pub fn force_owned_fallback(on: bool) -> bool {
+    FORCE_OWNED_FALLBACK.swap(on, Ordering::SeqCst)
+}
+
+/// True while fallback injection is active.
+#[cfg_attr(not(unix), allow(dead_code))]
+pub(crate) fn fallback_forced() -> bool {
+    FORCE_OWNED_FALLBACK.load(Ordering::SeqCst)
+}
+
 #[cfg(unix)]
 mod unix {
     use std::ffi::c_void;
@@ -62,6 +82,9 @@ mod unix {
         /// to reading the file into memory; only metadata I/O errors
         /// propagate.
         pub fn map(file: &File) -> io::Result<Option<Self>> {
+            if super::fallback_forced() {
+                return Ok(None);
+            }
             let len = file.metadata()?.len();
             let Ok(len) = usize::try_from(len) else {
                 return Ok(None);

@@ -1,0 +1,106 @@
+//! The owned-read fallback must be byte-for-byte equivalent to the
+//! zero-copy path.
+//!
+//! `load_compact` prefers a read-only memory map on Unix and silently
+//! falls back to `std::fs::read` when the kernel refuses the mapping.
+//! That fallback is exactly the path a non-Unix host (or a mount where
+//! mmap fails) takes in production, so it gets the same parity bar as
+//! everything else: force it via the `io::mmap` failure-injection hook
+//! and assert the loaded graph is identical to the mapped one, id for
+//! id, edge for edge, name for name.
+
+#![cfg(unix)]
+#![forbid(unsafe_code)]
+
+use nck_graph::io::{load_compact, mmap, save_compact};
+use nck_graph::{CompactGraph, GraphAccess, GraphBuilder, KnowledgeGraph};
+
+/// Restores the injection switch even when an assertion panics, so one
+/// failure cannot contaminate other tests in the binary.
+struct ForceFallback {
+    previous: bool,
+}
+
+impl ForceFallback {
+    fn engage() -> Self {
+        Self {
+            previous: mmap::force_owned_fallback(true),
+        }
+    }
+}
+
+impl Drop for ForceFallback {
+    fn drop(&mut self) {
+        mmap::force_owned_fallback(self.previous);
+    }
+}
+
+fn sample() -> KnowledgeGraph {
+    let mut b = GraphBuilder::new();
+    b.add_triple("Merkel", "studiedIn", "Leipzig");
+    b.add_triple("Merkel", "memberOf", "CDU");
+    b.add_triple("Hollande", "hasChild", "Thomas");
+    b.add_triple("Hollande", "hasChild", "Flora");
+    b.add_triple("Sarkozy", "memberOf", "UMP");
+    let n = b.node("Merkel");
+    b.set_type(n, "politician");
+    b.subtype("politician", "person");
+    b.build()
+}
+
+fn assert_graph_parity(reference: &KnowledgeGraph, loaded: &CompactGraph) {
+    assert_eq!(GraphAccess::num_nodes(loaded), reference.num_nodes());
+    assert_eq!(
+        GraphAccess::num_stored_edges(loaded),
+        reference.num_stored_edges()
+    );
+    for v in reference.nodes() {
+        assert_eq!(reference.node_name(v), loaded.node_name(v), "name of {v:?}");
+        let want: Vec<_> = reference.edges(v).collect();
+        let got: Vec<_> = GraphAccess::edges(loaded, v).collect();
+        assert_eq!(want, got, "adjacency of {v:?}");
+    }
+}
+
+#[test]
+fn forced_fallback_loads_an_identical_graph() {
+    let dir = std::env::temp_dir().join("nck_graph_mmap_fallback_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fallback_parity.nckg");
+
+    let reference = sample();
+    save_compact(&reference, &path).unwrap();
+
+    // Control: the normal path really does map.
+    let mapped = load_compact(&path).unwrap();
+    assert!(
+        mapped.is_memory_mapped(),
+        "control load should take the zero-copy path"
+    );
+    assert_graph_parity(&reference, &mapped);
+
+    // Inject the failure: same file, owned-read path.
+    let fallback = {
+        let _force = ForceFallback::engage();
+        let fallback = load_compact(&path).unwrap();
+        assert!(
+            !fallback.is_memory_mapped(),
+            "injected mmap failure should force the owned-read fallback"
+        );
+        fallback
+    };
+    assert_graph_parity(&reference, &fallback);
+
+    // The two loaded views agree with each other, not just the source.
+    for v in reference.nodes() {
+        let a: Vec<_> = GraphAccess::edges(&mapped, v).collect();
+        let b: Vec<_> = GraphAccess::edges(&fallback, v).collect();
+        assert_eq!(a, b);
+    }
+
+    // The switch is restored: mapping works again.
+    let again = load_compact(&path).unwrap();
+    assert!(again.is_memory_mapped(), "injection must not leak");
+
+    std::fs::remove_file(&path).ok();
+}

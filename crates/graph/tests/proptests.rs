@@ -1,5 +1,7 @@
 //! Property-based tests for the graph substrate.
 
+#![forbid(unsafe_code)]
+
 use nck_graph::builder::GraphBuilder;
 use nck_graph::io::{read_tsv, write_tsv};
 use nck_graph::stats::GraphStatistics;

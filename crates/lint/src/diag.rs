@@ -1,0 +1,96 @@
+//! Diagnostics and the machine-readable report.
+
+use serde::Serialize;
+use std::fmt;
+
+/// One finding, anchored to a file:line:col span.
+#[derive(Debug, Clone, Serialize)]
+pub struct Diagnostic {
+    /// Which rule produced it (`unsafe-audit`, `panic-path`,
+    /// `lock-order`, `wire-schema`).
+    pub rule: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description with enough context to act on.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// One *used* `// lint: allow(panic_path)` escape hatch. Hatches are
+/// not failures, but they are counted and reported so reviewers see the
+/// full inventory of accepted panics on the request path.
+#[derive(Debug, Clone, Serialize)]
+pub struct EscapeUse {
+    /// Workspace-relative file.
+    pub file: String,
+    /// Line of the hatch comment.
+    pub line: u32,
+    /// The justification after the dash.
+    pub reason: String,
+    /// How many flagged constructs this hatch suppressed.
+    pub sites: usize,
+}
+
+/// Per-rule bookkeeping for the summary block.
+#[derive(Debug, Clone, Serialize)]
+pub struct RuleSummary {
+    /// Rule name.
+    pub rule: String,
+    /// Files this rule actually inspected.
+    pub files_scanned: usize,
+    /// Sites the rule examined (unsafe tokens, panic constructs, lock
+    /// acquisitions, wire containers).
+    pub sites: usize,
+    /// Diagnostics emitted.
+    pub diagnostics: usize,
+}
+
+/// Everything one `nck-lint` run produced. Serialized verbatim by
+/// `--json`.
+#[derive(Debug, Default, Serialize)]
+pub struct Report {
+    /// All findings, in rule order then file order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// All used panic-path escape hatches.
+    pub escapes: Vec<EscapeUse>,
+    /// Per-rule summaries.
+    pub summaries: Vec<RuleSummary>,
+}
+
+impl Report {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Appends a diagnostic.
+    pub fn diag(
+        &mut self,
+        rule: &str,
+        file: &str,
+        line: u32,
+        col: u32,
+        message: impl Into<String>,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            rule: rule.to_owned(),
+            file: file.to_owned(),
+            line,
+            col,
+            message: message.into(),
+        });
+    }
+}

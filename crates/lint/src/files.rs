@@ -1,0 +1,276 @@
+//! Workspace file discovery and per-file token/comment indexes.
+//!
+//! A [`SourceFile`] is a lexed `.rs` file plus the derived indexes every
+//! rule needs: which tokens sit inside `#[cfg(test)] mod … { }` regions
+//! (production lints skip test code), which lines carry comments (for
+//! `// SAFETY:` and escape-hatch association), and which lines carry
+//! code at all (so a hatch knows what it covers).
+
+use crate::lexer::{self, Token};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lexed source file with rule-facing indexes.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel: String,
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// All non-comment tokens.
+    pub tokens: Vec<Token>,
+    /// `in_test[i]` — token `i` sits inside a `#[cfg(test)]` module.
+    pub in_test: Vec<bool>,
+    /// Comment text concatenated per source line (block comments mark
+    /// every line they span).
+    pub comment_lines: BTreeMap<u32, String>,
+    /// Lines that carry at least one token.
+    pub code_lines: Vec<u32>,
+    /// Line ranges (inclusive) of `#[cfg(test)]` modules.
+    pub test_line_ranges: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lexes `source` as file `rel` and builds all indexes. `path` may
+    /// be synthetic for in-memory sources (tests).
+    pub fn from_source(rel: &str, path: PathBuf, source: &str) -> SourceFile {
+        let lexed = lexer::lex(source);
+        let tokens = lexed.tokens;
+        let ranges = test_token_ranges(&tokens);
+        let mut in_test = vec![false; tokens.len()];
+        let mut test_line_ranges = Vec::new();
+        for &(start, end) in &ranges {
+            for flag in in_test.iter_mut().take(end + 1).skip(start) {
+                *flag = true;
+            }
+            test_line_ranges.push((tokens[start].line, tokens[end].line));
+        }
+        let mut comment_lines: BTreeMap<u32, String> = BTreeMap::new();
+        for comment in &lexed.comments {
+            for line in comment.line..=comment.end_line {
+                let slot = comment_lines.entry(line).or_default();
+                if !slot.is_empty() {
+                    slot.push(' ');
+                }
+                slot.push_str(&comment.text);
+            }
+        }
+        let mut code_lines: Vec<u32> = tokens.iter().map(|t| t.line).collect();
+        code_lines.dedup();
+        SourceFile {
+            rel: rel.to_owned(),
+            path,
+            tokens,
+            in_test,
+            comment_lines,
+            code_lines,
+            test_line_ranges,
+        }
+    }
+
+    /// Reads and lexes one file from disk.
+    pub fn load(root: &Path, rel: &str) -> io::Result<SourceFile> {
+        let path = root.join(rel);
+        let source = std::fs::read_to_string(&path)?;
+        Ok(SourceFile::from_source(rel, path, &source))
+    }
+
+    /// The comment text on `line`, if any.
+    pub fn comment_on(&self, line: u32) -> Option<&str> {
+        self.comment_lines.get(&line).map(String::as_str)
+    }
+
+    /// True when `line` carries at least one token.
+    pub fn has_code_on(&self, line: u32) -> bool {
+        self.code_lines.binary_search(&line).is_ok()
+    }
+
+    /// True when `line` falls inside a `#[cfg(test)]` module.
+    pub fn line_in_test(&self, line: u32) -> bool {
+        self.test_line_ranges
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+}
+
+/// Finds `#[cfg(test)] mod … { … }` regions as inclusive token-index
+/// ranges. Attributes between the `cfg` and the `mod` keyword (e.g. a
+/// doc comment or `#[allow]`) are tolerated.
+fn test_token_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && i + 1 < tokens.len() && tokens[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let Some(close) = matching(tokens, i + 1, '[', ']') else {
+            break;
+        };
+        let inner = &tokens[i + 2..close];
+        let is_cfg_test = inner.len() == 4
+            && inner[0].is_ident("cfg")
+            && inner[1].is_punct('(')
+            && inner[2].is_ident("test")
+            && inner[3].is_punct(')');
+        if !is_cfg_test {
+            i = close + 1;
+            continue;
+        }
+        // Skip any further attributes, then require `mod … {`.
+        let mut j = close + 1;
+        while j + 1 < tokens.len() && tokens[j].is_punct('#') && tokens[j + 1].is_punct('[') {
+            match matching(tokens, j + 1, '[', ']') {
+                Some(end) => j = end + 1,
+                None => return ranges,
+            }
+        }
+        if j < tokens.len() && tokens[j].is_ident("pub") {
+            j += 1;
+        }
+        if !(j < tokens.len() && tokens[j].is_ident("mod")) {
+            i = close + 1;
+            continue;
+        }
+        // Find the body `{` (a `mod name;` declaration has none).
+        let mut k = j + 1;
+        while k < tokens.len() && !tokens[k].is_punct('{') && !tokens[k].is_punct(';') {
+            k += 1;
+        }
+        if k >= tokens.len() || tokens[k].is_punct(';') {
+            i = close + 1;
+            continue;
+        }
+        match matching(tokens, k, '{', '}') {
+            Some(end) => {
+                ranges.push((i, end));
+                i = end + 1;
+            }
+            None => {
+                ranges.push((i, tokens.len() - 1));
+                break;
+            }
+        }
+    }
+    ranges
+}
+
+/// Index of the token closing the bracket opened at `open`.
+fn matching(tokens: &[Token], open: usize, open_ch: char, close_ch: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, tok) in tokens.iter().enumerate().skip(open) {
+        if tok.is_punct(open_ch) {
+            depth += 1;
+        } else if tok.is_punct(close_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Recursively collects every `.rs` file under `root`, skipping any
+/// path whose root-relative form starts with one of `skip_prefixes`.
+/// Paths come back sorted for deterministic reports.
+pub fn collect(root: &Path, skip_prefixes: &[String]) -> io::Result<Vec<SourceFile>> {
+    let mut rels = Vec::new();
+    walk(root, Path::new(""), skip_prefixes, &mut rels)?;
+    rels.sort();
+    rels.iter().map(|rel| SourceFile::load(root, rel)).collect()
+}
+
+fn walk(
+    root: &Path,
+    rel_dir: &Path,
+    skip_prefixes: &[String],
+    out: &mut Vec<String>,
+) -> io::Result<()> {
+    let abs = root.join(rel_dir);
+    for entry in std::fs::read_dir(&abs)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        let rel = if rel_dir.as_os_str().is_empty() {
+            name.clone()
+        } else {
+            format!("{}/{}", rel_dir.display(), name)
+        };
+        if skip_prefixes
+            .iter()
+            .any(|p| rel == *p || rel.starts_with(&format!("{p}/")))
+        {
+            continue;
+        }
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            if name == ".git" || name == "target" {
+                continue;
+            }
+            walk(root, Path::new(&rel), skip_prefixes, out)?;
+        } else if ty.is_file() && name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_modules_are_marked() {
+        let src = "\
+fn prod() { work(); }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { check(); }
+}
+
+fn also_prod() {}
+";
+        let file = SourceFile::from_source("x.rs", PathBuf::from("x.rs"), src);
+        let work = file.tokens.iter().position(|t| t.is_ident("work")).unwrap();
+        let check = file
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("check"))
+            .unwrap();
+        let also = file
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("also_prod"))
+            .unwrap();
+        assert!(!file.in_test[work]);
+        assert!(file.in_test[check]);
+        assert!(!file.in_test[also]);
+    }
+
+    #[test]
+    fn cfg_test_on_a_function_does_not_swallow_the_file() {
+        let src = "\
+#[cfg(test)]
+fn helper() {}
+
+fn prod() { work(); }
+";
+        let file = SourceFile::from_source("x.rs", PathBuf::from("x.rs"), src);
+        let work = file.tokens.iter().position(|t| t.is_ident("work")).unwrap();
+        assert!(!file.in_test[work]);
+    }
+
+    #[test]
+    fn comment_and_code_line_indexes() {
+        let src = "// top\nlet x = 1; // trailing\n\n// lone\n";
+        let file = SourceFile::from_source("x.rs", PathBuf::from("x.rs"), src);
+        assert!(file.comment_on(1).unwrap().contains("top"));
+        assert!(file.comment_on(2).unwrap().contains("trailing"));
+        assert!(file.has_code_on(2));
+        assert!(!file.has_code_on(4));
+    }
+}

@@ -1,0 +1,447 @@
+//! A minimal token-level Rust lexer in the style of the vendored serde
+//! derive: no `syn`, no AST — just a faithful stream of identifiers,
+//! punctuation, literals, and lifetimes with 1-based line/column spans,
+//! plus a separate record of every comment.
+//!
+//! The lexer must be *sound* (never mis-tokenize real code — a string
+//! containing `unsafe` must not produce an `unsafe` token) but not
+//! *complete*: constructs the rules never look at (e.g. exact numeric
+//! values) are carried as opaque text. It handles the full set of
+//! constructs that appear in this workspace and its vendored crates:
+//! nested block comments, raw strings (`r"…"`, `r#"…"#`), byte strings,
+//! byte chars, char-vs-lifetime disambiguation, raw identifiers, and
+//! multi-line string literals.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unsafe`, `fn`, `unwrap`, …).
+    Ident,
+    /// A single punctuation character (`.`, `{`, `!`, …).
+    Punct,
+    /// A literal: number, string, raw string, byte string, or char.
+    Literal,
+    /// A lifetime (`'a`, `'static`), including the leading quote.
+    Lifetime,
+}
+
+/// One token with its source span.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokKind,
+    /// The token text. For [`TokKind::Punct`] this is a single char; for
+    /// string literals it is the *content* semantics-free raw slice
+    /// including quotes.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in chars).
+    pub col: u32,
+}
+
+impl Token {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with exactly this char.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+}
+
+/// One comment (line or block) with the source lines it covers.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// First line of the comment.
+    pub line: u32,
+    /// Last line of the comment (same as `line` for `//` comments).
+    pub end_line: u32,
+    /// Raw comment text including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// The full output of [`lex`].
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consumes one char, keeping line/col in sync.
+    fn bump(&mut self) -> char {
+        let c = self.chars[self.i];
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn eof(&self) -> bool {
+        self.i >= self.chars.len()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `source`.
+///
+/// Unterminated literals or comments do not abort the pass: the lexer
+/// consumes to end of input and returns what it has, so a lint run never
+/// dies on a file the compiler itself would reject.
+pub fn lex(source: &str) -> Lexed {
+    let mut lx = Lexer {
+        chars: source.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+
+    while !lx.eof() {
+        let line = lx.line;
+        let col = lx.col;
+        let c = lx.chars[lx.i];
+
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+
+        // Line comment (includes `///` and `//!` doc comments).
+        if c == '/' && lx.peek(1) == Some('/') {
+            let mut text = String::new();
+            while !lx.eof() && lx.chars[lx.i] != '\n' {
+                text.push(lx.bump());
+            }
+            out.comments.push(Comment {
+                line,
+                end_line: line,
+                text,
+            });
+            continue;
+        }
+
+        // Block comment, possibly nested.
+        if c == '/' && lx.peek(1) == Some('*') {
+            let mut text = String::new();
+            text.push(lx.bump());
+            text.push(lx.bump());
+            let mut depth = 1usize;
+            while !lx.eof() && depth > 0 {
+                if lx.chars[lx.i] == '/' && lx.peek(1) == Some('*') {
+                    depth += 1;
+                    text.push(lx.bump());
+                    text.push(lx.bump());
+                } else if lx.chars[lx.i] == '*' && lx.peek(1) == Some('/') {
+                    depth -= 1;
+                    text.push(lx.bump());
+                    text.push(lx.bump());
+                } else {
+                    text.push(lx.bump());
+                }
+            }
+            out.comments.push(Comment {
+                line,
+                end_line: lx.line,
+                text,
+            });
+            continue;
+        }
+
+        // Identifier — or a string prefix (`r"…"`, `b"…"`, `br#"…"#`,
+        // `b'x'`) or raw identifier (`r#ident`).
+        if is_ident_start(c) {
+            let mut ident = String::new();
+            while !lx.eof() && is_ident_continue(lx.chars[lx.i]) {
+                ident.push(lx.bump());
+            }
+            match (ident.as_str(), lx.peek(0)) {
+                ("r" | "br" | "rb", Some('"')) | ("r" | "br" | "rb", Some('#'))
+                    if raw_string_follows(&lx) =>
+                {
+                    let mut text = ident;
+                    lex_raw_string(&mut lx, &mut text);
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text,
+                        line,
+                        col,
+                    });
+                }
+                ("r", Some('#')) => {
+                    // Raw identifier `r#ident`: strip the marker, keep
+                    // the name so `r#unsafe` never reads as `unsafe`
+                    // (a raw ident is, by definition, not the keyword).
+                    lx.bump();
+                    let mut name = String::from("r#");
+                    while !lx.eof() && is_ident_continue(lx.chars[lx.i]) {
+                        name.push(lx.bump());
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Ident,
+                        text: name,
+                        line,
+                        col,
+                    });
+                }
+                ("b", Some('"')) => {
+                    let mut text = ident;
+                    lex_quoted(&mut lx, '"', &mut text);
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text,
+                        line,
+                        col,
+                    });
+                }
+                ("b", Some('\'')) => {
+                    let mut text = ident;
+                    lex_quoted(&mut lx, '\'', &mut text);
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text,
+                        line,
+                        col,
+                    });
+                }
+                _ => out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: ident,
+                    line,
+                    col,
+                }),
+            }
+            continue;
+        }
+
+        // Number: opaque — consume digits, letters, underscores, and a
+        // fractional part when one clearly follows (`1.5` but not `0..n`).
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            while !lx.eof() && is_ident_continue(lx.chars[lx.i]) {
+                text.push(lx.bump());
+            }
+            if lx.peek(0) == Some('.') && lx.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                text.push(lx.bump());
+                while !lx.eof() && is_ident_continue(lx.chars[lx.i]) {
+                    text.push(lx.bump());
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // `'` — lifetime or char literal. `'a'` (ident char closed by a
+        // quote) is a char; `'a`, `'static`, `'_` are lifetimes; anything
+        // else (`'\n'`, `'{'`) is a char literal.
+        if c == '\'' {
+            let next = lx.peek(1);
+            let is_lifetime = match next {
+                Some(n) if is_ident_start(n) => lx.peek(2) != Some('\''),
+                _ => false,
+            };
+            if is_lifetime {
+                let mut text = String::new();
+                text.push(lx.bump());
+                while !lx.eof() && is_ident_continue(lx.chars[lx.i]) {
+                    text.push(lx.bump());
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                });
+            } else {
+                let mut text = String::new();
+                lex_quoted(&mut lx, '\'', &mut text);
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+
+        if c == '"' {
+            let mut text = String::new();
+            lex_quoted(&mut lx, '"', &mut text);
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Everything else: a single punctuation char.
+        let mut text = String::new();
+        text.push(lx.bump());
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text,
+            line,
+            col,
+        });
+    }
+
+    out
+}
+
+/// After an `r`/`br` ident, decides whether a raw string starts here:
+/// zero or more `#` followed by `"`.
+fn raw_string_follows(lx: &Lexer) -> bool {
+    let mut k = 0;
+    while lx.peek(k) == Some('#') {
+        k += 1;
+    }
+    lx.peek(k) == Some('"')
+}
+
+/// Consumes a raw string body (`#…#"…"#…#`) after its prefix ident.
+fn lex_raw_string(lx: &mut Lexer, text: &mut String) {
+    let mut hashes = 0usize;
+    while lx.peek(0) == Some('#') {
+        text.push(lx.bump());
+        hashes += 1;
+    }
+    if lx.peek(0) == Some('"') {
+        text.push(lx.bump());
+    }
+    while !lx.eof() {
+        let ch = lx.bump();
+        text.push(ch);
+        if ch == '"' {
+            let mut k = 0;
+            while k < hashes && lx.peek(k) == Some('#') {
+                k += 1;
+            }
+            if k == hashes {
+                for _ in 0..hashes {
+                    text.push(lx.bump());
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Consumes a quoted literal (string or char) with `\` escapes,
+/// starting at the opening quote.
+fn lex_quoted(lx: &mut Lexer, quote: char, text: &mut String) {
+    text.push(lx.bump()); // opening quote
+    while !lx.eof() {
+        let ch = lx.bump();
+        text.push(ch);
+        if ch == '\\' {
+            if !lx.eof() {
+                text.push(lx.bump());
+            }
+        } else if ch == quote {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_keywords() {
+        let src = r###"
+            // unsafe in a line comment
+            /* unsafe /* nested */ still comment */
+            let a = "unsafe { }";
+            let b = r#"unsafe"#;
+            let c = b"unsafe";
+            let d = 'u';
+        "###;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|t| t == "unsafe"), "{ids:?}");
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "'x'"));
+    }
+
+    #[test]
+    fn spans_are_one_based_and_track_newlines() {
+        let toks = lex("a\n  b").tokens;
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn multi_line_strings_keep_line_numbers_honest() {
+        let src = "let s = \"one\ntwo\";\nafter";
+        let toks = lex(src).tokens;
+        let after = toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let toks = lex("0..n, 1.5, 0x1f, 1_000u64").tokens;
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, ["0", "1.5", "0x1f", "1_000u64"]);
+    }
+}

@@ -1,0 +1,127 @@
+//! The `nck-lint` CLI.
+//!
+//! ```text
+//! nck-lint [--json] [--rule <name>]... [--bless] [--root <dir>]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 diagnostics found, 2 usage/configuration
+//! error. `--bless` re-pins the wire-schema golden file and is only
+//! meaningful together with `--rule wire-schema`.
+
+#![forbid(unsafe_code)]
+
+use nck_lint::{find_workspace_root, LintConfig, Report, ALL_RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> String {
+    format!(
+        "usage: nck-lint [--json] [--rule <name>]... [--bless] [--root <dir>]\n\
+         rules: {}",
+        ALL_RULES.join(", ")
+    )
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut bless = false;
+    let mut rules: Vec<String> = Vec::new();
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--bless" => bless = true,
+            "--rule" => match args.next() {
+                Some(name) => rules.push(name),
+                None => return fail("--rule needs a rule name"),
+            },
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return fail("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| find_workspace_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => return fail("cannot find the workspace root (try --root <dir>)"),
+    };
+
+    let cfg = LintConfig::for_workspace(&root);
+    let report = match nck_lint::run(&cfg, &rules, bless) {
+        Ok(report) => report,
+        Err(e) => return fail(&e.to_string()),
+    };
+
+    if json {
+        println!("{}", serde::json::to_string(&report));
+    } else {
+        print_human(&report, bless);
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("nck-lint: {message}\n{}", usage());
+    ExitCode::from(2)
+}
+
+fn print_human(report: &Report, blessed: bool) {
+    for diag in &report.diagnostics {
+        println!("{diag}");
+    }
+    if !report.escapes.is_empty() {
+        println!("accepted panic-path escape hatches:");
+        for esc in &report.escapes {
+            println!(
+                "  {}:{} ({} site{}) — {}",
+                esc.file,
+                esc.line,
+                esc.sites,
+                if esc.sites == 1 { "" } else { "s" },
+                esc.reason
+            );
+        }
+    }
+    for s in &report.summaries {
+        println!(
+            "rule {:<12} {:>4} files, {:>4} sites, {} diagnostic{}",
+            s.rule,
+            s.files_scanned,
+            s.sites,
+            s.diagnostics,
+            if s.diagnostics == 1 { "" } else { "s" }
+        );
+    }
+    if blessed {
+        println!("wire-schema golden re-pinned");
+    }
+    if report.is_clean() {
+        println!("nck-lint: clean");
+    } else {
+        println!(
+            "nck-lint: {} diagnostic{}",
+            report.diagnostics.len(),
+            if report.diagnostics.len() == 1 {
+                ""
+            } else {
+                "s"
+            }
+        );
+    }
+}

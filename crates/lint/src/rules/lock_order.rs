@@ -1,0 +1,400 @@
+//! Rule `lock-order`: nested lock acquisitions must follow the declared
+//! hierarchy.
+//!
+//! The analysis is intraprocedural and token-level. For every `fn` body
+//! in the configured scope it tracks lock-guard lifetimes through a
+//! linear scan:
+//!
+//! * an acquisition is `<receiver>.lock()` (or `.read()`/`.write()` for
+//!   receivers declared as RwLocks in the config),
+//! * a guard bound with `let` lives until its enclosing block closes or
+//!   an explicit `drop(name)`,
+//! * a guard used as a temporary (`self.state.lock().….field = x;`)
+//!   lives to the end of its statement,
+//! * `Condvar::wait(guard)` consumes and returns a guard of the same
+//!   class — it is neither a new acquisition nor a release.
+//!
+//! Every acquisition made while another guard is live contributes an
+//! edge `held-class → acquired-class` to the nested-acquisition graph.
+//! The graph must embed into the declared total order and be acyclic;
+//! self-nesting, inversions, nesting that involves an *undeclared*
+//! class, and cycles are all diagnostics.
+//!
+//! Receivers are classified by `(file suffix, receiver ident)` — e.g.
+//! any `.lock()` whose receiver is `shard` inside `cache.rs` is the
+//! `sharded_lru_stripe` class. An unknown receiver gets a synthetic
+//! `unclassified:` class that is only reported if it participates in
+//! nesting, so incidental mutexes (test scaffolding, stdout locks)
+//! stay quiet until they actually interleave with the hierarchy.
+
+use crate::diag::{Report, RuleSummary};
+use crate::files::SourceFile;
+use crate::lexer::{TokKind, Token};
+use crate::LintConfig;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub(crate) const RULE: &str = "lock-order";
+
+/// Where one nesting edge was first observed.
+#[derive(Debug, Clone)]
+struct EdgeSite {
+    file: String,
+    line: u32,
+    col: u32,
+    func: String,
+}
+
+struct Guard {
+    class: String,
+    name: Option<String>,
+    depth: usize,
+    temp: bool,
+}
+
+pub(crate) fn run(files: &[SourceFile], cfg: &LintConfig, report: &mut Report) {
+    let mut sites = 0usize;
+    let mut scanned = 0usize;
+    let before = report.diagnostics.len();
+    let mut edges: BTreeMap<(String, String), EdgeSite> = BTreeMap::new();
+
+    for file in files {
+        if !cfg
+            .lock_scope
+            .iter()
+            .any(|p| file.rel.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        scanned += 1;
+        scan_file(file, cfg, &mut edges, &mut sites);
+    }
+
+    let ranks: BTreeMap<&str, usize> = cfg
+        .lock_hierarchy
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.as_str(), i))
+        .collect();
+
+    for ((held, acquired), site) in &edges {
+        let span = (site.file.as_str(), site.line, site.col);
+        if held == acquired {
+            report.diag(
+                RULE,
+                span.0,
+                span.1,
+                span.2,
+                format!(
+                    "lock class `{held}` acquired while already held (fn `{}`): \
+                     self-nesting deadlocks under contention",
+                    site.func
+                ),
+            );
+            continue;
+        }
+        match (ranks.get(held.as_str()), ranks.get(acquired.as_str())) {
+            (Some(&h), Some(&a)) if h < a => {} // follows the declared order
+            (Some(_), Some(_)) => report.diag(
+                RULE,
+                span.0,
+                span.1,
+                span.2,
+                format!(
+                    "lock order inversion in fn `{}`: `{held}` held while acquiring \
+                     `{acquired}`, but the declared hierarchy is {}",
+                    site.func,
+                    cfg.lock_hierarchy.join(" → ")
+                ),
+            ),
+            _ => report.diag(
+                RULE,
+                span.0,
+                span.1,
+                span.2,
+                format!(
+                    "undeclared lock nesting in fn `{}`: `{held}` held while acquiring \
+                     `{acquired}`; add the class to the declared hierarchy or restructure",
+                    site.func
+                ),
+            ),
+        }
+    }
+
+    for cycle in find_cycles(&edges) {
+        let site = &edges[&(cycle[0].clone(), cycle[1].clone())];
+        report.diag(
+            RULE,
+            &site.file,
+            site.line,
+            site.col,
+            format!(
+                "cyclic lock acquisition across functions: {}",
+                cycle.join(" → ")
+            ),
+        );
+    }
+
+    report.summaries.push(RuleSummary {
+        rule: RULE.to_owned(),
+        files_scanned: scanned,
+        sites,
+        diagnostics: report.diagnostics.len() - before,
+    });
+}
+
+fn scan_file(
+    file: &SourceFile,
+    cfg: &LintConfig,
+    edges: &mut BTreeMap<(String, String), EdgeSite>,
+    sites: &mut usize,
+) {
+    let tokens = &file.tokens;
+    let mut i = 0;
+    while i < tokens.len() {
+        if file.in_test[i] || !tokens[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        // Find the body `{` at zero paren depth; a trait method ends in
+        // `;` instead.
+        let mut j = i + 2;
+        let mut paren = 0usize;
+        let body_open = loop {
+            match tokens.get(j) {
+                None => break None,
+                Some(t) if t.is_punct('(') => paren += 1,
+                Some(t) if t.is_punct(')') => paren = paren.saturating_sub(1),
+                Some(t) if t.is_punct('{') && paren == 0 => break Some(j),
+                Some(t) if t.is_punct(';') && paren == 0 => break None,
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = body_open else {
+            i = j.max(i + 1);
+            continue;
+        };
+        let end = scan_body(file, cfg, &name_tok.text, open, edges, sites);
+        i = end.max(open + 1);
+    }
+}
+
+/// Walks one fn body starting at its `{`; returns the index just past
+/// the matching `}`.
+fn scan_body(
+    file: &SourceFile,
+    cfg: &LintConfig,
+    func: &str,
+    open: usize,
+    edges: &mut BTreeMap<(String, String), EdgeSite>,
+    sites: &mut usize,
+) -> usize {
+    let tokens = &file.tokens;
+    let mut depth = 1usize;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut current_let: Option<String> = None;
+    let mut k = open + 1;
+    while k < tokens.len() && depth > 0 {
+        let tok = &tokens[k];
+        if tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct('}') {
+            depth -= 1;
+            guards.retain(|g| g.depth <= depth);
+        } else if tok.is_punct(';') {
+            guards.retain(|g| !(g.temp && g.depth >= depth));
+            current_let = None;
+        } else if tok.is_ident("let") {
+            // `let [mut] name =` — tuple/struct patterns never bind a
+            // guard directly, so a non-ident after `let` is ignored.
+            let mut n = k + 1;
+            if tokens.get(n).is_some_and(|t| t.is_ident("mut")) {
+                n += 1;
+            }
+            if let Some(name) = tokens.get(n).filter(|t| t.kind == TokKind::Ident) {
+                let after = tokens.get(n + 1);
+                if after.is_some_and(|t| t.is_punct('=') || t.is_punct(':')) {
+                    current_let = Some(name.text.clone());
+                }
+            }
+        } else if tok.is_ident("drop")
+            && tokens.get(k + 1).is_some_and(|t| t.is_punct('('))
+            && tokens.get(k + 3).is_some_and(|t| t.is_punct(')'))
+        {
+            if let Some(name) = tokens.get(k + 2).filter(|t| t.kind == TokKind::Ident) {
+                if let Some(pos) = guards
+                    .iter()
+                    .rposition(|g| g.name.as_deref() == Some(name.text.as_str()))
+                {
+                    guards.remove(pos);
+                }
+            }
+        } else if let Some((class, line, col)) = acquisition(file, cfg, k) {
+            *sites += 1;
+            for g in &guards {
+                edges
+                    .entry((g.class.clone(), class.clone()))
+                    .or_insert_with(|| EdgeSite {
+                        file: file.rel.clone(),
+                        line,
+                        col,
+                        func: func.to_owned(),
+                    });
+            }
+            guards.push(Guard {
+                class,
+                name: current_let.clone(),
+                depth,
+                temp: current_let.take().is_none(),
+            });
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Recognizes `<receiver>.<method>(` at token `k` where `method` is a
+/// configured acquisition method, and classifies the receiver. Returns
+/// `(class, line, col)`.
+fn acquisition(file: &SourceFile, cfg: &LintConfig, k: usize) -> Option<(String, u32, u32)> {
+    let tokens = &file.tokens;
+    let tok = &tokens[k];
+    if tok.kind != TokKind::Ident {
+        return None;
+    }
+    let method = tok.text.as_str();
+    if !matches!(method, "lock" | "read" | "write") {
+        return None;
+    }
+    if !(k > 0 && tokens[k - 1].is_punct('.') && tokens.get(k + 1).is_some_and(|t| t.is_punct('(')))
+    {
+        return None;
+    }
+    let receiver = receiver_ident(tokens, k - 2)?;
+    let spec = cfg.lock_classes.iter().find(|s| {
+        file.rel.ends_with(s.file_suffix.as_str())
+            && s.methods.iter().any(|m| m == method)
+            && s.receiver.as_deref().is_none_or(|r| r == receiver)
+    });
+    let class = match spec {
+        Some(s) => s.class.clone(),
+        // `.read()`/`.write()` on an undeclared receiver is far more
+        // likely `io::Read`/`io::Write` than an RwLock — only `.lock()`
+        // gets a synthetic class.
+        None if method == "lock" => format!("unclassified:{receiver}"),
+        None => return None,
+    };
+    Some((class, tok.line, tok.col))
+}
+
+/// The field/variable ident owning the receiver expression that ends at
+/// token `j`: `state` in `self.state.lock()`, `shard` in
+/// `self.shard(&key).lock()`.
+fn receiver_ident(tokens: &[Token], j: usize) -> Option<&str> {
+    let tok = tokens.get(j)?;
+    if tok.kind == TokKind::Ident {
+        return Some(&tok.text);
+    }
+    if tok.is_punct(')') || tok.is_punct(']') {
+        let (open, close) = if tok.is_punct(')') {
+            ('(', ')')
+        } else {
+            ('[', ']')
+        };
+        let mut depth = 0usize;
+        let mut p = j;
+        loop {
+            if tokens[p].is_punct(close) {
+                depth += 1;
+            } else if tokens[p].is_punct(open) {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            p = p.checked_sub(1)?;
+        }
+        let prev = tokens.get(p.checked_sub(1)?)?;
+        if prev.kind == TokKind::Ident {
+            return Some(&prev.text);
+        }
+    }
+    None
+}
+
+/// All simple cycles in the nesting graph, as class paths ending where
+/// they began. Deduplicated by rotation so each cycle reports once.
+fn find_cycles(edges: &BTreeMap<(String, String), EdgeSite>) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (held, acquired) in edges.keys() {
+        adj.entry(held.as_str())
+            .or_default()
+            .push(acquired.as_str());
+    }
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+    let mut seen_keys: BTreeSet<String> = BTreeSet::new();
+    let starts: Vec<&str> = adj.keys().copied().collect();
+    for start in starts {
+        let mut path = vec![start];
+        let mut on_path: BTreeSet<&str> = BTreeSet::from([start]);
+        dfs(
+            start,
+            &adj,
+            &mut path,
+            &mut on_path,
+            &mut cycles,
+            &mut seen_keys,
+        );
+    }
+    cycles
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    path: &mut Vec<&'a str>,
+    on_path: &mut BTreeSet<&'a str>,
+    cycles: &mut Vec<Vec<String>>,
+    seen: &mut BTreeSet<String>,
+) {
+    let Some(nexts) = adj.get(node) else { return };
+    for &next in nexts {
+        if next == node {
+            continue; // self-edges are reported as self-nesting already
+        }
+        if on_path.contains(next) {
+            let pos = path.iter().position(|&n| n == next).unwrap_or(0);
+            let mut cycle: Vec<String> = path[pos..].iter().map(|s| s.to_string()).collect();
+            cycle.push(next.to_owned());
+            // Canonical key: rotate so the smallest class leads.
+            let body = &cycle[..cycle.len() - 1];
+            let min = body
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| *c)
+                .map(|(i, _)| i);
+            if let Some(m) = min {
+                let key: Vec<&str> = body[m..]
+                    .iter()
+                    .chain(body[..m].iter())
+                    .map(|s| s.as_str())
+                    .collect();
+                if seen.insert(key.join("→")) {
+                    cycles.push(cycle);
+                }
+            }
+            continue;
+        }
+        if path.len() < 32 {
+            path.push(next);
+            on_path.insert(next);
+            dfs(next, adj, path, on_path, cycles, seen);
+            on_path.remove(next);
+            path.pop();
+        }
+    }
+}

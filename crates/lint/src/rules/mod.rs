@@ -1,0 +1,7 @@
+//! The four rules. Each is a function from the lexed workspace and the
+//! config to diagnostics appended onto the shared [`Report`].
+
+pub(crate) mod lock_order;
+pub(crate) mod panic_path;
+pub(crate) mod unsafe_audit;
+pub(crate) mod wire_schema;

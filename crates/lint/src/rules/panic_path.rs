@@ -1,0 +1,198 @@
+//! Rule `panic-path`: the request path must not panic.
+//!
+//! In the designated request-path modules (the socket server's frame,
+//! queue, wire, and server modules plus the API service), a panic is an
+//! availability bug: it kills a worker, poisons whatever lock it held,
+//! and — before PR 8's poison recovery — wedged the admission queue for
+//! every other connection. This rule flags the constructs that panic:
+//!
+//! * `.unwrap()` / `.expect(…)` (`unwrap_or*` / `expect_err` etc. do
+//!   **not** match — only the exact method names),
+//! * `panic!`, `unreachable!`, `todo!`, `unimplemented!`,
+//! * postfix slice/array indexing `x[i]` (macro bangs like `vec![…]`
+//!   and attributes `#[…]` are excluded).
+//!
+//! The `assert!` family is deliberately *not* flagged: an assertion is
+//! a declared invariant, and none appear on the request path today.
+//!
+//! A construct may be kept with an escape hatch comment on the same
+//! line or the line(s) directly above:
+//!
+//! ```text
+//! // lint: allow(panic_path) — <reason>
+//! ```
+//!
+//! Hatches are never free: one without a reason is a diagnostic, one
+//! that suppresses nothing is a diagnostic, and every used hatch is
+//! counted and listed in the report so the inventory of accepted
+//! panics stays visible in review.
+
+use crate::diag::{EscapeUse, Report, RuleSummary};
+use crate::files::SourceFile;
+use crate::lexer::{TokKind, Token};
+use crate::LintConfig;
+use std::collections::BTreeMap;
+
+pub(crate) const RULE: &str = "panic-path";
+const HATCH: &str = "lint: allow(panic_path)";
+
+/// Keywords that can legitimately precede `[` without forming an index
+/// expression (`&mut [0u8; 4]`, `return [a, b]`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "mut", "return", "in", "if", "else", "match", "let", "as", "ref", "move", "box", "break",
+    "const", "static", "dyn", "impl", "fn", "where", "type", "use",
+];
+
+struct Hatch {
+    line: u32,
+    covers: Option<u32>,
+    reason: Option<String>,
+    uses: usize,
+}
+
+pub(crate) fn run(files: &[SourceFile], cfg: &LintConfig, report: &mut Report) {
+    let mut sites = 0usize;
+    let mut scanned = 0usize;
+    let before = report.diagnostics.len();
+    for file in files {
+        if !cfg.panic_path_modules.iter().any(|m| m == &file.rel) {
+            continue;
+        }
+        scanned += 1;
+        let mut hatches = find_hatches(file);
+        // Map covered line -> hatch index, for O(1) lookup per site.
+        let cover: BTreeMap<u32, usize> = hatches
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.covers.map(|line| (line, i)))
+            .collect();
+
+        for (i, tok) in file.tokens.iter().enumerate() {
+            if file.in_test[i] {
+                continue;
+            }
+            let Some(what) = flag_construct(&file.tokens, i, tok) else {
+                continue;
+            };
+            sites += 1;
+            match cover.get(&tok.line) {
+                Some(&h) if hatches[h].reason.is_some() => hatches[h].uses += 1,
+                _ => report.diag(
+                    RULE,
+                    &file.rel,
+                    tok.line,
+                    tok.col,
+                    format!(
+                        "{what} on the request path; fix it or justify with \
+                         `// {HATCH} — <reason>`"
+                    ),
+                ),
+            }
+        }
+
+        for hatch in &hatches {
+            if hatch.reason.is_none() {
+                report.diag(
+                    RULE,
+                    &file.rel,
+                    hatch.line,
+                    1,
+                    format!("escape hatch without a reason: write `// {HATCH} — <reason>`"),
+                );
+            } else if hatch.uses == 0 {
+                report.diag(
+                    RULE,
+                    &file.rel,
+                    hatch.line,
+                    1,
+                    "unused escape hatch: the line it covers contains no flagged construct",
+                );
+            }
+        }
+        for hatch in hatches.drain(..) {
+            if let (Some(reason), true) = (hatch.reason, hatch.uses > 0) {
+                report.escapes.push(EscapeUse {
+                    file: file.rel.clone(),
+                    line: hatch.line,
+                    reason,
+                    sites: hatch.uses,
+                });
+            }
+        }
+    }
+    report.summaries.push(RuleSummary {
+        rule: RULE.to_owned(),
+        files_scanned: scanned,
+        sites,
+        diagnostics: report.diagnostics.len() - before,
+    });
+}
+
+/// Decides whether the token at `i` starts a flagged construct, and
+/// names it for the diagnostic.
+fn flag_construct(tokens: &[Token], i: usize, tok: &Token) -> Option<&'static str> {
+    match tok.kind {
+        TokKind::Ident => {
+            let next_is = |ch| tokens.get(i + 1).is_some_and(|t: &Token| t.is_punct(ch));
+            let prev_is_dot = i > 0 && tokens[i - 1].is_punct('.');
+            match tok.text.as_str() {
+                "unwrap" if prev_is_dot && next_is('(') => Some("`.unwrap()`"),
+                "expect" if prev_is_dot && next_is('(') => Some("`.expect(…)`"),
+                "panic" if next_is('!') => Some("`panic!`"),
+                "unreachable" if next_is('!') => Some("`unreachable!`"),
+                "todo" if next_is('!') => Some("`todo!`"),
+                "unimplemented" if next_is('!') => Some("`unimplemented!`"),
+                _ => None,
+            }
+        }
+        TokKind::Punct if tok.text == "[" && i > 0 => {
+            let prev = &tokens[i - 1];
+            let is_index_base = match prev.kind {
+                TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                TokKind::Punct => prev.text == ")" || prev.text == "]",
+                _ => false,
+            };
+            if is_index_base {
+                Some("slice indexing (`x[…]` panics on out-of-bounds)")
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Collects escape hatches and resolves which code line each covers:
+/// the hatch's own line when it is a trailing comment, otherwise the
+/// next line carrying code within a short window (so a hatch above a
+/// wrapped expression still lands).
+fn find_hatches(file: &SourceFile) -> Vec<Hatch> {
+    let mut hatches = Vec::new();
+    for (&line, text) in &file.comment_lines {
+        let Some(pos) = text.find(HATCH) else {
+            continue;
+        };
+        if file.line_in_test(line) {
+            continue;
+        }
+        let tail = text[pos + HATCH.len()..].trim_start();
+        let reason = tail
+            .strip_prefix('—')
+            .or_else(|| tail.strip_prefix('-'))
+            .map(str::trim)
+            .filter(|r| !r.is_empty())
+            .map(str::to_owned);
+        let covers = if file.has_code_on(line) {
+            Some(line)
+        } else {
+            (line + 1..line + 6).find(|&l| file.has_code_on(l))
+        };
+        hatches.push(Hatch {
+            line,
+            covers,
+            reason,
+            uses: 0,
+        });
+    }
+    hatches
+}

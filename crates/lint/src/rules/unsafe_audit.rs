@@ -1,0 +1,124 @@
+//! Rule `unsafe-audit`: `unsafe` is containment, not a convenience.
+//!
+//! Two checks, applied to **every** file in the walk (vendored crates
+//! included — they advertise `#![forbid(unsafe_code)]` and this rule
+//! keeps them honest):
+//!
+//! 1. The `unsafe` keyword may appear only in allowlisted files
+//!    (`crates/graph/src/io/mmap.rs` in this workspace).
+//! 2. Every `unsafe` occurrence — block, `unsafe impl`, `unsafe fn` —
+//!    must be covered by a `// SAFETY:` comment on the same line or in
+//!    the contiguous comment block directly above it. Stacked unsafe
+//!    items (`unsafe impl Send` / `unsafe impl Sync` back to back) may
+//!    share one comment.
+//! 3. `allow(unsafe_code)` / `#![allow(unsafe_code)]` attributes are
+//!    themselves confined to the allowlist, so the compiler-level gate
+//!    (`unsafe_code = "deny"` in the workspace lints) cannot be
+//!    silently reopened elsewhere.
+
+use crate::diag::{Report, RuleSummary};
+use crate::files::SourceFile;
+use crate::LintConfig;
+
+pub(crate) const RULE: &str = "unsafe-audit";
+
+pub(crate) fn run(files: &[SourceFile], cfg: &LintConfig, report: &mut Report) {
+    let mut sites = 0usize;
+    let before = report.diagnostics.len();
+    for file in files {
+        let allowlisted = cfg.unsafe_allowlist.iter().any(|a| a == &file.rel);
+        for (i, tok) in file.tokens.iter().enumerate() {
+            if tok.is_ident("unsafe") {
+                sites += 1;
+                if !allowlisted {
+                    report.diag(
+                        RULE,
+                        &file.rel,
+                        tok.line,
+                        tok.col,
+                        format!(
+                            "`unsafe` outside the allowlist (allowed only in: {})",
+                            cfg.unsafe_allowlist.join(", ")
+                        ),
+                    );
+                } else if !has_safety_comment(file, tok.line) {
+                    report.diag(
+                        RULE,
+                        &file.rel,
+                        tok.line,
+                        tok.col,
+                        "`unsafe` without a `// SAFETY:` comment on the same line \
+                         or directly above",
+                    );
+                }
+            }
+            // allow(unsafe_code) inside an attribute.
+            if tok.is_ident("allow")
+                && i >= 1
+                && !allowlisted
+                && file.tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+                && file
+                    .tokens
+                    .get(i + 2)
+                    .is_some_and(|t| t.is_ident("unsafe_code"))
+            {
+                sites += 1;
+                report.diag(
+                    RULE,
+                    &file.rel,
+                    tok.line,
+                    tok.col,
+                    "`allow(unsafe_code)` outside the allowlist reopens the \
+                     workspace-wide `unsafe_code = \"deny\"` gate",
+                );
+            }
+        }
+    }
+    report.summaries.push(RuleSummary {
+        rule: RULE.to_owned(),
+        files_scanned: files.len(),
+        sites,
+        diagnostics: report.diagnostics.len() - before,
+    });
+}
+
+/// Looks for `SAFETY:` on the line itself, or walks upward over lines
+/// that carry other `unsafe` code (stacked unsafe impls) into the
+/// contiguous comment block above.
+fn has_safety_comment(file: &SourceFile, line: u32) -> bool {
+    if comment_has_safety(file, line) {
+        return true;
+    }
+    let mut l = line;
+    // Step over preceding lines that themselves contain code, as long
+    // as that code is also unsafe-bearing (so `unsafe impl Sync` right
+    // under `unsafe impl Send` shares the comment above both).
+    while l > 1 && file.has_code_on(l - 1) && line_has_unsafe(file, l - 1) {
+        l -= 1;
+        if comment_has_safety(file, l) {
+            return true;
+        }
+    }
+    // Now scan the contiguous comment block directly above.
+    while l > 1 && !file.has_code_on(l - 1) {
+        l -= 1;
+        if comment_has_safety(file, l) {
+            return true;
+        }
+        if file.comment_on(l).is_none() {
+            // A fully blank line ends the association.
+            break;
+        }
+    }
+    false
+}
+
+fn comment_has_safety(file: &SourceFile, line: u32) -> bool {
+    file.comment_on(line).is_some_and(|c| c.contains("SAFETY:"))
+}
+
+fn line_has_unsafe(file: &SourceFile, line: u32) -> bool {
+    file.tokens
+        .iter()
+        .any(|t| t.line == line && t.is_ident("unsafe"))
+}

@@ -1,0 +1,397 @@
+//! Rule `wire-schema`: the serialized surface of the protocol is pinned.
+//!
+//! Every `Serialize`/`Deserialize`-deriving container in the configured
+//! wire files (`crates/api/src/**` and `crates/serve/src/wire.rs`) is
+//! parsed — token-level, same lexer as everything else — into a
+//! canonical textual schema: container kind and name, the derive set,
+//! fields in declaration order with normalized types, and any `#[serde]`
+//! attributes that change the wire form (`skip`, `skip_serializing_if`,
+//! `rename`, …). The canonical text plus an FNV-1a fingerprint is
+//! diffed against the checked-in golden file.
+//!
+//! Any drift — a removed field, a reordered field, a type change, a new
+//! container — is a spanned diagnostic. After a *reviewed* protocol
+//! change, regenerate with:
+//!
+//! ```text
+//! cargo run -p nck-lint -- --rule wire-schema --bless
+//! ```
+
+use crate::diag::{Report, RuleSummary};
+use crate::files::SourceFile;
+use crate::lexer::{TokKind, Token};
+use crate::LintConfig;
+use std::collections::BTreeMap;
+
+pub(crate) const RULE: &str = "wire-schema";
+
+/// One extracted wire container in canonical form.
+#[derive(Debug, Clone)]
+pub struct Container {
+    /// Type name.
+    pub name: String,
+    /// File it was found in.
+    pub file: String,
+    /// Line of the `struct`/`enum` keyword.
+    pub line: u32,
+    /// Canonical lines: header first, then one per field/variant.
+    pub lines: Vec<String>,
+}
+
+pub(crate) fn run(files: &[SourceFile], cfg: &LintConfig, bless: bool, report: &mut Report) {
+    let wire_files: Vec<&SourceFile> = files
+        .iter()
+        .filter(|f| cfg.wire_files.iter().any(|w| f.rel.starts_with(w.as_str())))
+        .collect();
+    let mut containers: Vec<Container> = Vec::new();
+    for file in &wire_files {
+        extract(file, &mut containers);
+    }
+    containers.sort_by(|a, b| a.name.cmp(&b.name));
+    let before = report.diagnostics.len();
+
+    if bless {
+        let text = golden_text(&containers);
+        if let Err(e) = std::fs::write(cfg.root.join(&cfg.golden_path), text) {
+            report.diag(
+                RULE,
+                &cfg.golden_path,
+                1,
+                1,
+                format!("cannot write golden file: {e}"),
+            );
+        }
+    } else {
+        match std::fs::read_to_string(cfg.root.join(&cfg.golden_path)) {
+            Ok(golden) => compare(&containers, &golden, cfg, report),
+            Err(e) => report.diag(
+                RULE,
+                &cfg.golden_path,
+                1,
+                1,
+                format!(
+                    "cannot read golden file: {e}; generate it with \
+                     `cargo run -p nck-lint -- --rule wire-schema --bless`"
+                ),
+            ),
+        }
+    }
+
+    report.summaries.push(RuleSummary {
+        rule: RULE.to_owned(),
+        files_scanned: wire_files.len(),
+        sites: containers.len(),
+        diagnostics: report.diagnostics.len() - before,
+    });
+}
+
+/// Renders the golden file: provenance comments, fingerprint, then one
+/// blank-line-separated block per container (sorted by name).
+pub(crate) fn golden_text(containers: &[Container]) -> String {
+    let mut body = String::new();
+    for c in containers {
+        body.push('\n');
+        for line in &c.lines {
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    format!(
+        "# Wire schema golden — the serialized surface of the socket protocol.\n\
+         # Any diff here is a wire-protocol change and must be reviewed.\n\
+         # Regenerate with: cargo run -p nck-lint -- --rule wire-schema --bless\n\
+         fingerprint fnv1a:{:016x}\n{body}",
+        fnv1a(body.as_bytes())
+    )
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn compare(containers: &[Container], golden: &str, cfg: &LintConfig, report: &mut Report) {
+    // Parse golden blocks: name -> (first line number, canonical lines).
+    let mut golden_blocks: BTreeMap<String, (u32, Vec<String>)> = BTreeMap::new();
+    let mut current: Option<String> = None;
+    for (idx, line) in golden.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        if line.starts_with('#') || line.starts_with("fingerprint ") || line.is_empty() {
+            current = None;
+            continue;
+        }
+        if !line.starts_with(' ') {
+            let name = line.split_whitespace().nth(1).unwrap_or("?").to_owned();
+            golden_blocks.insert(name.clone(), (lineno, vec![line.to_owned()]));
+            current = Some(name);
+        } else if let Some(name) = &current {
+            if let Some(block) = golden_blocks.get_mut(name) {
+                block.1.push(line.to_owned());
+            }
+        }
+    }
+
+    let hint = "after review, regenerate with \
+                `cargo run -p nck-lint -- --rule wire-schema --bless`";
+    for c in containers {
+        match golden_blocks.remove(&c.name) {
+            None => report.diag(
+                RULE,
+                &c.file,
+                c.line,
+                1,
+                format!(
+                    "wire container `{}` is not in the golden schema ({}); {hint}",
+                    c.name, cfg.golden_path
+                ),
+            ),
+            Some((_, golden_lines)) if golden_lines != c.lines => {
+                let mut diff = String::new();
+                for l in &golden_lines {
+                    if !c.lines.contains(l) {
+                        diff.push_str(&format!("\n  - {}", l.trim_start()));
+                    }
+                }
+                for l in &c.lines {
+                    if !golden_lines.contains(l) {
+                        diff.push_str(&format!("\n  + {}", l.trim_start()));
+                    }
+                }
+                if diff.is_empty() {
+                    diff = "\n  (fields reordered)".to_owned();
+                }
+                report.diag(
+                    RULE,
+                    &c.file,
+                    c.line,
+                    1,
+                    format!(
+                        "wire container `{}` drifted from the golden schema:{diff}\n  {hint}",
+                        c.name
+                    ),
+                );
+            }
+            Some(_) => {}
+        }
+    }
+    for (name, (lineno, _)) in golden_blocks {
+        report.diag(
+            RULE,
+            &cfg.golden_path,
+            lineno,
+            1,
+            format!(
+                "wire container `{name}` is in the golden schema but no longer \
+                 in the source; {hint}"
+            ),
+        );
+    }
+}
+
+/// Extracts every Serialize/Deserialize container from one file.
+pub(crate) fn extract(file: &SourceFile, out: &mut Vec<Container>) {
+    let tokens = &file.tokens;
+    let mut i = 0;
+    while i < tokens.len() {
+        if file.in_test[i]
+            || !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')))
+        {
+            i += 1;
+            continue;
+        }
+        // Gather the full attribute run preceding an item.
+        let mut derives: Vec<String> = Vec::new();
+        let mut serde_attrs: Vec<String> = Vec::new();
+        let mut j = i;
+        while tokens.get(j).is_some_and(|t| t.is_punct('#')) {
+            let Some(open) = tokens.get(j + 1).filter(|t| t.is_punct('[')) else {
+                break;
+            };
+            let _ = open;
+            let Some(close) = matching(tokens, j + 1, '[', ']') else {
+                break;
+            };
+            let inner = &tokens[j + 2..close];
+            if inner.first().is_some_and(|t| t.is_ident("derive")) {
+                for t in inner {
+                    if t.kind == TokKind::Ident
+                        && (t.text == "Serialize" || t.text == "Deserialize")
+                    {
+                        derives.push(t.text.clone());
+                    }
+                }
+            } else if inner.first().is_some_and(|t| t.is_ident("serde")) {
+                serde_attrs.push(join(inner));
+            }
+            j = close + 1;
+        }
+        if derives.is_empty() {
+            i = j.max(i + 1);
+            continue;
+        }
+        let mut k = j;
+        while tokens.get(k).is_some_and(|t| {
+            t.is_ident("pub") || t.is_punct('(') || t.is_ident("crate") || t.is_punct(')')
+        }) {
+            k += 1;
+        }
+        let kind = match tokens.get(k) {
+            Some(t) if t.is_ident("struct") => "struct",
+            Some(t) if t.is_ident("enum") => "enum",
+            _ => {
+                i = j.max(i + 1);
+                continue;
+            }
+        };
+        let Some(name) = tokens.get(k + 1).filter(|t| t.kind == TokKind::Ident) else {
+            i = j.max(i + 1);
+            continue;
+        };
+        let mut header = format!("{kind} {} [{}]", name.text, derives.join(", "));
+        for attr in &serde_attrs {
+            header.push_str(" #[");
+            header.push_str(attr);
+            header.push(']');
+        }
+        let mut lines = vec![header];
+        let body_end = extract_body(tokens, k + 1, kind, &mut lines);
+        out.push(Container {
+            name: name.text.clone(),
+            file: file.rel.clone(),
+            line: tokens[k].line,
+            lines,
+        });
+        i = body_end.max(k + 2);
+    }
+}
+
+/// Parses the `{ … }` (or tuple `( … )`, or unit) body following the
+/// container name at `name_idx`; appends one canonical line per field
+/// or variant. Returns the index just past the body.
+fn extract_body(tokens: &[Token], name_idx: usize, kind: &str, lines: &mut Vec<String>) -> usize {
+    // Skip generics to the body opener.
+    let mut b = name_idx + 1;
+    let mut angle = 0i32;
+    loop {
+        match tokens.get(b) {
+            None => return b,
+            Some(t) if t.is_punct('<') => angle += 1,
+            Some(t) if t.is_punct('>') => angle -= 1,
+            Some(t) if angle == 0 && (t.is_punct('{') || t.is_punct('(') || t.is_punct(';')) => {
+                break;
+            }
+            _ => {}
+        }
+        b += 1;
+    }
+    if tokens[b].is_punct(';') {
+        lines.push("  (unit)".to_owned());
+        return b + 1;
+    }
+    let (open, close) = if tokens[b].is_punct('{') {
+        ('{', '}')
+    } else {
+        ('(', ')')
+    };
+    let Some(end) = matching(tokens, b, open, close) else {
+        return b + 1;
+    };
+    let body = &tokens[b + 1..end];
+
+    let mut idx = 0usize;
+    let mut field_no = 0usize;
+    while idx < body.len() {
+        // Per-entry attributes.
+        let mut serde_attrs: Vec<String> = Vec::new();
+        while body.get(idx).is_some_and(|t| t.is_punct('#')) {
+            let Some(aclose) = matching(body, idx + 1, '[', ']') else {
+                return end + 1;
+            };
+            let inner = &body[idx + 2..aclose];
+            if inner.first().is_some_and(|t| t.is_ident("serde")) {
+                serde_attrs.push(join(inner));
+            }
+            idx = aclose + 1;
+        }
+        while body.get(idx).is_some_and(|t| t.is_ident("pub")) {
+            idx += 1;
+            if body.get(idx).is_some_and(|t| t.is_punct('(')) {
+                if let Some(pclose) = matching(body, idx, '(', ')') {
+                    idx = pclose + 1;
+                }
+            }
+        }
+        let Some(name_tok) = body.get(idx) else { break };
+
+        // Entry value: tokens to the next top-level `,`.
+        let mut vend = idx;
+        let mut depth = 0i32;
+        while vend < body.len() {
+            let t = &body[vend];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') || t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') || t.is_punct('>') {
+                depth -= 1;
+            } else if t.is_punct(',') && depth == 0 {
+                break;
+            }
+            vend += 1;
+        }
+        let entry = &body[idx..vend];
+        let mut line = if kind == "enum" {
+            format!("  variant {}", join(entry))
+        } else if name_tok.kind == TokKind::Ident
+            && body.get(idx + 1).is_some_and(|t| t.is_punct(':'))
+        {
+            format!("  {}: {}", name_tok.text, join(&entry[2..]))
+        } else {
+            // Tuple-struct positional field.
+            format!("  {}: {}", field_no, join(entry))
+        };
+        for attr in &serde_attrs {
+            line.push_str(" #[");
+            line.push_str(attr);
+            line.push(']');
+        }
+        lines.push(line);
+        field_no += 1;
+        idx = vend + 1;
+    }
+    end + 1
+}
+
+/// Joins tokens into canonical text: no spaces except between two
+/// adjacent word-like tokens (`dyn Fn`, `'a str`).
+fn join(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    let mut prev_wordy = false;
+    for t in tokens {
+        let wordy = t.kind != TokKind::Punct;
+        if prev_wordy && wordy {
+            out.push(' ');
+        }
+        out.push_str(&t.text);
+        prev_wordy = wordy;
+    }
+    out
+}
+
+/// Same bracket matcher as `files.rs`, over an arbitrary token slice.
+fn matching(tokens: &[Token], open: usize, open_ch: char, close_ch: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, tok) in tokens.iter().enumerate().skip(open) {
+        if tok.is_punct(open_ch) {
+            depth += 1;
+        } else if tok.is_punct(close_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}

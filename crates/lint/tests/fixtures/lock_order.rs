@@ -1,0 +1,57 @@
+// Fixture for the lock-order rule. The test config declares the
+// hierarchy `stripe_class -> queue_class`, with `stripe` and `queue`
+// receivers classified and `other` left undeclared.
+
+use std::sync::Mutex;
+
+pub struct Caches {
+    pub stripe: Mutex<u32>,
+    pub queue: Mutex<u32>,
+}
+
+impl Caches {
+    pub fn sequential_is_fine(&self) {
+        let s = self.stripe.lock().unwrap();
+        drop(s);
+        let q = self.queue.lock().unwrap();
+        drop(q);
+    }
+
+    pub fn declared_order_is_fine(&self) {
+        let s = self.stripe.lock().unwrap();
+        let q = self.queue.lock().unwrap();
+        drop(q);
+        drop(s);
+    }
+
+    pub fn scoped_guard_releases_at_block_end(&self) {
+        {
+            let q = self.queue.lock().unwrap();
+            let _ = *q;
+        }
+        // The queue guard is gone; taking the stripe now is NOT nested.
+        let s = self.stripe.lock().unwrap();
+        let _ = *s;
+    }
+
+    pub fn inverted(&self) {
+        let q = self.queue.lock().unwrap();
+        let s = self.stripe.lock().unwrap();
+        drop(s);
+        drop(q);
+    }
+
+    pub fn self_nested(&self) {
+        let a = self.queue.lock().unwrap();
+        let b = self.queue.lock().unwrap();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn undeclared(&self, other: &Mutex<u32>) {
+        let q = self.queue.lock().unwrap();
+        let o = other.lock().unwrap();
+        drop(o);
+        drop(q);
+    }
+}

@@ -1,0 +1,50 @@
+// Fixture: a designated request-path module with one of every flagged
+// construct, one valid escape hatch, one hatch missing its reason, and
+// one unused hatch. The cfg(test) module at the bottom must be ignored.
+
+pub fn flagged(v: &[u8], opt: Option<u8>) -> u8 {
+    let a = opt.unwrap();
+    let b = opt.expect("present");
+    if v.is_empty() {
+        panic!("empty");
+    }
+    match a {
+        0 => unreachable!(),
+        1 => todo!(),
+        2 => unimplemented!(),
+        _ => {}
+    }
+    v[0] + b
+}
+
+pub fn not_flagged(v: &[u8], opt: Option<u8>) -> u8 {
+    // unwrap_or_else is not unwrap, vec![...] is a macro, #[...] is an
+    // attribute, and a doc example `.unwrap()` is just a comment.
+    let filler = vec![0u8; 4];
+    opt.unwrap_or_else(|| filler.first().copied().unwrap_or(v.len() as u8))
+}
+
+pub fn allowed(v: &[u8]) -> u8 {
+    // lint: allow(panic_path) — index 0 is checked by every caller
+    v[0]
+}
+
+pub fn hatch_without_reason(v: &[u8]) -> u8 {
+    // lint: allow(panic_path)
+    v[0]
+}
+
+pub fn unused_hatch() -> u8 {
+    // lint: allow(panic_path) — nothing on the next line panics
+    1 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        Some(1).unwrap();
+        let v = [1, 2, 3];
+        assert_eq!(v[0], 1);
+    }
+}

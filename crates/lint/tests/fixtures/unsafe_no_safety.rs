@@ -1,0 +1,18 @@
+// Fixture: an *allowlisted* unsafe file. The first block carries a
+// SAFETY comment and passes; the second does not and is flagged; the
+// stacked unsafe impls share one SAFETY comment and pass.
+
+pub struct Wrapper(*const u8);
+
+// SAFETY: the pointer is never dereferenced in this fixture.
+unsafe impl Send for Wrapper {}
+unsafe impl Sync for Wrapper {}
+
+pub fn documented(v: &[u8]) -> u8 {
+    // SAFETY: the caller guarantees v is non-empty.
+    unsafe { *v.as_ptr() }
+}
+
+pub fn undocumented(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,9 @@
+// Fixture: `unsafe` in a file that is NOT on the allowlist, plus an
+// `allow(unsafe_code)` attribute trying to reopen the compiler gate.
+// Expected: one diagnostic per `unsafe` token + one for the allow.
+#![allow(unsafe_code)]
+
+pub fn peek(v: &[u8]) -> u8 {
+    // SAFETY: a comment does not make the file allowlisted.
+    unsafe { *v.as_ptr() }
+}

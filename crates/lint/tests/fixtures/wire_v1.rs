@@ -1,0 +1,18 @@
+// Fixture: version 1 of a tiny wire vocabulary; the golden is blessed
+// from this file in the self-test.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireRequest {
+    pub id: u64,
+    pub query: String,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub deadline_ms: Option<u64>,
+}
+
+#[derive(Serialize, Deserialize)]
+pub enum Mode {
+    Engine,
+    Sequential,
+}

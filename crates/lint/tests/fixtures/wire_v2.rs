@@ -1,0 +1,18 @@
+// Fixture: version 2 — `deadline_ms` was deleted from WireRequest and
+// a variant was added to Mode. Both must show up as drift against the
+// v1 golden.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireRequest {
+    pub id: u64,
+    pub query: String,
+}
+
+#[derive(Serialize, Deserialize)]
+pub enum Mode {
+    Engine,
+    Sequential,
+    Compare,
+}

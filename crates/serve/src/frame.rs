@@ -90,6 +90,7 @@ fn read_exact_patient<R: Read>(
     let mut filled = 0;
     let mut ticks = 0;
     while filled < buf.len() {
+        // lint: allow(panic_path) — the loop condition guarantees `filled < buf.len()`
         match r.read(&mut buf[filled..]) {
             Ok(0) => {
                 return Ok(if filled == 0 && !started {
@@ -139,8 +140,10 @@ pub fn drain_exact<R: Read>(r: &mut R, len: u64, max_ticks: u32) -> io::Result<V
     let mut chunk = [0u8; 4096];
     while remaining > 0 {
         let want = chunk.len().min(remaining as usize);
+        // lint: allow(panic_path) — `want` is clamped to `chunk.len()` one line up
         match read_exact_patient(r, &mut chunk[..want], true, max_ticks)? {
             ReadOutcome::Complete => {
+                // lint: allow(panic_path) — same bound: `want <= chunk.len()`
                 drained.extend_from_slice(&chunk[..want]);
                 remaining -= want as u64;
             }
@@ -150,6 +153,7 @@ pub fn drain_exact<R: Read>(r: &mut R, len: u64, max_ticks: u32) -> io::Result<V
                     "peer disconnected mid-frame",
                 ))
             }
+            // lint: allow(panic_path) — `started: true` above means Idle cannot be reported
             ReadOutcome::Idle => unreachable!("started reads never report Idle"),
         }
     }
@@ -192,6 +196,7 @@ pub fn read_frame<R: Read>(
                 payload.len()
             ),
         )),
+        // lint: allow(panic_path) — the payload read passes `started: true`, so Idle cannot be reported
         ReadOutcome::Idle => unreachable!("started reads never report Idle"),
     }
 }

@@ -7,9 +7,22 @@
 //! drain: already-queued items are still handed out — a closed queue
 //! only stops *admitting* — and `pop` returns `None` once the backlog
 //! is empty, which is each worker's signal to exit.
+//!
+//! # Poison recovery
+//!
+//! Every lock acquisition recovers from poisoning with
+//! [`PoisonError::into_inner`] instead of panicking. A worker that
+//! panics while *holding* the queue mutex can only do so at points
+//! where the `State` is already consistent (a `VecDeque` push/pop
+//! either happened or did not — there is no half-updated state), so
+//! the poison flag carries no information here. Propagating it would
+//! turn one crashed worker into a wedged admission queue: every other
+//! producer and consumer would panic on their next acquisition and the
+//! server would stop answering. Recovering keeps the drain invariants
+//! (close → hand out backlog → release consumers) intact.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 
 /// Why a push was refused.
 #[derive(Debug, PartialEq, Eq)]
@@ -52,7 +65,8 @@ impl<T> Bounded<T> {
 
     /// Current backlog length.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock").items.len()
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.items.len()
     }
 
     /// Whether the backlog is empty.
@@ -63,7 +77,7 @@ impl<T> Bounded<T> {
     /// Non-blocking admission: `Err(Full)` at capacity, `Err(Closed)`
     /// once draining.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if state.closed {
             return Err(PushError::Closed(item));
         }
@@ -79,7 +93,7 @@ impl<T> Bounded<T> {
     /// Blocks until an item is available or the queue is closed *and*
     /// drained, returning `None` in the latter case.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(item) = state.items.pop_front() {
                 return Some(item);
@@ -87,14 +101,19 @@ impl<T> Bounded<T> {
             if state.closed {
                 return None;
             }
-            state = self.available.wait(state).expect("queue lock");
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Stops admission and wakes every blocked consumer. Queued items
     /// are still popped — close never drops work.
     pub fn close(&self) {
-        self.state.lock().expect("queue lock").closed = true;
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.closed = true;
+        drop(state);
         self.available.notify_all();
     }
 }
@@ -145,6 +164,26 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn poisoned_lock_does_not_wedge_the_queue() {
+        let q = Arc::new(Bounded::new(2));
+        let poisoner = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let _guard = q.state.lock().unwrap();
+                panic!("worker crashed while holding the queue lock");
+            })
+        };
+        assert!(poisoner.join().is_err(), "the poisoner must have panicked");
+        // Every operation still works: admission, backlog, drain.
+        q.try_push(7).unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some(7));
+        q.close();
+        assert_eq!(q.try_push(8), Err(PushError::Closed(8)));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

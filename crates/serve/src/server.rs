@@ -179,7 +179,15 @@ impl Shared {
     fn respond(&self, conn: &Connection, response: WireResponse) {
         let is_err = response.err.is_some();
         let payload = response.to_payload();
-        let mut writer = conn.writer.lock().expect("writer lock");
+        // Poison recovery: a worker that panicked mid-write at worst
+        // left a torn frame on *this* connection's stream (the client
+        // sees a protocol error and reconnects); propagating the
+        // poison would instead panic every worker that still owes this
+        // connection a response.
+        let mut writer = conn
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         // Responses are server-built and trusted; they are not subject
         // to the request-frame limit.
         if frame::write_frame(&mut *writer, &payload, u32::MAX as usize).is_ok() {

@@ -1,5 +1,7 @@
 //! Property-based tests for the statistics substrate.
 
+#![forbid(unsafe_code)]
+
 use nck_stats::divergence::{js_divergence, kl_divergence_smoothed, normalize, total_variation};
 use nck_stats::emd::{emd_1d, emd_unit};
 use nck_stats::exact::exact_significance;

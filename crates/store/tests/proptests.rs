@@ -1,5 +1,7 @@
 //! Property-based tests for the triple store.
 
+#![forbid(unsafe_code)]
+
 use nck_store::dictionary::Term;
 use nck_store::ntriples::{read_ntriples, write_ntriples};
 use nck_store::triple::TriplePattern;

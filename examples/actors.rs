@@ -9,6 +9,8 @@
 //! cargo run --release --example actors
 //! ```
 
+#![forbid(unsafe_code)]
+
 use nck_core::context_rw::ContextRw;
 use notable_characteristics::datagen::{generate, GeneratorConfig};
 use notable_characteristics::prelude::*;

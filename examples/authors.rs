@@ -9,6 +9,8 @@
 //! cargo run --release --example authors
 //! ```
 
+#![forbid(unsafe_code)]
+
 use notable_characteristics::datagen::ground_truth::{simulate_crowd, CrowdConfig};
 use notable_characteristics::datagen::{generate, planted, GeneratorConfig};
 use notable_characteristics::prelude::*;

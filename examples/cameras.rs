@@ -10,6 +10,8 @@
 //! cargo run --release --example cameras
 //! ```
 
+#![forbid(unsafe_code)]
+
 use notable_characteristics::prelude::*;
 
 fn main() {

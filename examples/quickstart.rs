@@ -14,6 +14,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+
 use notable_characteristics::prelude::*;
 
 fn main() {

@@ -15,6 +15,8 @@
 //! and point [`ServeClient`] (or any 4-byte-big-endian-length + JSON
 //! client) at its address.
 
+#![forbid(unsafe_code)]
+
 use notable_characteristics::prelude::*;
 use notable_characteristics::serve::{serve, ClientError, ServeClient, ServeConfig};
 use std::sync::Arc;

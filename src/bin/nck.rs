@@ -23,6 +23,8 @@
 //!
 //! Output is human-readable tables by default, or JSON with `--json`.
 
+#![forbid(unsafe_code)]
+
 use notable_characteristics::api::{
     json, Backend, NckService, QueryRequest, QueryResponse, WorkloadMode, WorkloadReport,
     WorkloadRequest,

@@ -5,6 +5,8 @@
 //! byte-stable for a fixed seed (the golden-file contract the zero-copy
 //! loader depends on).
 
+#![forbid(unsafe_code)]
+
 use notable_characteristics::core::config::{ContextRwConfig, FindNcConfig, PathMiningConfig};
 use notable_characteristics::core::context::TypeFilter;
 use notable_characteristics::core::findnc::{FindNc, SearchResult};

@@ -10,6 +10,8 @@
 //! different threads are racing different keys through the sharded
 //! caches and flight slots.
 
+#![forbid(unsafe_code)]
+
 use notable_characteristics::api::{Backend, NckService, QueryRequest};
 use notable_characteristics::core::config::{
     ContextRwConfig, FindNcConfig, PathMiningConfig, PprConfig, RandomWalkConfig,

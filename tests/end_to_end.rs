@@ -1,6 +1,8 @@
 //! Workspace integration tests: the full stack, from triple store to
 //! notable characteristics, exercised together.
 
+#![forbid(unsafe_code)]
+
 use notable_characteristics::core::config::{ContextRwConfig, FindNcConfig, PathMiningConfig};
 use notable_characteristics::core::context::TypeFilter;
 use notable_characteristics::datagen::{generate, GeneratorConfig};

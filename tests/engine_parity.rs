@@ -2,6 +2,8 @@
 //! be id-for-id identical to sequential `FindNc::discover` on **both**
 //! graph backends, including under forced cache eviction.
 
+#![forbid(unsafe_code)]
+
 use notable_characteristics::core::config::{ContextRwConfig, FindNcConfig, PathMiningConfig};
 use notable_characteristics::core::context::TypeFilter;
 use notable_characteristics::core::findnc::{FindNc, SearchResult};

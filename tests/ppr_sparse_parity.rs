@@ -10,6 +10,8 @@
 //!   (`Σ_t dropped_t · c^(K−t+1)`, see `nck_core::ppr`), and within the
 //!   coarse analytic bound `iterations · ε · |V|`.
 
+#![forbid(unsafe_code)]
+
 use notable_characteristics::core::config::PprConfig;
 use notable_characteristics::core::ppr::{PersonalizedPageRank, PprWorkspace};
 use notable_characteristics::core::score::ScoreVec;

@@ -5,6 +5,8 @@
 //! correctly, and drain gracefully on shutdown — zero admitted requests
 //! dropped.
 
+#![forbid(unsafe_code)]
+
 use notable_characteristics::api::{NckService, QueryRequest, QueryResponse};
 use notable_characteristics::prelude::GraphBuilder;
 use notable_characteristics::serve::{serve, ClientError, ServeClient, ServeConfig, ServerHandle};

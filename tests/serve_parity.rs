@@ -7,6 +7,8 @@
 //! The transport is allowed to add exactly one thing to a response: the
 //! wall time (`secs`), which both sides clear before comparing.
 
+#![forbid(unsafe_code)]
+
 use notable_characteristics::api::{Backend, NckService, QueryRequest, QueryResponse};
 use notable_characteristics::core::config::{ContextRwConfig, FindNcConfig, PathMiningConfig};
 use notable_characteristics::core::context::TypeFilter;

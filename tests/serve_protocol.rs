@@ -8,6 +8,8 @@
 //! A proptest rounds out the suite by round-tripping request framing
 //! (arbitrary payload bytes and envelope contents) through the codec.
 
+#![forbid(unsafe_code)]
+
 use notable_characteristics::api::{json, JsonValue, NckService, QueryRequest};
 use notable_characteristics::prelude::GraphBuilder;
 use notable_characteristics::serve::{
