@@ -433,7 +433,16 @@ impl NckService {
             }
         }
         if !engine_queries.is_empty() {
-            let results = self.engine.run_batch(&engine_queries)?;
+            // `ppr_block_width` is a pure performance knob, so — like the
+            // `threads` cap above — the first request carrying one governs
+            // the whole batch call without forking anyone off the shared
+            // engine (answers are identical at any width).
+            let width = requests
+                .iter()
+                .find_map(|r| r.overrides.as_ref().and_then(|o| o.ppr_block_width));
+            let results = self
+                .engine
+                .run_batch_with_block_width(&engine_queries, width)?;
             for (pos, result) in engine_positions.into_iter().zip(&results) {
                 // lint: allow(panic_path) — `pos` came from enumerating `requests`; `out` is `requests.len()` long
                 out[pos] = Some(self.response_for(&requests[pos], result));
@@ -523,6 +532,12 @@ impl NckService {
         let mut phase_config = self.config.clone();
         if request.threads.is_some() {
             phase_config.threads = request.threads;
+        }
+        if let Some(width) = request.ppr_block_width {
+            // Like `threads`: a per-workload performance knob. The fresh
+            // benchmark engines below inherit it; results are identical
+            // at any width (pinned by the engine's block-parity tests).
+            phase_config.ppr_block_width = width;
         }
 
         if request.mode == WorkloadMode::Compare {
@@ -770,7 +785,10 @@ impl NckService {
         }
         // `overrides.threads` is applied by the calling entry point
         // (query/batch/stream) as a call-scoped cap, not here: it is a
-        // performance knob, not a pipeline setting.
+        // performance knob, not a pipeline setting. `ppr_block_width`
+        // likewise never reaches this one-off pipeline — blocking only
+        // exists on the engine's batch path, and a width-only override
+        // is a `pipeline_noop` that stays on the shared engine anyway.
         let findnc = FindNc::new(config.findnc.clone());
         let result = match config.selector {
             SelectorMode::ContextRw => findnc.discover(&self.graph, query),

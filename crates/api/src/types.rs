@@ -100,6 +100,15 @@ pub struct QueryOverrides {
     /// shared engine and its caches.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub threads: Option<usize>,
+    /// Seed-lane width of the engine's blocked multi-seed PPR kernel
+    /// (see `EngineConfig::ppr_block_width` in `nck-engine`); `0`/`1`
+    /// disables blocking. Like `threads` this is purely a performance
+    /// knob — every lane is bit-identical to its solo run — so it rides
+    /// the shared engine (in a batch, the first request carrying one
+    /// governs the whole call); it only takes effect on batch execution,
+    /// where distinct seed misses exist to amortize.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub ppr_block_width: Option<usize>,
 }
 
 impl QueryOverrides {
@@ -113,12 +122,13 @@ impl QueryOverrides {
     }
 
     /// Whether the overrides leave the *pipeline* untouched — only pure
-    /// performance knobs (`threads`) set, or nothing at all. Such
-    /// requests run on the shared engine and its caches; only pipeline
-    /// overrides fork a one-off uncached run.
+    /// performance knobs (`threads`, `ppr_block_width`) set, or nothing
+    /// at all. Such requests run on the shared engine and its caches;
+    /// only pipeline overrides fork a one-off uncached run.
     pub fn pipeline_noop(&self) -> bool {
         Self {
             threads: None,
+            ppr_block_width: None,
             ..*self
         } == Self::default()
     }
@@ -217,6 +227,14 @@ pub struct WorkloadRequest {
     /// Purely a performance knob — results are identical under any cap.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub threads: Option<usize>,
+    /// Seed-lane width of the blocked multi-seed PPR kernel for this
+    /// workload's engine phases (see `EngineConfig::ppr_block_width` in
+    /// `nck-engine`); `0`/`1` disables blocking, `None` keeps the
+    /// service engine configuration's width. Purely a performance knob —
+    /// every lane is bit-identical to its solo run, so results are
+    /// identical under any width.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub ppr_block_width: Option<usize>,
 }
 
 impl WorkloadRequest {
@@ -230,6 +248,7 @@ impl WorkloadRequest {
             chunk: 0,
             clients: None,
             threads: None,
+            ppr_block_width: None,
         }
     }
 }
@@ -273,6 +292,15 @@ pub struct EngineStatsReport {
     /// caller's.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub ppr_coalesced: Option<u64>,
+    /// Blocked multi-seed PPR kernel invocations (batch distinct-miss
+    /// prefill; one run covers up to `ppr_block_width` seeds). Optional
+    /// on the wire so payloads from pre-blocking schemas still parse.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub ppr_block_runs: Option<u64>,
+    /// Seed vectors computed by blocked runs and inserted into the PPR
+    /// cache (blocked fills bypass the per-seed miss counters).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub ppr_lanes_filled: Option<u64>,
     /// Lock stripes per engine cache (the result cache's count; caches
     /// with tiny entry budgets clamp lower so their bounds stay strict).
     #[serde(skip_serializing_if = "Option::is_none")]
@@ -308,6 +336,8 @@ impl From<EngineStats> for EngineStatsReport {
             result_coalesced: Some(s.result_coalesced),
             context_coalesced: Some(s.context_coalesced),
             ppr_coalesced: Some(s.ppr_coalesced),
+            ppr_block_runs: Some(s.ppr_block_runs),
+            ppr_lanes_filled: Some(s.ppr_lanes_filled),
             cache_shards: Some(s.result.shards as u64),
             graph_bytes: None,
             result_cache: s.result,
@@ -412,6 +442,8 @@ mod tests {
             result_coalesced: None,
             context_coalesced: None,
             ppr_coalesced: None,
+            ppr_block_runs: None,
+            ppr_lanes_filled: None,
             cache_shards: None,
             graph_bytes: None,
             result_cache: CacheStats {
@@ -448,6 +480,8 @@ mod tests {
             result_coalesced: Some(3),
             context_coalesced: Some(2),
             ppr_coalesced: Some(5),
+            ppr_block_runs: Some(2),
+            ppr_lanes_filled: Some(12),
             cache_shards: Some(8),
             graph_bytes: Some(123_456),
             result_cache: CacheStats::default(),
@@ -457,6 +491,8 @@ mod tests {
         let text = serde::json::to_string(&report);
         assert!(text.contains(r#""result_coalesced":3"#), "{text}");
         assert!(text.contains(r#""cache_shards":8"#), "{text}");
+        assert!(text.contains(r#""ppr_block_runs":2"#), "{text}");
+        assert!(text.contains(r#""ppr_lanes_filled":12"#), "{text}");
         let back: EngineStatsReport = serde::json::from_str(&text).unwrap();
         assert_eq!(back, report, "coalesced/shard counters round-trip");
     }
@@ -470,6 +506,8 @@ mod tests {
         assert_eq!(back.weight_builds, None);
         assert_eq!(back.result_coalesced, None);
         assert_eq!(back.cache_shards, None);
+        assert_eq!(back.ppr_block_runs, None);
+        assert_eq!(back.ppr_lanes_filled, None);
         assert_eq!(back.submitted, 8);
     }
 
@@ -479,6 +517,30 @@ mod tests {
         let back: WorkloadRequest = serde::json::from_str(legacy).unwrap();
         assert_eq!(back.clients, None);
         assert_eq!(back.threads, None);
+        assert_eq!(back.ppr_block_width, None);
         assert_eq!(back.repeat, 2);
+    }
+
+    /// The block-width knobs are performance-only overrides: absent from
+    /// serialized defaults, round-tripping when set, and never forcing a
+    /// request off the shared engine.
+    #[test]
+    fn ppr_block_width_is_a_pipeline_noop_override() {
+        let mut o = QueryOverrides::default();
+        assert!(o.is_noop() && o.pipeline_noop());
+        o.ppr_block_width = Some(32);
+        assert!(!o.is_noop(), "a set width is not a no-op");
+        assert!(o.pipeline_noop(), "…but leaves the pipeline untouched");
+        o.epsilon = Some(1e-4);
+        assert!(!o.pipeline_noop(), "pipeline overrides still fork");
+
+        let mut w = WorkloadRequest::new(vec![QueryRequest::entities(["A"])]);
+        let text = serde::json::to_string(&w);
+        assert!(!text.contains("ppr_block_width"), "{text}");
+        w.ppr_block_width = Some(8);
+        let text = serde::json::to_string(&w);
+        assert!(text.contains(r#""ppr_block_width":8"#), "{text}");
+        let back: WorkloadRequest = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, w);
     }
 }

@@ -42,6 +42,7 @@ fn query_request_round_trips() {
             type_filter: Some(TypeFilter::None),
             epsilon: Some(1e-5),
             threads: Some(4),
+            ppr_block_width: Some(16),
         }),
     };
     assert_eq!(roundtrip(&full), full);
@@ -99,6 +100,7 @@ fn workload_request_and_report_round_trip() {
         chunk: 4,
         clients: None,
         threads: None,
+        ppr_block_width: None,
     };
     assert_eq!(roundtrip(&request), request);
     // The concurrency fields stay off the wire until set…
@@ -109,6 +111,7 @@ fn workload_request_and_report_round_trip() {
     let concurrent = WorkloadRequest {
         clients: Some(8),
         threads: Some(2),
+        ppr_block_width: None,
         ..request
     };
     assert_eq!(roundtrip(&concurrent), concurrent);
@@ -153,6 +156,7 @@ fn service_emitted_payloads_round_trip() {
             chunk: 0,
             clients: Some(2),
             threads: None,
+            ppr_block_width: None,
         })
         .unwrap();
     let back: WorkloadReport = roundtrip(&report);

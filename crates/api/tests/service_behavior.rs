@@ -55,6 +55,7 @@ fn workload_stats_are_per_workload_not_cumulative() {
         chunk: 0,
         clients: None,
         threads: None,
+        ppr_block_width: None,
     };
     let first = service.workload(&request).unwrap();
     let second = service.workload(&request).unwrap();
@@ -203,6 +204,7 @@ fn randomwalk_compare_mode_does_not_spuriously_diverge() {
             chunk: 0,
             clients: None,
             threads: None,
+            ppr_block_width: None,
         })
         .expect("compare must agree bit for bit, not Diverged");
     assert!(report.speedup.is_some());
@@ -235,6 +237,7 @@ fn randomwalk_compare_mode_agrees_under_epsilon_pruning() {
             chunk: 0,
             clients: None,
             threads: None,
+            ppr_block_width: None,
         })
         .expect("sparse compare must agree bit for bit");
     assert!(report.speedup.is_some());
@@ -295,6 +298,7 @@ fn concurrent_workload_phase_verifies_parity_and_builds_weights_once() {
             chunk: 0,
             clients: Some(4),
             threads: None,
+            ppr_block_width: None,
         })
         .expect("concurrent responses must match sequential id for id");
     let concurrent = report.concurrent.expect("clients were requested");
@@ -327,6 +331,7 @@ fn single_client_concurrent_phase_works() {
             chunk: 0,
             clients: Some(1),
             threads: None,
+            ppr_block_width: None,
         })
         .unwrap();
     let concurrent = report.concurrent.expect("clients were requested");
@@ -381,6 +386,7 @@ fn threads_only_override_stays_on_shared_engine_and_cap_is_restored() {
             chunk: 0,
             clients: None,
             threads: Some(1),
+            ppr_block_width: None,
         })
         .unwrap();
     assert!(report.engine_secs.is_some());
@@ -389,4 +395,66 @@ fn threads_only_override_stays_on_shared_engine_and_cap_is_restored() {
         before,
         "workload cap must be restored after the workload"
     );
+}
+
+/// `ppr_block_width` is a pure performance knob at the service surface:
+/// a width-only override keeps a batch on the shared engine (its blocked
+/// prefill is visible in the shared counters), a workload-level width
+/// reaches the fresh benchmark engine, and blocked answers match an
+/// unblocked service's bit for bit.
+#[test]
+fn ppr_block_width_override_rides_the_shared_engine() {
+    use nck_api::QueryOverrides;
+
+    let randomwalk = |width: usize| {
+        let mut config = toy_config();
+        config.selector = SelectorMode::RandomWalk;
+        config.randomwalk.type_filter = TypeFilter::None;
+        config.randomwalk.ppr.parallel = false;
+        config.ppr_block_width = width;
+        config
+    };
+
+    let service = toy_service(randomwalk(1)); // blocking off by default
+    let seeds = ["Merkel", "Obama", "leader0", "leader1"];
+    let mut requests: Vec<QueryRequest> =
+        seeds.iter().map(|s| QueryRequest::entities([*s])).collect();
+    requests[0].overrides = Some(QueryOverrides {
+        ppr_block_width: Some(4),
+        ..QueryOverrides::default()
+    });
+    let blocked = service.batch(&requests).unwrap();
+    let stats = service.raw_stats();
+    assert_eq!(
+        (stats.ppr_block_runs, stats.ppr_lanes_filled),
+        (1, 4),
+        "the width override must reach the shared engine's batch path"
+    );
+    assert_eq!(
+        (stats.batches, stats.queries),
+        (1, 4),
+        "a width-only override must not fork a one-off pipeline"
+    );
+
+    // The same batch, unoverridden, on an unblocked service: identical.
+    let plain = toy_service(randomwalk(1))
+        .batch(&seeds.map(|s| QueryRequest::entities([s])))
+        .unwrap();
+    assert_eq!(blocked, plain, "blocking must be answer-invariant");
+
+    // A workload-level width reaches the fresh benchmark engine.
+    let report = service
+        .workload(&WorkloadRequest {
+            queries: seeds.iter().map(|s| QueryRequest::entities([*s])).collect(),
+            repeat: 1,
+            mode: WorkloadMode::Engine,
+            chunk: 0,
+            clients: None,
+            threads: None,
+            ppr_block_width: Some(2),
+        })
+        .unwrap();
+    let stats = report.engine_stats.unwrap();
+    assert_eq!(stats.ppr_block_runs, Some(2), "4 seeds in blocks of 2");
+    assert_eq!(stats.ppr_lanes_filled, Some(4));
 }

@@ -8,6 +8,11 @@
 //! scheduling + worker threads); `batched_32_warm` re-submits it to an
 //! already-warm engine (steady-state serving, all result-cache hits);
 //! `sequential_32` is the `FindNc::discover` loop the engine replaces.
+//!
+//! `rw_distinct32_per_seed` vs `rw_distinct32_block_cold` time a cold
+//! RandomWalk batch of 32 distinct seeds — all PPR-cache misses — with
+//! blocking off vs the default `ppr_block_width = 8`, after asserting
+//! the two engines answer identically.
 
 #![forbid(unsafe_code)]
 
@@ -85,6 +90,64 @@ fn bench_engine(c: &mut Criterion) {
         let engine = QueryEngine::new(graph, engine_config.clone()).unwrap();
         engine.run_batch(&queries).unwrap();
         b.iter(|| engine.run_batch(&queries).unwrap())
+    });
+
+    // Cold RandomWalk batch over 32 *distinct* seeds on the quarter-scale
+    // planted graph (the same graph and seeds as `BENCH_ppr.json`'s
+    // `per_seed_loop_32`/`block_cold_32` rows): every query is a
+    // PPR-cache miss, so the batch costs 32 graph sweeps for the
+    // per-seed loop (`ppr_block_width = 1`) vs ⌈32/8⌉ blocked sweeps at
+    // the default width. Scoring is held light (small context, no type
+    // filter) so the row measures the batch's PPR cost inside the full
+    // engine stack rather than label scoring. Responses must agree bit
+    // for bit before any timing — blocking is a performance knob, never
+    // an answer change.
+    let big = nck_bench::bench_dataset();
+    let rw_graph = &big.graph;
+    let rw_queries: Vec<Query> = big.domains[1].members[..32]
+        .iter()
+        .map(|&seed| Query::new(rw_graph, vec![seed]).expect("valid seed"))
+        .collect();
+    let rw_config = |width: usize| {
+        let mut config = EngineConfig {
+            selector: nck_engine::SelectorMode::RandomWalk,
+            ppr_block_width: width,
+            ..EngineConfig::default()
+        };
+        config.findnc.context_size = 10;
+        config.randomwalk.type_filter = TypeFilter::None;
+        config
+    };
+    {
+        let per_seed = QueryEngine::new(rw_graph, rw_config(1)).unwrap();
+        let blocked = QueryEngine::new(rw_graph, rw_config(8)).unwrap();
+        let want = per_seed.run_batch(&rw_queries).unwrap();
+        let got = blocked.run_batch(&rw_queries).unwrap();
+        for (i, (a, b)) in want.iter().zip(&got).enumerate() {
+            assert_eq!(
+                a.context.ranked(),
+                b.context.ranked(),
+                "blocked batch diverged from per-seed batch at query {i}"
+            );
+        }
+        let stats = blocked.stats();
+        assert_eq!(
+            (stats.ppr_block_runs, stats.ppr_lanes_filled),
+            (4, 32),
+            "the blocked engine must have answered via the block kernel"
+        );
+    }
+    group.bench_function("rw_distinct32_per_seed", |b| {
+        b.iter(|| {
+            let engine = QueryEngine::new(rw_graph, rw_config(1)).unwrap();
+            engine.run_batch(&rw_queries).unwrap()
+        })
+    });
+    group.bench_function("rw_distinct32_block_cold", |b| {
+        b.iter(|| {
+            let engine = QueryEngine::new(rw_graph, rw_config(8)).unwrap();
+            engine.run_batch(&rw_queries).unwrap()
+        })
     });
     group.finish();
 }

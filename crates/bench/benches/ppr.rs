@@ -9,13 +9,17 @@
 //! ε = 0 frontier path, which must match `dense_cold` bit for bit — the
 //! bench asserts that parity up front, so a CI smoke run
 //! (`--samples 1`) fails loudly if the sparse path regresses.
+//!
+//! `per_seed_loop_{8,32}` vs `block_cold_{8,32}` measure the blocked
+//! multi-seed kernel against the per-seed loop it amortizes, with
+//! every lane asserted bit-identical to its solo run before timing.
 
 #![forbid(unsafe_code)]
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nck_bench::bench_dataset;
 use nck_core::config::PprConfig;
-use nck_core::ppr::{PersonalizedPageRank, PprWorkspace};
+use nck_core::ppr::{BlockPprWorkspace, PersonalizedPageRank, PprWorkspace};
 use nck_graph::NodeId;
 
 /// ε for the pruned sparse benches: small enough to keep rankings
@@ -106,6 +110,42 @@ fn bench_ppr(c: &mut Criterion) {
     let sources: Vec<NodeId> = d.domains[1].members[..5].to_vec();
     let ppr = PersonalizedPageRank::new(g, PprConfig::default()).unwrap();
     group.bench_function("multi_source_5", |b| b.iter(|| ppr.run(&sources)));
+
+    // Distinct-seed batch: the blocked kernel (`run_block`, one graph
+    // sweep per iteration shared by all lanes) vs the per-seed loop it
+    // replaces. Parity is asserted before any timing: every lane must be
+    // its solo `frontier_outcome` run bit for bit, so a CI smoke run
+    // fails loudly if blocking ever drifts from the single-seed path.
+    let batch: Vec<NodeId> = d.domains[1].members[..32].to_vec();
+    {
+        let blocked = exact.run_block(&batch, &mut BlockPprWorkspace::new());
+        let mut ws = PprWorkspace::new();
+        for (lane, &seed) in batch.iter().enumerate() {
+            let solo = exact.frontier_outcome(&[seed], &mut ws);
+            for i in 0..g.num_nodes() {
+                let node = NodeId::from_index(i);
+                assert_eq!(
+                    blocked[lane].scores.get(node).to_bits(),
+                    solo.scores.get(node).to_bits(),
+                    "blocked lane {lane} diverged from its solo run at node {i}"
+                );
+            }
+        }
+    }
+    for width in [8usize, 32] {
+        let seeds = &batch[..width];
+        group.bench_function(format!("per_seed_loop_{width}"), |b| {
+            let mut ws = PprWorkspace::new();
+            b.iter(|| {
+                for &s in seeds {
+                    exact.frontier_outcome(&[s], &mut ws);
+                }
+            })
+        });
+        group.bench_function(format!("block_cold_{width}"), |b| {
+            b.iter(|| exact.run_block(seeds, &mut BlockPprWorkspace::new()))
+        });
+    }
     group.finish();
 }
 

@@ -45,7 +45,7 @@ use nck_core::context_rw::ContextRw;
 use nck_core::error::CoreError;
 use nck_core::findnc::{FindNc, SearchResult};
 use nck_core::parallel;
-use nck_core::ppr::{EdgeWeights, PersonalizedPageRank, PprWorkspace};
+use nck_core::ppr::{BlockPprWorkspace, EdgeWeights, PersonalizedPageRank, PprWorkspace};
 use nck_core::query::Query;
 use nck_core::score::ScoreVec;
 use nck_graph::{EdgeLabelId, GraphAccess, NodeId};
@@ -110,6 +110,14 @@ pub struct EngineConfig {
     /// Execute batch groups across worker threads (results are identical
     /// either way; see the [module docs](self)).
     pub parallel: bool,
+    /// Seed-lane width of the blocked multi-seed PPR kernel
+    /// ([`nck_core::ppr::PersonalizedPageRank::run_block`]) that
+    /// [`QueryEngine::run_batch`] runs a batch's distinct seed-cache
+    /// misses through before group execution (RandomWalk mode only).
+    /// `0` or `1` disables blocking — every miss then runs solo inside
+    /// its query. Purely a performance knob: every lane is bit-identical
+    /// to its solo run, so results do not depend on the width.
+    pub ppr_block_width: usize,
     /// Fault the per-predicate runs of a batch's seed-incident labels
     /// into the backend's cache before executing
     /// ([`GraphAccess::warm_predicate`]; a no-op on the CSR backend).
@@ -130,6 +138,7 @@ impl Default for EngineConfig {
             threads: None,
             parallel: true,
             warm_predicates: true,
+            ppr_block_width: 8,
         }
     }
 }
@@ -160,6 +169,15 @@ pub struct EngineStats {
     /// Per-seed PageRank computations coalesced onto a concurrent
     /// caller's.
     pub ppr_coalesced: u64,
+    /// Blocked multi-seed PPR kernel invocations
+    /// ([`QueryEngine::run_batch`]'s distinct-miss prefill; one run
+    /// covers up to `ppr_block_width` seeds).
+    pub ppr_block_runs: u64,
+    /// Seed vectors computed by blocked runs and inserted into the PPR
+    /// cache. Blocked fills bypass the per-seed miss path, so this —
+    /// not `ppr.misses` — accounts for their computations; the filled
+    /// seeds then surface as `ppr.hits` when their groups execute.
+    pub ppr_lanes_filled: u64,
     /// PPR vector cache counters.
     pub ppr: CacheStats,
     /// Context cache counters.
@@ -206,6 +224,51 @@ pub struct QueryEngine<G: GraphAccess + Sync> {
     executed_groups: AtomicU64,
     deduplicated: AtomicU64,
     weight_builds: AtomicU64,
+    ppr_block_runs: AtomicU64,
+    ppr_lanes_filled: AtomicU64,
+    ppr_workspaces: WorkspacePool,
+}
+
+/// A pool of PageRank scratch workspaces, checked out around each
+/// computation and returned afterwards, so repeated queries and block
+/// fills allocate nothing in steady state (previously every query — and
+/// every single-flight leader inside it — allocated fresh scratch).
+///
+/// Both pool mutexes are **leaves** of the engine's lock hierarchy:
+/// each checkout/putback locks, pops or pushes, and releases before any
+/// computation or cache/flight call — a guard is never held across
+/// another acquisition (`nck-lint`'s lock-order rule classes them as
+/// `ppr_workspace_pool` and would flag any nesting).
+#[derive(Debug, Default)]
+struct WorkspacePool {
+    solo: std::sync::Mutex<Vec<PprWorkspace>>,
+    block: std::sync::Mutex<Vec<BlockPprWorkspace>>,
+}
+
+impl WorkspacePool {
+    fn checkout_solo(&self) -> PprWorkspace {
+        self.solo
+            .lock()
+            .expect("workspace pool lock")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn put_solo(&self, ws: PprWorkspace) {
+        self.solo.lock().expect("workspace pool lock").push(ws);
+    }
+
+    fn checkout_block(&self) -> BlockPprWorkspace {
+        self.block
+            .lock()
+            .expect("workspace pool lock")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn put_block(&self, ws: BlockPprWorkspace) {
+        self.block.lock().expect("workspace pool lock").push(ws);
+    }
 }
 
 impl<G: GraphAccess + Sync> QueryEngine<G> {
@@ -254,6 +317,9 @@ impl<G: GraphAccess + Sync> QueryEngine<G> {
             executed_groups: AtomicU64::new(0),
             deduplicated: AtomicU64::new(0),
             weight_builds,
+            ppr_block_runs: AtomicU64::new(0),
+            ppr_lanes_filled: AtomicU64::new(0),
+            ppr_workspaces: WorkspacePool::default(),
             config,
         })
     }
@@ -349,15 +415,16 @@ impl<G: GraphAccess + Sync> QueryEngine<G> {
     fn randomwalk_context(&self, query: &Query) -> Result<Context, CoreError> {
         let ppr = self.ppr.as_ref().expect("built in RandomWalk mode");
         let mut acc = ScoreVec::zeros(self.graph.num_nodes());
-        // One workspace per query, shared by every cache miss below —
-        // with ε > 0, all seeds after the first compute allocation-free
-        // (at ε = 0 the dense executor runs and allocates per seed,
-        // exactly as the pre-sparse engine did).
-        let mut ws = PprWorkspace::new();
+        // One pooled workspace per query, shared by every cache miss
+        // below — with ε > 0, all seeds compute allocation-free in
+        // steady state (at ε = 0 the dense executor runs and allocates
+        // per seed, exactly as the pre-sparse engine did).
+        let mut ws = self.ppr_workspaces.checkout_solo();
         for &seed in query.nodes() {
             let v = self.ppr_vector(seed, ppr, &mut ws);
             acc.add_assign(&v);
         }
+        self.ppr_workspaces.put_solo(ws);
         let filter = CandidateFilter::new(&self.graph, query, self.config.randomwalk.type_filter);
         top_k_context(
             &self.graph,
@@ -408,11 +475,27 @@ impl<G: GraphAccess + Sync> QueryEngine<G> {
     }
 
     /// Executes a batch: plans it (dedup + seed clustering), warms the
-    /// backend's predicate runs, runs the distinct groups across worker
-    /// threads, and fans results back out to input order. `results[i]`
-    /// answers `queries[i]`; the first failing group (in plan order)
-    /// aborts the batch with its error.
+    /// backend's predicate runs, prefills the PPR cache through the
+    /// blocked multi-seed kernel (RandomWalk mode, see
+    /// [`EngineConfig::ppr_block_width`]), runs the distinct groups
+    /// across worker threads, and fans results back out to input order.
+    /// `results[i]` answers `queries[i]`; the first failing group (in
+    /// plan order) aborts the batch with its error.
     pub fn run_batch(&self, queries: &[Query]) -> Result<Vec<Arc<SearchResult>>, CoreError> {
+        self.run_batch_with_block_width(queries, None)
+    }
+
+    /// [`run_batch`](Self::run_batch) with a per-call override of the
+    /// blocked-kernel lane width (`None` uses
+    /// [`EngineConfig::ppr_block_width`]). A pure performance knob —
+    /// lanes are bit-identical to solo runs — so the service layer can
+    /// honor per-request widths against the shared engine without
+    /// forking it.
+    pub fn run_batch_with_block_width(
+        &self,
+        queries: &[Query],
+        block_width: Option<usize>,
+    ) -> Result<Vec<Arc<SearchResult>>, CoreError> {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.queries
             .fetch_add(queries.len() as u64, Ordering::Relaxed);
@@ -421,6 +504,10 @@ impl<G: GraphAccess + Sync> QueryEngine<G> {
             .fetch_add(plan.deduplicated() as u64, Ordering::Relaxed);
         if self.config.warm_predicates {
             self.warm_batch_predicates(&plan, queries);
+        }
+        let width = block_width.unwrap_or(self.config.ppr_block_width);
+        if width > 1 {
+            self.prefill_ppr_blocks(&plan, queries, width);
         }
         let groups = &plan.groups;
         // Chunk order is preserved by the fold, so per-group results come
@@ -478,6 +565,72 @@ impl<G: GraphAccess + Sync> QueryEngine<G> {
         Ok(out)
     }
 
+    /// Gathers the batch's **distinct seed-cache misses** into blocks of
+    /// `width` lanes, runs the blocked multi-seed kernel once per block
+    /// (whole blocks fan across workers), and fills the seed-keyed PPR
+    /// cache with the per-lane `Arc<ScoreVec>`s — so when the groups
+    /// execute, their `ppr_vector` calls hit instead of sweeping the
+    /// graph once per seed. A no-op outside RandomWalk mode.
+    ///
+    /// Every lane is bit-identical to the solo run the miss path would
+    /// have performed (the kernel's contract), so prefilled answers are
+    /// indistinguishable from per-seed ones — a racing `ppr_vector`
+    /// leader between our probe and insert merely duplicates exact work,
+    /// the same argument the single-flight layer already makes. The
+    /// cache probe uses `peek` (uncounted): prefilled seeds surface as
+    /// ordinary hits later, and `ppr_lanes_filled` accounts the blocked
+    /// computations.
+    fn prefill_ppr_blocks(&self, plan: &schedule::BatchPlan, queries: &[Query], width: usize) {
+        let Some(ppr) = self.ppr.as_ref() else { return };
+        let mut seeds: BTreeSet<NodeId> = BTreeSet::new();
+        for group in &plan.groups {
+            seeds.extend(queries[group.representative].nodes());
+        }
+        let misses: Vec<NodeId> = seeds
+            .into_iter()
+            .filter(|s| self.ppr_cache.peek(s).is_none())
+            .collect();
+        if misses.len() < 2 {
+            // Nothing to amortize: a lone miss runs solo in its group.
+            return;
+        }
+        let blocks: Vec<&[NodeId]> = misses.chunks(width).collect();
+        let filled: Vec<(NodeId, Arc<ScoreVec>)> = parallel::map_chunks(
+            blocks.len(),
+            self.config.parallel && blocks.len() > 1,
+            |_chunk, range| {
+                // One pooled workspace per chunk, reused across its
+                // blocks; returned before the fold.
+                let mut ws = self.ppr_workspaces.checkout_block();
+                let mut out: Vec<(NodeId, Arc<ScoreVec>)> = Vec::new();
+                for bi in range {
+                    let lanes = ppr.run_block(blocks[bi], &mut ws);
+                    out.extend(
+                        blocks[bi]
+                            .iter()
+                            .copied()
+                            .zip(lanes.into_iter().map(|o| Arc::new(o.scores))),
+                    );
+                }
+                self.ppr_workspaces.put_block(ws);
+                out
+            },
+            Vec::new(),
+            |mut acc, part| {
+                acc.extend(part);
+                acc
+            },
+        );
+        self.ppr_block_runs
+            .fetch_add(blocks.len() as u64, Ordering::Relaxed);
+        self.ppr_lanes_filled
+            .fetch_add(filled.len() as u64, Ordering::Relaxed);
+        for (seed, v) in filled {
+            let cost = v.approx_bytes();
+            self.ppr_cache.insert_with_cost(seed, v, cost);
+        }
+    }
+
     /// Faults the per-predicate runs of every label incident to the
     /// batch's seed nodes into the backend's cache (the engine-side half
     /// of the cache shared with `StoreGraph`'s lazy run cache; a no-op on
@@ -525,6 +678,8 @@ impl<G: GraphAccess + Sync> QueryEngine<G> {
             result_coalesced: self.result_flight.coalesced(),
             context_coalesced: self.context_flight.coalesced(),
             ppr_coalesced: self.ppr_flight.coalesced(),
+            ppr_block_runs: self.ppr_block_runs.load(Ordering::Relaxed),
+            ppr_lanes_filled: self.ppr_lanes_filled.load(Ordering::Relaxed),
             ppr: self.ppr_cache.stats(),
             context: self.context_cache.stats(),
             result: self.result_cache.stats(),
@@ -737,6 +892,117 @@ mod tests {
             stats.ppr.bytes,
             dense_estimate
         );
+    }
+
+    /// A RandomWalk batch served through the blocked kernel must be
+    /// id-for-id and bit-for-bit identical to the per-seed loop, with
+    /// the block counters accounting for every distinct seed.
+    #[test]
+    fn blocked_batch_matches_per_seed_batch_bit_for_bit() {
+        use nck_core::config::PprConfig;
+        let g = leaders();
+        let rw = RandomWalkConfig {
+            ppr: PprConfig {
+                damping: 0.2,
+                iterations: 10,
+                parallel: false,
+                epsilon: 0.0,
+            },
+            type_filter: TypeFilter::None,
+        };
+        let base = EngineConfig {
+            selector: SelectorMode::RandomWalk,
+            randomwalk: rw,
+            ..fast_config()
+        };
+        // 8 groups × 2 seeds, all 16 seeds distinct.
+        let queries: Vec<Query> = (0..8)
+            .map(|i| {
+                Query::by_names(&g, [format!("leader{i}"), format!("leader{}", i + 8)]).unwrap()
+            })
+            .collect();
+        let per_seed = QueryEngine::new(
+            &g,
+            EngineConfig {
+                ppr_block_width: 1,
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        let blocked = QueryEngine::new(
+            &g,
+            EngineConfig {
+                ppr_block_width: 4,
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        let a = per_seed.run_batch(&queries).unwrap();
+        let b = blocked.run_batch(&queries).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.context.ranked(), y.context.ranked(), "contexts agree");
+            assert_eq!(x.characteristics.len(), y.characteristics.len());
+            for (cx, cy) in x.characteristics.iter().zip(&y.characteristics) {
+                assert_eq!((cx.label, cx.score), (cy.label, cy.score));
+            }
+        }
+        let s = blocked.stats();
+        assert_eq!(s.ppr_lanes_filled, 16, "every distinct seed block-filled");
+        assert_eq!(s.ppr_block_runs, 4, "16 seeds in width-4 blocks");
+        assert_eq!(s.ppr.misses, 0, "group execution hits the prefill");
+        assert!(s.ppr.hits >= 16);
+        let s1 = per_seed.stats();
+        assert_eq!(s1.ppr_block_runs, 0, "width 1 never blocks");
+        assert_eq!(s1.ppr_lanes_filled, 0);
+        assert_eq!(s1.ppr.misses, 16, "per-seed loop misses each seed");
+        // A warm repeat prefills nothing: every seed peeks as cached.
+        blocked.run_batch(&queries).unwrap();
+        assert_eq!(blocked.stats().ppr_lanes_filled, 16);
+    }
+
+    /// The per-call width override beats the engine's configured width
+    /// in both directions.
+    #[test]
+    fn per_call_block_width_override_wins() {
+        use nck_core::config::PprConfig;
+        let g = leaders();
+        let cfg = EngineConfig {
+            selector: SelectorMode::RandomWalk,
+            randomwalk: RandomWalkConfig {
+                ppr: PprConfig {
+                    damping: 0.2,
+                    iterations: 10,
+                    parallel: false,
+                    epsilon: 0.0,
+                },
+                type_filter: TypeFilter::None,
+            },
+            ppr_block_width: 8,
+            ..fast_config()
+        };
+        let queries: Vec<Query> = (0..4)
+            .map(|i| {
+                Query::by_names(&g, [format!("leader{i}"), format!("leader{}", i + 4)]).unwrap()
+            })
+            .collect();
+        let engine = QueryEngine::new(&g, cfg.clone()).unwrap();
+        engine
+            .run_batch_with_block_width(&queries, Some(1))
+            .unwrap();
+        assert_eq!(engine.stats().ppr_block_runs, 0, "override disables");
+        let engine = QueryEngine::new(
+            &g,
+            EngineConfig {
+                ppr_block_width: 1,
+                ..cfg
+            },
+        )
+        .unwrap();
+        engine
+            .run_batch_with_block_width(&queries, Some(4))
+            .unwrap();
+        assert_eq!(engine.stats().ppr_block_runs, 2, "override enables");
+        assert_eq!(engine.stats().ppr_lanes_filled, 8);
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub fn engine(env: &EvalEnv) -> Report {
             chunk: 0,
             clients: None,
             threads: None,
+            ppr_block_width: None,
         })
         .expect("compare workload verifies identical rankings");
 
@@ -143,6 +144,7 @@ pub fn engine(env: &EvalEnv) -> Report {
                 chunk: 0,
                 clients: None,
                 threads: None,
+                ppr_block_width: None,
             })
             .expect("randomwalk workload runs")
     };
@@ -214,6 +216,7 @@ pub fn engine(env: &EvalEnv) -> Report {
                 chunk: 0,
                 clients: Some(clients),
                 threads: None,
+                ppr_block_width: None,
             })
             .expect("concurrent workload verifies identical rankings");
         let c = report.concurrent.expect("clients were requested");

@@ -134,6 +134,11 @@ impl LintConfig {
                 // Per-connection writer mutex (innermost: held only for
                 // the duration of one frame write).
                 LockClassSpec::mutex("serve/src/server.rs", Some("writer"), "conn_writer"),
+                // The engine's PPR workspace pool (solo and blocked
+                // scratch): leaf mutexes, locked only for a pop or push
+                // and never held across another acquisition.
+                LockClassSpec::mutex("engine/src/engine.rs", Some("solo"), "ppr_workspace_pool"),
+                LockClassSpec::mutex("engine/src/engine.rs", Some("block"), "ppr_workspace_pool"),
             ],
             lock_hierarchy: vec![
                 s("sharded_lru_stripe"),
@@ -141,6 +146,7 @@ impl LintConfig {
                 s("single_flight_slot"),
                 s("admission_queue"),
                 s("conn_writer"),
+                s("ppr_workspace_pool"),
             ],
             wire_files: vec![s("crates/api/src/"), s("crates/serve/src/wire.rs")],
             golden_path: s("crates/lint/wire_schema.golden"),

@@ -224,6 +224,53 @@ fn deleting_a_field_from_the_real_wire_request_fails_the_pin() {
     std::fs::remove_dir_all(&scratch).ok();
 }
 
+/// Growing the wire surface is gated exactly like shrinking it: a new
+/// field added to the real `QueryOverrides` without re-pinning the
+/// golden must fail the clean-tree gate (this is the rule that forces
+/// fields like `ppr_block_width` through a reviewed `--bless`).
+#[test]
+fn adding_an_unpinned_field_to_query_overrides_fails_the_pin() {
+    let root = repo_root();
+    let real_types = std::fs::read_to_string(root.join("crates/api/src/types.rs")).unwrap();
+    let anchor = "    pub ppr_block_width: Option<usize>,";
+    assert!(real_types.contains(anchor), "anchor field must exist");
+    let mutated = real_types.replace(
+        anchor,
+        "    pub ppr_block_width: Option<usize>,\n    pub lane_stride: Option<usize>,",
+    );
+    assert_ne!(mutated, real_types);
+
+    // A scratch tree holding only the mutated types.rs plus the real
+    // (now stale) golden file.
+    let scratch = std::env::temp_dir().join("nck_lint_selftest_addedfield");
+    let api_dir = scratch.join("crates/api/src");
+    std::fs::create_dir_all(&api_dir).unwrap();
+    std::fs::write(api_dir.join("types.rs"), mutated).unwrap();
+    std::fs::copy(
+        root.join("crates/lint/wire_schema.golden"),
+        scratch.join("wire_schema.golden"),
+    )
+    .unwrap();
+
+    let mut cfg = LintConfig::for_workspace(&scratch);
+    cfg.wire_files = vec!["crates/api/src/types.rs".to_owned()];
+    cfg.golden_path = "wire_schema.golden".to_owned();
+    let report = nck_lint::run(&cfg, &["wire-schema".to_owned()], false).unwrap();
+    let hit = report.diagnostics.iter().find(|d| {
+        d.rule == "wire-schema"
+            && d.file == "crates/api/src/types.rs"
+            && d.message.contains("QueryOverrides")
+            && d.message.contains("lane_stride")
+    });
+    assert!(
+        hit.is_some(),
+        "an unpinned added field must produce a QueryOverrides drift: {:?}",
+        report.diagnostics
+    );
+    assert!(hit.unwrap().line > 0, "diagnostic carries a real span");
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
 /// The real tree is clean — the same gate CI runs.
 #[test]
 fn the_workspace_itself_is_clean() {

@@ -71,6 +71,9 @@ query/batch options:
   --top N                   characteristics to print per query (default: 10)
   --threads N               cap worker threads (default: derive from the
                             machine; results are identical under any cap)
+  --ppr-block-width N       seeds per blocked-PPR lane block in randomwalk
+                            batches (default: 8; 0 or 1 disables blocking;
+                            results are identical at any width)
   --json                    emit JSON instead of tables
   --no-parallel             single-threaded execution
 
@@ -115,6 +118,9 @@ struct RunOpts {
     epsilon: f64,
     top: usize,
     threads: Option<usize>,
+    /// `Some` only when `--ppr-block-width` was given; the engine default
+    /// applies otherwise.
+    ppr_block_width: Option<usize>,
     json: bool,
     parallel: bool,
 }
@@ -132,6 +138,7 @@ impl Default for RunOpts {
             epsilon: 0.0,
             top: 10,
             threads: None,
+            ppr_block_width: None,
             json: false,
             parallel: true,
         }
@@ -264,6 +271,9 @@ fn parse_run_opts(args: &mut Vec<String>) -> Result<RunOpts, String> {
         }
         o.threads = Some(threads);
     }
+    if let Some(v) = take_flag(args, "--ppr-block-width")? {
+        o.ppr_block_width = Some(parse_num(&v, "--ppr-block-width")?);
+    }
     o.json = take_switch(args, "--json");
     o.parallel = !take_switch(args, "--no-parallel");
     Ok(o)
@@ -289,6 +299,9 @@ fn engine_config(o: &RunOpts) -> EngineConfig {
     };
     cfg.parallel = o.parallel;
     cfg.threads = o.threads;
+    if let Some(width) = o.ppr_block_width {
+        cfg.ppr_block_width = width;
+    }
     cfg
 }
 
@@ -558,6 +571,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             chunk,
             clients,
             threads: opts.threads,
+            ppr_block_width: opts.ppr_block_width,
         };
         let report = service.workload(&request).map_err(|e| e.to_string())?;
         if opts.json {
