@@ -539,6 +539,12 @@ impl NckService {
             // at any width (pinned by the engine's block-parity tests).
             phase_config.ppr_block_width = width;
         }
+        if let Some(on) = request.score_sweep {
+            // Same story for the scoring path: the sweep and the
+            // per-label loop answer bit-identically (pinned by the
+            // score-sweep parity suite), so this only moves timings.
+            phase_config.findnc.score_sweep = on;
+        }
 
         if request.mode == WorkloadMode::Compare {
             // Level the substrate between the two timed phases: fault
@@ -782,6 +788,13 @@ impl NckService {
         }
         if let Some(epsilon) = overrides.epsilon {
             config.randomwalk.ppr.epsilon = epsilon;
+        }
+        if let Some(on) = overrides.score_sweep {
+            // Honored when it rides along with a pipeline override (this
+            // one-off run builds its own FindNc); a sweep-only override
+            // is a `pipeline_noop` that stays on the shared engine —
+            // correct either way, since both paths answer bit-identically.
+            config.findnc.score_sweep = on;
         }
         // `overrides.threads` is applied by the calling entry point
         // (query/batch/stream) as a call-scoped cap, not here: it is a

@@ -109,6 +109,13 @@ pub struct QueryOverrides {
     /// where distinct seed misses exist to amortize.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub ppr_block_width: Option<usize>,
+    /// Whether label scoring runs through the node-major sweep (see
+    /// `FindNcConfig::score_sweep` in `nck-core`); `None` keeps the
+    /// engine configuration's setting (on by default). Like `threads`
+    /// this is purely a performance knob — rankings are bit-for-bit
+    /// identical either way — so it rides the shared engine.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub score_sweep: Option<bool>,
 }
 
 impl QueryOverrides {
@@ -122,13 +129,15 @@ impl QueryOverrides {
     }
 
     /// Whether the overrides leave the *pipeline* untouched — only pure
-    /// performance knobs (`threads`, `ppr_block_width`) set, or nothing
-    /// at all. Such requests run on the shared engine and its caches;
-    /// only pipeline overrides fork a one-off uncached run.
+    /// performance knobs (`threads`, `ppr_block_width`, `score_sweep`)
+    /// set, or nothing at all. Such requests run on the shared engine
+    /// and its caches; only pipeline overrides fork a one-off uncached
+    /// run.
     pub fn pipeline_noop(&self) -> bool {
         Self {
             threads: None,
             ppr_block_width: None,
+            score_sweep: None,
             ..*self
         } == Self::default()
     }
@@ -235,6 +244,13 @@ pub struct WorkloadRequest {
     /// identical under any width.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub ppr_block_width: Option<usize>,
+    /// Whether label scoring runs through the node-major sweep for this
+    /// workload's phases (see `FindNcConfig::score_sweep` in `nck-core`);
+    /// `None` keeps the service engine configuration's setting (on by
+    /// default). Purely a performance knob — rankings are bit-for-bit
+    /// identical either way, so results are identical on both paths.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub score_sweep: Option<bool>,
 }
 
 impl WorkloadRequest {
@@ -249,6 +265,7 @@ impl WorkloadRequest {
             clients: None,
             threads: None,
             ppr_block_width: None,
+            score_sweep: None,
         }
     }
 }
@@ -301,6 +318,15 @@ pub struct EngineStatsReport {
     /// cache (blocked fills bypass the per-seed miss counters).
     #[serde(skip_serializing_if = "Option::is_none")]
     pub ppr_lanes_filled: Option<u64>,
+    /// Node-major scoring sweeps executed (one per cold query scored
+    /// through the sweep path; cached results never re-sweep). Optional
+    /// on the wire so payloads from pre-sweep schemas still parse.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub label_sweeps: Option<u64>,
+    /// Labels scored across executed (non-cached) queries, whichever
+    /// scoring path ran.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub labels_scored: Option<u64>,
     /// Lock stripes per engine cache (the result cache's count; caches
     /// with tiny entry budgets clamp lower so their bounds stay strict).
     #[serde(skip_serializing_if = "Option::is_none")]
@@ -338,6 +364,8 @@ impl From<EngineStats> for EngineStatsReport {
             ppr_coalesced: Some(s.ppr_coalesced),
             ppr_block_runs: Some(s.ppr_block_runs),
             ppr_lanes_filled: Some(s.ppr_lanes_filled),
+            label_sweeps: Some(s.label_sweeps),
+            labels_scored: Some(s.labels_scored),
             cache_shards: Some(s.result.shards as u64),
             graph_bytes: None,
             result_cache: s.result,
@@ -444,6 +472,8 @@ mod tests {
             ppr_coalesced: None,
             ppr_block_runs: None,
             ppr_lanes_filled: None,
+            label_sweeps: None,
+            labels_scored: None,
             cache_shards: None,
             graph_bytes: None,
             result_cache: CacheStats {
@@ -482,6 +512,8 @@ mod tests {
             ppr_coalesced: Some(5),
             ppr_block_runs: Some(2),
             ppr_lanes_filled: Some(12),
+            label_sweeps: Some(4),
+            labels_scored: Some(40),
             cache_shards: Some(8),
             graph_bytes: Some(123_456),
             result_cache: CacheStats::default(),
@@ -493,6 +525,8 @@ mod tests {
         assert!(text.contains(r#""cache_shards":8"#), "{text}");
         assert!(text.contains(r#""ppr_block_runs":2"#), "{text}");
         assert!(text.contains(r#""ppr_lanes_filled":12"#), "{text}");
+        assert!(text.contains(r#""label_sweeps":4"#), "{text}");
+        assert!(text.contains(r#""labels_scored":40"#), "{text}");
         let back: EngineStatsReport = serde::json::from_str(&text).unwrap();
         assert_eq!(back, report, "coalesced/shard counters round-trip");
     }
@@ -508,6 +542,8 @@ mod tests {
         assert_eq!(back.cache_shards, None);
         assert_eq!(back.ppr_block_runs, None);
         assert_eq!(back.ppr_lanes_filled, None);
+        assert_eq!(back.label_sweeps, None);
+        assert_eq!(back.labels_scored, None);
         assert_eq!(back.submitted, 8);
     }
 
@@ -542,5 +578,35 @@ mod tests {
         assert!(text.contains(r#""ppr_block_width":8"#), "{text}");
         let back: WorkloadRequest = serde::json::from_str(&text).unwrap();
         assert_eq!(back, w);
+    }
+
+    /// `score_sweep` mirrors the other performance knobs: absent from
+    /// serialized defaults, round-tripping when set, and never forcing a
+    /// request off the shared engine (both paths answer bit-identically).
+    #[test]
+    fn score_sweep_is_a_pipeline_noop_override() {
+        let o = QueryOverrides {
+            score_sweep: Some(false),
+            ..QueryOverrides::default()
+        };
+        assert!(!o.is_noop(), "a set sweep knob is not a no-op");
+        assert!(o.pipeline_noop(), "…but leaves the pipeline untouched");
+
+        let mut w = WorkloadRequest::new(vec![QueryRequest::entities(["A"])]);
+        let text = serde::json::to_string(&w);
+        assert!(!text.contains("score_sweep"), "{text}");
+        w.score_sweep = Some(false);
+        let text = serde::json::to_string(&w);
+        assert!(text.contains(r#""score_sweep":false"#), "{text}");
+        let back: WorkloadRequest = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn legacy_workload_request_without_score_sweep_still_parses() {
+        let legacy = r#"{"queries":[{"entities":["A"]}],"repeat":1,"mode":"Engine","chunk":0,"ppr_block_width":8}"#;
+        let back: WorkloadRequest = serde::json::from_str(legacy).unwrap();
+        assert_eq!(back.score_sweep, None);
+        assert_eq!(back.ppr_block_width, Some(8));
     }
 }

@@ -43,6 +43,7 @@ fn query_request_round_trips() {
             epsilon: Some(1e-5),
             threads: Some(4),
             ppr_block_width: Some(16),
+            score_sweep: Some(false),
         }),
     };
     assert_eq!(roundtrip(&full), full);
@@ -101,6 +102,7 @@ fn workload_request_and_report_round_trip() {
         clients: None,
         threads: None,
         ppr_block_width: None,
+        score_sweep: None,
     };
     assert_eq!(roundtrip(&request), request);
     // The concurrency fields stay off the wire until set…
@@ -112,6 +114,7 @@ fn workload_request_and_report_round_trip() {
         clients: Some(8),
         threads: Some(2),
         ppr_block_width: None,
+        score_sweep: None,
         ..request
     };
     assert_eq!(roundtrip(&concurrent), concurrent);
@@ -157,6 +160,7 @@ fn service_emitted_payloads_round_trip() {
             clients: Some(2),
             threads: None,
             ppr_block_width: None,
+            score_sweep: None,
         })
         .unwrap();
     let back: WorkloadReport = roundtrip(&report);

@@ -56,6 +56,7 @@ fn workload_stats_are_per_workload_not_cumulative() {
         clients: None,
         threads: None,
         ppr_block_width: None,
+        score_sweep: None,
     };
     let first = service.workload(&request).unwrap();
     let second = service.workload(&request).unwrap();
@@ -205,6 +206,7 @@ fn randomwalk_compare_mode_does_not_spuriously_diverge() {
             clients: None,
             threads: None,
             ppr_block_width: None,
+            score_sweep: None,
         })
         .expect("compare must agree bit for bit, not Diverged");
     assert!(report.speedup.is_some());
@@ -238,6 +240,7 @@ fn randomwalk_compare_mode_agrees_under_epsilon_pruning() {
             clients: None,
             threads: None,
             ppr_block_width: None,
+            score_sweep: None,
         })
         .expect("sparse compare must agree bit for bit");
     assert!(report.speedup.is_some());
@@ -299,6 +302,7 @@ fn concurrent_workload_phase_verifies_parity_and_builds_weights_once() {
             clients: Some(4),
             threads: None,
             ppr_block_width: None,
+            score_sweep: None,
         })
         .expect("concurrent responses must match sequential id for id");
     let concurrent = report.concurrent.expect("clients were requested");
@@ -332,6 +336,7 @@ fn single_client_concurrent_phase_works() {
             clients: Some(1),
             threads: None,
             ppr_block_width: None,
+            score_sweep: None,
         })
         .unwrap();
     let concurrent = report.concurrent.expect("clients were requested");
@@ -387,6 +392,7 @@ fn threads_only_override_stays_on_shared_engine_and_cap_is_restored() {
             clients: None,
             threads: Some(1),
             ppr_block_width: None,
+            score_sweep: None,
         })
         .unwrap();
     assert!(report.engine_secs.is_some());
@@ -452,9 +458,55 @@ fn ppr_block_width_override_rides_the_shared_engine() {
             clients: None,
             threads: None,
             ppr_block_width: Some(2),
+            score_sweep: None,
         })
         .unwrap();
     let stats = report.engine_stats.unwrap();
     assert_eq!(stats.ppr_block_runs, Some(2), "4 seeds in blocks of 2");
     assert_eq!(stats.ppr_lanes_filled, Some(4));
+}
+
+/// `score_sweep` is likewise a pure performance knob at the service
+/// surface: a workload-level setting reaches the fresh benchmark engine
+/// (visible in its sweep counters), and the sweep and per-label paths
+/// answer bit for bit identically.
+#[test]
+fn score_sweep_workload_knob_reaches_benchmark_engine() {
+    let service = toy_service(toy_config());
+    let run = |sweep: Option<bool>| {
+        service
+            .workload(&WorkloadRequest {
+                queries: vec![QueryRequest::entities(["Merkel", "Obama"])],
+                repeat: 1,
+                mode: WorkloadMode::Engine,
+                chunk: 0,
+                clients: None,
+                threads: None,
+                ppr_block_width: None,
+                score_sweep: sweep,
+            })
+            .unwrap()
+    };
+    let swept = run(None); // engine default: sweep on
+    let swept_stats = swept.engine_stats.unwrap();
+    assert_eq!(swept_stats.label_sweeps, Some(1), "one cold swept query");
+    let scored = swept_stats.labels_scored.unwrap();
+    assert!(scored > 0, "some labels were scored");
+
+    let legacy = run(Some(false));
+    let legacy_stats = legacy.engine_stats.unwrap();
+    assert_eq!(
+        legacy_stats.label_sweeps,
+        Some(0),
+        "the knob must reach the fresh engine"
+    );
+    assert_eq!(
+        legacy_stats.labels_scored,
+        Some(scored),
+        "both paths score the same labels"
+    );
+    assert_eq!(
+        swept.results, legacy.results,
+        "sweep and per-label scoring answer identically"
+    );
 }

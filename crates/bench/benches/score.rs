@@ -1,0 +1,177 @@
+//! Per-label-loop vs node-major-sweep label scoring — the single-sweep
+//! rewrite `nck_core::sweep` exists for.
+//!
+//! The workload is 32 queries over distinct planted seeds (the same
+//! quarter-scale graph and seed block as `BENCH_ppr.json` /
+//! `BENCH_engine.json`'s `rw_distinct32_*` rows), each scored against a
+//! fixed 100-node context so the rows time *scoring only* — no context
+//! selection, no caches.
+//!
+//! `build_per_label_32` vs `build_sweep_32` isolate the §3.2 Inst/Card
+//! distribution pass: O(|L|·|Q∪C|) per-label probing vs one O(Σ degree)
+//! node-major sweep into an epoch-stamped reusable workspace.
+//! `score_per_label_cold_32` vs `score_sweep_cold_32` time the full
+//! cold scoring path (distributions + discrimination tests), where the
+//! sweep additionally fans the per-label tests across workers. Both
+//! paths must answer bit for bit identically before any timing.
+
+#![forbid(unsafe_code)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nck_api::rankings_equal;
+use nck_core::config::FindNcConfig;
+use nck_core::context::Context;
+use nck_core::distributions::{incident_labels, LabelDistributions};
+use nck_core::findnc::FindNc;
+use nck_core::query::Query;
+use nck_core::sweep::{self, ScoringWorkspace};
+use nck_graph::NodeId;
+
+/// Paper defaults, sweep toggled, with a trimmed Monte-Carlo budget:
+/// the sampling work inside the discrimination tests is identical on
+/// both paths by construction (same seed, same distributions), so a
+/// large budget only buries the rewritten distribution pass these rows
+/// exist to measure.
+fn config(sweep: bool) -> FindNcConfig {
+    FindNcConfig {
+        score_sweep: sweep,
+        mc_samples: 500,
+        ..FindNcConfig::default()
+    }
+}
+
+fn bench_score(c: &mut Criterion) {
+    let d = nck_bench::bench_dataset();
+    let graph = &d.graph;
+    let members = &d.domains[1].members;
+    assert!(
+        members.len() >= 32 + 100,
+        "planted domain too small for the scoring workload"
+    );
+
+    // 32 distinct seeds, each against a 100-node same-domain context
+    // (seed excluded, strictly descending similarity scores) — fixed
+    // inputs, so every iteration re-scores the same cold work.
+    let pairs: Vec<(Query, Context)> = members[..32]
+        .iter()
+        .enumerate()
+        .map(|(i, &seed)| {
+            let query = Query::new(graph, vec![seed]).expect("valid seed");
+            let ranked: Vec<(NodeId, f64)> = members[32..]
+                .iter()
+                .cycle()
+                .skip(i)
+                .take(100)
+                .enumerate()
+                .map(|(rank, &n)| (n, 1.0 / (rank + 1) as f64))
+                .collect();
+            (query, Context::from_ranked(ranked))
+        })
+        .collect();
+
+    // Parity before timing: the sweep is a performance rewrite, never an
+    // answer change. Distributions field for field, rankings bit for bit.
+    let swept_findnc = FindNc::new(config(true));
+    let legacy_findnc = FindNc::new(config(false));
+    let cfg = config(true);
+    let mut ws = ScoringWorkspace::new();
+    for (i, (query, context)) in pairs.iter().enumerate() {
+        let swept_dists = sweep::build_all(
+            graph,
+            query,
+            context,
+            cfg.instance_support,
+            cfg.card_binning,
+            cfg.include_inverse_labels,
+            &mut ws,
+        );
+        let labels = incident_labels(graph, query, context, cfg.include_inverse_labels);
+        assert_eq!(swept_dists.len(), labels.len(), "label cover at query {i}");
+        for (dists, &label) in swept_dists.iter().zip(&labels) {
+            let want = LabelDistributions::build_full(
+                graph,
+                query,
+                context,
+                label,
+                cfg.instance_support,
+                cfg.card_binning,
+            );
+            assert_eq!(dists, &want, "distributions diverged at query {i}");
+        }
+        let swept = swept_findnc
+            .discover_with_context(graph, query, context)
+            .unwrap();
+        let legacy = legacy_findnc
+            .discover_with_context(graph, query, context)
+            .unwrap();
+        assert!(
+            rankings_equal(&swept, &legacy),
+            "swept ranking diverged from per-label ranking at query {i}"
+        );
+    }
+
+    let mut group = c.benchmark_group("score");
+    group.sample_size(10);
+    group.bench_function("build_per_label_32", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (query, context) in &pairs {
+                for label in incident_labels(graph, query, context, cfg.include_inverse_labels) {
+                    let dists = LabelDistributions::build_full(
+                        graph,
+                        query,
+                        context,
+                        label,
+                        cfg.instance_support,
+                        cfg.card_binning,
+                    );
+                    total += dists.inst_q.len();
+                }
+            }
+            total
+        })
+    });
+    group.bench_function("build_sweep_32", |b| {
+        let mut ws = ScoringWorkspace::new();
+        b.iter(|| {
+            let mut total = 0usize;
+            for (query, context) in &pairs {
+                for dists in sweep::build_all(
+                    graph,
+                    query,
+                    context,
+                    cfg.instance_support,
+                    cfg.card_binning,
+                    cfg.include_inverse_labels,
+                    &mut ws,
+                ) {
+                    total += dists.inst_q.len();
+                }
+            }
+            total
+        })
+    });
+    group.bench_function("score_per_label_cold_32", |b| {
+        b.iter(|| {
+            for (query, context) in &pairs {
+                legacy_findnc
+                    .discover_with_context(graph, query, context)
+                    .unwrap();
+            }
+        })
+    });
+    group.bench_function("score_sweep_cold_32", |b| {
+        let mut ws = ScoringWorkspace::new();
+        b.iter(|| {
+            for (query, context) in &pairs {
+                swept_findnc
+                    .discover_with_context_ws(graph, query, context, &mut ws)
+                    .unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_score);
+criterion_main!(benches);

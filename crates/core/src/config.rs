@@ -133,6 +133,13 @@ pub struct FindNcConfig {
     /// Cardinality binning (see
     /// [`crate::distributions::CardinalityBinning`]).
     pub card_binning: CardinalityBinning,
+    /// Score through the node-major sweep ([`crate::sweep`]): one pass
+    /// over `Q ∪ C` builds every label's distributions, and the
+    /// discrimination tests fan out across workers. A pure performance
+    /// knob — rankings are bit-for-bit identical to the label-major
+    /// path. On by default; `false` restores the sequential per-label
+    /// loop.
+    pub score_sweep: bool,
 }
 
 impl Default for FindNcConfig {
@@ -146,6 +153,7 @@ impl Default for FindNcConfig {
             include_inverse_labels: false,
             instance_support: InstanceSupport::ContextOnly,
             card_binning: CardinalityBinning::Log2,
+            score_sweep: true,
         }
     }
 }
@@ -168,5 +176,17 @@ mod tests {
         assert_eq!(findnc.context_size, 100);
         assert_eq!(findnc.alpha, 0.05);
         assert!(!findnc.include_inverse_labels);
+        assert!(findnc.score_sweep, "the sweep is the default path");
+    }
+
+    #[test]
+    fn findnc_config_round_trips_with_sweep_knob() {
+        let cfg = FindNcConfig {
+            score_sweep: false,
+            ..FindNcConfig::default()
+        };
+        let text = serde::json::to_string(&cfg);
+        let back: FindNcConfig = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, cfg);
     }
 }

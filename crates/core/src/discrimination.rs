@@ -62,7 +62,14 @@ impl DiscriminationScore {
 }
 
 /// A discrimination function δ.
-pub trait Discrimination {
+///
+/// `Sync` because the sweep path fans per-label scoring across
+/// [`crate::parallel`] workers; scoring takes `&self`, so implementations
+/// needing per-call mutable state must use interior mutability that is
+/// thread-safe — and note that call *order* across labels is then
+/// unspecified (the paper's multinomial test re-seeds per call, so its
+/// scores are order-independent).
+pub trait Discrimination: Sync {
     /// Scores one label's distributions.
     fn score(&self, dists: &LabelDistributions) -> Result<DiscriminationScore, CoreError>;
 

@@ -116,6 +116,12 @@ pub struct LabelDistributions {
     pub inst_q: Vec<u64>,
     /// Instance counts over the context set (`Inst_c`).
     pub inst_c: Vec<u64>,
+    /// Cached `Σ inst_q`, fixed at build time so the discrimination
+    /// scorers read it instead of re-summing per call (see
+    /// [`inst_q_total`](Self::inst_q_total)).
+    pub inst_q_total: u64,
+    /// Cached `Σ inst_c` (see [`inst_c_total`](Self::inst_c_total)).
+    pub inst_c_total: u64,
     /// Query observations dropped because their value is outside the
     /// context support (only under [`InstanceSupport::ContextOnly`]).
     pub dropped_q: u64,
@@ -235,6 +241,8 @@ impl LabelDistributions {
             support,
             binning,
             inst_support,
+            inst_q_total: inst_q.iter().sum(),
+            inst_c_total: inst_c.iter().sum(),
             inst_q,
             inst_c,
             dropped_q,
@@ -254,14 +262,15 @@ impl LabelDistributions {
     }
 
     /// Total query observations in the instance vector (after dropping,
-    /// under [`InstanceSupport::ContextOnly`]).
+    /// under [`InstanceSupport::ContextOnly`]). Cached at build time.
     pub fn inst_q_total(&self) -> u64 {
-        self.inst_q.iter().sum()
+        self.inst_q_total
     }
 
-    /// Total context observations in the instance vector.
+    /// Total context observations in the instance vector. Cached at
+    /// build time.
     pub fn inst_c_total(&self) -> u64 {
-        self.inst_c.iter().sum()
+        self.inst_c_total
     }
 }
 

@@ -10,10 +10,13 @@
 use crate::config::FindNcConfig;
 use crate::context::{Context, ContextSelector};
 use crate::context_rw::ContextRw;
-use crate::discrimination::{Discrimination, MultinomialDiscrimination, Trigger};
-use crate::distributions::{incident_labels, LabelDistributions};
+use crate::discrimination::{
+    Discrimination, DiscriminationScore, MultinomialDiscrimination, Trigger,
+};
+use crate::distributions::LabelDistributions;
 use crate::error::CoreError;
 use crate::query::Query;
+use crate::sweep::{self, ScoringWorkspace};
 use nck_graph::{EdgeLabelId, GraphAccess};
 use nck_stats::MultinomialTest;
 
@@ -157,8 +160,21 @@ impl FindNc {
         query: &Query,
         context: &Context,
     ) -> Result<SearchResult, CoreError> {
+        self.discover_with_context_ws(graph, query, context, &mut ScoringWorkspace::new())
+    }
+
+    /// [`discover_with_context`](Self::discover_with_context) with a
+    /// caller-provided [`ScoringWorkspace`] — repeated-query callers (the
+    /// engine's worker pool) recycle the sweep scratch across queries.
+    pub fn discover_with_context_ws<G: GraphAccess>(
+        &self,
+        graph: &G,
+        query: &Query,
+        context: &Context,
+        ws: &mut ScoringWorkspace,
+    ) -> Result<SearchResult, CoreError> {
         let discrimination = self.discrimination()?;
-        self.discover_with_discrimination(graph, query, context, &discrimination)
+        self.discover_with_discrimination_ws(graph, query, context, &discrimination, ws)
     }
 
     /// Fully pluggable variant: fixed context and any discrimination
@@ -170,34 +186,112 @@ impl FindNc {
         context: &Context,
         discrimination: &dyn Discrimination,
     ) -> Result<SearchResult, CoreError> {
+        self.discover_with_discrimination_ws(
+            graph,
+            query,
+            context,
+            discrimination,
+            &mut ScoringWorkspace::new(),
+        )
+    }
+
+    /// [`discover_with_discrimination`](Self::discover_with_discrimination)
+    /// with a caller-provided workspace.
+    ///
+    /// With `score_sweep` on (the default), distributions come from the
+    /// node-major sweep ([`sweep::build_all`]) and the per-label
+    /// discrimination tests fan out across [`crate::parallel`] workers;
+    /// both halves are bit-for-bit identical to the sequential
+    /// label-major path (distributions by construction — see
+    /// [`crate::sweep`] — and scores because each test re-seeds from the
+    /// label-independent config seed, so per-label results don't depend
+    /// on call order; the fold preserves label order).
+    pub fn discover_with_discrimination_ws<G: GraphAccess>(
+        &self,
+        graph: &G,
+        query: &Query,
+        context: &Context,
+        discrimination: &dyn Discrimination,
+        ws: &mut ScoringWorkspace,
+    ) -> Result<SearchResult, CoreError> {
         if context.is_empty() {
             return Err(CoreError::NotEnoughCandidates {
                 requested: self.config.context_size,
                 available: 0,
             });
         }
-        let labels = incident_labels(graph, query, context, self.config.include_inverse_labels);
-        let mut characteristics = Vec::with_capacity(labels.len());
-        for label in labels {
-            let dists = LabelDistributions::build_full(
+        let mut characteristics = if self.config.score_sweep {
+            let dists = sweep::build_all(
                 graph,
                 query,
                 context,
-                label,
                 self.config.instance_support,
                 self.config.card_binning,
+                self.config.include_inverse_labels,
+                ws,
             );
-            let s = discrimination.score(&dists)?;
-            characteristics.push(NotableCharacteristic {
-                label,
-                score: s.score,
-                significance: s.significance(),
-                trigger: s.trigger,
-                inst_significance: s.inst_significance,
-                card_significance: s.card_significance,
-                distributions: dists,
-            });
-        }
+            // Fan the per-label tests out; the fold sees chunks in index
+            // order, so scored results — and the first error, if any —
+            // come back in ascending label order.
+            let scored: Vec<Result<DiscriminationScore, CoreError>> = crate::parallel::map_chunks(
+                dists.len(),
+                true,
+                |_, range| {
+                    range
+                        .map(|i| discrimination.score(&dists[i]))
+                        .collect::<Vec<_>>()
+                },
+                Vec::with_capacity(dists.len()),
+                |mut acc, part| {
+                    acc.extend(part);
+                    acc
+                },
+            );
+            let mut characteristics = Vec::with_capacity(dists.len());
+            for (dists, scored) in dists.into_iter().zip(scored) {
+                let s = scored?;
+                characteristics.push(NotableCharacteristic {
+                    label: dists.label,
+                    score: s.score,
+                    significance: s.significance(),
+                    trigger: s.trigger,
+                    inst_significance: s.inst_significance,
+                    card_significance: s.card_significance,
+                    distributions: dists,
+                });
+            }
+            characteristics
+        } else {
+            let labels = sweep::incident_labels_ws(
+                graph,
+                query,
+                context,
+                self.config.include_inverse_labels,
+                ws,
+            );
+            let mut characteristics = Vec::with_capacity(labels.len());
+            for label in labels {
+                let dists = LabelDistributions::build_full(
+                    graph,
+                    query,
+                    context,
+                    label,
+                    self.config.instance_support,
+                    self.config.card_binning,
+                );
+                let s = discrimination.score(&dists)?;
+                characteristics.push(NotableCharacteristic {
+                    label,
+                    score: s.score,
+                    significance: s.significance(),
+                    trigger: s.trigger,
+                    inst_significance: s.inst_significance,
+                    card_significance: s.card_significance,
+                    distributions: dists,
+                });
+            }
+            characteristics
+        };
         // `total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: mapping
         // NaN to "equal" breaks the strict weak ordering `sort_by`
         // requires, so one NaN score could scramble (or panic) the whole
@@ -375,8 +469,16 @@ mod tests {
         }
 
         let (g, q, c) = leaders();
+        // This discrimination's output depends on call *order* (the
+        // fetch_add counter), which the parallel sweep path leaves
+        // unspecified — the sequential label-major path is what the
+        // NaN-comparator property is about.
+        let cfg = FindNcConfig {
+            score_sweep: false,
+            ..FindNcConfig::default()
+        };
         let run = || {
-            FindNc::default()
+            FindNc::new(cfg.clone())
                 .discover_with_discrimination(&g, &q, &c, &NanEveryOther(AtomicUsize::new(0)))
                 .unwrap()
                 .characteristics
@@ -401,6 +503,42 @@ mod tests {
                 .all(|(_, bits)| f64::from_bits(*bits).is_nan()),
             "all NaN-scored labels must rank after every real score"
         );
+    }
+
+    /// The sweep is a pure performance knob: rankings (scores,
+    /// significances, tie order) must be bit-for-bit identical to the
+    /// sequential label-major path. The proptest suite widens this
+    /// across backends; this pins it in-crate.
+    #[test]
+    fn sweep_and_legacy_paths_agree_bit_for_bit() {
+        let (g, q, c) = leaders();
+        let swept = FindNc::default().discover_with_context(&g, &q, &c).unwrap();
+        let legacy_cfg = FindNcConfig {
+            score_sweep: false,
+            ..FindNcConfig::default()
+        };
+        let legacy = FindNc::new(legacy_cfg)
+            .discover_with_context(&g, &q, &c)
+            .unwrap();
+        assert_eq!(swept.characteristics.len(), legacy.characteristics.len());
+        for (a, b) in swept.characteristics.iter().zip(&legacy.characteristics) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+            assert_eq!(
+                a.significance.map(f64::to_bits),
+                b.significance.map(f64::to_bits)
+            );
+            assert_eq!(a.trigger, b.trigger);
+            assert_eq!(
+                a.inst_significance.map(f64::to_bits),
+                b.inst_significance.map(f64::to_bits)
+            );
+            assert_eq!(
+                a.card_significance.map(f64::to_bits),
+                b.card_significance.map(f64::to_bits)
+            );
+            assert_eq!(a.distributions, b.distributions);
+        }
     }
 
     #[test]

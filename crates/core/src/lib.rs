@@ -58,6 +58,7 @@ pub mod parallel;
 pub mod ppr;
 pub mod query;
 pub mod score;
+pub mod sweep;
 
 /// Commonly used items.
 pub mod prelude {
@@ -72,6 +73,7 @@ pub mod prelude {
     pub use crate::ppr::{EdgeWeights, PersonalizedPageRank, RandomWalkSelector};
     pub use crate::query::Query;
     pub use crate::score::{ScoreVec, SparseWorkspace};
+    pub use crate::sweep::ScoringWorkspace;
     pub use nck_graph::GraphAccess;
 }
 

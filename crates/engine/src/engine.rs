@@ -48,6 +48,7 @@ use nck_core::parallel;
 use nck_core::ppr::{BlockPprWorkspace, EdgeWeights, PersonalizedPageRank, PprWorkspace};
 use nck_core::query::Query;
 use nck_core::score::ScoreVec;
+use nck_core::sweep::ScoringWorkspace;
 use nck_graph::{EdgeLabelId, GraphAccess, NodeId};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -178,6 +179,14 @@ pub struct EngineStats {
     /// not `ppr.misses` — accounts for their computations; the filled
     /// seeds then surface as `ppr.hits` when their groups execute.
     pub ppr_lanes_filled: u64,
+    /// Node-major scoring sweeps executed ([`nck_core::sweep`]; one per
+    /// cold query when `FindNcConfig::score_sweep` is on). Cached
+    /// results never re-sweep, so this also counts the scoring-stage
+    /// work the caches did *not* absorb.
+    pub label_sweeps: u64,
+    /// Labels scored by the discrimination stage across executed
+    /// (non-cached) queries, whichever scoring path ran.
+    pub labels_scored: u64,
     /// PPR vector cache counters.
     pub ppr: CacheStats,
     /// Context cache counters.
@@ -226,23 +235,28 @@ pub struct QueryEngine<G: GraphAccess + Sync> {
     weight_builds: AtomicU64,
     ppr_block_runs: AtomicU64,
     ppr_lanes_filled: AtomicU64,
+    label_sweeps: AtomicU64,
+    labels_scored: AtomicU64,
     ppr_workspaces: WorkspacePool,
 }
 
-/// A pool of PageRank scratch workspaces, checked out around each
-/// computation and returned afterwards, so repeated queries and block
-/// fills allocate nothing in steady state (previously every query — and
+/// A pool of scratch workspaces — PageRank (solo and blocked) and
+/// scoring-sweep — checked out around each computation and returned
+/// afterwards, so repeated queries, block fills and label sweeps
+/// allocate nothing in steady state (previously every query — and
 /// every single-flight leader inside it — allocated fresh scratch).
 ///
-/// Both pool mutexes are **leaves** of the engine's lock hierarchy:
-/// each checkout/putback locks, pops or pushes, and releases before any
-/// computation or cache/flight call — a guard is never held across
-/// another acquisition (`nck-lint`'s lock-order rule classes them as
-/// `ppr_workspace_pool` and would flag any nesting).
+/// All three pool mutexes are **leaves** of the engine's lock
+/// hierarchy: each checkout/putback locks, pops or pushes, and releases
+/// before any computation or cache/flight call — a guard is never held
+/// across another acquisition (`nck-lint`'s lock-order rule classes
+/// them as `ppr_workspace_pool` / `scoring_workspace_pool` and would
+/// flag any nesting).
 #[derive(Debug, Default)]
 struct WorkspacePool {
     solo: std::sync::Mutex<Vec<PprWorkspace>>,
     block: std::sync::Mutex<Vec<BlockPprWorkspace>>,
+    scoring: std::sync::Mutex<Vec<ScoringWorkspace>>,
 }
 
 impl WorkspacePool {
@@ -268,6 +282,18 @@ impl WorkspacePool {
 
     fn put_block(&self, ws: BlockPprWorkspace) {
         self.block.lock().expect("workspace pool lock").push(ws);
+    }
+
+    fn checkout_scoring(&self) -> ScoringWorkspace {
+        self.scoring
+            .lock()
+            .expect("workspace pool lock")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn put_scoring(&self, ws: ScoringWorkspace) {
+        self.scoring.lock().expect("workspace pool lock").push(ws);
     }
 }
 
@@ -319,6 +345,8 @@ impl<G: GraphAccess + Sync> QueryEngine<G> {
             weight_builds,
             ppr_block_runs: AtomicU64::new(0),
             ppr_lanes_filled: AtomicU64::new(0),
+            label_sweeps: AtomicU64::new(0),
+            labels_scored: AtomicU64::new(0),
             ppr_workspaces: WorkspacePool::default(),
             config,
         })
@@ -373,11 +401,19 @@ impl<G: GraphAccess + Sync> QueryEngine<G> {
             }
             self.executed_groups.fetch_add(1, Ordering::Relaxed);
             let context = self.context_for(query, &key)?;
-            let result = Arc::new(self.findnc.discover_with_context(
-                &self.graph,
-                query,
-                &context,
-            )?);
+            // Pooled sweep scratch: the scoring stage of repeated cold
+            // queries recycles its per-label maps and count rows.
+            let mut ws = self.ppr_workspaces.checkout_scoring();
+            let scored =
+                self.findnc
+                    .discover_with_context_ws(&self.graph, query, &context, &mut ws);
+            self.ppr_workspaces.put_scoring(ws);
+            let result = Arc::new(scored?);
+            if self.config.findnc.score_sweep {
+                self.label_sweeps.fetch_add(1, Ordering::Relaxed);
+            }
+            self.labels_scored
+                .fetch_add(result.characteristics.len() as u64, Ordering::Relaxed);
             self.result_cache.insert(key.clone(), Arc::clone(&result));
             Ok(result)
         })
@@ -680,6 +716,8 @@ impl<G: GraphAccess + Sync> QueryEngine<G> {
             ppr_coalesced: self.ppr_flight.coalesced(),
             ppr_block_runs: self.ppr_block_runs.load(Ordering::Relaxed),
             ppr_lanes_filled: self.ppr_lanes_filled.load(Ordering::Relaxed),
+            label_sweeps: self.label_sweeps.load(Ordering::Relaxed),
+            labels_scored: self.labels_scored.load(Ordering::Relaxed),
             ppr: self.ppr_cache.stats(),
             context: self.context_cache.stats(),
             result: self.result_cache.stats(),
@@ -1098,6 +1136,36 @@ mod tests {
         // A repeat run is a plain cache hit, not a flight.
         let again = engine.run(&q).unwrap();
         assert!(Arc::ptr_eq(&results[0], &again));
+    }
+
+    /// The sweep counters account cold scoring work only: cache hits
+    /// never re-sweep, and the legacy path sweeps nothing while still
+    /// counting scored labels.
+    #[test]
+    fn sweep_counters_account_cold_scoring_only() {
+        let g = leaders();
+        let q = Query::by_names(&g, ["Merkel", "Obama"]).unwrap();
+        let engine = QueryEngine::new(&g, fast_config()).unwrap();
+        let r = engine.run(&q).unwrap();
+        let s = engine.stats();
+        assert_eq!(s.label_sweeps, 1, "one cold query, one sweep");
+        assert_eq!(s.labels_scored, r.characteristics.len() as u64);
+        engine.run(&q).unwrap();
+        let s = engine.stats();
+        assert_eq!(s.label_sweeps, 1, "cache hit must not re-sweep");
+        assert_eq!(s.labels_scored, r.characteristics.len() as u64);
+
+        let mut legacy_cfg = fast_config();
+        legacy_cfg.findnc.score_sweep = false;
+        let legacy = QueryEngine::new(&g, legacy_cfg).unwrap();
+        let lr = legacy.run(&q).unwrap();
+        let s = legacy.stats();
+        assert_eq!(s.label_sweeps, 0, "legacy path never sweeps");
+        assert_eq!(s.labels_scored, lr.characteristics.len() as u64);
+        // And the knob is a pure performance toggle.
+        for (a, b) in r.characteristics.iter().zip(&lr.characteristics) {
+            assert_eq!((a.label, a.score.to_bits()), (b.label, b.score.to_bits()));
+        }
     }
 
     #[test]

@@ -139,6 +139,13 @@ impl LintConfig {
                 // and never held across another acquisition.
                 LockClassSpec::mutex("engine/src/engine.rs", Some("solo"), "ppr_workspace_pool"),
                 LockClassSpec::mutex("engine/src/engine.rs", Some("block"), "ppr_workspace_pool"),
+                // The scoring-workspace pool: a leaf like the PPR pools,
+                // locked only to check a workspace out or put it back.
+                LockClassSpec::mutex(
+                    "engine/src/engine.rs",
+                    Some("scoring"),
+                    "scoring_workspace_pool",
+                ),
             ],
             lock_hierarchy: vec![
                 s("sharded_lru_stripe"),
@@ -147,6 +154,7 @@ impl LintConfig {
                 s("admission_queue"),
                 s("conn_writer"),
                 s("ppr_workspace_pool"),
+                s("scoring_workspace_pool"),
             ],
             wire_files: vec![s("crates/api/src/"), s("crates/serve/src/wire.rs")],
             golden_path: s("crates/lint/wire_schema.golden"),

@@ -1,0 +1,245 @@
+//! Property tests pinning the node-major scoring sweep to the per-label
+//! path it replaces:
+//!
+//! - `sweep::build_all` must produce **field-for-field** identical
+//!   `LabelDistributions` to a per-label `build_full` loop over the
+//!   incident labels — under both instance-support policies, both
+//!   cardinality binnings, inverse labels on and off, and empty
+//!   contexts;
+//! - the swept `FindNc` ranking must be **bit-for-bit** identical to the
+//!   legacy per-label ranking on the CSR, triple-store and compact
+//!   backends, sequential and worker-parallel alike.
+
+#![forbid(unsafe_code)]
+
+use notable_characteristics::api::rankings_equal;
+use notable_characteristics::core::config::FindNcConfig;
+use notable_characteristics::core::context::Context;
+use notable_characteristics::core::distributions::{
+    incident_labels, CardinalityBinning, InstanceSupport, LabelDistributions,
+};
+use notable_characteristics::core::findnc::FindNc;
+use notable_characteristics::core::parallel;
+use notable_characteristics::core::query::Query;
+use notable_characteristics::core::sweep::{self, ScoringWorkspace};
+use notable_characteristics::graph::builder::GraphBuilder;
+use notable_characteristics::graph::{CompactGraph, GraphAccess, KnowledgeGraph, NodeId};
+use notable_characteristics::store::graph_view::to_triple_store;
+use notable_characteristics::store::StoreGraph;
+use proptest::prelude::*;
+
+/// One generated case: triples over a small universe, query picks,
+/// context picks (possibly draining to an empty context), and the
+/// support/binning/inverse toggles (0/1 bits — the vendored proptest
+/// has no bool strategy).
+type Case = (Vec<(u8, u8, u8)>, Vec<u8>, Vec<u8>, u8, u8, u8);
+
+fn cases() -> impl Strategy<Value = Case> {
+    (
+        (
+            prop::collection::vec((0u8..20, 0u8..5, 0u8..20), 1..60),
+            prop::collection::vec(0u8..20, 1..4),
+            prop::collection::vec(0u8..20, 0..8),
+        ),
+        (0u8..2, 0u8..2, 0u8..2),
+    )
+        .prop_map(|((ts, q, c), (union, raw, inv))| (ts, q, c, union, raw, inv))
+}
+
+fn build(triples: &[(u8, u8, u8)]) -> KnowledgeGraph {
+    let mut b = GraphBuilder::new();
+    for &(s, p, o) in triples {
+        b.add_triple(&format!("n{s}"), &format!("p{p}"), &format!("n{o}"));
+    }
+    // Every query/context pick must resolve — on the triple-store backend
+    // too, which only materializes nodes that occur in a triple.
+    for i in 0..20 {
+        b.add_triple(&format!("n{i}"), "exists", "universe");
+    }
+    b.build()
+}
+
+fn dedup_names(picks: &[u8]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for &i in picks {
+        let name = format!("n{i}");
+        if !names.contains(&name) {
+            names.push(name);
+        }
+    }
+    names
+}
+
+/// A context over the picked nodes (query nodes excluded, like the real
+/// selectors), with strictly descending similarity scores.
+fn context_for<G: GraphAccess>(graph: &G, picks: &[String], query: &Query) -> Context {
+    let ranked: Vec<(NodeId, f64)> = picks
+        .iter()
+        .map(|name| graph.node_by_name(name).unwrap())
+        .filter(|n| !query.nodes().contains(n))
+        .enumerate()
+        .map(|(rank, n)| (n, 1.0 / (rank + 1) as f64))
+        .collect();
+    Context::from_ranked(ranked)
+}
+
+/// Swept distributions vs the per-label loop, on one backend.
+fn assert_distribution_parity<G: GraphAccess>(
+    graph: &G,
+    query_names: &[String],
+    context_names: &[String],
+    support: InstanceSupport,
+    binning: CardinalityBinning,
+    include_inverse: bool,
+) {
+    let query = Query::by_names(graph, query_names.iter().map(String::as_str)).unwrap();
+    let context = context_for(graph, context_names, &query);
+    let mut ws = ScoringWorkspace::new();
+    let swept = sweep::build_all(
+        graph,
+        &query,
+        &context,
+        support,
+        binning,
+        include_inverse,
+        &mut ws,
+    );
+    let labels = incident_labels(graph, &query, &context, include_inverse);
+    prop_assert_eq!(
+        swept.iter().map(|d| d.label).collect::<Vec<_>>(),
+        labels.clone(),
+        "the sweep must cover exactly the incident labels, in label order"
+    );
+    for (dists, label) in swept.iter().zip(labels) {
+        let want = LabelDistributions::build_full(graph, &query, &context, label, support, binning);
+        prop_assert_eq!(
+            dists,
+            &want,
+            "label {:?} diverged under {:?}/{:?} inverse={}",
+            label,
+            support,
+            binning,
+            include_inverse
+        );
+    }
+}
+
+/// Swept vs legacy `FindNc` ranking, bit for bit, on one backend.
+fn assert_ranking_parity<G: GraphAccess + Sync>(
+    graph: &G,
+    query_names: &[String],
+    context_names: &[String],
+    support: InstanceSupport,
+    binning: CardinalityBinning,
+    include_inverse: bool,
+) {
+    let query = Query::by_names(graph, query_names.iter().map(String::as_str)).unwrap();
+    let context = context_for(graph, context_names, &query);
+    if context.is_empty() {
+        // An empty context is a selection error on both paths (FindNC
+        // refuses to score against no evidence); distribution-level
+        // parity for empty contexts is covered by the sibling test.
+        return;
+    }
+    let config = |sweep: bool| FindNcConfig {
+        instance_support: support,
+        card_binning: binning,
+        include_inverse_labels: include_inverse,
+        score_sweep: sweep,
+        ..FindNcConfig::default()
+    };
+    let swept = FindNc::new(config(true))
+        .discover_with_context(graph, &query, &context)
+        .unwrap();
+    let legacy = FindNc::new(config(false))
+        .discover_with_context(graph, &query, &context)
+        .unwrap();
+    prop_assert!(
+        rankings_equal(&swept, &legacy),
+        "swept and legacy rankings diverged: {:?} vs {:?}",
+        swept.characteristics,
+        legacy.characteristics
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `build_all` equals the per-label `build_full` loop field for
+    /// field on all three backends (each resolved in its own id space),
+    /// across every support/binning/inverse combination the generator
+    /// produces — including empty contexts.
+    #[test]
+    fn swept_distributions_match_per_label_build((ts, q, c, union, raw, inv) in cases()) {
+        let (union, raw, inv) = (union == 1, raw == 1, inv == 1);
+        let kg = build(&ts);
+        let query_names = dedup_names(&q);
+        let context_names = dedup_names(&c);
+        let support = if union { InstanceSupport::Union } else { InstanceSupport::ContextOnly };
+        let binning = if raw { CardinalityBinning::Raw } else { CardinalityBinning::Log2 };
+        assert_distribution_parity(
+            &StoreGraph::new(to_triple_store(&kg)),
+            &query_names, &context_names, support, binning, inv,
+        );
+        assert_distribution_parity(
+            &CompactGraph::from_graph(&kg),
+            &query_names, &context_names, support, binning, inv,
+        );
+        assert_distribution_parity(&kg, &query_names, &context_names, support, binning, inv);
+    }
+
+    /// The full scored ranking — δ, significances, trigger order — is
+    /// bit-for-bit identical between the swept (worker-parallel) and
+    /// legacy (sequential per-label) paths on every backend.
+    #[test]
+    fn swept_rankings_match_legacy_on_every_backend((ts, q, c, union, raw, inv) in cases()) {
+        let (union, raw, inv) = (union == 1, raw == 1, inv == 1);
+        let kg = build(&ts);
+        let query_names = dedup_names(&q);
+        let context_names = dedup_names(&c);
+        let support = if union { InstanceSupport::Union } else { InstanceSupport::ContextOnly };
+        let binning = if raw { CardinalityBinning::Raw } else { CardinalityBinning::Log2 };
+        assert_ranking_parity(
+            &StoreGraph::new(to_triple_store(&kg)),
+            &query_names, &context_names, support, binning, inv,
+        );
+        assert_ranking_parity(
+            &CompactGraph::from_graph(&kg),
+            &query_names, &context_names, support, binning, inv,
+        );
+        assert_ranking_parity(&kg, &query_names, &context_names, support, binning, inv);
+    }
+
+    /// The worker count is invisible in the output: capping the process
+    /// to one worker (inline scoring) produces the same bits as the
+    /// uncapped parallel fan-out.
+    #[test]
+    fn parallel_scoring_is_answer_invariant((ts, q, c, union, raw, inv) in cases()) {
+        let (union, raw, inv) = (union == 1, raw == 1, inv == 1);
+        let kg = build(&ts);
+        let query_names = dedup_names(&q);
+        let context_names = dedup_names(&c);
+        let query = Query::by_names(&kg, query_names.iter().map(String::as_str)).unwrap();
+        let context = context_for(&kg, &context_names, &query);
+        if context.is_empty() {
+            continue; // nothing to score; the macro loops per case
+        }
+        let config = FindNcConfig {
+            instance_support: if union { InstanceSupport::Union } else { InstanceSupport::ContextOnly },
+            card_binning: if raw { CardinalityBinning::Raw } else { CardinalityBinning::Log2 },
+            include_inverse_labels: inv,
+            score_sweep: true,
+            ..FindNcConfig::default()
+        };
+        let findnc = FindNc::new(config);
+        let wide = findnc.discover_with_context(&kg, &query, &context).unwrap();
+        let base = parallel::thread_cap();
+        parallel::set_thread_cap(Some(1));
+        let narrow = findnc.discover_with_context(&kg, &query, &context);
+        parallel::set_thread_cap(base);
+        prop_assert!(
+            rankings_equal(&wide, &narrow.unwrap()),
+            "a one-worker cap changed the swept ranking"
+        );
+    }
+}
